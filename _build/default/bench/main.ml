@@ -1,0 +1,473 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablation/validation experiments listed in
+   DESIGN.md §3.
+
+   Targets (run all by default, or select: `dune exec bench/main.exe -- t1 x4`):
+     table1   (T1)  profiling overhead, LOOPS & SIMPLE, opt ON/OFF
+     figure1  (F1)  the Fig. 1 statement-level CFG
+     figure2  (F2)  the Fig. 2 extended CFG
+     figure3  (F3)  the Fig. 3 annotated FCDG — TIME=920, STD_DEV=300
+     counters (X1)  counter counts & dynamic updates: naive vs smart, per optimization
+     sampling (X2)  PC-sampling vs counters at statement granularity
+     accuracy (X3)  estimated TIME/STD_DEV vs measured mean/std over runs
+     chunks   (X4)  variance-driven chunk size (Kruskal-Weiss) vs baselines
+     static   (X5)  compile-time frequency analysis vs profiling
+     wall           Bechamel wall-clock suite (one Test per table/figure) *)
+
+module Interp = S89_vm.Interp
+module CM = S89_vm.Cost_model
+module Optimize = S89_vm.Optimize
+module Program = S89_frontend.Program
+module Analysis = S89_profiling.Analysis
+module Placement = S89_profiling.Placement
+module Naive = S89_profiling.Naive
+module Pipeline = S89_core.Pipeline
+module Interproc = S89_core.Interproc
+module Report = S89_core.Report
+module Stats = S89_util.Stats
+module W = S89_workloads.Demos
+
+let section title =
+  Fmt.pr "@.=============================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "=============================================================@."
+
+let run_vm ?(instr = S89_vm.Probe.empty) ?(seed = 42) ~cm prog =
+  let config = { Interp.default_config with cost_model = cm; instr; seed } in
+  let vm = Interp.create ~config prog in
+  ignore (Interp.run vm);
+  vm
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table 1 — profiling overhead                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section
+    "Table 1: sequential execution times with and without profiling\n\
+     (paper, IBM 3090 CPU seconds, opt ON: LOOPS 0.05/0.06/0.08, SIMPLE \
+     3.8/4.2/4.4)\n\
+     (ours: simulated cycles on the cost-model VM; wall seconds in parens)";
+  let programs =
+    [ ("LOOPS", S89_workloads.Livermore.source);
+      ("SIMPLE", S89_workloads.Simple_code.source ()) ]
+  in
+  Fmt.pr "@.%-8s %-8s %20s %28s %28s@." "Program" "Compiler" "Original"
+    "Smart profiling" "Naive profiling";
+  List.iter
+    (fun (name, src) ->
+      let base = Program.of_source src in
+      let opt = Optimize.program base in
+      List.iter
+        (fun (mode, prog, cm) ->
+          let smart = Placement.plan (Analysis.of_program prog) in
+          let naive = Naive.plan prog in
+          let timed f =
+            let t0 = Unix.gettimeofday () in
+            let vm = f () in
+            (Interp.cycles vm, Unix.gettimeofday () -. t0)
+          in
+          let c0, w0 = timed (fun () -> run_vm ~cm prog) in
+          let c1, w1 =
+            timed (fun () -> run_vm ~instr:(Placement.probes smart) ~cm prog)
+          in
+          let c2, w2 = timed (fun () -> run_vm ~instr:(Naive.probes naive) ~cm prog) in
+          let pct a = 100.0 *. float_of_int (a - c0) /. float_of_int c0 in
+          Fmt.pr
+            "%-8s %-8s %12d (%4.1fs) %14d +%4.1f%% (%4.1fs) %14d +%4.1f%% (%4.1fs)@."
+            name mode c0 w0 c1 (pct c1) w1 c2 (pct c2) w2)
+        [ ("opt-ON", opt, CM.optimized); ("opt-OFF", base, CM.unoptimized) ])
+    programs;
+  Fmt.pr
+    "@.shape check: smart overhead < naive overhead; both small against the@.\
+     opt ON/OFF gap - matching the paper's Table 1 ordering.@."
+
+(* ------------------------------------------------------------------ *)
+(* F1-F3: the worked example                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_pipeline () =
+  let t = Pipeline.of_source (W.fig1 ()) in
+  let a = Hashtbl.find t.Pipeline.analyses "FIG1" in
+  (t, a)
+
+let figure1 () =
+  section "Figure 1: original control flow graph (statement level)";
+  let t, _ = fig1_pipeline () in
+  let p = Program.find t.Pipeline.prog "FIG1" in
+  Fmt.pr "%a@."
+    (S89_cfg.Cfg.pp ~pp_info:(fun fmt i -> Fmt.pf fmt " {%a}" S89_frontend.Ir.pp_info i))
+    p.Program.cfg;
+  Fmt.pr "@.DOT:@.%s@." (Report.cfg_dot p)
+
+let figure2 () =
+  section "Figure 2: extended control flow graph (preheaders, postexits, START/STOP)";
+  let _, a = fig1_pipeline () in
+  Fmt.pr "%a@."
+    (S89_cfg.Ecfg.pp ~pp_info:(fun fmt i -> Fmt.pf fmt " {%a}" S89_frontend.Ir.pp_info i))
+    a.Analysis.ecfg;
+  Fmt.pr "@.DOT:@.%s@." (Report.ecfg_dot a)
+
+(* the exact profile and costs of the paper's worked example *)
+let figure3_estimate () =
+  let t, a = fig1_pipeline () in
+  let ecfg = a.Analysis.ecfg in
+  let start = S89_cfg.Ecfg.start ecfg in
+  let ph = S89_cfg.Ecfg.preheader_of_header ecfg 3 in
+  let u = S89_cfg.Label.U and tt = S89_cfg.Label.T and ff = S89_cfg.Label.F in
+  let fig1_totals = Hashtbl.create 16 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace fig1_totals k v)
+    [ ((start, u), 1); ((ph, u), 10); ((3, tt), 5); ((3, ff), 5); ((4, tt), 1);
+      ((4, ff), 4); ((5, tt), 0); ((5, ff), 5) ];
+  let a2 = Hashtbl.find t.Pipeline.analyses "FOO" in
+  let foo_totals = Hashtbl.create 4 in
+  Hashtbl.replace foo_totals (S89_cfg.Ecfg.start a2.Analysis.ecfg, u) 9;
+  let totals = function "FIG1" -> fig1_totals | _ -> foo_totals in
+  let cost_override name node =
+    match (name, node) with
+    | "FIG1", (3 | 4 | 5) -> 1.0 (* the IF nodes *)
+    | "FOO", 1 -> 100.0 (* makes TIME(FOO) = 100, the paper's CALL cost *)
+    | _ -> 0.0
+  in
+  (t, Pipeline.estimate_totals t ~totals ~cost_override)
+
+let figure3 () =
+  section
+    "Figure 3: FCDG with <FREQ, TOTAL_FREQ> and [COST, TIME, E[T2], VAR, STD_DEV]\n\
+     (paper: TIME(START) = 920, STD_DEV(START) = 300)";
+  let _, est = figure3_estimate () in
+  Fmt.pr "%a@." Report.pp est;
+  let time = Interproc.program_time est and sd = Interproc.program_std_dev est in
+  Fmt.pr "@.headline: TIME(START)=%g (paper: 920)   STD_DEV(START)=%g (paper: 300)  %s@."
+    time sd
+    (if Float.abs (time -. 920.0) < 1e-6 && Float.abs (sd -. 300.0) < 1e-6 then
+       "[EXACT MATCH]"
+     else "[MISMATCH]");
+  Fmt.pr "@.DOT:@.%s@." (Report.fcdg_dot (Interproc.main_est est))
+
+(* ------------------------------------------------------------------ *)
+(* X1: counter-count ablation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let counters () =
+  section
+    "X1: counters and dynamic counter updates - naive vs smart, per optimization\n\
+     (opt1 = counter per control condition; opt2 = conservation laws;\n\
+     opt3 = DO-loop bulk adds)";
+  let programs =
+    [ ("FIG1", W.fig1 ()); ("BRANCHY", W.branchy ()); ("CGOTO", W.computed_goto ());
+      ("LOOPS", S89_workloads.Livermore.source);
+      ("SIMPLE", S89_workloads.Simple_code.source ~n:40 ~cycles:3 ()) ]
+  in
+  Fmt.pr "@.%-8s | %22s | %22s | %22s | %22s@." "Program" "naive (blocks)"
+    "smart opt1" "smart opt1+2" "smart opt1+2+3";
+  Fmt.pr "%s@." (String.make 110 '-');
+  List.iter
+    (fun (name, src) ->
+      let prog = Program.of_source src in
+      let analyses = Analysis.of_program prog in
+      let vm = run_vm ~cm:CM.optimized prog in
+      let naive = Naive.plan prog in
+      let cell (plan : Placement.t) =
+        Fmt.str "%4d ctr %10d upd" (Placement.n_counters plan)
+          (Placement.dynamic_updates plan vm)
+      in
+      let p1 = Placement.plan ~opt2:false ~opt3:false analyses in
+      let p12 = Placement.plan ~opt2:true ~opt3:false analyses in
+      let p123 = Placement.plan ~opt2:true ~opt3:true analyses in
+      Fmt.pr "%-8s | %4d ctr %10d upd | %s | %s | %s@." name (Naive.n_counters naive)
+        (Naive.dynamic_updates naive prog vm)
+        (cell p1) (cell p12) (cell p123))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* X2: sampling vs counters                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sampling () =
+  section
+    "X2: simulated PC-sampling vs exact counters, statement granularity\n\
+     (the 3rd-section argument: \"the coarse granularity of the sampling\n\
+     interval makes this approach unsuitable for determining execution\n\
+     frequencies of individual statements\")";
+  let src = S89_workloads.Simple_code.source ~n:40 ~cycles:3 () in
+  let prog = Program.of_source src in
+  Fmt.pr "@.%-16s %14s %16s %20s@." "sample interval" "samples" "mean rel.err"
+    "zero-sample stmts";
+  List.iter
+    (fun interval ->
+      let config =
+        { Interp.default_config with cost_model = CM.optimized;
+          sample_interval = Some interval }
+      in
+      let vm = Interp.create ~config prog in
+      ignore (Interp.run vm);
+      let total_samples = Interp.cycles vm / interval in
+      let err = Stats.create () in
+      let zero = ref 0 and considered = ref 0 in
+      List.iter
+        (fun (p : Program.proc) ->
+          S89_cfg.Cfg.iter_nodes
+            (fun nd ->
+              let execs = Interp.node_execs vm p.Program.name nd in
+              let cost =
+                CM.node_cost CM.optimized
+                  (S89_cfg.Cfg.info p.Program.cfg nd).S89_frontend.Ir.ir
+              in
+              if execs > 0 && cost > 0 then begin
+                incr considered;
+                let samples = Interp.node_samples vm p.Program.name nd in
+                if samples = 0 then incr zero;
+                (* frequency estimate from samples: execs ~ samples*interval/cost *)
+                let est =
+                  float_of_int samples *. float_of_int interval /. float_of_int cost
+                in
+                Stats.add err (Stats.rel_err est (float_of_int execs))
+              end)
+            p.Program.cfg)
+        (Program.procs prog);
+      Fmt.pr "%-16d %14d %15.1f%% %13d / %3d@." interval total_samples
+        (100.0 *. Stats.mean err) !zero !considered)
+    [ 10; 100; 1_000; 10_000; 100_000 ];
+  Fmt.pr
+    "@.counters give exact per-statement frequencies at a few %% run-time cost;@.\
+     realistic sampling intervals miss many statements entirely.@."
+
+(* ------------------------------------------------------------------ *)
+(* X3: estimator accuracy                                              *)
+(* ------------------------------------------------------------------ *)
+
+let accuracy () =
+  section
+    "X3: estimated TIME / STD_DEV vs measured mean / std-dev over seeded runs\n\
+     (TIME estimated from an accumulated smart-counter profile; measurement\n\
+     is the uninstrumented cycle count of runs with the same seeds)";
+  let cases =
+    [ ("BRANCHY", W.branchy (), 60); ("CHUNKY", W.chunky (), 60);
+      ("NESTED", W.nested_random (), 60); ("CGOTO", W.computed_goto (), 60);
+      ("SORT", W.sort (), 60); ("SIEVE", W.sieve (), 60);
+      ("LINPACK", S89_workloads.Linpack_like.source (), 30);
+      ("LOOPS", S89_workloads.Livermore.source, 8) ]
+  in
+  Fmt.pr "@.%-8s %14s %14s %7s | %12s %12s %12s@." "Program" "est TIME" "meas mean"
+    "err" "SD paper" "SD indep" "SD meas";
+  List.iter
+    (fun (name, src, runs) ->
+      let t = Pipeline.of_source src in
+      let st = Stats.create () in
+      for s = 0 to runs - 1 do
+        let vm = Pipeline.run_once ~seed:(1001 + s) t in
+        Stats.add st (float_of_int (Interp.cycles vm))
+      done;
+      let profile = Pipeline.profile_smart ~runs ~seed:1001 t in
+      (* the paper's formula (Case 1 with FREQ², iterations fully correlated)
+         and the Wald-identity variant (independent iterations), both with
+         callee-variance propagation enabled *)
+      let est = Pipeline.estimate_profiled ~call_variance:true t profile in
+      let est_ind =
+        Pipeline.estimate_profiled ~call_variance:true
+          ~iteration_model:S89_core.Variance.Independent t profile
+      in
+      let time = Interproc.program_time est in
+      Fmt.pr "%-8s %14.1f %14.1f %6.2f%% | %12.1f %12.1f %12.1f@." name time
+        (Stats.mean st)
+        (100.0 *. Stats.rel_err time (Stats.mean st))
+        (Interproc.program_std_dev est)
+        (Interproc.program_std_dev est_ind)
+        (Stats.std_dev st))
+    cases;
+  Fmt.pr
+    "@.TIME matches the measured mean almost exactly (same seeds feed both).@.\
+     'SD paper' is the paper's Case-1 formula (FREQ^2: iterations fully@.\
+     correlated - a conservative upper bound, ~sqrt(F) above iid reality);@.\
+     'SD indep' is the Wald-identity variant for independent iterations.@."
+
+(* ------------------------------------------------------------------ *)
+(* X4: variance-driven chunking                                        *)
+(* ------------------------------------------------------------------ *)
+
+let chunks () =
+  section
+    "X4: chunk size for parallel loops (Kruskal-Weiss, the paper's use case)\n\
+     simulated makespan, N=10000 iterations, mean 100 cycles, overhead h=50";
+  let n = 10_000 and mu = 100.0 and h = 50.0 in
+  Fmt.pr "@.%-4s %-6s | %8s | %12s %12s %12s | %8s@." "P" "cv" "KW k"
+    "static N/P" "self-sched" "KW chunk" "KW win";
+  Fmt.pr "%s@." (String.make 80 '-');
+  List.iter
+    (fun p ->
+      List.iter
+        (fun cv ->
+          let sigma = cv *. mu in
+          let dist = S89_sched.Dist.of_moments ~mean:mu ~variance:(sigma *. sigma) in
+          let k = S89_sched.Chunk.kw_chunk ~n ~p ~h ~sigma in
+          let avg strat =
+            Stats.mean (S89_sched.Parsim.run_avg ~seeds:8 ~n ~p ~h ~dist strat)
+          in
+          let m_static = avg S89_sched.Chunk.Static_split in
+          let m_self = avg S89_sched.Chunk.Self_sched in
+          let m_kw = avg (S89_sched.Chunk.Fixed k) in
+          let best_baseline = Float.min m_static m_self in
+          Fmt.pr "%-4d %-6.2g | %8d | %12.0f %12.0f %12.0f | %+6.1f%%@." p cv k
+            m_static m_self m_kw
+            (100.0 *. (best_baseline -. m_kw) /. best_baseline))
+        [ 0.0; 0.1; 0.5; 1.0; 2.0 ])
+    [ 4; 16; 64 ];
+  (* estimator-driven: derive mu/sigma of the CHUNKY loop body from the
+     paper's TIME/VAR machinery, then chunk accordingly *)
+  Fmt.pr "@.-- estimator-driven chunking of the CHUNKY loop body --@.";
+  let t = Pipeline.of_source (W.chunky ()) in
+  let profile = Pipeline.profile_smart ~runs:20 t in
+  let est = Pipeline.estimate_profiled t profile in
+  let pe = Interproc.main_est est in
+  let a = pe.Interproc.analysis in
+  List.iter
+    (fun hd ->
+      let body = S89_cdg.Fcdg.children a.Analysis.fcdg hd S89_cfg.Label.T in
+      let time =
+        List.fold_left
+          (fun acc v -> acc +. S89_core.Time_est.time pe.Interproc.time v)
+          0.0 body
+      in
+      let var =
+        List.fold_left
+          (fun acc v -> acc +. S89_core.Variance.var pe.Interproc.variance v)
+          0.0 body
+      in
+      if time > 50.0 && var > 0.0 then begin
+        let nf = 10_000 and p = 16 and hov = 50.0 in
+        let k = S89_sched.Chunk.from_estimate ~time ~var ~n:nf ~p ~h:hov in
+        Fmt.pr
+          "loop@%d: per-iteration TIME=%.1f STD=%.1f -> KW chunk=%d (N/P would be %d)@."
+          hd time (sqrt var) k
+          (S89_sched.Chunk.static_chunk ~n:nf ~p);
+        let dist = S89_sched.Dist.of_moments ~mean:time ~variance:var in
+        List.iter
+          (fun (nm, strat) ->
+            let m =
+              Stats.mean
+                (S89_sched.Parsim.run_avg ~seeds:8 ~n:nf ~p ~h:hov ~dist strat)
+            in
+            Fmt.pr "  %-14s makespan %.0f@." nm m)
+          [ ("static-N/P", S89_sched.Chunk.Static_split);
+            ("self-sched-1", S89_sched.Chunk.Self_sched);
+            ("kruskal-weiss", S89_sched.Chunk.Fixed k) ]
+      end)
+    (S89_cfg.Ecfg.headers a.Analysis.ecfg)
+
+(* ------------------------------------------------------------------ *)
+(* X5: compile-time analysis vs profiling                              *)
+(* ------------------------------------------------------------------ *)
+
+let static_analysis () =
+  section
+    "X5: compile-time frequency analysis vs profiling (the first paragraph\n\
+     of the paper's section 3: analysis is feasible for \"a Fortran DO loop\n\
+     with constant bounds and no conditional loop exits, an IF condition\n\
+     that can be computed at compile-time\" - and needs profiles elsewhere)";
+  Fmt.pr "@.%-8s %14s %14s %8s   %s@." "Program" "static TIME" "profiled TIME"
+    "ratio" "why";
+  List.iter
+    (fun (name, src, why) ->
+      let prog = Optimize.program (Program.of_source src) in
+      let t = Pipeline.create prog in
+      let est_static =
+        Pipeline.estimate_totals t
+          ~totals:(S89_core.Static_freq.program_totals t.Pipeline.analyses)
+      in
+      let vm = Pipeline.run_once ~seed:3 t in
+      let est_oracle = Pipeline.estimate_oracle t vm in
+      let s = Interproc.program_time est_static in
+      let p = Interproc.program_time est_oracle in
+      Fmt.pr "%-8s %14.0f %14.0f %8.2f   %s@." name s p (s /. p) why)
+    [ ("SIMPLE", S89_workloads.Simple_code.source ~n:30 ~cycles:3 (),
+       "constant mesh loops: fully analyzable");
+      ("LOOPS", S89_workloads.Livermore.source,
+       "mostly constant DO nests; GOTO loops need the heuristic");
+      ("BRANCHY", W.branchy (), "constant trip, 50/50 branch heuristic vs data");
+      ("CHUNKY", W.chunky (), "20%-taken heavy branch modeled as 50/50");
+      ("FIG1", W.fig1 (), "GOTO loop: default loop frequency 10 vs actual 3") ];
+  Fmt.pr
+    "@.constant-bound programs are estimated well with no profile at all;@.\
+     data-dependent branching is why the paper profiles.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock suite                                           *)
+(* ------------------------------------------------------------------ *)
+
+let wall () =
+  section "Bechamel wall-clock micro-suite (one Test per table/figure)";
+  let open Bechamel in
+  let loops_prog = Program.of_source S89_workloads.Livermore.source in
+  let simple_small =
+    Program.of_source (S89_workloads.Simple_code.source ~n:20 ~cycles:1 ())
+  in
+  let fig1_prog = Program.of_source (W.fig1 ()) in
+  let pipeline_loops = Pipeline.create loops_prog in
+  let vm_loops = Pipeline.run_once pipeline_loops in
+  let tests =
+    Test.make_grouped ~name:"s89"
+      [
+        Test.make ~name:"table1.vm-run-SIMPLE-20x1"
+          (Staged.stage (fun () -> ignore (run_vm ~cm:CM.optimized simple_small)));
+        Test.make ~name:"figures.analysis-pipeline-FIG1"
+          (Staged.stage (fun () -> ignore (Analysis.of_program fig1_prog)));
+        Test.make ~name:"counters.smart-plan-LOOPS"
+          (Staged.stage (fun () ->
+               ignore (Placement.plan (Analysis.of_program loops_prog))));
+        Test.make ~name:"accuracy.estimate-LOOPS"
+          (Staged.stage (fun () ->
+               ignore (Pipeline.estimate_oracle pipeline_loops vm_loops)));
+        Test.make ~name:"chunks.parsim-10k"
+          (Staged.stage (fun () ->
+               ignore
+                 (S89_sched.Parsim.run ~n:10_000 ~p:16 ~h:50.0
+                    ~dist:(S89_sched.Dist.Exponential { mean = 100.0 })
+                    S89_sched.Chunk.Self_sched)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Fmt.pr "%-45s %14.1f ns/run@." name est
+      | _ -> Fmt.pr "%-45s (no estimate)@." name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [ ("table1", table1); ("t1", table1); ("figure1", figure1); ("f1", figure1);
+    ("figure2", figure2); ("f2", figure2); ("figure3", figure3); ("f3", figure3);
+    ("counters", counters); ("x1", counters); ("sampling", sampling);
+    ("x2", sampling); ("accuracy", accuracy); ("x3", accuracy); ("chunks", chunks);
+    ("x4", chunks); ("static", static_analysis); ("x5", static_analysis);
+    ("wall", wall) ]
+
+let default_order =
+  [ figure1; figure2; figure3; table1; counters; sampling; accuracy; chunks;
+    static_analysis ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> List.iter (fun f -> f ()) default_order
+  | _ ->
+      List.iter
+        (fun a ->
+          match List.assoc_opt (String.lowercase_ascii a) all_targets with
+          | Some f -> f ()
+          | None ->
+              Fmt.epr "unknown bench target %s; known: %a@." a
+                Fmt.(list ~sep:sp string)
+                (List.map fst all_targets);
+              exit 1)
+        args

@@ -1,0 +1,389 @@
+(* ptranc — the command-line driver for the reproduction, loosely named
+   after PTRAN, the system the paper's framework was implemented in.
+
+   Subcommands:
+     parse       parse + analyze an MF77 file, pretty-print it back
+     cfg         dump a procedure's statement-level CFG (text or DOT)
+     ecfg        dump the extended CFG (Figure 2 style)
+     fcdg        dump the forward control dependence graph
+     plan        show the smart counter placement vs the naive baseline
+     run         execute a program on the VM (optionally instrumented)
+     profile     run N times with smart counters, write a profile database
+     estimate    estimate TIME/VAR from a database or from fresh runs
+     chunks      variance-driven chunk sizes for each loop
+     demo        print one of the built-in demo programs *)
+
+open Cmdliner
+module Program = S89_frontend.Program
+module Interp = S89_vm.Interp
+module CM = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+module Placement = S89_profiling.Placement
+module Naive = S89_profiling.Naive
+module Database = S89_profiling.Database
+module Pipeline = S89_core.Pipeline
+module Interproc = S89_core.Interproc
+module Report = S89_core.Report
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_program path =
+  try Program.of_source (read_file path) with
+  | S89_frontend.Lexer.Error (msg, line) ->
+      Fmt.epr "%s:%d: lexical error: %s@." path line msg;
+      exit 1
+  | S89_frontend.Parser.Parse_error (msg, line) ->
+      Fmt.epr "%s:%d: parse error: %s@." path line msg;
+      exit 1
+  | S89_frontend.Sema.Error msg ->
+      Fmt.epr "%s: semantic error: %s@." path msg;
+      exit 1
+  | S89_frontend.Lower.Error msg ->
+      Fmt.epr "%s: lowering error: %s@." path msg;
+      exit 1
+
+(* ---------------- common args ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MF77 source file")
+
+let proc_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "p"; "proc" ] ~docv:"NAME"
+        ~doc:"Procedure to operate on (default: the main program)")
+
+let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the VM")
+
+let runs_arg =
+  Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Number of profiled runs")
+
+let opt_arg =
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Apply the scalar optimizer first")
+
+let cost_model_of_opt opt = if opt then CM.optimized else CM.unoptimized
+
+let pick_proc prog = function
+  | Some name -> Program.find prog name
+  | None -> Program.main_proc prog
+
+let maybe_optimize opt prog = if opt then S89_vm.Optimize.program prog else prog
+
+(* ---------------- subcommands ---------------- *)
+
+let parse_cmd =
+  let run file =
+    let prog = load_program file in
+    Fmt.pr "%a@." S89_frontend.Ast.pp_program
+      (List.map (fun (p : Program.proc) -> p.Program.env.S89_frontend.Sema.unit_)
+         (Program.procs prog));
+    Fmt.pr "@.main: %s;  call graph bottom-up: %a@." prog.Program.main
+      Fmt.(list ~sep:comma string)
+      (List.map (fun (p : Program.proc) -> p.Program.name) (Program.bottom_up prog))
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and analyze a program, pretty-print it back")
+    Term.(const run $ file_arg)
+
+let cfg_cmd =
+  let run file proc dot optimize =
+    let prog = maybe_optimize optimize (load_program file) in
+    let p = pick_proc prog proc in
+    if dot then print_string (Report.cfg_dot p)
+    else
+      Fmt.pr "%a@."
+        (S89_cfg.Cfg.pp ~pp_info:(fun fmt i ->
+             Fmt.pf fmt " {%a}" S89_frontend.Ir.pp_info i))
+        p.Program.cfg
+  in
+  Cmd.v (Cmd.info "cfg" ~doc:"Dump a procedure's control flow graph")
+    Term.(const run $ file_arg $ proc_arg $ dot_arg $ opt_arg)
+
+let ecfg_cmd =
+  let run file proc dot =
+    let prog = load_program file in
+    let p = pick_proc prog proc in
+    let a = Analysis.of_proc p in
+    if dot then print_string (Report.ecfg_dot a)
+    else
+      Fmt.pr "%a@."
+        (S89_cfg.Ecfg.pp ~pp_info:(fun fmt i ->
+             Fmt.pf fmt " {%a}" S89_frontend.Ir.pp_info i))
+        a.Analysis.ecfg
+  in
+  Cmd.v (Cmd.info "ecfg" ~doc:"Dump the extended CFG (preheaders/postexits/START/STOP)")
+    Term.(const run $ file_arg $ proc_arg $ dot_arg)
+
+let fcdg_cmd =
+  let run file proc =
+    let prog = load_program file in
+    let p = pick_proc prog proc in
+    let a = Analysis.of_proc p in
+    Fmt.pr "%a@." S89_cdg.Fcdg.pp a.Analysis.fcdg;
+    Fmt.pr "@.control conditions: %a@."
+      Fmt.(
+        list ~sep:comma (fun fmt (u, l) ->
+            pf fmt "(%d,%s)" u (S89_cfg.Label.to_string l)))
+      a.Analysis.conditions
+  in
+  Cmd.v (Cmd.info "fcdg" ~doc:"Dump the forward control dependence graph")
+    Term.(const run $ file_arg $ proc_arg)
+
+let plan_cmd =
+  let run file =
+    let prog = load_program file in
+    let analyses = Analysis.of_program prog in
+    let smart = Placement.plan analyses in
+    let naive = Naive.plan prog in
+    Fmt.pr "%a@." Placement.pp smart;
+    Fmt.pr "@.naive baseline: %d counters (one per basic block, DO-loop@."
+      (Naive.n_counters naive);
+    Fmt.pr "bulk-add only for straight-line bodies)@."
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show the optimized counter placement and the naive baseline")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let instr_arg =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("smart", `Smart); ("naive", `Naive) ]) `None
+      & info [ "instrument" ] ~docv:"KIND" ~doc:"Instrumentation: none, smart or naive")
+  in
+  let run file seed optimize instr =
+    let prog = maybe_optimize optimize (load_program file) in
+    let cm = cost_model_of_opt optimize in
+    let instr_probes, describe =
+      match instr with
+      | `None -> (S89_vm.Probe.empty, "uninstrumented")
+      | `Smart ->
+          let plan = Placement.plan (Analysis.of_program prog) in
+          (Placement.probes plan, Fmt.str "smart (%d counters)" (Placement.n_counters plan))
+      | `Naive ->
+          let plan = Naive.plan prog in
+          (Naive.probes plan, Fmt.str "naive (%d counters)" (Naive.n_counters plan))
+    in
+    let config =
+      { Interp.default_config with cost_model = cm; seed; instr = instr_probes }
+    in
+    let vm = Interp.create ~config prog in
+    let outcome = Interp.run vm in
+    print_string (Interp.output vm);
+    Fmt.pr "[%s, %s, %s] cycles=%d statements=%d@."
+      (match outcome with Interp.Normal_stop -> "STOP" | Fell_off_end -> "END")
+      cm.CM.name describe (Interp.cycles vm) (Interp.steps vm)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a program on the cost-model VM")
+    Term.(const run $ file_arg $ seed_arg $ opt_arg $ instr_arg)
+
+let db_arg =
+  Arg.(
+    value & opt string "profile.db"
+    & info [ "db" ] ~docv:"PATH" ~doc:"Profile database path")
+
+let profile_cmd =
+  let run file runs seed db =
+    let prog = load_program file in
+    let t = Pipeline.create prog in
+    let profile = Pipeline.profile_smart ~runs ~seed t in
+    Database.save profile.Pipeline.database db;
+    Fmt.pr "profiled %d runs with %d counters; database written to %s@." runs
+      (Placement.n_counters profile.Pipeline.plan)
+      db;
+    Fmt.pr "average instrumented cycles/run: %.0f@." profile.Pipeline.avg_cycles
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run N times with smart counters and write the accumulated database")
+    Term.(const run $ file_arg $ runs_arg $ seed_arg $ db_arg)
+
+let estimate_cmd =
+  let from_db_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "from-db" ] ~docv:"PATH" ~doc:"Use a saved profile database")
+  in
+  let flat_arg =
+    Arg.(value & flag & info [ "flat" ] ~doc:"gprof-style flat profile only")
+  in
+  let hot_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "hot" ] ~docv:"K" ~doc:"Show only the top-K statement hotspots")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write per-node estimates as CSV")
+  in
+  let run file runs seed optimize from_db flat hot csv =
+    let prog = maybe_optimize optimize (load_program file) in
+    let cm = cost_model_of_opt optimize in
+    let t = Pipeline.create prog in
+    let est =
+      match from_db with
+      | Some path ->
+          let db = Database.load path in
+          Pipeline.estimate_totals ~cost_model:cm t ~totals:(Database.proc_totals db)
+      | None ->
+          let profile = Pipeline.profile_smart ~runs ~seed t in
+          Pipeline.estimate_profiled ~cost_model:cm t profile
+    in
+    (match hot with
+    | Some top -> Fmt.pr "%a@." (Report.pp_hotspots ~top) est
+    | None ->
+        if flat then Fmt.pr "%a@." Report.flat_profile est
+        else Fmt.pr "%a@." Report.pp est);
+    match csv with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Report.csv est);
+        close_out oc;
+        Fmt.pr "per-node CSV written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate TIME and VAR for every node, Figure-3 style")
+    Term.(
+      const run $ file_arg $ runs_arg $ seed_arg $ opt_arg $ from_db_arg $ flat_arg
+      $ hot_arg $ csv_arg)
+
+let static_cmd =
+  let run file optimize =
+    let prog = maybe_optimize optimize (load_program file) in
+    let cm = cost_model_of_opt optimize in
+    let t = Pipeline.create prog in
+    let est =
+      Pipeline.estimate_totals ~cost_model:cm t
+        ~totals:(S89_core.Static_freq.program_totals t.Pipeline.analyses)
+    in
+    Fmt.pr "%a@." Report.pp est;
+    Fmt.pr
+      "@.note: no profile was used - constant-bound DO loops and foldable@.\
+       conditions are exact, everything else is the declared heuristic@.\
+       (loop frequency %.0f, branches %.0f/%.0f, loop exits %.0f%%).@."
+      S89_core.Static_freq.default_heuristics.S89_core.Static_freq.loop_freq
+      (100.0 *. S89_core.Static_freq.default_heuristics.S89_core.Static_freq.branch_taken)
+      (100.0
+      *. (1.0
+         -. S89_core.Static_freq.default_heuristics.S89_core.Static_freq.branch_taken))
+      (100.0 *. S89_core.Static_freq.default_heuristics.S89_core.Static_freq.exit_taken)
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:"Estimate TIME/VAR from compile-time analysis alone (no profile)")
+    Term.(const run $ file_arg $ opt_arg)
+
+let chunks_cmd =
+  let p_arg =
+    Arg.(value & opt int 16 & info [ "P" ] ~docv:"N" ~doc:"Number of processors")
+  in
+  let h_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "h" ] ~docv:"CYCLES" ~doc:"Per-chunk dispatch overhead")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 10000 & info [ "N" ] ~docv:"ITERS" ~doc:"Loop iterations to schedule")
+  in
+  let run file runs seed p h n =
+    let prog = load_program file in
+    let t = Pipeline.create prog in
+    let profile = Pipeline.profile_smart ~runs ~seed t in
+    let est = Pipeline.estimate_profiled t profile in
+    Hashtbl.iter
+      (fun name (pe : Interproc.proc_est) ->
+        let a = pe.Interproc.analysis in
+        List.iter
+          (fun hd ->
+            let body = S89_cdg.Fcdg.children a.Analysis.fcdg hd S89_cfg.Label.T in
+            let time =
+              List.fold_left
+                (fun acc v -> acc +. S89_core.Time_est.time pe.Interproc.time v)
+                0.0 body
+            in
+            let var =
+              List.fold_left
+                (fun acc v -> acc +. S89_core.Variance.var pe.Interproc.variance v)
+                0.0 body
+            in
+            if time > 0.0 then
+              Fmt.pr
+                "%s loop@%d: body TIME=%.1f STD=%.1f -> chunk %d of %d iterations on \
+                 %d procs (N/P = %d)@."
+                name hd time (sqrt var)
+                (S89_sched.Chunk.from_estimate ~time ~var ~n ~p ~h)
+                n p
+                (S89_sched.Chunk.static_chunk ~n ~p))
+          (S89_cfg.Ecfg.headers a.Analysis.ecfg))
+      est.Interproc.per_proc
+  in
+  Cmd.v
+    (Cmd.info "chunks"
+       ~doc:"Variance-driven Kruskal-Weiss chunk sizes for every loop")
+    Term.(const run $ file_arg $ runs_arg $ seed_arg $ p_arg $ h_arg $ n_arg)
+
+let demo_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("fig1", `Fig1); ("branchy", `Branchy); ("chunky", `Chunky);
+                  ("nested", `Nested); ("recursive", `Recursive);
+                  ("irreducible", `Irreducible); ("cgoto", `Cgoto);
+                  ("loops", `Loops); ("simple", `Simple) ]))
+          None
+      & info [] ~docv:"NAME" ~doc:"Demo name")
+  in
+  let run which =
+    let module W = S89_workloads.Demos in
+    let src =
+      match which with
+      | `Fig1 -> W.fig1 ()
+      | `Branchy -> W.branchy ()
+      | `Chunky -> W.chunky ()
+      | `Nested -> W.nested_random ()
+      | `Recursive -> W.recursive ()
+      | `Irreducible -> W.irreducible ()
+      | `Cgoto -> W.computed_goto ()
+      | `Loops -> S89_workloads.Livermore.source
+      | `Simple -> S89_workloads.Simple_code.source ()
+    in
+    print_string src
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Print one of the built-in demo programs")
+    Term.(const run $ which)
+
+(* Debug logging on the s89.* sources is controlled by the environment:
+   S89_LOG=debug|info|warning (default warning). *)
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let level =
+    match Sys.getenv_opt "S89_LOG" with
+    | Some "debug" -> Logs.Debug
+    | Some "info" -> Logs.Info
+    | _ -> Logs.Warning
+  in
+  Logs.set_level (Some level)
+
+let () =
+  setup_logs ();
+  let doc = "average program execution times and their variance (PLDI'89 reproduction)" in
+  let info = Cmd.info "ptranc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; cfg_cmd; ecfg_cmd; fcdg_cmd; plan_cmd; run_cmd; profile_cmd;
+            estimate_cmd; static_cmd; chunks_cmd; demo_cmd ]))

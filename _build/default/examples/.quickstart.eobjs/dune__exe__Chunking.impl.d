@@ -1,0 +1,1 @@
+examples/chunking.ml: Chunk Dist Fmt List Parsim S89_cdg S89_cfg S89_core S89_profiling S89_sched S89_util S89_workloads

@@ -1,0 +1,1 @@
+examples/livermore.ml: Fmt List S89_cfg S89_core S89_frontend S89_profiling S89_vm S89_workloads

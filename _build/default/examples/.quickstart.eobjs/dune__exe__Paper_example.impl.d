@@ -1,0 +1,1 @@
+examples/paper_example.ml: Fmt Hashtbl List S89_cfg S89_core S89_frontend S89_profiling S89_workloads

@@ -1,0 +1,1 @@
+examples/profile_accuracy.ml: Fmt List S89_core S89_util S89_vm S89_workloads

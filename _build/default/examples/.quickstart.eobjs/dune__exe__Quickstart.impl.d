@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt S89_core S89_profiling

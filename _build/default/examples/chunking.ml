@@ -1,0 +1,62 @@
+(* Variance-driven chunk sizing (§5's motivating application).
+
+     dune exec examples/chunking.exe
+
+   The estimator computes TIME and VAR for the body of a data-dependent
+   loop; Kruskal–Weiss turns (mean, std-dev, overhead, P) into a chunk
+   size; the discrete-event simulator confirms the choice against the
+   N/P split and size-1 self-scheduling. *)
+
+module Pipeline = S89_core.Pipeline
+module Interproc = S89_core.Interproc
+module Analysis = S89_profiling.Analysis
+module Ecfg = S89_cfg.Ecfg
+module Fcdg = S89_cdg.Fcdg
+module Stats = S89_util.Stats
+open S89_sched
+
+let () =
+  (* a loop whose body cost depends heavily on the data: ~20% of the
+     iterations take a slow path *)
+  let t = Pipeline.of_source (S89_workloads.Demos.chunky ~iters:400 ~p_heavy:20 ()) in
+  let profile = Pipeline.profile_smart ~runs:25 ~seed:2 t in
+  let est = Pipeline.estimate_profiled ~call_variance:true t profile in
+
+  let pe = Interproc.main_est est in
+  let a = pe.Interproc.analysis in
+  Fmt.pr "loops found in CHUNKY and their estimated per-iteration moments:@.";
+  List.iter
+    (fun h ->
+      let body = Fcdg.children a.Analysis.fcdg h S89_cfg.Label.T in
+      let time =
+        List.fold_left (fun acc v -> acc +. S89_core.Time_est.time pe.Interproc.time v)
+          0.0 body
+      in
+      let var =
+        List.fold_left
+          (fun acc v -> acc +. S89_core.Variance.var pe.Interproc.variance v)
+          0.0 body
+      in
+      Fmt.pr "  loop@%d: TIME = %.1f, STD_DEV = %.1f (cv %.2f)@." h time (sqrt var)
+        (if time > 0.0 then sqrt var /. time else 0.0);
+      if time > 100.0 then begin
+        (* schedule 20000 such iterations on 16 processors, 40-cycle dispatch *)
+        let n = 20_000 and p = 16 and h_ov = 40.0 in
+        let k = Chunk.from_estimate ~time ~var ~n ~p ~h:h_ov in
+        Fmt.pr "@.  scheduling %d iterations on %d processors (overhead %g):@." n p h_ov;
+        Fmt.pr "    Kruskal-Weiss chunk size: %d (static N/P would be %d)@.@." k
+          (Chunk.static_chunk ~n ~p);
+        let dist = Dist.of_moments ~mean:time ~variance:var in
+        List.iter
+          (fun (name, strat) ->
+            let st = Parsim.run_avg ~seeds:12 ~n ~p ~h:h_ov ~dist strat in
+            Fmt.pr "    %-16s makespan %10.0f cycles (+/- %.0f)@." name (Stats.mean st)
+              (Stats.std_dev st))
+          [ ("static N/P", Chunk.Static_split); ("self-sched (k=1)", Chunk.Self_sched);
+            ("guided", Chunk.Guided); ("kruskal-weiss", Chunk.Fixed k) ]
+      end)
+    (Ecfg.headers a.Analysis.ecfg);
+  Fmt.pr
+    "@.the paper's point: with low variance, big chunks win (less overhead);@.\
+     with high variance, smaller chunks rebalance the load - and the@.\
+     estimator's VAR tells the compiler which case it is in.@."

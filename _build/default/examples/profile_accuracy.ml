@@ -1,0 +1,47 @@
+(* How good are the estimates?  (And what do the variance models buy?)
+
+     dune exec examples/profile_accuracy.exe
+
+   For a branchy program whose execution time genuinely varies with its
+   random inputs, compare:
+   - estimated TIME (from an accumulated smart-counter profile) against
+     the measured mean cycle count over fresh runs;
+   - the paper's STD_DEV (Case 1 with FREQ², iterations fully correlated)
+     and the Wald-identity variant (independent iterations) against the
+     empirical standard deviation. *)
+
+module Pipeline = S89_core.Pipeline
+module Interproc = S89_core.Interproc
+module Interp = S89_vm.Interp
+module Stats = S89_util.Stats
+
+let () =
+  let runs = 100 in
+  List.iter
+    (fun (name, src) ->
+      let t = Pipeline.of_source src in
+      (* measure: uninstrumented seeded runs *)
+      let st = Stats.create () in
+      for s = 0 to runs - 1 do
+        let vm = Pipeline.run_once ~seed:(4000 + s) t in
+        Stats.add st (float_of_int (Interp.cycles vm))
+      done;
+      (* estimate: smart profile over the same seeds *)
+      let profile = Pipeline.profile_smart ~runs ~seed:4000 t in
+      let est = Pipeline.estimate_profiled ~call_variance:true t profile in
+      let est_ind =
+        Pipeline.estimate_profiled ~call_variance:true
+          ~iteration_model:S89_core.Variance.Independent t profile
+      in
+      Fmt.pr "%s (%d runs):@." name runs;
+      Fmt.pr "  TIME      estimated %12.1f   measured mean %12.1f  (err %.3f%%)@."
+        (Interproc.program_time est) (Stats.mean st)
+        (100.0 *. Stats.rel_err (Interproc.program_time est) (Stats.mean st));
+      Fmt.pr "  STD_DEV   paper     %12.1f   (correlated iterations: upper bound)@."
+        (Interproc.program_std_dev est);
+      Fmt.pr "            independent %10.1f   measured %12.1f@.@."
+        (Interproc.program_std_dev est_ind)
+        (Stats.std_dev st))
+    [ ("BRANCHY", S89_workloads.Demos.branchy ());
+      ("CHUNKY", S89_workloads.Demos.chunky ());
+      ("NESTED", S89_workloads.Demos.nested_random ()) ]

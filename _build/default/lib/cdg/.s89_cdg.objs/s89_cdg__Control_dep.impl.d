@@ -1,0 +1,1 @@
+lib/cdg/control_dep.ml: Cfg Digraph Ecfg Hashtbl Label List Postdom S89_cfg S89_graph

@@ -1,0 +1,1 @@
+lib/cdg/control_dep.mli: Digraph Ecfg Label Postdom S89_cfg S89_graph

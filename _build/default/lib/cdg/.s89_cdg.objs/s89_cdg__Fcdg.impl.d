@@ -1,0 +1,1 @@
+lib/cdg/fcdg.ml: Array Cfg Control_dep Dfs Digraph Ecfg Fmt Label List S89_cfg S89_graph Topo

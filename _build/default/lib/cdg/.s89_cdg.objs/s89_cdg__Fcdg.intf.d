@@ -1,0 +1,1 @@
+lib/cdg/fcdg.mli: Control_dep Digraph Ecfg Format Label S89_cfg S89_graph

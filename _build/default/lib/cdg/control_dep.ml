@@ -1,0 +1,77 @@
+(* Control dependence (Definition 2, after Ferrante–Ottenstein–Warren).
+
+   y is control dependent on x with label l iff
+     1. y does not postdominate x,
+     2. there is a path from x to y whose intermediate nodes are all
+        postdominated by y,
+     3. an edge labelled l leaves x towards the second node of that path.
+
+   Equivalently (FOW87): for every ECFG edge (x,s,l) where s's
+   postdominators do not include x's, the control dependent nodes are the
+   postdominator-tree ancestors of s (inclusive) strictly below ipdom(x).
+   We compute exactly that tree walk. *)
+
+open S89_graph
+open S89_cfg
+
+exception Cannot_reach_stop of int list
+(* nodes with no path to STOP; the paper assumes normal termination *)
+
+type t = {
+  g : Label.t Digraph.t; (* CDG edges (x, y, l): y is CD on condition (x,l) *)
+  pdom : Postdom.t;
+}
+
+let compute (ecfg : 'a Ecfg.t) =
+  let cfg = Ecfg.cfg ecfg in
+  let graph = Cfg.graph cfg in
+  let stop = Ecfg.stop ecfg in
+  let pdom = Postdom.compute graph ~exit_:stop in
+  let stuck = ref [] in
+  for v = Digraph.num_nodes graph - 1 downto 0 do
+    if not (Postdom.reachable pdom v) then stuck := v :: !stuck
+  done;
+  if !stuck <> [] then raise (Cannot_reach_stop !stuck);
+  let cdg = Digraph.create () in
+  ignore (Digraph.add_nodes cdg (Digraph.num_nodes graph));
+  (* dedupe (x, y, l) triples arising from parallel edges *)
+  let seen = Hashtbl.create 64 in
+  Digraph.iter_edges
+    (fun (e : Label.t Digraph.edge) ->
+      let x = e.src and s = e.dst in
+      if not (Postdom.strictly_postdominates pdom s x) then begin
+        let limit = Postdom.ipostdom pdom x in
+        let rec walk t =
+          if Some t <> limit then begin
+            if not (Hashtbl.mem seen (x, t, e.label)) then begin
+              Hashtbl.replace seen (x, t, e.label) ();
+              ignore (Digraph.add_edge cdg ~src:x ~dst:t ~label:e.label)
+            end;
+            match Postdom.ipostdom pdom t with
+            | Some t' -> walk t'
+            | None -> ()
+            (* reached STOP; limit must have been above it *)
+          end
+        in
+        walk s
+      end)
+    graph;
+  { g = cdg; pdom }
+
+let graph t = t.g
+let postdom t = t.pdom
+
+(* Definitional check used as an independent oracle in tests:
+   y is CD on (x,l) iff some edge (x,s,l) has y postdominating s but not
+   strictly postdominating x.  Condition 1 of Definition 2 reads "y does
+   not post-dominate x" with FOW87's strict postdominance, which admits
+   the self-dependence of a single-node loop (y = x); the tree walk above
+   produces exactly that set. *)
+let is_control_dependent t (ecfg : 'a Ecfg.t) ~on:(x, l) y =
+  let cfg = Ecfg.cfg ecfg in
+  List.exists
+    (fun (e : Label.t Digraph.edge) ->
+      Label.equal e.label l
+      && Postdom.postdominates t.pdom y e.dst
+      && not (Postdom.strictly_postdominates t.pdom y x))
+    (Cfg.succ_edges cfg x)

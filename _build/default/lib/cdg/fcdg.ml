@@ -1,0 +1,146 @@
+(* Forward control dependence graph (paper §2, after Hsieh / CHH89):
+   "an acyclic form of the control dependence graph obtained by ignoring
+   all back edges in CDG."
+
+   A CDG edge is loop-carried (a back edge) exactly when its witnessing
+   control-flow path crosses a CFG back edge, which for a reducible ECFG is
+   equivalent to the target not coming strictly later in reverse postorder
+   of the ECFG.  We therefore drop CDG edges (u,v) with rpo(v) <= rpo(u)
+   and check the result is a rooted DAG; if the check ever failed we would
+   fall back to removing retreating edges of a DFS of the CDG itself. *)
+
+open S89_graph
+open S89_cfg
+
+exception Malformed of string
+
+type t = {
+  g : Label.t Digraph.t; (* acyclic; edge (u,v,l): v is a child of condition (u,l) *)
+  start : int;
+  stop : int;
+  topo : int array; (* all nodes, topological order (START first) *)
+  back : Label.t Digraph.edge list; (* the removed CDG back edges *)
+}
+
+let prune_by_rpo ~rpo cdg =
+  let g = Digraph.create () in
+  ignore (Digraph.add_nodes g (Digraph.num_nodes cdg));
+  let back = ref [] in
+  Digraph.iter_edges
+    (fun (e : Label.t Digraph.edge) ->
+      if rpo.(e.dst) > rpo.(e.src) then
+        ignore (Digraph.add_edge g ~src:e.src ~dst:e.dst ~label:e.label)
+      else back := e :: !back)
+    cdg;
+  (g, List.rev !back)
+
+let prune_by_dfs ~start cdg =
+  let num = Dfs.number cdg ~root:start in
+  let g = Digraph.create () in
+  ignore (Digraph.add_nodes g (Digraph.num_nodes cdg));
+  let back = ref [] in
+  Digraph.iter_edges
+    (fun (e : Label.t Digraph.edge) ->
+      if
+        Dfs.reachable num e.Digraph.src
+        && Dfs.reachable num e.dst
+        && Dfs.classify num e = Dfs.Back
+      then back := e :: !back
+      else ignore (Digraph.add_edge g ~src:e.src ~dst:e.dst ~label:e.label))
+    cdg;
+  (g, List.rev !back)
+
+(* Well-formedness from §2: the FCDG "is rooted and connected" — every node
+   except STOP hangs under START — and acyclic. *)
+let well_formed ~start ~stop g =
+  match Topo.sort_opt g with
+  | None -> false
+  | Some _ ->
+      let num = Dfs.number g ~root:start in
+      let ok = ref true in
+      Digraph.iter_nodes
+        (fun v -> if v <> stop && not (Dfs.reachable num v) then ok := false)
+        g;
+      !ok
+
+let of_cdg (cd : Control_dep.t) (ecfg : 'a Ecfg.t) =
+  let start = Ecfg.start ecfg and stop = Ecfg.stop ecfg in
+  let ecfg_graph = Cfg.graph (Ecfg.cfg ecfg) in
+  let rpo = Dfs.rpo_index ecfg_graph ~root:start in
+  let cdg = Control_dep.graph cd in
+  let g, back = prune_by_rpo ~rpo cdg in
+  let g, back =
+    if well_formed ~start ~stop g then (g, back)
+    else begin
+      let g', back' = prune_by_dfs ~start cdg in
+      if well_formed ~start ~stop g' then (g', back')
+      else
+        raise
+          (Malformed
+             "FCDG is not a rooted DAG after back-edge removal; input CFG is \
+              not in the form the paper assumes")
+    end
+  in
+  let topo = Topo.sort g in
+  { g; start; stop; topo; back }
+
+let compute ecfg = of_cdg (Control_dep.compute ecfg) ecfg
+
+let graph t = t.g
+let start t = t.start
+let stop t = t.stop
+let removed_back_edges t = t.back
+
+(* Topological order over all nodes: visit for the top-down FREQ pass. *)
+let topological t = t.topo
+
+(* Bottom-up order for the TIME/VAR passes. *)
+let bottom_up t =
+  let n = Array.length t.topo in
+  Array.init n (fun i -> t.topo.(n - 1 - i))
+
+let out_edges t u = Digraph.succ_edges t.g u
+let in_edges t u = Digraph.pred_edges t.g u
+
+(* L(u): the distinct labels leaving u in FCDG, in first-appearance order. *)
+let labels t u =
+  List.fold_left
+    (fun acc (e : Label.t Digraph.edge) ->
+      if List.exists (Label.equal e.label) acc then acc else e.label :: acc)
+    [] (out_edges t u)
+  |> List.rev
+
+(* C(u,l): children of u under label l. *)
+let children t u l =
+  List.filter_map
+    (fun (e : Label.t Digraph.edge) ->
+      if Label.equal e.label l then Some e.dst else None)
+    (out_edges t u)
+
+(* Children grouped by label: [(l, C(u,l)); ...]. *)
+let children_by_label t u =
+  List.map (fun l -> (l, children t u l)) (labels t u)
+
+(* The control conditions {(u,l) | (u,v,l) in E_f} of §3, in a
+   deterministic order (by source node, then label first-appearance). *)
+let control_conditions t =
+  let acc = ref [] in
+  Digraph.iter_nodes
+    (fun u -> List.iter (fun l -> acc := (u, l) :: !acc) (labels t u))
+    t.g;
+  List.rev !acc
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>FCDG (START=%d, STOP=%d):" t.start t.stop;
+  Digraph.iter_nodes
+    (fun u ->
+      let es = out_edges t u in
+      if es <> [] then begin
+        Fmt.pf fmt "@,  %d:" u;
+        List.iter
+          (fun (e : Label.t Digraph.edge) ->
+            Fmt.pf fmt " -%s-> %d" (Label.to_string e.label) e.dst)
+          es
+      end)
+    t.g;
+  Fmt.pf fmt "@]"

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Dfs Digraph Fmt Label List Node_split Node_type S89_graph Vec

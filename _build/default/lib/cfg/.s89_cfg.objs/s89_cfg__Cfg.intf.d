@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Digraph Format Label Node_type S89_graph

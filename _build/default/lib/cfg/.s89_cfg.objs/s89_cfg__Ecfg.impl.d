@@ -1,0 +1,1 @@
+lib/cfg/ecfg.ml: Cfg Digraph Fmt Hashtbl Intervals Label List Node_type Printf S89_graph Vec

@@ -1,0 +1,1 @@
+lib/cfg/ecfg.mli: Cfg Digraph Format Intervals Label S89_graph

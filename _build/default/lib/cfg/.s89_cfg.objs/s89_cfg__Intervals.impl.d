@@ -1,0 +1,1 @@
+lib/cfg/intervals.ml: Array Cfg Digraph Fmt Fun Hashtbl Int Label Lca List Printf Reducibility S89_graph Set

@@ -1,0 +1,1 @@
+lib/cfg/intervals.mli: Cfg Digraph Format Label S89_graph Set

@@ -1,0 +1,1 @@
+lib/cfg/label.ml: Fmt Printf Stdlib

@@ -1,0 +1,1 @@
+lib/cfg/label.mli: Format

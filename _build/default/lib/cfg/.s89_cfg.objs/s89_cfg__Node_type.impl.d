@@ -1,0 +1,1 @@
+lib/cfg/node_type.ml: Fmt

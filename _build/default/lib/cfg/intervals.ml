@@ -1,0 +1,177 @@
+(* Interval structure of a reducible CFG (paper §2).
+
+   "A reducible control flow graph has a unique depth-first spanning tree
+   and hence a unique interval structure ...  The intervals identify the
+   loops in the program."
+
+   We realize the interval structure as the natural-loop forest: every
+   back-edge target is a header; the interval of header [h] is the union of
+   the natural loops of all back edges into [h]; the whole procedure body is
+   the outermost interval, headed by the entry node (the paper's
+   HDR_PARENT(h) = 0 case).  The entry must have no predecessors
+   (Cfg.normalize_entry) so it can never itself be a loop header. *)
+
+open S89_graph
+
+exception Irreducible of (int * int) list
+exception Entry_has_preds of int
+
+module IS = Set.Make (Int)
+
+type loop_info = {
+  header : int;
+  members : IS.t; (* includes the header and all nested loops' nodes *)
+  back_srcs : int list; (* sources of back edges into the header *)
+}
+
+type t = {
+  root : int; (* entry node; id of the outermost interval *)
+  hdr : int array; (* innermost interval header per node *)
+  parent : int array; (* per header: enclosing interval header; -1 for root *)
+  depth_lca : Lca.t;
+  loops : (int, loop_info) Hashtbl.t; (* real loops, keyed by header *)
+  header_list : int list; (* real headers, outermost-first *)
+  n : int;
+}
+
+let compute (type a) (cfg : a Cfg.t) =
+  let g = Cfg.graph cfg in
+  let entry = Cfg.entry cfg in
+  if Digraph.in_degree g entry > 0 then raise (Entry_has_preds entry);
+  (match Reducibility.back_edges_if_reducible g ~root:entry with
+  | None ->
+      let off =
+        List.map
+          (fun (e : Label.t Digraph.edge) -> (e.src, e.dst))
+          (Reducibility.offending_edges g ~root:entry)
+      in
+      raise (Irreducible off)
+  | Some _ -> ());
+  let back = Reducibility.natural_back_edges g ~root:entry in
+  let n = Digraph.num_nodes g in
+  (* group back edges by header *)
+  let by_hdr = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Label.t Digraph.edge) ->
+      Hashtbl.replace by_hdr e.dst (e.src :: (try Hashtbl.find by_hdr e.dst with Not_found -> [])))
+    back;
+  (* natural loop membership: backwards closure from back-edge sources,
+     stopping at the header *)
+  let loop_of header srcs =
+    let members = ref (IS.singleton header) in
+    let stack = ref [] in
+    List.iter
+      (fun s ->
+        if not (IS.mem s !members) then begin
+          members := IS.add s !members;
+          stack := s :: !stack
+        end)
+      srcs;
+    while !stack <> [] do
+      match !stack with
+      | [] -> assert false
+      | v :: rest ->
+          stack := rest;
+          List.iter
+            (fun p ->
+              if not (IS.mem p !members) then begin
+                members := IS.add p !members;
+                stack := p :: !stack
+              end)
+            (Digraph.preds g v)
+    done;
+    { header; members = !members; back_srcs = List.rev srcs }
+  in
+  let loops = Hashtbl.create 8 in
+  Hashtbl.iter (fun h srcs -> Hashtbl.replace loops h (loop_of h srcs)) by_hdr;
+  (* innermost header per node: smallest containing loop *)
+  let loop_list =
+    Hashtbl.fold (fun _ l acc -> l :: acc) loops []
+    |> List.sort (fun a b ->
+           compare (IS.cardinal a.members, a.header) (IS.cardinal b.members, b.header))
+  in
+  let hdr = Array.make n entry in
+  for v = 0 to n - 1 do
+    match List.find_opt (fun l -> IS.mem v l.members) loop_list with
+    | Some l -> hdr.(v) <- l.header
+    | None -> hdr.(v) <- entry
+  done;
+  (* parent of each real header: smallest loop properly containing it *)
+  let parent = Array.make n (-1) in
+  List.iter
+    (fun l ->
+      let h = l.header in
+      match
+        List.find_opt (fun l' -> l'.header <> h && IS.mem h l'.members) loop_list
+      with
+      | Some l' -> parent.(h) <- l'.header
+      | None -> parent.(h) <- entry)
+    loop_list;
+  parent.(entry) <- -1;
+  let depth_lca = Lca.of_parents parent in
+  let header_list =
+    List.sort
+      (fun a b -> compare (Lca.depth depth_lca a, a) (Lca.depth depth_lca b, b))
+      (List.map (fun l -> l.header) loop_list)
+  in
+  { root = entry; hdr = Array.copy hdr; parent; depth_lca; loops; header_list; n }
+
+let root t = t.root
+
+let headers t = t.header_list
+
+let is_header t h = Hashtbl.mem t.loops h
+
+let hdr t v = t.hdr.(v)
+
+(* HDR_PARENT: None encodes the paper's "0" (outermost interval). *)
+let hdr_parent t h =
+  if h = t.root then None
+  else if not (is_header t h) then
+    invalid_arg (Printf.sprintf "Intervals.hdr_parent: %d is not a header" h)
+  else Some t.parent.(h)
+
+let hdr_lca t h1 h2 = Lca.lca t.depth_lca h1 h2
+
+let interval_depth t h = Lca.depth t.depth_lca h
+
+(* [encloses t a b]: interval headed by [a] contains (reflexively) the
+   interval headed by [b] in the header tree. *)
+let encloses t a b = Lca.is_ancestor t.depth_lca a b
+
+let members t h =
+  if h = t.root then
+    List.init t.n Fun.id |> IS.of_list
+  else
+    match Hashtbl.find_opt t.loops h with
+    | Some l -> l.members
+    | None -> invalid_arg (Printf.sprintf "Intervals.members: %d is not a header" h)
+
+let back_edge_sources t h =
+  match Hashtbl.find_opt t.loops h with
+  | Some l -> l.back_srcs
+  | None -> invalid_arg (Printf.sprintf "Intervals.back_edge_sources: %d is not a header" h)
+
+(* Exit edges of a real loop: edges from a member to a non-member. *)
+let exit_edges (type a) t (cfg : a Cfg.t) h =
+  let ms = members t h in
+  IS.fold
+    (fun u acc ->
+      List.fold_left
+        (fun acc (e : Label.t Digraph.edge) ->
+          if not (IS.mem e.dst ms) then e :: acc else acc)
+        acc (Cfg.succ_edges cfg u))
+    ms []
+  |> List.rev
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>intervals: root=%d" t.root;
+  List.iter
+    (fun h ->
+      let l = Hashtbl.find t.loops h in
+      Fmt.pf fmt "@,  header %d (parent %d, depth %d): {%a}" h t.parent.(h)
+        (interval_depth t h)
+        Fmt.(list ~sep:comma int)
+        (IS.elements l.members))
+    t.header_list;
+  Fmt.pf fmt "@]"

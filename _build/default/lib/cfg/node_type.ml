@@ -1,0 +1,21 @@
+(* Node types (the mapping T_c of Definition 1).
+
+   "The classification into node types ... is only used to help identify
+   the interval structure in the forward control dependence graph computed
+   later.  The node type mapping does not change the semantics of the
+   control flow graph in any way."  All nodes of an original CFG are
+   [Other]; the ECFG construction introduces the rest. *)
+
+type t = Start | Stop | Header | Preheader | Postexit | Other
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Start -> "START"
+  | Stop -> "STOP"
+  | Header -> "HEADER"
+  | Preheader -> "PREHEADER"
+  | Postexit -> "POSTEXIT"
+  | Other -> "OTHER"
+
+let pp fmt t = Fmt.string fmt (to_string t)

@@ -1,0 +1,7 @@
+(** Node types (the mapping [T_c] of Definition 1). *)
+
+type t = Start | Stop | Header | Preheader | Postexit | Other
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

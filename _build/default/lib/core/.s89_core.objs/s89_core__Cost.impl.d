@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Cfg Ecfg Hashtbl List S89_cfg S89_frontend S89_profiling S89_vm

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Hashtbl S89_frontend S89_profiling S89_vm

@@ -1,0 +1,1 @@
+lib/core/interproc.ml: Array Cost Float Hashtbl List Printf S89_cfg S89_frontend S89_profiling S89_vm Time_est Variance

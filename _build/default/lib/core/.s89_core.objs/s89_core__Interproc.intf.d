@@ -1,0 +1,1 @@
+lib/core/interproc.mli: Hashtbl S89_frontend S89_profiling S89_vm Time_est Variance

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Hashtbl Interproc List Logs S89_frontend S89_profiling S89_vm Variance

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Hashtbl Interproc S89_frontend S89_profiling S89_vm Variance

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Cfg Cost Ecfg Fcdg Float Fmt Hashtbl Interproc Label List Node_type Printf S89_cdg S89_cfg S89_frontend S89_graph S89_profiling String Time_est Variance

@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Interproc S89_frontend S89_profiling

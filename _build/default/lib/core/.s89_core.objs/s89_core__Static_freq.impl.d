@@ -1,0 +1,1 @@
+lib/core/static_freq.ml: Array Cfg Ecfg Fcdg Float Hashtbl Label List S89_cdg S89_cfg S89_frontend S89_graph S89_profiling S89_vm

@@ -1,0 +1,1 @@
+lib/core/static_freq.mli: Hashtbl S89_profiling

@@ -1,0 +1,1 @@
+lib/core/time_est.ml: Array Fcdg List S89_cdg S89_cfg S89_graph S89_profiling

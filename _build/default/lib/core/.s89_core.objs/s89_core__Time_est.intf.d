@@ -1,0 +1,1 @@
+lib/core/time_est.mli: S89_profiling

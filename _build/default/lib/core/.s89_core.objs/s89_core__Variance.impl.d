@@ -1,0 +1,1 @@
+lib/core/variance.ml: Array Ecfg Fcdg Float List S89_cdg S89_cfg S89_graph S89_profiling Time_est

@@ -1,0 +1,1 @@
+lib/core/variance.mli: S89_profiling Time_est

@@ -1,0 +1,53 @@
+(* COST(u): the local execution time of each ECFG node (§4).
+
+   "For the purpose of this work, it is assumed that the (average) local
+   execution time of each node u ... has already been estimated, and is
+   stored as COST(u)."  We estimate it from the architectural cost model
+   (instruction counting), exactly mirroring what the VM charges, so that
+   estimates are directly comparable to measured cycles.  Synthetic ECFG
+   nodes (START, STOP, PREHEADER, POSTEXIT) cost 0, as in the paper's
+   worked example.
+
+   User-function calls inside the node are NOT included here — rule 2 of
+   §4 adds TIME(START_callee) per call site, interprocedurally. *)
+
+module Ir = S89_frontend.Ir
+module Ast = S89_frontend.Ast
+module Program = S89_frontend.Program
+module Cost_model = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+open S89_cfg
+
+(* names of user procedures invoked by this node, with multiplicity *)
+let call_sites (by_name : (string, 'p) Hashtbl.t) (info : Ir.info) : string list =
+  let rec expr acc (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Real _ | Bool _ | Var _ -> acc
+    | Index (_, idx) -> List.fold_left expr acc idx
+    | Call (f, args) ->
+        let acc = List.fold_left expr acc args in
+        if Hashtbl.mem by_name f then f :: acc else acc
+    | Unop (_, e) -> expr acc e
+    | Binop (_, a, b) -> expr (expr acc a) b
+  in
+  let acc =
+    match info.Ir.ir with
+    | Ir.Call (name, _) when Hashtbl.mem by_name name -> [ name ]
+    | _ -> []
+  in
+  List.fold_left expr acc (Ir.exprs_of info.Ir.ir)
+
+(* Local cost of every ECFG node of a procedure.  [override], when given,
+   replaces the model-derived cost of original nodes (used to reproduce
+   the paper's worked example, which posits its own COST values). *)
+let local_costs ?override (cm : Cost_model.t) (analysis : Analysis.t) : float array =
+  let ecfg = analysis.Analysis.ecfg in
+  let cfg = Ecfg.cfg ecfg in
+  let n = Cfg.num_nodes cfg in
+  Array.init n (fun u ->
+      if not (Ecfg.is_original ecfg u) then 0.0
+      else
+        match override with
+        | Some f -> f u
+        | None ->
+            float_of_int (Cost_model.node_cost cm (Cfg.info cfg u).Ir.ir))

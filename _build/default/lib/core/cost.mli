@@ -1,0 +1,17 @@
+(** COST(u): local execution time of each ECFG node (§4), from the
+    architectural cost model — exactly what the VM charges, so estimates
+    are directly comparable to measured cycles. *)
+
+module Ir = S89_frontend.Ir
+module Cost_model = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+
+(** User procedures invoked by a node (subroutine call and/or function
+    references in its expressions), with multiplicity. *)
+val call_sites : (string, 'p) Hashtbl.t -> Ir.info -> string list
+
+(** Local cost of every ECFG node.  Synthetic nodes (START, STOP,
+    PREHEADER, POSTEXIT) cost 0.  [override], when given, replaces the
+    model-derived cost of original nodes.  Callee bodies are NOT included
+    (rule 2 adds them interprocedurally). *)
+val local_costs : ?override:(int -> float) -> Cost_model.t -> Analysis.t -> float array

@@ -1,0 +1,166 @@
+(* Interprocedural estimation (§4, rule 2):
+
+   "If node u is a procedure or function call, then COST(u) =
+   TIME(START) [of the callee] ... Rule 2 requires that the procedures be
+   visited in a bottom-up traversal of the call graph."
+
+   Recursion (which the paper defers) is either rejected or solved by
+   fixed-point iteration over the call-graph SCC, following the remark
+   that the Sar87/Sar89 treatment extends to this setting. *)
+
+module Program = S89_frontend.Program
+module Cost_model = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+module Freq = S89_profiling.Freq
+
+exception Recursion_unsupported of string list
+exception No_convergence of string list
+
+type recursion_policy = Reject | Fixpoint of { tol : float; max_iter : int }
+
+type freq_var_spec =
+  | Zero
+  | Geometric
+  | Poisson
+  | Uniform
+  | Profiled of (string -> int -> float option) (* proc -> header -> E[F²] *)
+
+type proc_est = {
+  analysis : Analysis.t;
+  freq : Freq.t;
+  cost : float array;
+  time : Time_est.t;
+  variance : Variance.t;
+}
+
+type t = {
+  per_proc : (string, proc_est) Hashtbl.t;
+  main : string;
+}
+
+let freq_var_model (spec : freq_var_spec) (proc : string) : Variance.freq_var_model =
+  match spec with
+  | Zero -> Variance.Zero
+  | Geometric -> Variance.Geometric
+  | Poisson -> Variance.Poisson
+  | Uniform -> Variance.Uniform
+  | Profiled f -> Variance.Profiled (f proc)
+
+let estimate ?(cost_model = Cost_model.optimized) ?(freq_var = Zero)
+    ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
+    ?(recursion = Reject) ?cost_override
+    (prog : Program.t) (analyses : (string, Analysis.t) Hashtbl.t)
+    ~(totals : string -> (Analysis.cond, int) Hashtbl.t) : t =
+  let time_of = Hashtbl.create 8 and var_of = Hashtbl.create 8 in
+  let callee_time name =
+    match Hashtbl.find_opt time_of name with Some t -> t | None -> 0.0
+  in
+  let callee_var name =
+    match Hashtbl.find_opt var_of name with Some v -> v | None -> 0.0
+  in
+  let per_proc = Hashtbl.create 8 in
+  let freqs = Hashtbl.create 8 in
+  let estimate_proc (p : Program.proc) : proc_est =
+    let name = p.Program.name in
+    let a = Hashtbl.find analyses name in
+    let freq =
+      match Hashtbl.find_opt freqs name with
+      | Some f -> f
+      | None ->
+          let f = Freq.compute a (totals name) in
+          Hashtbl.replace freqs name f;
+          f
+    in
+    let override =
+      match cost_override with Some f -> Some (f name) | None -> None
+    in
+    let base = Cost.local_costs ?override cost_model a in
+    let ecfg = a.Analysis.ecfg in
+    let cfg = S89_cfg.Ecfg.cfg ecfg in
+    let n = S89_cfg.Cfg.num_nodes cfg in
+    let cost = Array.copy base in
+    let cost_var = if call_variance then Some (Array.make n 0.0) else None in
+    for u = 0 to n - 1 do
+      if S89_cfg.Ecfg.is_original ecfg u then begin
+        let sites = Cost.call_sites prog.Program.by_name (S89_cfg.Cfg.info cfg u) in
+        List.iter
+          (fun callee ->
+            cost.(u) <- cost.(u) +. callee_time callee;
+            match cost_var with
+            | Some cv -> cv.(u) <- cv.(u) +. callee_var callee
+            | None -> ())
+          sites
+      end
+    done;
+    let time = Time_est.compute a freq ~cost in
+    let variance =
+      Variance.compute ~freq_var:(freq_var_model freq_var name) ~iteration_model
+        ?cost_var a freq time
+    in
+    { analysis = a; freq; cost; time; variance }
+  in
+  let commit (p : Program.proc) est =
+    Hashtbl.replace per_proc p.Program.name est;
+    Hashtbl.replace time_of p.Program.name (Time_est.total_time est.time est.analysis);
+    Hashtbl.replace var_of p.Program.name (Variance.total_var est.variance est.analysis)
+  in
+  List.iter
+    (fun scc ->
+      let recursive =
+        match scc with
+        | [ p ] ->
+            List.mem p.Program.name (Program.callees prog p)
+        | _ -> true
+      in
+      if not recursive then
+        match scc with
+        | [ p ] -> commit p (estimate_proc p)
+        | _ -> assert false
+      else begin
+        let names = List.map (fun p -> p.Program.name) scc in
+        match recursion with
+        | Reject -> raise (Recursion_unsupported names)
+        | Fixpoint { tol; max_iter } ->
+            List.iter
+              (fun p ->
+                Hashtbl.replace time_of p.Program.name 0.0;
+                Hashtbl.replace var_of p.Program.name 0.0)
+              scc;
+            let rec iterate k =
+              if k > max_iter then raise (No_convergence names);
+              let delta = ref 0.0 in
+              let ests =
+                List.map
+                  (fun p ->
+                    let est = estimate_proc p in
+                    let t = Time_est.total_time est.time est.analysis in
+                    let prev = callee_time p.Program.name in
+                    delta := Float.max !delta (Float.abs (t -. prev) /. Float.max 1.0 t);
+                    (p, est))
+                  scc
+              in
+              List.iter (fun (p, est) -> commit p est) ests;
+              if !delta > tol then iterate (k + 1)
+            in
+            iterate 1
+      end)
+    (Program.sccs prog);
+  { per_proc; main = prog.Program.main }
+
+let proc_est t name =
+  match Hashtbl.find_opt t.per_proc name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Interproc.proc_est: unknown procedure %s" name)
+
+let main_est t = proc_est t t.main
+
+(* headline numbers: the whole program's average time and deviation *)
+let program_time t =
+  let e = main_est t in
+  Time_est.total_time e.time e.analysis
+
+let program_var t =
+  let e = main_est t in
+  Variance.total_var e.variance e.analysis
+
+let program_std_dev t = sqrt (program_var t)

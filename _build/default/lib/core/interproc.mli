@@ -1,0 +1,84 @@
+(** Interprocedural estimation (§4, rule 2): procedures are visited
+    bottom-up over the call graph and a call node's COST includes the
+    callee's [TIME(START)]. *)
+
+module Program = S89_frontend.Program
+module Cost_model = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+module Freq = S89_profiling.Freq
+
+(** Raised under the [Reject] policy when the call graph is recursive;
+    carries the SCC's procedure names.  The paper defers recursion. *)
+exception Recursion_unsupported of string list
+
+(** The fixpoint iteration did not converge within [max_iter]. *)
+exception No_convergence of string list
+
+type recursion_policy =
+  | Reject  (** the paper's stance *)
+  | Fixpoint of { tol : float; max_iter : int }
+      (** solve recursive TIME/VAR by fixed-point iteration over the SCC
+          (the Sar87/Sar89 extension) *)
+
+(** Loop-frequency variance source, per procedure (see
+    {!Variance.freq_var_model}). *)
+type freq_var_spec =
+  | Zero
+  | Geometric
+  | Poisson
+  | Uniform
+  | Profiled of (string -> int -> float option)
+      (** procedure → header → E[F²] per interval execution *)
+
+(** Everything computed for one procedure. *)
+type proc_est = {
+  analysis : Analysis.t;
+  freq : Freq.t;
+  cost : float array;  (** COST(u) including callee times at call nodes *)
+  time : Time_est.t;
+  variance : Variance.t;
+}
+
+type t = {
+  per_proc : (string, proc_est) Hashtbl.t;
+  main : string;
+}
+
+(** Estimate every procedure of a program, callees first.
+
+    @param cost_model architectural costs (default {!Cost_model.optimized})
+    @param freq_var loop-frequency variance source (default [Zero])
+    @param iteration_model paper's FREQ² vs. Wald (default paper)
+    @param call_variance propagate callee VAR through rule 2 (default
+      false — the paper's [VAR(COST(u)) = 0] assumption)
+    @param recursion what to do on call-graph cycles (default [Reject])
+    @param cost_override replace the model-derived local COST of original
+      nodes ([proc name -> node -> cost]); used by the worked example
+    @param totals per-procedure [TOTAL_FREQ] tables (from reconstruction,
+      a database, or oracle counts) *)
+val estimate :
+  ?cost_model:Cost_model.t ->
+  ?freq_var:freq_var_spec ->
+  ?iteration_model:Variance.iteration_model ->
+  ?call_variance:bool ->
+  ?recursion:recursion_policy ->
+  ?cost_override:(string -> int -> float) ->
+  Program.t ->
+  (string, Analysis.t) Hashtbl.t ->
+  totals:(string -> (Analysis.cond, int) Hashtbl.t) ->
+  t
+
+(** Per-procedure results.  Raises [Invalid_argument] on unknown names. *)
+val proc_est : t -> string -> proc_est
+
+(** The main program's estimate. *)
+val main_est : t -> proc_est
+
+(** Whole-program TIME: [TIME(START)] of the main program. *)
+val program_time : t -> float
+
+(** Whole-program VAR. *)
+val program_var : t -> float
+
+(** Whole-program STD_DEV. *)
+val program_std_dev : t -> float

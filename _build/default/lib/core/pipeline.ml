@@ -1,0 +1,129 @@
+(* End-to-end convenience API tying the whole reproduction together:
+
+     source -> parse/lower -> analyses (ECFG/FCDG)
+            -> profile (smart counters over N runs, or oracle counts)
+            -> reconstruct TOTAL_FREQs -> FREQ
+            -> COST/TIME/VAR bottom-up, interprocedurally.
+
+   Because all the conservation laws are linear, counter arrays from
+   several runs are summed element-wise and reconstructed once — this is
+   exactly the paper's "accumulate the TOTAL_FREQ values (as a sum) from
+   different program executions in the program database". *)
+
+module Program = S89_frontend.Program
+module Interp = S89_vm.Interp
+module Cost_model = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+module Placement = S89_profiling.Placement
+module Reconstruct = S89_profiling.Reconstruct
+module Database = S89_profiling.Database
+
+let log_src = Logs.Src.create "s89.pipeline" ~doc:"end-to-end pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  prog : Program.t;
+  analyses : (string, Analysis.t) Hashtbl.t;
+}
+
+let create (prog : Program.t) : t = { prog; analyses = Analysis.of_program prog }
+
+let of_source src = create (Program.of_source src)
+
+(* ---------------- running ---------------- *)
+
+(* one uninstrumented run; oracle counts serve as exact totals *)
+let run_once ?(cost_model = Cost_model.optimized) ?(seed = 42) t : Interp.t =
+  let config = { Interp.default_config with cost_model; seed } in
+  let vm = Interp.create ~config t.prog in
+  ignore (Interp.run vm);
+  vm
+
+type profile = {
+  plan : Placement.t;
+  counters : int array; (* summed over all runs *)
+  runs : int;
+  totals : (string, (Analysis.cond, int) Hashtbl.t) Hashtbl.t;
+  database : Database.t;
+  avg_cycles : float; (* instrumented cycles per run *)
+}
+
+(* profile with smart instrumentation over [runs] runs (seeds vary) *)
+let profile_smart ?(cost_model = Cost_model.optimized) ?(runs = 1) ?(seed = 1)
+    ?(second_moments = true) t : profile =
+  let plan = Placement.plan ~second_moments t.analyses in
+  let sums = Array.make (Placement.n_counters plan) 0 in
+  let cycles = ref 0 in
+  for r = 0 to runs - 1 do
+    let config =
+      { Interp.default_config with cost_model; instr = Placement.probes plan;
+        seed = seed + r }
+    in
+    let vm = Interp.create ~config t.prog in
+    ignore (Interp.run vm);
+    cycles := !cycles + Interp.cycles vm;
+    let cs = Interp.counters vm in
+    Array.iteri (fun i c -> sums.(i) <- sums.(i) + c) cs
+  done;
+  Log.info (fun m ->
+      m "profiled %d runs with %d counters (%.0f cycles/run)" runs
+        (Placement.n_counters plan)
+        (float_of_int !cycles /. float_of_int runs));
+  let totals = Reconstruct.totals plan ~counters:sums in
+  let database = Database.create () in
+  Database.accumulate database totals;
+  database.Database.runs <- runs;
+  {
+    plan;
+    counters = sums;
+    runs;
+    totals;
+    avg_cycles = float_of_int !cycles /. float_of_int runs;
+    database;
+  }
+
+(* ---------------- estimation ---------------- *)
+
+let totals_fn tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some t -> t
+  | None -> Hashtbl.create 1
+
+(* estimate from a smart profile (optionally with profiled loop-frequency
+   variance from the second-moment counters) *)
+let estimate_profiled ?(cost_model = Cost_model.optimized)
+    ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
+    ?(recursion = Interproc.Reject) ?(use_second_moments = true) t (p : profile) :
+    Interproc.t =
+  let freq_var =
+    if not use_second_moments then Interproc.Zero
+    else
+      Interproc.Profiled
+        (fun proc header ->
+          match Hashtbl.find_opt p.totals proc with
+          | None -> None
+          | Some tot ->
+              List.assoc_opt header
+                (Reconstruct.loop_second_moments p.plan ~counters:p.counters proc tot))
+  in
+  Interproc.estimate ~cost_model ~freq_var ~iteration_model ~call_variance ~recursion
+    t.prog t.analyses ~totals:(totals_fn p.totals)
+
+(* estimate straight from an uninstrumented run's oracle counts *)
+let estimate_oracle ?(cost_model = Cost_model.optimized) ?(freq_var = Interproc.Zero)
+    ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
+    ?(recursion = Interproc.Reject) ?cost_override t (vm : Interp.t) : Interproc.t =
+  let totals name =
+    let a = Hashtbl.find t.analyses name in
+    Analysis.oracle_totals a vm
+  in
+  Interproc.estimate ~cost_model ~freq_var ~iteration_model ~call_variance ~recursion
+    ?cost_override t.prog t.analyses ~totals
+
+(* estimate from explicit per-procedure totals (e.g. a loaded database) *)
+let estimate_totals ?(cost_model = Cost_model.optimized) ?(freq_var = Interproc.Zero)
+    ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
+    ?(recursion = Interproc.Reject) ?cost_override t ~totals : Interproc.t =
+  Interproc.estimate ~cost_model ~freq_var ~iteration_model ~call_variance ~recursion
+    ?cost_override t.prog t.analyses ~totals

@@ -1,0 +1,85 @@
+(** End-to-end convenience API: parse/lower → analyses → profile →
+    reconstruct → FREQ → TIME/VAR, interprocedurally. *)
+
+module Program = S89_frontend.Program
+module Interp = S89_vm.Interp
+module Cost_model = S89_vm.Cost_model
+module Analysis = S89_profiling.Analysis
+module Placement = S89_profiling.Placement
+module Reconstruct = S89_profiling.Reconstruct
+module Database = S89_profiling.Database
+
+type t = {
+  prog : Program.t;
+  analyses : (string, Analysis.t) Hashtbl.t;  (** ECFG/CDG/FCDG per procedure *)
+}
+
+(** Build the analyses for an already-lowered program. *)
+val create : Program.t -> t
+
+(** Parse, analyze, lower and build the analyses from MF77 source. *)
+val of_source : string -> t
+
+(** One uninstrumented VM run (its oracle counts serve as exact totals). *)
+val run_once : ?cost_model:Cost_model.t -> ?seed:int -> t -> Interp.t
+
+(** The result of profiling with optimized counters. *)
+type profile = {
+  plan : Placement.t;
+  counters : int array;  (** summed element-wise over all runs (linearity) *)
+  runs : int;
+  totals : (string, (Analysis.cond, int) Hashtbl.t) Hashtbl.t;
+      (** reconstructed TOTAL_FREQ per procedure *)
+  database : Database.t;  (** the same totals, as a persistable database *)
+  avg_cycles : float;  (** instrumented cycles per run *)
+}
+
+(** Run [runs] instrumented executions (seeds [seed], [seed+1], ...) with
+    the §3-optimized counter placement, sum the counters, reconstruct.
+    [second_moments] additionally tracks [Σ(trips+1)²] per exit-free DO
+    loop for loop-frequency variance. *)
+val profile_smart :
+  ?cost_model:Cost_model.t ->
+  ?runs:int ->
+  ?seed:int ->
+  ?second_moments:bool ->
+  t ->
+  profile
+
+(** Estimate from a smart profile.  When [use_second_moments] (default
+    true) the profiled E[F²] feeds [VAR(FREQ)] for the tracked loops. *)
+val estimate_profiled :
+  ?cost_model:Cost_model.t ->
+  ?iteration_model:Variance.iteration_model ->
+  ?call_variance:bool ->
+  ?recursion:Interproc.recursion_policy ->
+  ?use_second_moments:bool ->
+  t ->
+  profile ->
+  Interproc.t
+
+(** Estimate straight from an uninstrumented run's oracle counts
+    (exactness: [program_time] then equals the measured cycles). *)
+val estimate_oracle :
+  ?cost_model:Cost_model.t ->
+  ?freq_var:Interproc.freq_var_spec ->
+  ?iteration_model:Variance.iteration_model ->
+  ?call_variance:bool ->
+  ?recursion:Interproc.recursion_policy ->
+  ?cost_override:(string -> int -> float) ->
+  t ->
+  Interp.t ->
+  Interproc.t
+
+(** Estimate from explicit per-procedure totals (e.g. a loaded database
+    or hand-written profiles like the paper's worked example). *)
+val estimate_totals :
+  ?cost_model:Cost_model.t ->
+  ?freq_var:Interproc.freq_var_spec ->
+  ?iteration_model:Variance.iteration_model ->
+  ?call_variance:bool ->
+  ?recursion:Interproc.recursion_policy ->
+  ?cost_override:(string -> int -> float) ->
+  t ->
+  totals:(string -> (Analysis.cond, int) Hashtbl.t) ->
+  Interproc.t

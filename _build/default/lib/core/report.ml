@@ -1,0 +1,247 @@
+(* Figure-3-style reports: the FCDG annotated with <FREQ, TOTAL_FREQ> per
+   edge and [COST, TIME, E[TIME²], VAR, STD_DEV] per node, as text or DOT. *)
+
+module Ir = S89_frontend.Ir
+module Program = S89_frontend.Program
+module Analysis = S89_profiling.Analysis
+module Freq = S89_profiling.Freq
+open S89_cfg
+open S89_cdg
+
+let describe_node (a : Analysis.t) u =
+  let ecfg = a.Analysis.ecfg in
+  let cfg = Ecfg.cfg ecfg in
+  if u = Ecfg.start ecfg then "START"
+  else if u = Ecfg.stop ecfg then "STOP"
+  else if Ecfg.is_preheader ecfg u then
+    Printf.sprintf "PREHEADER(%d)" (Ecfg.header_of_preheader ecfg u)
+  else if Ecfg.is_postexit ecfg u then
+    Printf.sprintf "POSTEXIT(%d)" (Ecfg.exited_interval ecfg u)
+  else Fmt.str "%a" Ir.pp_info (Cfg.info cfg u)
+
+let pp_number fmt x =
+  if Float.is_integer x && Float.abs x < 1e15 then Fmt.pf fmt "%.0f" x
+  else Fmt.pf fmt "%.4g" x
+
+let pp_proc fmt (est : Interproc.proc_est) =
+  let a = est.Interproc.analysis in
+  let fcdg = a.Analysis.fcdg in
+  let freq = est.Interproc.freq in
+  Fmt.pf fmt "@[<v>procedure %s: TIME(START)=%a STD_DEV(START)=%a"
+    a.Analysis.proc.Program.name pp_number
+    (Time_est.total_time est.Interproc.time a)
+    pp_number
+    (Variance.total_std_dev est.Interproc.variance a);
+  Array.iter
+    (fun u ->
+      Fmt.pf fmt "@,  %3d %-34s [%a, %a, %a, %a, %a]" u (describe_node a u) pp_number
+        (Time_est.cost est.Interproc.time u)
+        pp_number
+        (Time_est.time est.Interproc.time u)
+        pp_number
+        (Variance.e2 est.Interproc.variance u)
+        pp_number
+        (Variance.var est.Interproc.variance u)
+        pp_number
+        (Variance.std_dev est.Interproc.variance u);
+      List.iter
+        (fun (e : Label.t S89_graph.Digraph.edge) ->
+          Fmt.pf fmt "@,        -%s-> %d  <%.4g, %d>" (Label.to_string e.label) e.dst
+            (Freq.freq freq (u, e.label))
+            (Freq.total freq (u, e.label)))
+        (Fcdg.out_edges fcdg u))
+    (Fcdg.topological fcdg);
+  Fmt.pf fmt "@]"
+
+let pp fmt (t : Interproc.t) =
+  Fmt.pf fmt "@[<v>program estimate: TIME=%a STD_DEV=%a@,@," pp_number
+    (Interproc.program_time t) pp_number
+    (Interproc.program_std_dev t);
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.Interproc.per_proc [] |> List.sort compare
+  in
+  Fmt.(list ~sep:(any "@,@,") pp_proc) fmt (List.map (Interproc.proc_est t) names);
+  Fmt.pf fmt "@]"
+
+(* DOT rendering of the annotated FCDG (one procedure) *)
+let fcdg_dot (est : Interproc.proc_est) : string =
+  let a = est.Interproc.analysis in
+  let fcdg = a.Analysis.fcdg in
+  let freq = est.Interproc.freq in
+  S89_graph.Dot.to_string ~name:"fcdg"
+    ~node_attrs:(fun u ->
+      [
+        ( "label",
+          Fmt.str "%s\n[%a, %a, %a]" (describe_node a u) pp_number
+            (Time_est.cost est.Interproc.time u)
+            pp_number
+            (Time_est.time est.Interproc.time u)
+            pp_number
+            (Variance.var est.Interproc.variance u) );
+      ])
+    ~edge_attrs:(fun e ->
+      let style = if Label.is_pseudo e.S89_graph.Digraph.label then "dashed" else "solid" in
+      [
+        ( "label",
+          Fmt.str "%s <%.3g, %d>"
+            (Label.to_string e.S89_graph.Digraph.label)
+            (Freq.freq freq (e.src, e.label))
+            (Freq.total freq (e.src, e.label)) );
+        ("style", style);
+      ])
+    (Fcdg.graph fcdg)
+
+(* DOT rendering of an ECFG (Figure 2 style) *)
+let ecfg_dot (a : Analysis.t) : string =
+  let ecfg = a.Analysis.ecfg in
+  let cfg = Ecfg.cfg ecfg in
+  S89_graph.Dot.to_string ~name:"ecfg"
+    ~node_attrs:(fun u ->
+      let shape =
+        match Cfg.node_type cfg u with
+        | Node_type.Start | Node_type.Stop -> "ellipse"
+        | Node_type.Preheader | Node_type.Postexit -> "hexagon"
+        | _ -> "box"
+      in
+      [ ("label", describe_node a u); ("shape", shape) ])
+    ~edge_attrs:(fun e ->
+      let style = if Label.is_pseudo e.S89_graph.Digraph.label then "dashed" else "solid" in
+      [ ("label", Label.to_string e.S89_graph.Digraph.label); ("style", style) ])
+    (Cfg.graph cfg)
+
+(* DOT rendering of an original CFG (Figure 1 style) *)
+let cfg_dot (p : Program.proc) : string =
+  let cfg = p.Program.cfg in
+  S89_graph.Dot.to_string ~name:"cfg"
+    ~node_attrs:(fun u -> [ ("label", Fmt.str "%a" Ir.pp_info (Cfg.info cfg u)) ])
+    ~edge_attrs:(fun e -> [ ("label", Label.to_string e.S89_graph.Digraph.label) ])
+    (Cfg.graph cfg)
+
+(* gprof-style flat profile (the paper cites Graham–Kessler–McKusick's
+   gprof as the model for per-procedure reporting): per procedure the
+   number of calls, average TIME and STD_DEV per call, and the cumulative
+   share of the whole program (self + descendants, rule-2 style). *)
+let flat_profile fmt (t : Interproc.t) =
+  let total = Interproc.program_time t *. 1.0 in
+  let rows =
+    Hashtbl.fold
+      (fun name (pe : Interproc.proc_est) acc ->
+        let a = pe.Interproc.analysis in
+        let calls = Freq.invocations pe.Interproc.freq in
+        let time = Time_est.total_time pe.Interproc.time a in
+        let sd = Variance.total_std_dev pe.Interproc.variance a in
+        (name, calls, time, sd) :: acc)
+      t.Interproc.per_proc []
+    |> List.sort (fun (_, c1, t1, _) (_, c2, t2, _) ->
+           compare (float_of_int c2 *. t2, c2) (float_of_int c1 *. t1, c1))
+  in
+  let main_calls =
+    match List.find_opt (fun (n, _, _, _) -> n = t.Interproc.main) rows with
+    | Some (_, c, _, _) -> max c 1
+    | None -> 1
+  in
+  Fmt.pf fmt "@[<v>%-12s %10s %14s %14s %9s@," "procedure" "calls" "TIME/call"
+    "STD_DEV/call" "cum.%";
+  List.iter
+    (fun (name, calls, time, sd) ->
+      let cum =
+        if total <= 0.0 then 0.0
+        else
+          100.0 *. (float_of_int calls /. float_of_int main_calls) *. time /. total
+      in
+      Fmt.pf fmt "%-12s %10d %14.1f %14.1f %8.1f%%@," name calls time sd cum)
+    rows;
+  Fmt.pf fmt "@]"
+
+(* per-node estimates as CSV, for downstream tooling *)
+let csv (t : Interproc.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "procedure,node,kind,cost,time,e_t2,var,std_dev,node_freq\n";
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.Interproc.per_proc [] |> List.sort compare
+  in
+  List.iter
+    (fun name ->
+      let pe = Interproc.proc_est t name in
+      let a = pe.Interproc.analysis in
+      Array.iter
+        (fun u ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%s,%g,%g,%g,%g,%g,%g\n" name u
+               (String.map (function ',' | '\n' -> ' ' | c -> c) (describe_node a u))
+               (Time_est.cost pe.Interproc.time u)
+               (Time_est.time pe.Interproc.time u)
+               (Variance.e2 pe.Interproc.variance u)
+               (Variance.var pe.Interproc.variance u)
+               (Variance.std_dev pe.Interproc.variance u)
+               (Freq.node_freq pe.Interproc.freq u)))
+        (Fcdg.topological a.Analysis.fcdg))
+    names;
+  Buffer.contents buf
+
+(* Statement-level hotspots: time attributed to a statement =
+   COST(u) × NODE_FREQ(u) × invocations, per main-program run — the
+   per-statement frequency listing that §6 traces back to Knuth's
+   empirical Fortran study, computed from estimates.  For call sites,
+   COST includes the callee's TIME (rule 2), so those rows are
+   self-plus-descendants and are marked as such. *)
+let hotspots ?(top = 10) (t : Interproc.t) =
+  let rows = ref [] in
+  (* membership test for user procedures (call-site marking) *)
+  let t_by_name : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace t_by_name k ()) t.Interproc.per_proc;
+  let main_calls =
+    max 1 (Freq.invocations (Interproc.main_est t).Interproc.freq)
+  in
+  Hashtbl.iter
+    (fun name (pe : Interproc.proc_est) ->
+      let a = pe.Interproc.analysis in
+      Array.iter
+        (fun u ->
+          if S89_cfg.Ecfg.is_original a.Analysis.ecfg u then begin
+            let self =
+              Time_est.cost pe.Interproc.time u
+              *. Freq.node_freq pe.Interproc.freq u
+              *. (float_of_int (Freq.invocations pe.Interproc.freq)
+                 /. float_of_int main_calls)
+            in
+            if self > 0.0 then begin
+              let d = describe_node a u in
+              let d =
+                if
+                  Cost.call_sites t_by_name
+                    (S89_cfg.Cfg.info (S89_cfg.Ecfg.cfg a.Analysis.ecfg) u)
+                  <> []
+                then d ^ " [incl. callees]"
+                else d
+              in
+              rows := (name, u, d, self) :: !rows
+            end
+          end)
+        (Fcdg.topological a.Analysis.fcdg))
+    t.Interproc.per_proc;
+  let total = Interproc.program_time t in
+  let sorted =
+    List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !rows
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  List.map
+    (fun (name, u, d, self) ->
+      (name, u, d, self, if total > 0.0 then 100.0 *. self /. total else 0.0))
+    (take top sorted)
+
+let pp_hotspots ?top fmt t =
+  Fmt.pf fmt "@[<v>%-10s %5s  %-40s %14s %7s@," "procedure" "node" "statement"
+    "self time" "share";
+  List.iter
+    (fun (name, u, d, self, share) ->
+      let d = if String.length d > 40 then String.sub d 0 40 else d in
+      let d = String.map (function '\n' -> ' ' | c -> c) d in
+      Fmt.pf fmt "%-10s %5d  %-40s %14.1f %6.2f%%@," name u d self share)
+    (hotspots ?top t);
+  Fmt.pf fmt "@]"

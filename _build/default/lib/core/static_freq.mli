@@ -1,0 +1,30 @@
+(** Compile-time frequency analysis — §3's "program analysis" companion
+    to profiling.  The two restricted cases the paper names are solved
+    exactly (constant-bound DO loops; branch conditions that fold to a
+    constant); everything else uses declared heuristics.  Produces a
+    synthetic [TOTAL_FREQ] table that plugs into the same estimation
+    machinery as a real profile. *)
+
+module Analysis = S89_profiling.Analysis
+
+type heuristics = {
+  loop_freq : float;  (** assumed header executions per entry (default 10) *)
+  branch_taken : float;  (** probability of a T label (default 0.5) *)
+  exit_taken : float;  (** probability of a loop-exit label (default 0.1) *)
+}
+
+val default_heuristics : heuristics
+
+(** The synthetic invocation count the totals are scaled to. *)
+val scale : int
+
+(** Synthetic totals for one procedure (no execution involved). *)
+val totals : ?heuristics:heuristics -> Analysis.t -> (Analysis.cond, int) Hashtbl.t
+
+(** Totals for every procedure, memoized — pass to
+    {!Pipeline.estimate_totals}. *)
+val program_totals :
+  ?heuristics:heuristics ->
+  (string, Analysis.t) Hashtbl.t ->
+  string ->
+  (Analysis.cond, int) Hashtbl.t

@@ -1,0 +1,22 @@
+(** Average execution times (§4): one bottom-up pass over the FCDG
+    computing [TIME(u) = COST(u) + Σ FREQ(u,l)·TIME(v)]. *)
+
+module Analysis = S89_profiling.Analysis
+module Freq = S89_profiling.Freq
+
+type t
+
+(** Bottom-up TIME pass.  [cost] is indexed by ECFG node and must already
+    include callee contributions for call nodes (rule 2); see
+    {!Interproc.estimate} for the interprocedural driver. *)
+val compute : Analysis.t -> Freq.t -> cost:float array -> t
+
+(** [TIME(START)] — the whole procedure's average execution time per
+    invocation. *)
+val total_time : t -> Analysis.t -> float
+
+(** [TIME(u)] for an ECFG node. *)
+val time : t -> int -> float
+
+(** [COST(u)] as used by the pass. *)
+val cost : t -> int -> float

@@ -1,0 +1,123 @@
+(* Execution time variance (§5): one bottom-up pass over the FCDG.
+
+   Case 1 — u is a preheader.  With F = FREQ(u,l) the loop frequency and
+   S = Σ TIME(v), V = Σ VAR(v) over the body children:
+
+       VAR(u) = F²·V + VAR(F)·S² + VAR(F)·V
+
+   (the three-term expansion of VAR(A×B)).  VAR(F) comes from a pluggable
+   model: zero (the paper's simplification in the worked example), a
+   profiled second moment E[F²], or an assumed distribution of the number
+   of iterations.
+
+   Case 2 — otherwise.  With mutually exclusive branch labels:
+
+       E[T_C²] = Σ_l FREQ(u,l) × (Σ_{v∈C(u,l)} VAR(v) + (Σ_{v∈C(u,l)} TIME(v))²)
+       VAR(u)  = E[T_C²] − T_C² + VAR(COST(u))
+
+   VAR(COST(u)) is 0 (the paper's assumption) unless call-variance
+   propagation is enabled, in which case each call site contributes its
+   callee's VAR(START). *)
+
+module Analysis = S89_profiling.Analysis
+module Freq = S89_profiling.Freq
+open S89_cfg
+open S89_cdg
+
+(* Model for VAR(FREQ(ph, l)) — the variance of the number of header
+   executions per interval execution. *)
+type freq_var_model =
+  | Zero  (** the paper's default: deterministic trip counts *)
+  | Profiled of (int -> float option)
+      (** header -> E[F²] per interval execution (e.g. from the bulk
+          second-moment counters); [None] falls back to Zero *)
+  | Geometric
+      (** F ~ geometric: VAR = F² − F (memoryless exit with P = 1/F) *)
+  | Poisson  (** VAR = F *)
+  | Uniform  (** F ~ uniform on [0, 2F]: VAR = F²/3 *)
+
+let var_of_freq model ~header ~f =
+  match model with
+  | Zero -> 0.0
+  | Profiled lookup -> (
+      match lookup header with
+      | Some ef2 -> Float.max 0.0 (ef2 -. (f *. f))
+      | None -> 0.0)
+  | Geometric -> Float.max 0.0 ((f *. f) -. f)
+  | Poisson -> f
+  | Uniform -> f *. f /. 3.0
+
+(* How iterations of one loop relate to each other.
+
+   The paper's Case 1 multiplies the body variance by FREQ² — algebraically
+   that treats the body time as ONE random variable scaled by the iteration
+   count, i.e. iterations are perfectly correlated; it is the conservative
+   upper bound (and what PTRAN computed).  When iteration times are closer
+   to independent draws, Wald's identity for random sums gives
+   VAR = E[F]·VAR(body) + VAR(F)·TIME(body)², typically √F smaller.  We
+   implement both; benches compare them against measured variance. *)
+type iteration_model = Paper_correlated | Independent
+
+type t = {
+  var : float array;
+  e2 : float array; (* E[TIME²] = VAR + TIME² (the Fig. 3 tuple value) *)
+}
+
+let compute ?(freq_var = Zero) ?(iteration_model = Paper_correlated)
+    ?(cost_var : float array option) (analysis : Analysis.t) (freq : Freq.t)
+    (time : Time_est.t) : t =
+  let fcdg = analysis.Analysis.fcdg in
+  let ecfg = analysis.Analysis.ecfg in
+  let n = S89_graph.Digraph.num_nodes (Fcdg.graph fcdg) in
+  let var = Array.make n 0.0 in
+  Array.iter
+    (fun u ->
+      let v =
+        if Ecfg.is_preheader ecfg u then begin
+          (* Case 1: loop preheader *)
+          let header = Ecfg.header_of_preheader ecfg u in
+          let l = Ecfg.body_label in
+          let f = Freq.freq freq (u, l) in
+          let children = Fcdg.children fcdg u l in
+          let s = List.fold_left (fun acc v -> acc +. Time_est.time time v) 0.0 children in
+          let vv = List.fold_left (fun acc v -> acc +. var.(v)) 0.0 children in
+          let vf = var_of_freq freq_var ~header ~f in
+          (match iteration_model with
+          | Paper_correlated -> (f *. f *. vv) +. (vf *. s *. s) +. (vf *. vv)
+          | Independent -> (f *. vv) +. (vf *. s *. s))
+        end
+        else begin
+          (* Case 2: branch probabilities, VAR(FREQ)=0 *)
+          let tc = ref 0.0 and e2c = ref 0.0 in
+          List.iter
+            (fun l ->
+              let f = Freq.freq freq (u, l) in
+              if f > 0.0 then begin
+                let children = Fcdg.children fcdg u l in
+                let s =
+                  List.fold_left (fun acc v -> acc +. Time_est.time time v) 0.0 children
+                in
+                let vv = List.fold_left (fun acc v -> acc +. var.(v)) 0.0 children in
+                tc := !tc +. (f *. s);
+                e2c := !e2c +. (f *. (vv +. (s *. s)))
+              end)
+            (Fcdg.labels fcdg u);
+          let base = Float.max 0.0 (!e2c -. (!tc *. !tc)) in
+          base +. (match cost_var with Some cv -> cv.(u) | None -> 0.0)
+        end
+      in
+      var.(u) <- v)
+    (Fcdg.bottom_up fcdg);
+  let e2 =
+    Array.init n (fun u ->
+        let t = Time_est.time time u in
+        var.(u) +. (t *. t))
+  in
+  { var; e2 }
+
+let var t u = t.var.(u)
+let e2 t u = t.e2.(u)
+let std_dev t u = sqrt t.var.(u)
+
+let total_var t analysis = t.var.(Fcdg.start analysis.Analysis.fcdg)
+let total_std_dev t analysis = sqrt (total_var t analysis)

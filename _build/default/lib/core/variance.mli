@@ -1,0 +1,58 @@
+(** Execution time variance (§5): one bottom-up pass over the FCDG with
+    the paper's two cases (preheader vs. other nodes). *)
+
+module Analysis = S89_profiling.Analysis
+module Freq = S89_profiling.Freq
+
+(** Model for [VAR(FREQ(ph,l))], the variance of the number of header
+    executions per interval execution (§5 Case 1). *)
+type freq_var_model =
+  | Zero  (** the paper's default: deterministic trip counts *)
+  | Profiled of (int -> float option)
+      (** header → E[F²] per interval execution (e.g. from the bulk
+          second-moment counters); [None] falls back to [Zero] *)
+  | Geometric  (** memoryless exit: VAR = F² − F *)
+  | Poisson  (** VAR = F *)
+  | Uniform  (** F uniform on [0, 2F]: VAR = F²/3 *)
+
+(** [VAR(F)] under a model, given the loop frequency [f]. *)
+val var_of_freq : freq_var_model -> header:int -> f:float -> float
+
+(** How iterations of one loop relate to each other.
+
+    The paper's Case 1 multiplies the body variance by FREQ² — treating
+    the body time as one random variable scaled by the iteration count
+    (iterations perfectly correlated), the conservative upper bound.
+    [Independent] is the Wald-identity alternative for iid iterations:
+    [VAR = E(F)·VAR(body) + VAR(F)·TIME(body)²], typically √F smaller and
+    much closer to empirical deviations (see EXPERIMENTS.md X3). *)
+type iteration_model = Paper_correlated | Independent
+
+type t
+
+(** Bottom-up VAR pass.  [cost_var], when given, adds a per-node local
+    cost variance (used for callee-variance propagation); the paper
+    assumes it is zero. *)
+val compute :
+  ?freq_var:freq_var_model ->
+  ?iteration_model:iteration_model ->
+  ?cost_var:float array ->
+  Analysis.t ->
+  Freq.t ->
+  Time_est.t ->
+  t
+
+(** [VAR(u)]. *)
+val var : t -> int -> float
+
+(** [E(TIME(u)²)] — the Figure-3 tuple value [VAR + TIME²]. *)
+val e2 : t -> int -> float
+
+(** [STD_DEV(u) = √VAR(u)]. *)
+val std_dev : t -> int -> float
+
+(** [VAR(START)] of the procedure. *)
+val total_var : t -> Analysis.t -> float
+
+(** [STD_DEV(START)] of the procedure. *)
+val total_std_dev : t -> Analysis.t -> float

@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: Buffer Fmt Format List Printf String

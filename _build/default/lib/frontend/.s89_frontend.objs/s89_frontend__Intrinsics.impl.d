@@ -1,0 +1,1 @@
+lib/frontend/intrinsics.ml: Ast List

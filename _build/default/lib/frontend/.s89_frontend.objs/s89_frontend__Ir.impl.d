@@ -1,0 +1,1 @@
+lib/frontend/ir.ml: Ast Fmt

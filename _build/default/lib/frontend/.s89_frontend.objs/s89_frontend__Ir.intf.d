@@ -1,0 +1,1 @@
+lib/frontend/ir.mli: Ast Format

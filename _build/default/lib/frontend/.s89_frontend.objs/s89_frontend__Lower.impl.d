@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Cfg Dfs Fmt Hashtbl Ir Label List Printf S89_cfg S89_graph Sema

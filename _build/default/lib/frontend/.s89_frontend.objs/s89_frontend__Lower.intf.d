@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Ir S89_cfg Sema

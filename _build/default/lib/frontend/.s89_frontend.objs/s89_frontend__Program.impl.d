@@ -1,0 +1,1 @@
+lib/frontend/program.ml: Array Ast Cfg Digraph Hashtbl Ir List Lower Printf S89_cfg S89_graph Sema Topo

@@ -1,0 +1,1 @@
+lib/frontend/program.mli: Ast Digraph Hashtbl Ir S89_cfg S89_graph Sema

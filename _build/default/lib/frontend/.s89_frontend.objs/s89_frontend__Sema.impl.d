@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Fmt Hashtbl Intrinsics List Option Parser

@@ -1,0 +1,21 @@
+(** Intrinsic function registry shared by semantic analysis (names and
+    arities), the VM (implementations in {!S89_vm.Builtins}) and the cost
+    model (cost classes). *)
+
+type cost_class =
+  | Cheap  (** ABS/MOD/MIN/MAX/conversions *)
+  | Moderate  (** SIGN, RAND, ... *)
+  | Expensive  (** SQRT/EXP/LOG/trig — many machine cycles *)
+
+type info = {
+  min_arity : int;
+  max_arity : int;  (** [max_int] for the variadic MIN/MAX families *)
+  cost : cost_class;
+}
+
+val table : (string * info) list
+val lookup : string -> info option
+val is_intrinsic : string -> bool
+
+(** Result type under loose Fortran generic rules. *)
+val result_type : string -> Ast.typ list -> Ast.typ

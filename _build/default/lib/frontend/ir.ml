@@ -1,0 +1,60 @@
+(* Statement-level CFG node payloads.
+
+   The paper permits CFG nodes to be "basic blocks, statements, operations
+   or instructions"; we lower MF77 to one node per simple statement, which
+   matches the statement-level CFG of the paper's Figure 1.  Basic blocks
+   are recovered from this graph when the naive profiling scheme needs them
+   (see s89_profiling.Blocks). *)
+
+type do_meta = {
+  trip_var : string; (* compiler temp holding the remaining trip count *)
+  static_trip : int option; (* trip count if lo/hi/step were constants *)
+  do_var : string; (* the user's DO variable (for reporting) *)
+}
+
+type node =
+  | Entry (* procedure entry marker; never has predecessors *)
+  | Nop of string (* CONTINUE or a materialized GOTO; text for display *)
+  | Assign of Ast.lvalue * Ast.expr
+  | Branch of Ast.expr (* out-edges T / F *)
+  | Do_test of do_meta (* header of a DO loop: T = body, F = exit;
+                          semantically tests trip_var > 0 *)
+  | Select of Ast.expr * int (* computed GOTO with n arms: Case 1..n, F = fallthrough *)
+  | Call of string * Ast.expr list
+  | Return
+  | Stop
+  | Print of Ast.expr list
+
+type info = {
+  ir : node;
+  src_label : int option; (* the statement's numeric label, if any *)
+}
+
+let pp_node fmt = function
+  | Entry -> Fmt.string fmt "ENTRY"
+  | Nop s -> Fmt.string fmt s
+  | Assign (lv, e) -> Fmt.pf fmt "%a = %a" Ast.pp_lvalue lv Ast.pp_expr e
+  | Branch e -> Fmt.pf fmt "IF (%a)" Ast.pp_expr e
+  | Do_test d -> Fmt.pf fmt "DO-TEST %s [%s > 0]" d.do_var d.trip_var
+  | Select (e, n) -> Fmt.pf fmt "GOTO(%d-way), %a" n Ast.pp_expr e
+  | Call (s, []) -> Fmt.pf fmt "CALL %s" s
+  | Call (s, args) -> Fmt.pf fmt "CALL %s(%a)" s Fmt.(list ~sep:comma Ast.pp_expr) args
+  | Return -> Fmt.string fmt "RETURN"
+  | Stop -> Fmt.string fmt "STOP"
+  | Print es -> Fmt.pf fmt "PRINT *, %a" Fmt.(list ~sep:comma Ast.pp_expr) es
+
+let pp_info fmt { ir; src_label } =
+  (match src_label with Some l -> Fmt.pf fmt "%d " l | None -> ());
+  pp_node fmt ir
+
+(* Expressions evaluated when this node executes (used by the cost model
+   and by the interprocedural scan for function calls). *)
+let exprs_of = function
+  | Entry | Nop _ | Return | Stop -> []
+  | Assign (Lvar _, e) -> [ e ]
+  | Assign (Larr (_, idx), e) -> idx @ [ e ]
+  | Branch e -> [ e ]
+  | Do_test _ -> [] (* the trip test is charged as a branch by the cost model *)
+  | Select (e, _) -> [ e ]
+  | Call (_, args) -> args
+  | Print es -> es

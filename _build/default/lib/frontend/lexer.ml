@@ -1,0 +1,179 @@
+(* Hand-written lexer for MF77.
+
+   Free-format tokens with Fortran flavour: case-insensitive identifiers
+   (canonicalized to upper case), dotted operators (.LT., .AND., ...),
+   '!' comments, newline-terminated statements, '&' continuation at end of
+   line.  The classic "1.AND.2" ambiguity is resolved by looking ahead for
+   a known dotted word before committing the '.' to a numeric literal. *)
+
+type token =
+  | ID of string
+  | INT of int
+  | REALLIT of float
+  | DOTOP of string (* LT LE GT GE EQ NE AND OR NOT TRUE FALSE *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW (* ** *)
+  | NEWLINE
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of string * int (* message, line *)
+
+let dotted_words =
+  [ "LT"; "LE"; "GT"; "GE"; "EQ"; "NE"; "AND"; "OR"; "NOT"; "TRUE"; "FALSE" ]
+
+let token_str = function
+  | ID s -> s
+  | INT i -> string_of_int i
+  | REALLIT r -> string_of_float r
+  | DOTOP s -> "." ^ s ^ "."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | POW -> "**"
+  | NEWLINE -> "<newline>"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_alpha c || is_digit c || c = '_' || c = '%'
+
+(* Does a known dotted word start at position [i] (just past a '.')? *)
+let dotted_word_at s i =
+  let n = String.length s in
+  let j = ref i in
+  while !j < n && is_alpha s.[!j] do
+    incr j
+  done;
+  if !j < n && s.[!j] = '.' && !j > i then begin
+    let w = String.uppercase_ascii (String.sub s i (!j - i)) in
+    if List.mem w dotted_words then Some (w, !j + 1) else None
+  end
+  else None
+
+let tokenize (src : string) : t list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let last_tok () = match !toks with [] -> None | t :: _ -> Some t.tok in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '!' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '\n' then begin
+      (* '&' just before the newline means continuation: drop both *)
+      (match last_tok () with
+      | Some NEWLINE | None -> () (* collapse blank lines *)
+      | Some _ -> push NEWLINE);
+      incr line;
+      incr i
+    end
+    else if c = '&' then begin
+      (* continuation marker: either at end of line (skip it and the
+         newline), or at start of a line (retract the previous NEWLINE) *)
+      incr i;
+      let j = ref !i in
+      while !j < n && (src.[!j] = ' ' || src.[!j] = '\t' || src.[!j] = '\r') do
+        incr j
+      done;
+      if !j < n && src.[!j] = '\n' then begin
+        incr line;
+        i := !j + 1
+      end
+      else
+        match !toks with
+        | { tok = NEWLINE; _ } :: rest -> toks := rest
+        | _ -> raise (Error ("misplaced '&'", !line))
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      (* numeric literal; watch for dotted-op lookahead *)
+      let start = !i in
+      let is_real = ref false in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      (if !i < n && src.[!i] = '.' then
+         match dotted_word_at src (!i + 1) with
+         | Some _ -> () (* "1.AND." : stop the number before the dot *)
+         | None ->
+             is_real := true;
+             incr i;
+             while !i < n && is_digit src.[!i] do
+               incr i
+             done);
+      (if !i < n && (src.[!i] = 'e' || src.[!i] = 'E' || src.[!i] = 'd' || src.[!i] = 'D')
+       then
+         let j = ref (!i + 1) in
+         if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+         if !j < n && is_digit src.[!j] then begin
+           is_real := true;
+           incr j;
+           while !j < n && is_digit src.[!j] do
+             incr j
+           done;
+           i := !j
+         end);
+      let text = String.sub src start (!i - start) in
+      let text = String.map (function 'd' | 'D' -> 'e' | ch -> ch) text in
+      if !is_real then push (REALLIT (float_of_string text))
+      else push (INT (int_of_string text))
+    end
+    else if c = '.' then begin
+      match dotted_word_at src (!i + 1) with
+      | Some (w, next) ->
+          push (DOTOP w);
+          i := next
+      | None -> raise (Error ("stray '.'", !line))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (ID (String.uppercase_ascii (String.sub src start (!i - start))))
+    end
+    else begin
+      match c with
+      | '(' -> push LPAREN; incr i
+      | ')' -> push RPAREN; incr i
+      | ',' -> push COMMA; incr i
+      | '=' -> push EQUALS; incr i
+      | '+' -> push PLUS; incr i
+      | '-' -> push MINUS; incr i
+      | '*' ->
+          if !i + 1 < n && src.[!i + 1] = '*' then begin
+            push POW;
+            i := !i + 2
+          end
+          else begin
+            push STAR;
+            incr i
+          end
+      | '/' -> push SLASH; incr i
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  (match last_tok () with
+  | Some NEWLINE | None -> ()
+  | Some _ -> push NEWLINE);
+  push EOF;
+  List.rev !toks

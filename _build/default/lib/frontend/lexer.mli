@@ -1,0 +1,35 @@
+(** Hand-written lexer for MF77: case-insensitive identifiers
+    (canonicalized to upper case), dotted operators (.LT., .AND., ...),
+    '!' comments, newline-terminated statements, '&' continuations
+    (both at end of line and Fortran-style at start of the next). *)
+
+type token =
+  | ID of string  (** upper-cased identifier or keyword *)
+  | INT of int
+  | REALLIT of float
+  | DOTOP of string  (** LT LE GT GE EQ NE AND OR NOT TRUE FALSE *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW  (** ** *)
+  | NEWLINE
+  | EOF
+
+(** A token with its source line. *)
+type t = { tok : token; line : int }
+
+(** Lexical error: message and line. *)
+exception Error of string * int
+
+(** Render a token for error messages. *)
+val token_str : token -> string
+
+(** Tokenize a whole source file.  Always ends with [EOF]; blank lines
+    collapse; a trailing [NEWLINE] is guaranteed before [EOF] when the
+    input has any tokens. *)
+val tokenize : string -> t list

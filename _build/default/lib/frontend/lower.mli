@@ -1,0 +1,18 @@
+(** Lowering: analyzed MF77 units → statement-level CFGs with T/F/U/Case
+    edge labels (the paper's Figure 1 form).
+
+    DO loops lower to trip-count form — the Fortran-77 semantics, and
+    what makes the paper's third profiling optimization possible: the
+    remaining trip count lives in a compiler temp fully computed before
+    the header is first entered (see {!Ir.do_meta}).  Unreachable
+    statements are pruned and irreducible flow is made reducible by node
+    splitting, so every result satisfies {!S89_cfg.Cfg.validate} and the
+    paper's reducibility assumption. *)
+
+exception Error of string
+
+(** Placeholder payload for synthetic nodes. *)
+val dummy_info : Ir.info
+
+(** Lower one analyzed unit. *)
+val lower_unit : Sema.env -> Ir.info S89_cfg.Cfg.t

@@ -1,0 +1,612 @@
+(* Hand-written recursive-descent parser for MF77 (menhir is not available
+   in this environment, and the grammar is line-oriented anyway).
+
+   Notable Fortran-isms handled here:
+   - statement labels: a leading integer on a line;
+   - labeled DO loops ("DO 10 I = 1, N ... 10 CONTINUE"), including several
+     DO loops sharing one terminator, threaded through the parser state via
+     [consumed_label];
+   - logical IF vs. block IF disambiguated by the token after the closing
+     parenthesis;
+   - computed GOTO "GOTO (10, 20, 30), I". *)
+
+open Ast
+
+exception Parse_error of string * int
+
+type state = {
+  toks : Lexer.t array;
+  mutable pos : int;
+  mutable consumed_label : int option;
+      (* label of the most recently consumed labeled-DO terminator, so an
+         enclosing DO sharing the label can terminate too *)
+}
+
+let keywords =
+  [ "IF"; "THEN"; "ELSE"; "ELSEIF"; "ENDIF"; "DO"; "ENDDO"; "GOTO"; "GO";
+    "CALL"; "RETURN"; "STOP"; "CONTINUE"; "PRINT"; "PROGRAM"; "SUBROUTINE";
+    "FUNCTION"; "END"; "INTEGER"; "REAL"; "LOGICAL"; "PARAMETER" ]
+
+let is_keyword s = List.mem s keywords
+
+let peek st = st.toks.(st.pos).Lexer.tok
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.tok
+  else Lexer.EOF
+
+let line st = st.toks.(st.pos).Lexer.line
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg = raise (Parse_error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s" (Lexer.token_str tok)
+         (Lexer.token_str (peek st)))
+
+let expect_id st =
+  match peek st with
+  | Lexer.ID s -> advance st; s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Lexer.token_str t))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT i -> advance st; i
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (Lexer.token_str t))
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.ID s when s = kw -> advance st
+  | t -> fail st (Printf.sprintf "expected %s, found %s" kw (Lexer.token_str t))
+
+let at_kw st kw = match peek st with Lexer.ID s -> s = kw | _ -> false
+
+let skip_newlines st =
+  while peek st = Lexer.NEWLINE do
+    advance st
+  done
+
+let end_of_stmt st =
+  match peek st with
+  | Lexer.NEWLINE -> advance st
+  | Lexer.EOF -> ()
+  | t -> fail st (Printf.sprintf "trailing tokens: %s" (Lexer.token_str t))
+
+(* ---------------- expressions ---------------- *)
+
+(* precedence climbing; levels match Ast.binop_prec *)
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Lexer.DOTOP "OR" do
+    advance st;
+    let rhs = parse_and st in
+    lhs := Binop (Or, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while peek st = Lexer.DOTOP "AND" do
+    advance st;
+    let rhs = parse_not st in
+    lhs := Binop (And, !lhs, rhs)
+  done;
+  !lhs
+
+and parse_not st =
+  if peek st = Lexer.DOTOP "NOT" then begin
+    advance st;
+    Unop (Not, parse_not st)
+  end
+  else parse_rel st
+
+and parse_rel st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.DOTOP "LT" -> Some Lt
+    | Lexer.DOTOP "LE" -> Some Le
+    | Lexer.DOTOP "GT" -> Some Gt
+    | Lexer.DOTOP "GE" -> Some Ge
+    | Lexer.DOTOP "EQ" -> Some Eq
+    | Lexer.DOTOP "NE" -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      let rhs = parse_add st in
+      Binop (op, lhs, rhs)
+
+and parse_add st =
+  (* unary +/- bind at additive level, looser than ** (Fortran rule) *)
+  let first =
+    match peek st with
+    | Lexer.MINUS ->
+        advance st;
+        Unop (Neg, parse_mul st)
+    | Lexer.PLUS ->
+        advance st;
+        parse_mul st
+    | _ -> parse_mul st
+  in
+  let lhs = ref first in
+  let rec loop () =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        lhs := Binop (Add, !lhs, parse_mul st);
+        loop ()
+    | Lexer.MINUS ->
+        advance st;
+        lhs := Binop (Sub, !lhs, parse_mul st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_pow st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        lhs := Binop (Mul, !lhs, parse_pow st);
+        loop ()
+    | Lexer.SLASH ->
+        advance st;
+        lhs := Binop (Div, !lhs, parse_pow st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_pow st =
+  let base = parse_primary st in
+  if peek st = Lexer.POW then begin
+    advance st;
+    (* right-associative; exponent may be signed: X ** -2 *)
+    let exp =
+      match peek st with
+      | Lexer.MINUS ->
+          advance st;
+          Unop (Neg, parse_pow st)
+      | _ -> parse_pow st
+    in
+    Binop (Pow, base, exp)
+  end
+  else base
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i -> advance st; Int i
+  | Lexer.REALLIT r -> advance st; Real r
+  | Lexer.DOTOP "TRUE" -> advance st; Bool true
+  | Lexer.DOTOP "FALSE" -> advance st; Bool false
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.ID name ->
+      advance st;
+      if peek st = Lexer.LPAREN then begin
+        advance st;
+        let args =
+          if peek st = Lexer.RPAREN then [] (* zero-argument call, e.g. RAND() *)
+          else parse_expr_list st
+        in
+        expect st Lexer.RPAREN;
+        (* array reference or function call: resolved by Sema *)
+        Call (name, args)
+      end
+      else Var name
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Lexer.token_str t))
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if peek st = Lexer.COMMA then begin
+    advance st;
+    e :: parse_expr_list st
+  end
+  else [ e ]
+
+(* ---------------- statements ---------------- *)
+
+(* GOTO or GO TO, positioned after it *)
+let try_goto st =
+  if at_kw st "GOTO" then begin
+    advance st;
+    true
+  end
+  else if at_kw st "GO" && peek2 st = Lexer.ID "TO" then begin
+    advance st;
+    advance st;
+    true
+  end
+  else false
+
+let rec parse_simple_stmt st : stmt =
+  (* statements legal as the body of a logical IF *)
+  if try_goto st then parse_goto_tail st
+  else if at_kw st "CALL" then parse_call st
+  else if at_kw st "RETURN" then (advance st; Return)
+  else if at_kw st "STOP" then (advance st; Stop)
+  else if at_kw st "CONTINUE" then (advance st; Continue)
+  else if at_kw st "PRINT" then parse_print st
+  else begin
+    match peek st with
+    | Lexer.ID name when not (is_keyword name) ->
+        advance st;
+        let lhs =
+          if peek st = Lexer.LPAREN then begin
+            advance st;
+            let idx = parse_expr_list st in
+            expect st Lexer.RPAREN;
+            Larr (name, idx)
+          end
+          else Lvar name
+        in
+        expect st Lexer.EQUALS;
+        let rhs = parse_expr st in
+        Assign (lhs, rhs)
+    | t -> fail st (Printf.sprintf "expected statement, found %s" (Lexer.token_str t))
+  end
+
+and parse_goto_tail st : stmt =
+  match peek st with
+  | Lexer.INT _ -> Goto (expect_int st)
+  | Lexer.LPAREN ->
+      advance st;
+      let rec labels () =
+        let l = expect_int st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          l :: labels ()
+        end
+        else [ l ]
+      in
+      let ls = labels () in
+      expect st Lexer.RPAREN;
+      if peek st = Lexer.COMMA then advance st;
+      let e = parse_expr st in
+      Cgoto (ls, e)
+  | t -> fail st (Printf.sprintf "expected label after GOTO, found %s" (Lexer.token_str t))
+
+and parse_call st : stmt =
+  expect_kw st "CALL";
+  let name = expect_id st in
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    if peek st = Lexer.RPAREN then begin
+      advance st;
+      Call_stmt (name, [])
+    end
+    else begin
+      let args = parse_expr_list st in
+      expect st Lexer.RPAREN;
+      Call_stmt (name, args)
+    end
+  end
+  else Call_stmt (name, [])
+
+and parse_print st : stmt =
+  expect_kw st "PRINT";
+  expect st Lexer.STAR;
+  if peek st = Lexer.COMMA then begin
+    advance st;
+    Print (parse_expr_list st)
+  end
+  else Print []
+
+(* Is the upcoming line "END" / "ENDIF" / "ELSE" / "ENDDO" / "END IF" ... ?
+   Used as a block terminator test; tolerates a leading label (F77 allows
+   labels on END etc., though we only use them on real statements). *)
+let rec at_block_end st =
+  match peek st with
+  | Lexer.ID ("ENDIF" | "ENDDO" | "ELSE" | "ELSEIF" | "END") -> true
+  | Lexer.INT _ -> (
+      match peek2 st with
+      | Lexer.ID ("ENDIF" | "ENDDO" | "ELSE" | "ELSEIF" | "END") -> true
+      | _ -> false)
+  | Lexer.EOF -> true
+  | _ -> false
+
+(* Parse one (possibly labeled) statement. *)
+and parse_lstmt st : lstmt =
+  let label =
+    match peek st with
+    | Lexer.INT l when peek2 st <> Lexer.EQUALS ->
+        advance st;
+        Some l
+    | _ -> None
+  in
+  let stmt = parse_stmt st in
+  { label; stmt }
+
+and parse_stmt st : stmt =
+  if at_kw st "IF" then begin
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    if at_kw st "THEN" then begin
+      advance st;
+      end_of_stmt st;
+      parse_if_block st [ (cond, parse_block st) ]
+    end
+    else begin
+      let s = parse_simple_stmt st in
+      end_of_stmt st;
+      If_logical (cond, s)
+    end
+  end
+  else if at_kw st "DO" then parse_do st
+  else begin
+    let s = parse_simple_stmt st in
+    end_of_stmt st;
+    s
+  end
+
+(* after "IF (c) THEN <NL> block", positioned at ELSE/ELSEIF/ENDIF *)
+and parse_if_block st arms : stmt =
+  skip_newlines st;
+  if at_kw st "ELSEIF" || (at_kw st "ELSE" && peek2 st = Lexer.ID "IF") then begin
+    if at_kw st "ELSEIF" then advance st
+    else begin
+      advance st;
+      advance st
+    end;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect_kw st "THEN";
+    end_of_stmt st;
+    parse_if_block st ((cond, parse_block st) :: arms)
+  end
+  else if at_kw st "ELSE" then begin
+    advance st;
+    end_of_stmt st;
+    let blk = parse_block st in
+    skip_newlines st;
+    parse_endif st;
+    If_block (List.rev arms, Some blk)
+  end
+  else begin
+    parse_endif st;
+    If_block (List.rev arms, None)
+  end
+
+and parse_endif st =
+  if at_kw st "ENDIF" then advance st
+  else if at_kw st "END" && peek2 st = Lexer.ID "IF" then begin
+    advance st;
+    advance st
+  end
+  else fail st "expected ENDIF";
+  end_of_stmt st
+
+and parse_do st : stmt =
+  expect_kw st "DO";
+  let term_label =
+    match peek st with Lexer.INT _ -> Some (expect_int st) | _ -> None
+  in
+  let var = expect_id st in
+  expect st Lexer.EQUALS;
+  let lo = parse_expr st in
+  expect st Lexer.COMMA;
+  let hi = parse_expr st in
+  let step =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  end_of_stmt st;
+  let body =
+    match term_label with
+    | None ->
+        let blk = parse_block st in
+        skip_newlines st;
+        if at_kw st "ENDDO" then advance st
+        else if at_kw st "END" && peek2 st = Lexer.ID "DO" then begin
+          advance st;
+          advance st
+        end
+        else fail st "expected ENDDO";
+        end_of_stmt st;
+        blk
+    | Some target -> parse_labeled_do_body st target
+  in
+  Do { do_var = var; do_lo = lo; do_hi = hi; do_step = step; do_body = body }
+
+(* Body of "DO <label> ..." — statements up to and including the statement
+   labeled <label>.  A nested DO sharing the terminator consumes it and
+   signals through [consumed_label]. *)
+and parse_labeled_do_body st target : block =
+  skip_newlines st;
+  if peek st = Lexer.EOF then fail st (Printf.sprintf "missing DO terminator %d" target)
+  else begin
+    let ls = parse_lstmt st in
+    let terminated_here = ls.label = Some target in
+    let terminated_inner = st.consumed_label = Some target in
+    if terminated_here then begin
+      st.consumed_label <- Some target;
+      [ ls ]
+    end
+    else if terminated_inner then [ ls ] (* nested DO consumed our terminator *)
+    else ls :: parse_labeled_do_body st target
+  end
+
+and parse_block st : block =
+  skip_newlines st;
+  if at_block_end st then []
+  else begin
+    let ls = parse_lstmt st in
+    ls :: parse_block st
+  end
+
+(* ---------------- declarations & program units ---------------- *)
+
+let parse_typ st =
+  if at_kw st "INTEGER" then (advance st; Tint)
+  else if at_kw st "REAL" then (advance st; Treal)
+  else if at_kw st "LOGICAL" then (advance st; Tlogical)
+  else fail st "expected type"
+
+let at_typ st = at_kw st "INTEGER" || at_kw st "REAL" || at_kw st "LOGICAL"
+
+let parse_dims st =
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    let rec dims () =
+      let d =
+        match peek st with
+        | Lexer.STAR ->
+            advance st;
+            -1 (* assumed-size *)
+        | _ -> expect_int st
+      in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        d :: dims ()
+      end
+      else [ d ]
+    in
+    let ds = dims () in
+    expect st Lexer.RPAREN;
+    ds
+  end
+  else []
+
+let parse_decl st : decl option =
+  if at_typ st && peek2 st <> Lexer.ID "FUNCTION" then begin
+    let ty = parse_typ st in
+    let rec names () =
+      let n = expect_id st in
+      let dims = parse_dims st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        (n, dims) :: names ()
+      end
+      else [ (n, dims) ]
+    in
+    let ns = names () in
+    end_of_stmt st;
+    Some (Dvar (ty, ns))
+  end
+  else if at_kw st "PARAMETER" then begin
+    advance st;
+    expect st Lexer.LPAREN;
+    let rec pairs () =
+      let n = expect_id st in
+      expect st Lexer.EQUALS;
+      let e = parse_expr st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        (n, e) :: pairs ()
+      end
+      else [ (n, e) ]
+    in
+    let ps = pairs () in
+    expect st Lexer.RPAREN;
+    end_of_stmt st;
+    Some (Dparam ps)
+  end
+  else None
+
+let parse_params st =
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    if peek st = Lexer.RPAREN then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec ps () =
+        let p = expect_id st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          p :: ps ()
+        end
+        else [ p ]
+      in
+      let ps = ps () in
+      expect st Lexer.RPAREN;
+      ps
+    end
+  end
+  else []
+
+let parse_unit st : program_unit =
+  skip_newlines st;
+  let kind, name, params =
+    if at_kw st "PROGRAM" then begin
+      advance st;
+      let n = expect_id st in
+      end_of_stmt st;
+      (Program, n, [])
+    end
+    else if at_kw st "SUBROUTINE" then begin
+      advance st;
+      let n = expect_id st in
+      let ps = parse_params st in
+      end_of_stmt st;
+      (Subroutine, n, ps)
+    end
+    else if at_kw st "FUNCTION" then begin
+      advance st;
+      let n = expect_id st in
+      let ps = parse_params st in
+      end_of_stmt st;
+      (Function None, n, ps)
+    end
+    else if at_typ st && peek2 st = Lexer.ID "FUNCTION" then begin
+      let ty = parse_typ st in
+      expect_kw st "FUNCTION";
+      let n = expect_id st in
+      let ps = parse_params st in
+      end_of_stmt st;
+      (Function (Some ty), n, ps)
+    end
+    else fail st "expected PROGRAM, SUBROUTINE or FUNCTION"
+  in
+  skip_newlines st;
+  let decls = ref [] in
+  let rec decl_loop () =
+    skip_newlines st;
+    match parse_decl st with
+    | Some d ->
+        decls := d :: !decls;
+        decl_loop ()
+    | None -> ()
+  in
+  decl_loop ();
+  let body = parse_block st in
+  skip_newlines st;
+  (* plain END (not ENDIF/ENDDO, which at_block_end also accepts) *)
+  if at_kw st "END" && peek2 st <> Lexer.ID "IF" && peek2 st <> Lexer.ID "DO" then begin
+    advance st;
+    end_of_stmt st
+  end
+  else fail st "expected END";
+  { kind; name; params; decls = List.rev !decls; body }
+
+let parse_program (src : string) : program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; consumed_label = None } in
+  let units = ref [] in
+  skip_newlines st;
+  while peek st <> Lexer.EOF do
+    units := parse_unit st :: !units;
+    skip_newlines st
+  done;
+  List.rev !units

@@ -1,0 +1,15 @@
+(** Hand-written recursive-descent parser for MF77.
+
+    Handles statement labels, labeled DO loops (including several DO
+    loops sharing one terminator), logical vs. block IF, ELSE IF chains,
+    computed GOTO, GO TO spelling, END IF / END DO spellings, and
+    declarations (typed, dimensioned, PARAMETER).  Array references in
+    expressions parse as [Ast.Call] and are resolved by {!Sema}. *)
+
+(** Parse error: message and source line. *)
+exception Parse_error of string * int
+
+(** Parse a whole source file (one or more program units).
+    @raise Parse_error on syntax errors
+    @raise Lexer.Error on lexical errors *)
+val parse_program : string -> Ast.program

@@ -1,0 +1,148 @@
+(* Whole-program view: one lowered CFG per program unit, plus the call
+   graph.  The interprocedural estimator (rule 2 of §4) visits procedures
+   bottom-up over this call graph; recursion shows up as a non-singleton
+   SCC. *)
+
+open S89_graph
+open S89_cfg
+
+type proc = {
+  name : string;
+  kind : Ast.unit_kind;
+  params : string list;
+  env : Sema.env;
+  cfg : Ir.info Cfg.t;
+}
+
+type t = {
+  procs : proc array;
+  by_name : (string, proc) Hashtbl.t;
+  index : (string, int) Hashtbl.t;
+  main : string;
+  call_graph : unit Digraph.t; (* node i = procs.(i); edge caller -> callee *)
+}
+
+(* user-defined functions called inside an expression *)
+let rec expr_calls by_name acc (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Real _ | Bool _ | Var _ -> acc
+  | Index (_, idx) -> List.fold_left (expr_calls by_name) acc idx
+  | Call (f, args) ->
+      let acc = List.fold_left (expr_calls by_name) acc args in
+      if Hashtbl.mem by_name f then f :: acc else acc
+  | Unop (_, e) -> expr_calls by_name acc e
+  | Binop (_, a, b) -> expr_calls by_name (expr_calls by_name acc a) b
+
+(* all callees of a CFG node (subroutine call and/or functions in exprs) *)
+let node_callees by_name (info : Ir.info) =
+  let acc =
+    match info.ir with
+    | Ir.Call (name, _) when Hashtbl.mem by_name name -> [ name ]
+    | _ -> []
+  in
+  List.fold_left (expr_calls by_name) acc (Ir.exprs_of info.ir)
+
+let callees_of_proc by_name (p : proc) =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Cfg.iter_nodes
+    (fun n ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.replace seen c ();
+            acc := c :: !acc
+          end)
+        (node_callees by_name (Cfg.info p.cfg n)))
+    p.cfg;
+  List.rev !acc
+
+let of_sema (penv : Sema.program_env) : t =
+  let procs =
+    List.map
+      (fun (env : Sema.env) ->
+        let u = env.Sema.unit_ in
+        {
+          name = u.name;
+          kind = u.kind;
+          params = u.params;
+          env;
+          cfg = Lower.lower_unit env;
+        })
+      penv.Sema.units
+    |> Array.of_list
+  in
+  let by_name = Hashtbl.create 8 and index = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      Hashtbl.replace by_name p.name p;
+      Hashtbl.replace index p.name i)
+    procs;
+  let call_graph = Digraph.create () in
+  ignore (Digraph.add_nodes call_graph (Array.length procs));
+  Array.iteri
+    (fun i p ->
+      List.iter
+        (fun callee ->
+          let j = Hashtbl.find index callee in
+          if not (Digraph.has_edge call_graph ~src:i ~dst:j) then
+            ignore (Digraph.add_edge call_graph ~src:i ~dst:j ~label:()))
+        (callees_of_proc by_name p))
+    procs;
+  { procs; by_name; index; main = penv.Sema.main; call_graph }
+
+let of_source src = of_sema (Sema.parse_and_analyze src)
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Program.find: unknown unit %s" name)
+
+let main_proc t = find t t.main
+
+let procs t = Array.to_list t.procs
+
+let callees t (p : proc) =
+  let i = Hashtbl.find t.index p.name in
+  List.map (fun j -> t.procs.(j).name) (Digraph.succs t.call_graph i)
+
+(* SCCs of the call graph, callees-first; singletons without self loops are
+   non-recursive. *)
+let sccs t =
+  List.map (fun comp -> List.map (fun i -> t.procs.(i)) comp) (Topo.scc t.call_graph)
+
+let is_recursive t =
+  List.exists
+    (fun comp ->
+      match comp with
+      | [ i ] -> Digraph.has_edge t.call_graph ~src:i ~dst:i
+      | _ -> true)
+    (Topo.scc t.call_graph)
+
+(* Procedures in bottom-up call-graph order (callees before callers).
+   Recursive programs still get an order (SCC members in arbitrary relative
+   order); the estimator decides how to handle them. *)
+let bottom_up t = List.concat (sccs t)
+
+(* Rebuild the program with transformed CFGs (used by the optimizer).
+   The call graph is recomputed in case calls were removed. *)
+let map_cfgs t f =
+  let procs = Array.map (fun p -> { p with cfg = f p }) t.procs in
+  let by_name = Hashtbl.create 8 and index = Hashtbl.create 8 in
+  Array.iteri
+    (fun i p ->
+      Hashtbl.replace by_name p.name p;
+      Hashtbl.replace index p.name i)
+    procs;
+  let call_graph = Digraph.create () in
+  ignore (Digraph.add_nodes call_graph (Array.length procs));
+  Array.iteri
+    (fun i p ->
+      List.iter
+        (fun callee ->
+          let j = Hashtbl.find index callee in
+          if not (Digraph.has_edge call_graph ~src:i ~dst:j) then
+            ignore (Digraph.add_edge call_graph ~src:i ~dst:j ~label:()))
+        (callees_of_proc by_name p))
+    procs;
+  { procs; by_name; index; main = t.main; call_graph }

@@ -1,0 +1,33 @@
+(** Semantic analysis for MF77: symbol tables (declared/implicit types,
+    array dims, PARAMETER constants), resolution of parsed [Call] nodes
+    into array references, PARAMETER substitution and folding, label and
+    arity checking, light type checking. *)
+
+type var_kind =
+  | Scalar of Ast.typ
+  | Array of Ast.typ * int list  (** dims; [-1] = assumed-size *)
+  | Const of Ast.expr  (** PARAMETER: a literal after folding *)
+
+(** One analyzed unit: the rewritten body plus its symbol table. *)
+type env = {
+  unit_ : Ast.program_unit;
+  vars : (string, var_kind) Hashtbl.t;
+      (** declared names only; undeclared names type implicitly *)
+  result_var : string option;  (** for FUNCTIONs: the unit name *)
+  labels : (int, unit) Hashtbl.t;
+}
+
+type program_env = {
+  units : env list;
+  by_name : (string, env) Hashtbl.t;
+  main : string;  (** the unique PROGRAM unit *)
+}
+
+exception Error of string
+
+(** Analyze a parsed program.
+    @raise Error on any semantic violation *)
+val analyze : Ast.program -> program_env
+
+(** Parse + analyze in one step. *)
+val parse_and_analyze : string -> program_env

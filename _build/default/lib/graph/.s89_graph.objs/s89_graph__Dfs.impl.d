@@ -1,0 +1,1 @@
+lib/graph/dfs.ml: Array Digraph List

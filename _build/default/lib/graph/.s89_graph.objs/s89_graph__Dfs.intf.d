@@ -1,0 +1,1 @@
+lib/graph/dfs.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/dominator.ml: Array Dfs Digraph List

@@ -1,0 +1,1 @@
+lib/graph/interval_deriv.ml: Array Dfs Digraph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/graph/interval_deriv.mli: Digraph Hashtbl

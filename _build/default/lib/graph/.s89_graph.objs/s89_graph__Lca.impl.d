@@ -1,0 +1,1 @@
+lib/graph/lca.ml: Array

@@ -1,0 +1,1 @@
+lib/graph/node_split.ml: Digraph Hashtbl List Reducibility Topo

@@ -1,0 +1,1 @@
+lib/graph/postdom.mli: Digraph

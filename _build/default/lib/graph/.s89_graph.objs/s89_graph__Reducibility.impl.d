@@ -1,0 +1,1 @@
+lib/graph/reducibility.ml: Dfs Digraph Dominator List Topo

@@ -1,0 +1,110 @@
+(* Depth-first traversal, numbering and edge classification.
+
+   Reverse postorder drives the dominator fixpoint and the FCDG back-edge
+   test; the entry/exit interval numbering gives O(1) ancestor queries for
+   the reducibility test and back-edge classification. *)
+
+type numbering = {
+  order : int array; (* nodes in DFS preorder (only the visited prefix) *)
+  visited : bool array;
+  pre : int array; (* preorder index, -1 if unreachable *)
+  post : int array; (* postorder index, -1 if unreachable *)
+  entry : int array; (* DFS interval entry time *)
+  exit_ : int array; (* DFS interval exit time *)
+  parent : int array; (* DFS tree parent, -1 for root/unreachable *)
+  count : int; (* number of reachable nodes *)
+}
+
+type edge_kind = Tree | Back | Forward | Cross
+
+(* Iterative DFS (explicit stack) so that deep CFGs cannot blow the OCaml
+   stack.  Successors are visited in adjacency order. *)
+let number g ~root =
+  let n = Digraph.num_nodes g in
+  let visited = Array.make n false in
+  let pre = Array.make n (-1) in
+  let post = Array.make n (-1) in
+  let entry = Array.make n (-1) in
+  let exit_ = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let pre_ctr = ref 0 and post_ctr = ref 0 and clock = ref 0 in
+  (* stack holds (node, remaining successor list) *)
+  let stack = ref [] in
+  let enter u p =
+    visited.(u) <- true;
+    parent.(u) <- p;
+    pre.(u) <- !pre_ctr;
+    order.(!pre_ctr) <- u;
+    incr pre_ctr;
+    entry.(u) <- !clock;
+    incr clock;
+    stack := (u, Digraph.succs g u) :: !stack
+  in
+  enter root (-1);
+  while !stack <> [] do
+    match !stack with
+    | [] -> assert false
+    | (u, ss) :: rest -> (
+        match ss with
+        | [] ->
+            post.(u) <- !post_ctr;
+            incr post_ctr;
+            exit_.(u) <- !clock;
+            incr clock;
+            stack := rest
+        | v :: ss' ->
+            stack := (u, ss') :: rest;
+            if not visited.(v) then enter v u)
+  done;
+  { order; visited; pre; post; entry; exit_; parent; count = !pre_ctr }
+
+let reachable num n = num.visited.(n)
+
+(* [is_ancestor num u v]: u is an ancestor of v in the DFS tree (reflexive). *)
+let is_ancestor num u v =
+  num.visited.(u) && num.visited.(v)
+  && num.entry.(u) <= num.entry.(v)
+  && num.exit_.(v) <= num.exit_.(u)
+
+let classify num (e : 'l Digraph.edge) =
+  let u = e.src and v = e.dst in
+  if (not num.visited.(u)) || not num.visited.(v) then
+    invalid_arg "Dfs.classify: edge touches unreachable node";
+  (* Self loops and ancestors are Back; among descendant edges, parallel
+     copies of the tree edge also report Tree (the distinction is irrelevant
+     to every client, which only cares about Back). *)
+  if is_ancestor num v u then Back
+  else if is_ancestor num u v then if num.parent.(v) = u then Tree else Forward
+  else Cross
+
+let postorder g ~root =
+  let num = number g ~root in
+  let out = Array.make num.count (-1) in
+  for i = 0 to Digraph.num_nodes g - 1 do
+    if num.visited.(i) then out.(num.post.(i)) <- i
+  done;
+  out
+
+let rev_postorder g ~root =
+  let po = postorder g ~root in
+  let n = Array.length po in
+  Array.init n (fun i -> po.(n - 1 - i))
+
+(* Reverse-postorder index per node; unreachable nodes get max_int so they
+   sort last and never look like ancestors. *)
+let rpo_index g ~root =
+  let rpo = rev_postorder g ~root in
+  let idx = Array.make (Digraph.num_nodes g) max_int in
+  Array.iteri (fun i n -> idx.(n) <- i) rpo;
+  idx
+
+let back_edges g ~root =
+  let num = number g ~root in
+  Digraph.fold_edges
+    (fun acc e ->
+      if num.visited.(e.Digraph.src) && num.visited.(e.dst) && classify num e = Back
+      then e :: acc
+      else acc)
+    [] g
+  |> List.rev

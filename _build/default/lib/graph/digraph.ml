@@ -1,0 +1,112 @@
+(* Directed labelled multigraphs over dense integer node ids.
+
+   This is the common substrate for every analysis in the library: control
+   flow graphs, control dependence graphs, call graphs.  Nodes are integers
+   [0 .. num_nodes-1] allocated by [add_node]; parallel edges with distinct
+   (or even equal) labels are permitted, as required by Definition 1 of the
+   paper (a CFG "is in general a multi-graph"). *)
+
+type 'l edge = { src : int; dst : int; label : 'l }
+
+type 'l t = {
+  succs : 'l edge list Vec.t; (* out-edges, most recently added first *)
+  preds : 'l edge list Vec.t; (* in-edges *)
+}
+
+let create () = { succs = Vec.create ~dummy:[]; preds = Vec.create ~dummy:[] }
+
+let num_nodes g = Vec.length g.succs
+
+let add_node g =
+  let id = Vec.length g.succs in
+  Vec.push g.succs [];
+  Vec.push g.preds [];
+  id
+
+let add_nodes g n = List.init n (fun _ -> add_node g)
+
+let mem_node g n = n >= 0 && n < num_nodes g
+
+let check_node g n =
+  if not (mem_node g n) then
+    invalid_arg (Printf.sprintf "Digraph: unknown node %d" n)
+
+let add_edge g ~src ~dst ~label =
+  check_node g src;
+  check_node g dst;
+  let e = { src; dst; label } in
+  Vec.set g.succs src (e :: Vec.get g.succs src);
+  Vec.set g.preds dst (e :: Vec.get g.preds dst);
+  e
+
+(* Edges are compared structurally; removing deletes one occurrence from each
+   adjacency list. *)
+let remove_edge g (e : 'l edge) =
+  let rec remove_one = function
+    | [] -> raise Not_found
+    | x :: rest -> if x = e then rest else x :: remove_one rest
+  in
+  Vec.set g.succs e.src (remove_one (Vec.get g.succs e.src));
+  Vec.set g.preds e.dst (remove_one (Vec.get g.preds e.dst))
+
+let succ_edges g n =
+  check_node g n;
+  List.rev (Vec.get g.succs n)
+
+let pred_edges g n =
+  check_node g n;
+  List.rev (Vec.get g.preds n)
+
+let succs g n = List.map (fun e -> e.dst) (succ_edges g n)
+let preds g n = List.map (fun e -> e.src) (pred_edges g n)
+
+let out_degree g n = List.length (Vec.get g.succs n)
+let in_degree g n = List.length (Vec.get g.preds n)
+
+let iter_nodes f g =
+  for n = 0 to num_nodes g - 1 do
+    f n
+  done
+
+let iter_edges f g = iter_nodes (fun n -> List.iter f (succ_edges g n)) g
+
+let fold_edges f init g =
+  let acc = ref init in
+  iter_edges (fun e -> acc := f !acc e) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun acc e -> e :: acc) [] g)
+
+let num_edges g = fold_edges (fun acc _ -> acc + 1) 0 g
+
+let find_edges g ~src ~dst =
+  List.filter (fun e -> e.dst = dst) (succ_edges g src)
+
+let has_edge g ~src ~dst = find_edges g ~src ~dst <> []
+
+(* A reversed copy: every edge (u,v,l) becomes (v,u,l).  Postdominators are
+   dominators of the reverse graph, so this is the workhorse of Postdom. *)
+let reverse g =
+  let r = create () in
+  ignore (add_nodes r (num_nodes g));
+  iter_edges (fun e -> ignore (add_edge r ~src:e.dst ~dst:e.src ~label:e.label)) g;
+  r
+
+let copy g =
+  let r = create () in
+  ignore (add_nodes r (num_nodes g));
+  iter_edges (fun e -> ignore (add_edge r ~src:e.src ~dst:e.dst ~label:e.label)) g;
+  r
+
+let map_labels f g =
+  let r = create () in
+  ignore (add_nodes r (num_nodes g));
+  iter_edges (fun e -> ignore (add_edge r ~src:e.src ~dst:e.dst ~label:(f e))) g;
+  r
+
+let pp ?(pp_label = fun fmt _ -> Fmt.string fmt "") fmt g =
+  Fmt.pf fmt "@[<v>digraph with %d nodes, %d edges" (num_nodes g) (num_edges g);
+  iter_edges
+    (fun e -> Fmt.pf fmt "@,  %d -> %d %a" e.src e.dst pp_label e.label)
+    g;
+  Fmt.pf fmt "@]"

@@ -1,0 +1,73 @@
+(** Directed labelled multigraphs over dense integer node ids.
+
+    Nodes are integers [0 .. num_nodes-1] allocated by {!add_node}.  Parallel
+    edges are permitted, as required by Definition 1 of the paper ("CFG is in
+    general a multi-graph"). *)
+
+(** A labelled edge.  Edges are plain data and compare structurally. *)
+type 'l edge = { src : int; dst : int; label : 'l }
+
+(** A mutable directed multigraph with edge labels of type ['l]. *)
+type 'l t
+
+(** A fresh empty graph. *)
+val create : unit -> 'l t
+
+(** Number of allocated nodes. *)
+val num_nodes : 'l t -> int
+
+(** Allocate a fresh node and return its id. *)
+val add_node : 'l t -> int
+
+(** [add_nodes g n] allocates [n] fresh nodes and returns their ids in order. *)
+val add_nodes : 'l t -> int -> int list
+
+(** [mem_node g n] is true when [n] is a valid node id of [g]. *)
+val mem_node : 'l t -> int -> bool
+
+(** Insert an edge and return it.  Raises [Invalid_argument] on unknown ids. *)
+val add_edge : 'l t -> src:int -> dst:int -> label:'l -> 'l edge
+
+(** Remove one occurrence of a structurally equal edge.
+    Raises [Not_found] if absent. *)
+val remove_edge : 'l t -> 'l edge -> unit
+
+(** Out-edges of a node, in insertion order. *)
+val succ_edges : 'l t -> int -> 'l edge list
+
+(** In-edges of a node, in insertion order. *)
+val pred_edges : 'l t -> int -> 'l edge list
+
+(** Successor node ids (with multiplicity), in insertion order. *)
+val succs : 'l t -> int -> int list
+
+(** Predecessor node ids (with multiplicity), in insertion order. *)
+val preds : 'l t -> int -> int list
+
+val out_degree : 'l t -> int -> int
+val in_degree : 'l t -> int -> int
+val iter_nodes : (int -> unit) -> 'l t -> unit
+val iter_edges : ('l edge -> unit) -> 'l t -> unit
+val fold_edges : ('acc -> 'l edge -> 'acc) -> 'acc -> 'l t -> 'acc
+
+(** All edges, grouped by source node in insertion order. *)
+val edges : 'l t -> 'l edge list
+
+val num_edges : 'l t -> int
+
+(** All edges from [src] to [dst]. *)
+val find_edges : 'l t -> src:int -> dst:int -> 'l edge list
+
+val has_edge : 'l t -> src:int -> dst:int -> bool
+
+(** Reversed copy: every edge [(u,v,l)] becomes [(v,u,l)]. *)
+val reverse : 'l t -> 'l t
+
+(** Structure-preserving copy. *)
+val copy : 'l t -> 'l t
+
+(** Copy with labels recomputed from each edge. *)
+val map_labels : ('l edge -> 'm) -> 'l t -> 'm t
+
+(** Debug printer. *)
+val pp : ?pp_label:(Format.formatter -> 'l -> unit) -> Format.formatter -> 'l t -> unit

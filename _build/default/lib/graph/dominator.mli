@@ -1,0 +1,29 @@
+(** Dominator trees (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Works on arbitrary flowgraphs.  Nodes unreachable from the root are
+    reported unreachable and dominate nothing. *)
+
+type t
+
+(** Compute the dominator tree of the nodes reachable from [root]. *)
+val compute : 'l Digraph.t -> root:int -> t
+
+(** Immediate dominator; [None] for the root and unreachable nodes. *)
+val idom : t -> int -> int option
+
+(** Is the node reachable from the root? *)
+val reachable : t -> int -> bool
+
+(** Depth in the dominator tree (root = 0); [-1] if unreachable. *)
+val depth : t -> int -> int
+
+(** Dominator-tree children. *)
+val children : t -> int -> int list
+
+(** [dominates t u v] — reflexive dominance of [v] by [u]. *)
+val dominates : t -> int -> int -> bool
+
+val strictly_dominates : t -> int -> int -> bool
+
+(** Dominators of [v] from the root down to [v] itself ([] if unreachable). *)
+val dominators : t -> int -> int list

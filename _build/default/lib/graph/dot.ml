@@ -1,0 +1,42 @@
+(* Graphviz DOT emission for any Digraph, used by the CLI to dump CFG /
+   ECFG / FCDG renderings comparable to the paper's Figures 1–3. *)
+
+type attrs = (string * string) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_attrs fmt (attrs : attrs) =
+  match attrs with
+  | [] -> ()
+  | _ ->
+      Fmt.pf fmt " [%a]"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun fmt (k, v) ->
+             Fmt.pf fmt "%s=\"%s\"" k (escape v)))
+        attrs
+
+let emit ?(name = "g") ?(node_attrs = fun _ -> []) ?(edge_attrs = fun _ -> [])
+    ?(skip_node = fun _ -> false) fmt g =
+  Fmt.pf fmt "@[<v>digraph %s {@," name;
+  Fmt.pf fmt "  node [shape=box, fontname=\"monospace\"];@,";
+  Digraph.iter_nodes
+    (fun v ->
+      if not (skip_node v) then Fmt.pf fmt "  n%d%a;@," v pp_attrs (node_attrs v))
+    g;
+  Digraph.iter_edges
+    (fun e ->
+      if not (skip_node e.Digraph.src || skip_node e.dst) then
+        Fmt.pf fmt "  n%d -> n%d%a;@," e.src e.dst pp_attrs (edge_attrs e))
+    g;
+  Fmt.pf fmt "}@]@."
+
+let to_string ?name ?node_attrs ?edge_attrs ?skip_node g =
+  Fmt.str "%a" (fun fmt g -> emit ?name ?node_attrs ?edge_attrs ?skip_node fmt g) g

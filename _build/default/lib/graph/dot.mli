@@ -1,0 +1,24 @@
+(** Graphviz DOT emission for {!Digraph}. *)
+
+(** DOT attribute list, e.g. [["label", "x"; "style", "dashed"]]. *)
+type attrs = (string * string) list
+
+(** Emit a digraph in DOT syntax.  [node_attrs]/[edge_attrs] decorate nodes
+    and edges; [skip_node] suppresses nodes (and their incident edges). *)
+val emit :
+  ?name:string ->
+  ?node_attrs:(int -> attrs) ->
+  ?edge_attrs:('l Digraph.edge -> attrs) ->
+  ?skip_node:(int -> bool) ->
+  Format.formatter ->
+  'l Digraph.t ->
+  unit
+
+(** {!emit} to a string. *)
+val to_string :
+  ?name:string ->
+  ?node_attrs:(int -> attrs) ->
+  ?edge_attrs:('l Digraph.edge -> attrs) ->
+  ?skip_node:(int -> bool) ->
+  'l Digraph.t ->
+  string

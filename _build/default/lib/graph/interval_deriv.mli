@@ -1,0 +1,36 @@
+(** Allen–Cocke interval analysis: first-order intervals and the derived
+    sequence of flowgraphs (the paper's [Bur87, SS79] citations for
+    "interval structure").  {!Intervals} realizes the paper's HDR maps via
+    the equivalent natural-loop forest; this module provides the classic
+    region partition and the derived-sequence reducibility test, and the
+    test suite checks their agreement. *)
+
+(** A first-order interval partition. *)
+type partition = {
+  headers : int list;  (** interval headers, in discovery order *)
+  interval_of : int array;  (** node → its interval's header; -1 unreachable *)
+  members : (int, int list) Hashtbl.t;  (** header → members, head first *)
+}
+
+(** First-order intervals of the nodes reachable from [root]. *)
+val first_order : 'l Digraph.t -> root:int -> partition
+
+(** One derivation step: collapse each interval to a node.  Returns the
+    derived graph, its root, and per derived node the header it stands
+    for. *)
+val derive : 'l Digraph.t -> root:int -> unit Digraph.t * int * int array
+
+(** One element of the derived sequence. *)
+type level = {
+  graph : unit Digraph.t;
+  root : int;
+  represents : int list array;  (** derived node → original nodes *)
+}
+
+(** The derived sequence, level 0 (the graph itself) down to the limit
+    (where derivation stops making progress). *)
+val derived_sequence : ?max_levels:int -> 'l Digraph.t -> root:int -> level list
+
+(** Reducible iff the limit flowgraph is a single node — the classic
+    characterization, equivalent to {!Reducibility.is_reducible}. *)
+val is_reducible : 'l Digraph.t -> root:int -> bool

@@ -1,0 +1,51 @@
+(* Least common ancestors in a rooted forest given as a parent array.
+
+   Used for HDR_LCA over the interval-header tree (paper §2).  Trees there
+   are tiny (one node per loop header), so a depth-balanced walk is simpler
+   and plenty fast; no need for binary lifting. *)
+
+type t = {
+  parent : int array; (* -1 for roots *)
+  depth : int array;
+}
+
+let of_parents parent =
+  let n = Array.length parent in
+  let depth = Array.make n (-1) in
+  let rec depth_of v =
+    if depth.(v) >= 0 then depth.(v)
+    else begin
+      let d = if parent.(v) < 0 then 0 else 1 + depth_of parent.(v) in
+      depth.(v) <- d;
+      d
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (depth_of v)
+  done;
+  { parent; depth }
+
+let depth t v = t.depth.(v)
+
+let parent t v = if t.parent.(v) < 0 then None else Some t.parent.(v)
+
+let lca t u v =
+  let rec lift x d = if t.depth.(x) > d then lift t.parent.(x) d else x in
+  let u = lift u t.depth.(v) and v = lift v t.depth.(u) in
+  let rec meet u v =
+    if u = v then u
+    else if t.parent.(u) < 0 || t.parent.(v) < 0 then raise Not_found
+    else meet t.parent.(u) t.parent.(v)
+  in
+  meet u v
+
+let lca_opt t u v = try Some (lca t u v) with Not_found -> None
+
+let is_ancestor t u v =
+  let rec lift x =
+    if t.depth.(x) < t.depth.(u) then false
+    else if x = u then true
+    else if t.parent.(x) < 0 then false
+    else lift t.parent.(x)
+  in
+  lift v

@@ -1,0 +1,22 @@
+(** Least common ancestors in a rooted forest given as a parent array. *)
+
+type t
+
+(** [of_parents parent] builds the structure; [parent.(v) = -1] marks roots.
+    The array must describe a forest (no cycles). *)
+val of_parents : int array -> t
+
+(** Depth of a node (roots have depth 0). *)
+val depth : t -> int -> int
+
+(** Parent of a node, [None] for roots. *)
+val parent : t -> int -> int option
+
+(** Least common ancestor.  Raises [Not_found] if the nodes are in
+    different trees of the forest. *)
+val lca : t -> int -> int -> int
+
+val lca_opt : t -> int -> int -> int option
+
+(** [is_ancestor t u v] — [u] is a (reflexive) ancestor of [v]. *)
+val is_ancestor : t -> int -> int -> bool

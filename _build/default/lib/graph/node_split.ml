@@ -1,0 +1,127 @@
+(* Node splitting: transform an irreducible flowgraph into an equivalent
+   reducible one by duplicating nodes ("a standard approach", ASU §10.4,
+   cited by the paper when it assumes reducibility).
+
+   Method: an irreducible core is a nontrivial SCC of the graph with
+   natural back edges removed (Reducibility.forward_part).  Take its
+   closure under all cycles (the enclosing SCC of the full graph) as the
+   region, find the region's entry nodes (entered from outside; the root
+   counts as externally entered), keep the first entry with the original
+   region, and give every other entry its own complete copy of the region:
+   outside edges into entry e_j are redirected to e_j's copy, internal
+   edges stay within each copy, edges leaving the region are duplicated
+   unchanged.  Every copy is then a single-entry region, so its entry
+   dominates it and the back edges to the entry become natural; any
+   remaining irreducible core lies strictly inside a copy minus its entry,
+   which is strictly smaller — hence termination, by induction on core
+   size (with the textbook exponential worst case, guarded by fuel). *)
+
+exception Gave_up of int (* nodes at the time we stopped *)
+
+let make_reducible g ~root ~on_copy =
+  let fuel = ref (10 * Digraph.num_nodes g + 100) in
+  let splits = ref [] in
+  let rec go () =
+    let fwd = Reducibility.forward_part g ~root in
+    let cores = List.filter (fun comp -> List.length comp > 1) (Topo.scc fwd) in
+    match cores with
+    | [] -> () (* every remaining cycle is a natural loop: reducible *)
+    | core :: _ ->
+        decr fuel;
+        if !fuel <= 0 then raise (Gave_up (Digraph.num_nodes g));
+        (* Close the core under all cycles of g: natural sub-loops woven
+           through it must be duplicated along with it.  If the closure has
+           a single entry, that entry dominates it and the irreducibility
+           is strictly inside: shrink the region by dropping the entry and
+           re-closing around the core, until at least two entries remain
+           (the bare core always has two or more). *)
+        let witness = List.hd core in
+        let entries_of region =
+          let in_region = Hashtbl.create 16 in
+          List.iter (fun n -> Hashtbl.replace in_region n ()) region;
+          ( in_region,
+            List.filter
+              (fun v ->
+                v = root
+                || List.exists
+                     (fun p -> not (Hashtbl.mem in_region p))
+                     (Digraph.preds g v))
+              region )
+        in
+        (* SCC containing [witness] in the subgraph induced on [nodes] *)
+        let induced_scc nodes =
+          let keep = Hashtbl.create 16 in
+          List.iter (fun n -> Hashtbl.replace keep n ()) nodes;
+          let sub = Digraph.create () in
+          ignore (Digraph.add_nodes sub (Digraph.num_nodes g));
+          Digraph.iter_edges
+            (fun e ->
+              if Hashtbl.mem keep e.src && Hashtbl.mem keep e.dst then
+                ignore (Digraph.add_edge sub ~src:e.src ~dst:e.dst ~label:()))
+            g;
+          match List.find_opt (List.mem witness) (Topo.scc sub) with
+          | Some comp -> comp
+          | None -> [ witness ]
+        in
+        let rec narrow region =
+          match entries_of region with
+          | _, ([] | [ _ ]) when List.length region > List.length core ->
+              (* zero/one entry: drop the entries and re-close inward *)
+              let _, es = entries_of region in
+              let region' =
+                induced_scc (List.filter (fun v -> not (List.mem v es)) region)
+              in
+              if List.length region' < List.length region then narrow region'
+              else raise (Gave_up (Digraph.num_nodes g))
+          | in_region, entries -> (in_region, entries, region)
+        in
+        let all_nodes =
+          match List.find_opt (List.mem witness) (Topo.scc g) with
+          | Some comp -> comp
+          | None -> core
+        in
+        let in_region, entries, region = narrow all_nodes in
+        (match entries with
+        | [] | [ _ ] ->
+            (* cannot happen for a genuine irreducible core; bail out
+               rather than loop *)
+            raise (Gave_up (Digraph.num_nodes g))
+        | _keep :: dup_entries ->
+            List.iter
+              (fun entry ->
+                (* a full copy of the region for this entry *)
+                let clone = Hashtbl.create 16 in
+                List.iter
+                  (fun r ->
+                    let r' = Digraph.add_node g in
+                    on_copy ~orig:r ~copy:r';
+                    splits := (r, r') :: !splits;
+                    Hashtbl.replace clone r r')
+                  region;
+                List.iter
+                  (fun r ->
+                    let r' = Hashtbl.find clone r in
+                    List.iter
+                      (fun (e : _ Digraph.edge) ->
+                        let dst =
+                          match Hashtbl.find_opt clone e.dst with
+                          | Some d' -> d'
+                          | None -> e.dst
+                        in
+                        ignore (Digraph.add_edge g ~src:r' ~dst ~label:e.label))
+                      (Digraph.succ_edges g r))
+                  region;
+                (* outside edges entering at this entry now enter the copy *)
+                let entry' = Hashtbl.find clone entry in
+                List.iter
+                  (fun (e : _ Digraph.edge) ->
+                    if not (Hashtbl.mem in_region e.src) then begin
+                      Digraph.remove_edge g e;
+                      ignore (Digraph.add_edge g ~src:e.src ~dst:entry' ~label:e.label)
+                    end)
+                  (Digraph.pred_edges g entry))
+              dup_entries);
+        go ()
+  in
+  go ();
+  List.rev !splits

@@ -1,0 +1,14 @@
+(** Node splitting: make an irreducible flowgraph reducible by duplicating
+    nodes (ASU §10.4), preserving the language of node sequences. *)
+
+(** Raised when the fuel bound is exhausted (pathological inputs only);
+    carries the node count at the time of giving up. *)
+exception Gave_up of int
+
+(** [make_reducible g ~root ~on_copy] splits nodes in place until [g] is
+    reducible.  [on_copy ~orig ~copy] is called for every duplication so the
+    caller can clone node payloads.  Returns the list of [(orig, copy)]
+    pairs in the order the splits were performed ([[]] when the graph was
+    already reducible). *)
+val make_reducible :
+  'l Digraph.t -> root:int -> on_copy:(orig:int -> copy:int -> unit) -> (int * int) list

@@ -1,0 +1,58 @@
+(* Reducibility testing.
+
+   A flowgraph is reducible iff deleting every edge whose target dominates
+   its source (the natural-loop back edges) leaves an acyclic graph
+   (Aho–Sethi–Ullman §10.4, Hecht–Ullman).  The paper assumes reducible
+   CFGs and points at node splitting (see Node_split) for the rest. *)
+
+(* Edges whose target dominates their source, among reachable nodes. *)
+let natural_back_edges g ~root =
+  let dom = Dominator.compute g ~root in
+  Digraph.fold_edges
+    (fun acc e ->
+      if
+        Dominator.reachable dom e.Digraph.src
+        && Dominator.dominates dom e.dst e.src
+      then e :: acc
+      else acc)
+    [] g
+  |> List.rev
+
+(* The graph with natural back edges removed (labels erased). *)
+let forward_part g ~root =
+  let dom = Dominator.compute g ~root in
+  let fwd = Digraph.create () in
+  ignore (Digraph.add_nodes fwd (Digraph.num_nodes g));
+  Digraph.iter_edges
+    (fun e ->
+      if
+        Dominator.reachable dom e.Digraph.src
+        && Dominator.reachable dom e.dst
+        && not (Dominator.dominates dom e.dst e.src)
+      then ignore (Digraph.add_edge fwd ~src:e.src ~dst:e.dst ~label:()))
+    g;
+  fwd
+
+let is_reducible g ~root = Topo.is_acyclic (forward_part g ~root)
+
+(* Retreating edges of some DFS that are not natural back edges — the
+   witnesses of irreducibility that Node_split removes.  May be empty even
+   for an irreducible graph under an unlucky DFS order, in which case the
+   caller should consult [forward_part] cycles instead. *)
+let offending_edges g ~root =
+  let dom = Dominator.compute g ~root in
+  let num = Dfs.number g ~root in
+  Digraph.fold_edges
+    (fun acc e ->
+      if
+        Dfs.reachable num e.Digraph.src
+        && Dfs.reachable num e.dst
+        && Dfs.classify num e = Dfs.Back
+        && not (Dominator.dominates dom e.dst e.src)
+      then e :: acc
+      else acc)
+    [] g
+  |> List.rev
+
+let back_edges_if_reducible g ~root =
+  if is_reducible g ~root then Some (natural_back_edges g ~root) else None

@@ -1,0 +1,103 @@
+(* Topological sorting and strongly connected components.
+
+   Topological order drives the top-down FREQ pass and the bottom-up
+   TIME/VAR passes over the (acyclic) FCDG; Tarjan SCCs detect recursion in
+   the call graph. *)
+
+exception Cycle of int list
+
+(* Kahn's algorithm over the whole node set.  Nodes are emitted smallest-id
+   first among the ready set, which keeps the order deterministic. *)
+let sort g =
+  let n = Digraph.num_nodes g in
+  let indeg = Array.init n (fun v -> Digraph.in_degree g v) in
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := IS.add v !ready
+  done;
+  let out = ref [] and emitted = ref 0 in
+  while not (IS.is_empty !ready) do
+    let v = IS.min_elt !ready in
+    ready := IS.remove v !ready;
+    out := v :: !out;
+    incr emitted;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := IS.add w !ready)
+      (Digraph.succs g v)
+  done;
+  if !emitted < n then begin
+    let stuck = ref [] in
+    for v = n - 1 downto 0 do
+      if indeg.(v) > 0 then stuck := v :: !stuck
+    done;
+    raise (Cycle !stuck)
+  end;
+  Array.of_list (List.rev !out)
+
+let sort_opt g = try Some (sort g) with Cycle _ -> None
+
+let is_acyclic g = sort_opt g <> None
+
+(* Tarjan's SCC algorithm, iterative.  Components are returned in reverse
+   topological order of the condensation (callees before callers when run on
+   a call graph), which is exactly the order the interprocedural estimator
+   wants. *)
+let scc g =
+  let n = Digraph.num_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      (* work item: (node, remaining successors) *)
+      let work = ref [] in
+      let start v =
+        index.(v) <- !next_index;
+        lowlink.(v) <- !next_index;
+        incr next_index;
+        stack := v :: !stack;
+        on_stack.(v) <- true;
+        work := (v, Digraph.succs g v) :: !work
+      in
+      start root;
+      while !work <> [] do
+        match !work with
+        | [] -> assert false
+        | (v, ss) :: rest -> (
+            match ss with
+            | w :: ss' ->
+                work := (v, ss') :: rest;
+                if index.(w) = -1 then start w
+                else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                work := rest;
+                (match rest with
+                | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let rec popc acc =
+                    match !stack with
+                    | [] -> assert false
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        if w = v then w :: acc else popc (w :: acc)
+                  in
+                  comps := popc [] :: !comps
+                end)
+      done
+    end
+  done;
+  List.rev !comps
+
+let scc_map g =
+  let comps = scc g in
+  let id = Array.make (Digraph.num_nodes g) (-1) in
+  List.iteri (fun i comp -> List.iter (fun v -> id.(v) <- i) comp) comps;
+  (Array.of_list comps, id)

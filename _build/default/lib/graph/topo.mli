@@ -1,0 +1,19 @@
+(** Topological sorting and strongly connected components. *)
+
+(** Raised by {!sort} with the nodes still involved in cycles. *)
+exception Cycle of int list
+
+(** Deterministic topological order of all nodes (smallest id first among
+    ready nodes).  Raises {!Cycle} if the graph is cyclic. *)
+val sort : 'l Digraph.t -> int array
+
+val sort_opt : 'l Digraph.t -> int array option
+
+val is_acyclic : 'l Digraph.t -> bool
+
+(** Tarjan SCCs in reverse topological order of the condensation
+    (components with no outgoing inter-component edges come first). *)
+val scc : 'l Digraph.t -> int list list
+
+(** SCCs plus a node→component-index map. *)
+val scc_map : 'l Digraph.t -> int list array * int array

@@ -1,0 +1,1 @@
+lib/profiling/analysis.ml: Cfg Control_dep Ecfg Fcdg Hashtbl Intervals Label List S89_cdg S89_cfg S89_frontend S89_graph S89_vm

@@ -1,0 +1,1 @@
+lib/profiling/analysis.mli: Control_dep Ecfg Fcdg Hashtbl Label S89_cdg S89_cfg S89_frontend S89_graph S89_vm

@@ -1,0 +1,1 @@
+lib/profiling/blocks.ml: Array Cfg List S89_cfg S89_graph

@@ -1,0 +1,1 @@
+lib/profiling/blocks.mli: S89_cfg

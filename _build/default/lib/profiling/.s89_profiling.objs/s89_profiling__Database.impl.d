@@ -1,0 +1,1 @@
+lib/profiling/database.ml: Analysis Hashtbl Label List Printf S89_cfg String

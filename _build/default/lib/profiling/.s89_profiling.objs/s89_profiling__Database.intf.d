@@ -1,0 +1,1 @@
+lib/profiling/database.mli: Analysis Hashtbl

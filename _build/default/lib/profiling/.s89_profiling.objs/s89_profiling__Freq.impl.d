@@ -1,0 +1,1 @@
+lib/profiling/freq.ml: Analysis Array Fcdg Fmt Hashtbl Label List Printf S89_cdg S89_cfg S89_graph

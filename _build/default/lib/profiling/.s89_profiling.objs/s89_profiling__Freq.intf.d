@@ -1,0 +1,1 @@
+lib/profiling/freq.mli: Analysis Format Hashtbl S89_vm

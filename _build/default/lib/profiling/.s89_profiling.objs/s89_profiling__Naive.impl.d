@@ -1,0 +1,1 @@
+lib/profiling/naive.ml: Array Blocks Cfg Hashtbl Label List S89_cfg S89_frontend S89_graph S89_vm

@@ -1,0 +1,1 @@
+lib/profiling/naive.mli: Blocks S89_frontend S89_vm

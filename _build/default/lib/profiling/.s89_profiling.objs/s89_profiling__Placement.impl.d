@@ -1,0 +1,1 @@
+lib/profiling/placement.ml: Analysis Cfg Ecfg Fcdg Fmt Hashtbl Intervals Label List Logs Option S89_cdg S89_cfg S89_frontend S89_graph S89_vm

@@ -1,0 +1,1 @@
+lib/profiling/placement.mli: Analysis Format Hashtbl Label S89_cfg S89_frontend S89_vm

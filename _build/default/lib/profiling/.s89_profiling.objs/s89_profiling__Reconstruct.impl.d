@@ -1,0 +1,1 @@
+lib/profiling/reconstruct.ml: Analysis Array Fcdg Hashtbl List Placement S89_cdg S89_cfg S89_graph

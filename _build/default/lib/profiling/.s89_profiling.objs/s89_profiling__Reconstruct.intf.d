@@ -1,0 +1,1 @@
+lib/profiling/reconstruct.mli: Analysis Hashtbl Placement

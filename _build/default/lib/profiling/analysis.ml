@@ -1,0 +1,113 @@
+(* Per-procedure analysis bundle: ECFG + CDG + FCDG over the lowered CFG,
+   plus the classification of every FCDG control condition into the
+   physical measurement that realizes it.
+
+   Sites bridge the paper's analysis world (conditions live on ECFG nodes,
+   some of them synthetic) and the execution world (the VM runs the
+   original CFG):
+   - a condition of an original branch node is an original CFG edge;
+   - a preheader's body condition counts executions of the header node;
+   - START's condition counts procedure invocations;
+   - a RETURN/STOP node's U condition counts executions of that node
+     (its ECFG out-edge to STOP does not exist in the original CFG);
+   - pseudo conditions are never taken. *)
+
+module Ir = S89_frontend.Ir
+module Program = S89_frontend.Program
+open S89_cfg
+open S89_cdg
+
+type cond = int * Label.t
+
+type site =
+  | Edge_site of int * Label.t (* original CFG edge (src, label) *)
+  | Node_site of int (* executions of an original node *)
+  | Invocation_site (* procedure entry (START, U) *)
+  | Never (* pseudo conditions: always zero *)
+
+type t = {
+  proc : Program.proc;
+  ecfg : Ir.info Ecfg.t;
+  cdg : Control_dep.t;
+  fcdg : Fcdg.t;
+  conditions : cond list; (* all FCDG control conditions *)
+}
+
+let synthetic_info = { Ir.ir = Ir.Nop "SYNTH"; src_label = None }
+
+let of_proc (proc : Program.proc) : t =
+  let ecfg = Ecfg.extend ~empty:synthetic_info proc.Program.cfg in
+  let cdg = Control_dep.compute ecfg in
+  let fcdg = Fcdg.of_cdg cdg ecfg in
+  { proc; ecfg; cdg; fcdg; conditions = Fcdg.control_conditions fcdg }
+
+let of_program (prog : Program.t) : (string, t) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace tbl p.Program.name (of_proc p)) (Program.procs prog);
+  tbl
+
+let site_of_condition t ((u, l) : cond) : site =
+  if Label.is_pseudo l then Never
+  else if u = Ecfg.start t.ecfg then
+    if Label.equal l Label.U then Invocation_site else Never
+  else if Ecfg.is_preheader t.ecfg u then
+    if Label.equal l Ecfg.body_label then Node_site (Ecfg.header_of_preheader t.ecfg u)
+    else Never
+  else if Ecfg.is_original t.ecfg u then begin
+    (* the original CFG has the edge unless it was the implicit fall-to-STOP *)
+    if
+      List.exists
+        (fun (e : Label.t S89_graph.Digraph.edge) -> Label.equal e.label l)
+        (Cfg.succ_edges t.proc.Program.cfg u)
+    then Edge_site (u, l)
+    else Node_site u
+  end
+  else Never (* postexit/stop: no real conditions originate here *)
+
+(* The condition's TOTAL_FREQ from the VM's oracle counts — ground truth,
+   used by tests and by estimation straight from an uninstrumented run. *)
+let oracle_total (t : t) (vm : S89_vm.Interp.t) (c : cond) : int =
+  let name = t.proc.Program.name in
+  match site_of_condition t c with
+  | Never -> 0
+  | Invocation_site -> S89_vm.Interp.invocations vm name
+  | Node_site n -> S89_vm.Interp.node_execs vm name n
+  | Edge_site (n, l) -> S89_vm.Interp.edge_count vm name n l
+
+(* All conditions with their oracle totals. *)
+let oracle_totals t vm : (cond, int) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun c -> Hashtbl.replace tbl c (oracle_total t vm c)) t.conditions;
+  tbl
+
+(* interval headers whose loop is an exit-free DO loop: every control flow
+   into one of its postexits originates at the header itself — no branch
+   in the body exits the loop (§3, third optimization: "look for an edge
+   to a POSTEXIT node") *)
+let exit_free_do_headers t : int list =
+  let cfg = Ecfg.cfg t.ecfg in
+  List.filter
+    (fun h ->
+      (match (Cfg.info cfg h).Ir.ir with Ir.Do_test _ -> true | _ -> false)
+      && List.for_all
+           (fun pe ->
+             List.for_all
+               (fun (e : Label.t S89_graph.Digraph.edge) ->
+                 Label.is_pseudo e.label || e.src = h)
+               (Cfg.pred_edges cfg pe))
+           (Ecfg.postexits_of_header t.ecfg h))
+    (Ecfg.headers t.ecfg)
+
+let do_meta t h : Ir.do_meta option =
+  match (Cfg.info (Ecfg.cfg t.ecfg) h).Ir.ir with
+  | Ir.Do_test d -> Some d
+  | _ -> None
+
+(* Original-CFG entry edges of a loop: edges (u, h, l) from outside the
+   interval (these were redirected to the preheader in the ECFG). *)
+let entry_edges t h =
+  let iv = Ecfg.intervals t.ecfg in
+  let members = Intervals.members iv h in
+  List.filter
+    (fun (e : Label.t S89_graph.Digraph.edge) -> not (Intervals.IS.mem e.src members))
+    (Cfg.pred_edges t.proc.Program.cfg h)

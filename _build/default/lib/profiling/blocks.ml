@@ -1,0 +1,51 @@
+(* Basic-block structure recovered from a statement-level CFG.
+
+   The paper's naive profiling baseline maintains "one counter per basic
+   block"; our CFGs are statement-level, so blocks are maximal chains:
+   a node starts a block iff it is the entry, has in-degree ≠ 1, or its
+   unique predecessor branches. *)
+
+open S89_cfg
+
+type t = {
+  leader : int array; (* block leaders, in node order *)
+  block_of : int array; (* node -> index into leader *)
+  members : int list array; (* block -> nodes, in chain order *)
+}
+
+let compute (cfg : 'a Cfg.t) : t =
+  let g = Cfg.graph cfg in
+  let n = Cfg.num_nodes cfg in
+  let is_leader v =
+    v = Cfg.entry cfg
+    || S89_graph.Digraph.in_degree g v <> 1
+    ||
+    match S89_graph.Digraph.preds g v with
+    | [ p ] -> S89_graph.Digraph.out_degree g p <> 1
+    | _ -> true
+  in
+  let leaders = ref [] in
+  for v = n - 1 downto 0 do
+    if is_leader v then leaders := v :: !leaders
+  done;
+  let leader = Array.of_list !leaders in
+  let block_of = Array.make n (-1) in
+  let members = Array.make (Array.length leader) [] in
+  Array.iteri
+    (fun b l ->
+      (* follow the chain until the next leader *)
+      let rec follow v acc =
+        block_of.(v) <- b;
+        let acc = v :: acc in
+        match S89_graph.Digraph.succs g v with
+        | [ s ] when not (is_leader s) -> follow s acc
+        | _ -> List.rev acc
+      in
+      members.(b) <- follow l [])
+    leader;
+  { leader; block_of; members }
+
+let num_blocks t = Array.length t.leader
+let leader t b = t.leader.(b)
+let block_of t v = t.block_of.(v)
+let members t b = t.members.(b)

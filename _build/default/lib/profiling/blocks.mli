@@ -1,0 +1,19 @@
+(** Basic blocks recovered from a statement-level CFG (a node leads a
+    block iff it is the entry, has in-degree ≠ 1, or its unique
+    predecessor branches).  Used by the naive profiling baseline. *)
+
+type t
+
+val compute : 'a S89_cfg.Cfg.t -> t
+
+(** Number of blocks. *)
+val num_blocks : t -> int
+
+(** The block's first node. *)
+val leader : t -> int -> int
+
+(** The block containing a node. *)
+val block_of : t -> int -> int
+
+(** The block's nodes, in chain order (leader first). *)
+val members : t -> int -> int list

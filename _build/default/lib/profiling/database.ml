@@ -1,0 +1,100 @@
+(* Program database (the PTRAN-style store of §1/§3): accumulates
+   TOTAL_FREQ values over multiple executions — "it is a good idea to
+   accumulate the TOTAL_FREQ values (as a sum ...) from different program
+   executions in the program database, so as to get a more representative
+   set of frequency values."
+
+   On-disk format: a line-oriented text file,
+       run-count N
+       total <proc> <node> <label> <sum>
+   which keeps the database human-inspectable and trivially mergeable. *)
+
+open S89_cfg
+
+type cond = Analysis.cond
+
+type t = {
+  mutable runs : int;
+  sums : (string * cond, int) Hashtbl.t;
+}
+
+let create () = { runs = 0; sums = Hashtbl.create 64 }
+
+let runs t = t.runs
+
+(* fold one run's per-procedure totals into the database *)
+let accumulate t (per_proc : (string, (cond, int) Hashtbl.t) Hashtbl.t) =
+  t.runs <- t.runs + 1;
+  Hashtbl.iter
+    (fun proc tbl ->
+      Hashtbl.iter
+        (fun cond v ->
+          let key = (proc, cond) in
+          let prev = match Hashtbl.find_opt t.sums key with Some p -> p | None -> 0 in
+          Hashtbl.replace t.sums key (prev + v))
+        tbl)
+    per_proc
+
+(* accumulated totals of one procedure, for feeding Freq.compute; since
+   FREQ only uses ratios, sums over runs work directly (§3) *)
+let proc_totals t proc : (cond, int) Hashtbl.t =
+  let out = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (p, cond) v -> if p = proc then Hashtbl.replace out cond v)
+    t.sums;
+  out
+
+let merge ~into:(a : t) (b : t) =
+  a.runs <- a.runs + b.runs;
+  Hashtbl.iter
+    (fun key v ->
+      let prev = match Hashtbl.find_opt a.sums key with Some p -> p | None -> 0 in
+      Hashtbl.replace a.sums key (prev + v))
+    b.sums
+
+(* ---------------- (de)serialization ---------------- *)
+
+let label_to_db = Label.to_string
+
+let label_of_db s =
+  match s with
+  | "T" -> Label.T
+  | "F" -> Label.F
+  | "U" -> Label.U
+  | _ ->
+      if String.length s >= 2 && s.[0] = 'C' then
+        Label.Case (int_of_string (String.sub s 1 (String.length s - 1)))
+      else if String.length s >= 2 && s.[0] = 'Z' then
+        Label.Pseudo (int_of_string (String.sub s 1 (String.length s - 1)))
+      else failwith ("Database: bad label " ^ s)
+
+let save t path =
+  let oc = open_out path in
+  Printf.fprintf oc "run-count %d\n" t.runs;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sums [] |> List.sort compare
+  in
+  List.iter
+    (fun ((proc, (node, label)), v) ->
+      Printf.fprintf oc "total %s %d %s %d\n" proc node (label_to_db label) v)
+    entries;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let t = create () in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char ' ' (String.trim line) with
+       | [ "run-count"; n ] -> t.runs <- int_of_string n
+       | [ "total"; proc; node; label; v ] ->
+           Hashtbl.replace t.sums
+             (proc, (int_of_string node, label_of_db label))
+             (int_of_string v)
+       | [] | [ "" ] -> ()
+       | _ -> failwith ("Database: bad line: " ^ line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  t

@@ -1,0 +1,31 @@
+(** Program database (the PTRAN-style store): accumulates [TOTAL_FREQ]
+    sums over multiple executions — frequencies only ever enter the
+    estimator as ratios, so sums work directly (§3). *)
+
+type cond = Analysis.cond
+
+type t = {
+  mutable runs : int;
+  sums : (string * cond, int) Hashtbl.t;
+}
+
+val create : unit -> t
+
+(** Number of accumulated runs. *)
+val runs : t -> int
+
+(** Fold one run's (or one reconstruction's) per-procedure totals in. *)
+val accumulate : t -> (string, (cond, int) Hashtbl.t) Hashtbl.t -> unit
+
+(** Accumulated totals of one procedure, ready for {!Freq.compute}. *)
+val proc_totals : t -> string -> (cond, int) Hashtbl.t
+
+(** Add [b]'s runs and sums into [a]. *)
+val merge : into:t -> t -> unit
+
+(** Write the line-oriented text format ([run-count N] header, then one
+    [total <proc> <node> <label> <sum>] line per condition). *)
+val save : t -> string -> unit
+
+(** Load a database written by {!save}.  Raises [Failure] on bad input. *)
+val load : string -> t

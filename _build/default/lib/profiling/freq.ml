@@ -1,0 +1,82 @@
+(* Relative frequencies from total frequencies (§3):
+
+     NODE_FREQ(START) = 1
+     FREQ(u,l)       = TOTAL_FREQ(u,l) / (TOTAL_FREQ(START,U) × NODE_FREQ(u))
+     NODE_FREQ(v)    = Σ_{(u,v,l) ∈ E_f} NODE_FREQ(u) × FREQ(u,l)
+
+   computed in a single top-down (topological) pass over the FCDG.
+   Footnote 2's division-by-zero rule is implemented literally: whenever
+   the denominator vanishes, the numerator must also be zero and FREQ is
+   defined as 0. *)
+
+open S89_cfg
+open S89_cdg
+
+type t = {
+  analysis : Analysis.t;
+  totals : (Analysis.cond, int) Hashtbl.t;
+  invocations : int; (* TOTAL_FREQ(START, U) *)
+  freq : (Analysis.cond, float) Hashtbl.t;
+  node_freq : float array; (* indexed by ECFG node *)
+}
+
+exception Inconsistent of string
+
+let total t c = match Hashtbl.find_opt t.totals c with Some n -> n | None -> 0
+
+let freq t c = match Hashtbl.find_opt t.freq c with Some f -> f | None -> 0.0
+
+let node_freq t u = t.node_freq.(u)
+
+let invocations t = t.invocations
+
+let compute (analysis : Analysis.t) (totals : (Analysis.cond, int) Hashtbl.t) : t =
+  let fcdg = analysis.Analysis.fcdg in
+  let start = Fcdg.start fcdg in
+  let n = S89_graph.Digraph.num_nodes (Fcdg.graph fcdg) in
+  let node_freq = Array.make n 0.0 in
+  let freq = Hashtbl.create 32 in
+  let start_total =
+    match Hashtbl.find_opt totals (start, Label.U) with Some v -> v | None -> 0
+  in
+  node_freq.(start) <- 1.0;
+  let get_total c = match Hashtbl.find_opt totals c with Some v -> v | None -> 0 in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun l ->
+          let tf = get_total (u, l) in
+          let denom = float_of_int start_total *. node_freq.(u) in
+          let f =
+            if denom = 0.0 then begin
+              if tf <> 0 then
+                raise
+                  (Inconsistent
+                     (Printf.sprintf
+                        "condition (%d,%s) has TOTAL_FREQ %d but its node never \
+                         executes"
+                        u (Label.to_string l) tf));
+              0.0
+            end
+            else float_of_int tf /. denom
+          in
+          Hashtbl.replace freq (u, l) f;
+          List.iter
+            (fun v -> node_freq.(v) <- node_freq.(v) +. (node_freq.(u) *. f))
+            (Fcdg.children fcdg u l))
+        (Fcdg.labels fcdg u))
+    (Fcdg.topological fcdg);
+  { analysis; totals; invocations = start_total; freq; node_freq }
+
+(* straight from an uninstrumented VM run's oracle counts *)
+let of_oracle analysis vm = compute analysis (Analysis.oracle_totals analysis vm)
+
+let pp fmt t =
+  let fcdg = t.analysis.Analysis.fcdg in
+  Fmt.pf fmt "@[<v>frequencies (invocations=%d):" t.invocations;
+  List.iter
+    (fun ((u, l) as c) ->
+      Fmt.pf fmt "@,  (%d,%s): total=%d freq=%.4g" u (Label.to_string l) (total t c)
+        (freq t c))
+    (Fcdg.control_conditions fcdg);
+  Fmt.pf fmt "@]"

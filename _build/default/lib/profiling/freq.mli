@@ -1,0 +1,30 @@
+(** Relative frequencies from total frequencies (§3): the single top-down
+    FCDG pass computing [FREQ(u,l)] and [NODE_FREQ(u)], with footnote 2's
+    division-by-zero rule. *)
+
+type t
+
+(** Raised when a condition has a positive total but its node never
+    executes — an impossible profile. *)
+exception Inconsistent of string
+
+(** Run the top-down pass over the given [TOTAL_FREQ] table (missing
+    entries count as 0). *)
+val compute : Analysis.t -> (Analysis.cond, int) Hashtbl.t -> t
+
+(** Frequencies straight from an uninstrumented run's oracle counts. *)
+val of_oracle : Analysis.t -> S89_vm.Interp.t -> t
+
+(** [TOTAL_FREQ(u,l)] as used by the pass. *)
+val total : t -> Analysis.cond -> int
+
+(** [FREQ(u,l)] — branch probability, or loop frequency for preheaders. *)
+val freq : t -> Analysis.cond -> float
+
+(** [NODE_FREQ(u)] — average executions of [u] per procedure invocation. *)
+val node_freq : t -> int -> float
+
+(** [TOTAL_FREQ(START, U)] — number of procedure invocations profiled. *)
+val invocations : t -> int
+
+val pp : Format.formatter -> t -> unit

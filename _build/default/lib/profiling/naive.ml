@@ -1,0 +1,162 @@
+(* Naive counter placement — the baseline of Table 1: one counter per
+   basic block, "with the DO loop optimization applied only when the body
+   consists of straight-line code" (no interval structure available, so
+   only the syntactically obvious case is optimized). *)
+
+module Ir = S89_frontend.Ir
+module Ast = S89_frontend.Ast
+module Program = S89_frontend.Program
+module Probe = S89_vm.Probe
+open S89_cfg
+
+type block_counter =
+  | Per_execution of int (* counter id; increment at the block leader *)
+  | Bulk_at_entry of int (* counter id; add the trip count at loop entry *)
+  | Static of int (* trip count known at compile time: no counter *)
+
+type proc_plan = {
+  blocks : Blocks.t;
+  counters : block_counter array; (* per block *)
+}
+
+type t = {
+  probes : Probe.t;
+  n_counters : int;
+  plans : (string, proc_plan) Hashtbl.t;
+}
+
+(* A DO loop with a straight-line body, recognized without interval
+   information: the header's T successor starts a chain of non-branching,
+   non-exiting nodes that ends in the latch back to the header. *)
+let straight_line_do_body (cfg : Ir.info Cfg.t) (blocks : Blocks.t) h :
+    int option (* body block *) =
+  match (Cfg.info cfg h).Ir.ir with
+  | Ir.Do_test _ -> (
+      let t_succ =
+        List.find_map
+          (fun (e : Label.t S89_graph.Digraph.edge) ->
+            if Label.equal e.label Label.T then Some e.dst else None)
+          (Cfg.succ_edges cfg h)
+      in
+      match t_succ with
+      | None -> None
+      | Some b ->
+          let blk = Blocks.block_of blocks b in
+          let members = Blocks.members blocks blk in
+          let last = List.nth members (List.length members - 1) in
+          (* the block must start at the T successor and flow straight back
+             to the header *)
+          if
+            Blocks.leader blocks blk = b
+            && (match Cfg.succ_edges cfg last with
+               | [ e ] -> e.dst = h && Label.equal e.label Label.U
+               | _ -> false)
+            (* and nothing else may jump into the middle of it *)
+            && List.for_all
+                 (fun n ->
+                   n = b || List.length (Cfg.pred_edges cfg n) = 1)
+                 members
+          then Some blk
+          else None)
+  | _ -> None
+
+let plan (prog : Program.t) : t =
+  let next = ref 0 in
+  let fresh () =
+    let c = !next in
+    incr next;
+    c
+  in
+  let probes = Probe.make ~n_counters:0 in
+  let plans = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Program.proc) ->
+      let cfg = p.Program.cfg in
+      let name = p.Program.name in
+      let num_nodes = Cfg.num_nodes cfg in
+      let blocks = Blocks.compute cfg in
+      let nb = Blocks.num_blocks blocks in
+      let counters = Array.make nb (Per_execution (-1)) in
+      (* find optimizable DO bodies first *)
+      let do_bodies = Hashtbl.create 8 in
+      Cfg.iter_nodes
+        (fun h ->
+          match (Cfg.info cfg h).Ir.ir with
+          | Ir.Do_test meta -> (
+              match straight_line_do_body cfg blocks h with
+              | Some blk -> Hashtbl.replace do_bodies blk (h, meta)
+              | None -> ())
+          | _ -> ())
+        cfg;
+      for b = 0 to nb - 1 do
+        match Hashtbl.find_opt do_bodies b with
+        | Some (h, meta) -> (
+            match meta.Ir.static_trip with
+            | Some k -> counters.(b) <- Static k
+            | None ->
+                let id = fresh () in
+                (* the body executes trip_var times per entry; add it on the
+                   loop entry edge (the only non-latch in-edge of the header) *)
+                List.iter
+                  (fun (e : Label.t S89_graph.Digraph.edge) ->
+                    (* entry edges: source outside the loop = source is not
+                       the latch; the latch is the body block's last node *)
+                    let last =
+                      let ms = Blocks.members blocks b in
+                      List.nth ms (List.length ms - 1)
+                    in
+                    if e.src <> last then
+                      Probe.add_edge_action probes ~proc:name ~num_nodes ~node:e.src
+                        ~label:e.label
+                        (Probe.Bulk_add (id, Ast.Var meta.Ir.trip_var)))
+                  (Cfg.pred_edges cfg h);
+                counters.(b) <- Bulk_at_entry id)
+        | None ->
+            let id = fresh () in
+            Probe.add_node_action probes ~proc:name ~num_nodes
+              ~node:(Blocks.leader blocks b) (Probe.Incr id);
+            counters.(b) <- Per_execution id
+      done;
+      Hashtbl.replace plans name { blocks; counters })
+    (Program.procs prog);
+  { probes = { probes with Probe.n_counters = !next }; n_counters = !next; plans }
+
+let probes t = t.probes
+let n_counters t = t.n_counters
+let proc_plan t name = Hashtbl.find t.plans name
+
+(* dynamic number of counter updates a run executes, from oracle counts *)
+let dynamic_updates (t : t) (prog : Program.t) (vm : S89_vm.Interp.t) : int =
+  Hashtbl.fold
+    (fun name (pp : proc_plan) acc ->
+      let p = Program.find prog name in
+      let cfg = p.Program.cfg in
+      let total = ref acc in
+      Array.iteri
+        (fun b c ->
+          match c with
+          | Per_execution _ ->
+              total :=
+                !total + S89_vm.Interp.node_execs vm name (Blocks.leader pp.blocks b)
+          | Bulk_at_entry _ ->
+              (* one update per loop entry *)
+              let h =
+                match Cfg.pred_edges cfg (Blocks.leader pp.blocks b) with
+                | (e : Label.t S89_graph.Digraph.edge) :: _ -> e.src
+                | [] -> -1
+              in
+              if h >= 0 then begin
+                let last =
+                  let ms = Blocks.members pp.blocks b in
+                  List.nth ms (List.length ms - 1)
+                in
+                List.iter
+                  (fun (e : Label.t S89_graph.Digraph.edge) ->
+                    if e.src <> last then
+                      total := !total + S89_vm.Interp.edge_count vm name e.src e.label)
+                  (Cfg.pred_edges cfg h)
+              end
+          | Static _ -> ())
+        pp.counters;
+      !total)
+    t.plans 0

@@ -1,0 +1,26 @@
+(** Naive counter placement — Table 1's baseline: one counter per basic
+    block, with the DO-loop bulk-add optimization applied only to
+    straight-line loop bodies (no interval structure available). *)
+
+module Probe = S89_vm.Probe
+module Program = S89_frontend.Program
+
+type block_counter =
+  | Per_execution of int  (** counter id, incremented at the block leader *)
+  | Bulk_at_entry of int  (** counter id, += trip count at loop entry *)
+  | Static of int  (** compile-time-constant trips: no counter *)
+
+type proc_plan = {
+  blocks : Blocks.t;
+  counters : block_counter array;  (** per block *)
+}
+
+type t
+
+val plan : Program.t -> t
+val probes : t -> Probe.t
+val n_counters : t -> int
+val proc_plan : t -> string -> proc_plan
+
+(** Dynamic counter updates a run executes, from oracle counts. *)
+val dynamic_updates : t -> Program.t -> S89_vm.Interp.t -> int

@@ -1,0 +1,474 @@
+(* Smart counter placement (§3): decide which control conditions get a
+   physical counter, which are derived from conservation laws, and how the
+   counters are realized as VM probes.
+
+   Optimization 1 is structural: counters are per control condition
+   [(u,l)] of the FCDG, so identically control dependent basic blocks
+   already share one counter.
+
+   Optimization 2 drops counters using the paper's linear relations, where
+   NODE_TOTAL(x) = Σ TOTAL over FCDG in-conditions of x (the execution
+   count equation of control dependence):
+   - node balance:   Σ_l TOTAL(u,l) = NODE_TOTAL(u)  when every branch
+     label of u appears as a control condition;
+   - exit balance:   Σ interval exit conditions = NODE_TOTAL(preheader);
+   - latch balance:  Σ back-edge totals = TOTAL(ph,U) − NODE_TOTAL(ph),
+     usable in both directions: to drop one latch condition, or — usually
+     far more profitable — to drop the per-iteration header counter
+     TOTAL(ph,U) itself when every latch total is expressible (a condition,
+     or the node total of an unconditional latch node).
+
+   Optimization 3 handles exit-free DO loops: the header-execution counter
+   is realized as one bulk add of (trip+1) per loop entry, or eliminated
+   entirely when the trip count is a compile-time constant.
+
+   Dropping is greedy with an exit-label-first victim preference; a
+   symbolic solvability fixpoint then re-adds counters one at a time if a
+   combination of drops turned out circular, so the final plan is always
+   reconstructible (Reconstruct replays the same derivations numerically). *)
+
+module Ir = S89_frontend.Ir
+module Ast = S89_frontend.Ast
+module Program = S89_frontend.Program
+module Probe = S89_vm.Probe
+open S89_cfg
+open S89_cdg
+
+type cond = Analysis.cond
+
+(* a quantity known to the reconstruction system *)
+type term =
+  | Tcond of cond (* TOTAL_FREQ of a control condition *)
+  | Tnode_total of int (* NODE_TOTAL of an FCDG node *)
+
+type derivation =
+  | Node_balance of { node : int; others : cond list }
+      (* c = NODE_TOTAL(node) − Σ others *)
+  | Exit_balance of { ph : int; others : cond list }
+      (* c = NODE_TOTAL(ph) − Σ others *)
+  | Latch_balance of { ph : int; header_cond : cond; others : term list }
+      (* c = TOTAL(header_cond) − NODE_TOTAL(ph) − Σ others *)
+  | Header_from_latches of { ph : int; latches : term list }
+      (* c = NODE_TOTAL(ph) + Σ latches *)
+  | Static_trip of { ph : int; trip : int }
+      (* c = (trip+1) × NODE_TOTAL(ph): header executions of a constant-trip
+         exit-free DO loop *)
+  | Static_body of { ph : int; trip : int }
+      (* c = trip × NODE_TOTAL(ph): body executions of the same *)
+
+type realization =
+  | Incr_edge of int * Label.t (* counter += 1 on an original CFG edge *)
+  | Incr_node of int (* counter += 1 when an original node executes *)
+  | Bulk_entries of int * Ast.expr (* counter += expr on each entry edge of header *)
+
+type proc_plan = {
+  analysis : Analysis.t;
+  measured : (cond * int * realization) list;
+  derived : (cond * derivation) list;
+  second_moment : (int * int * int option) list;
+      (* header, counter id for Σ(trip+1)² over entries, static trip *)
+}
+
+type t = {
+  probes : Probe.t;
+  n_counters : int;
+  plans : (string, proc_plan) Hashtbl.t;
+}
+
+let pp_cond fmt ((u, l) : cond) = Fmt.pf fmt "(%d,%s)" u (Label.to_string l)
+
+let log_src = Logs.Src.create "s89.placement" ~doc:"counter placement decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ---------------- per-procedure planning ---------------- *)
+
+let real_parent_conds analysis node =
+  let fcdg = analysis.Analysis.fcdg in
+  List.filter_map
+    (fun (e : Label.t S89_graph.Digraph.edge) ->
+      if Label.is_pseudo e.label then None else Some (e.src, e.label))
+    (Fcdg.in_edges fcdg node)
+  |> List.sort_uniq compare
+
+(* Is the label's FCDG condition one whose children include a postexit?
+   Used as the "cold exit label" victim preference. *)
+let is_exit_label analysis (u, l) =
+  let fcdg = analysis.Analysis.fcdg in
+  List.exists (fun v -> Ecfg.is_postexit analysis.Analysis.ecfg v) (Fcdg.children fcdg u l)
+
+type plan_state = {
+  a : Analysis.t;
+  real_conds : cond list;
+  mutable drops : (cond * derivation) list; (* in drop order *)
+  dropped : (cond, derivation) Hashtbl.t;
+  mutable bulk : (cond * Ast.expr) list;
+}
+
+let is_cond ps c = List.mem c ps.real_conds
+
+let is_free ps c =
+  is_cond ps c && (not (Hashtbl.mem ps.dropped c)) && not (List.mem_assoc c ps.bulk)
+
+let try_drop ps c deriv =
+  if is_free ps c then begin
+    Log.debug (fun m ->
+        m "%s: drop %a" ps.a.Analysis.proc.Program.name pp_cond c);
+    Hashtbl.replace ps.dropped c deriv;
+    ps.drops <- ps.drops @ [ (c, deriv) ];
+    true
+  end
+  else false
+
+(* express a latch edge (u,l) as a term, if possible *)
+let latch_term ps ((u, l) as c) =
+  if is_cond ps c then Some (Tcond c)
+  else if
+    (* unconditional latch: its total is the node's execution count *)
+    Label.equal l Label.U
+    && List.length (Cfg.succ_edges (Ecfg.cfg ps.a.Analysis.ecfg) u) = 1
+  then Some (Tnode_total u)
+  else None
+
+let plan_proc ~opt2 ~opt3 (a : Analysis.t) : plan_state =
+  let ecfg = a.Analysis.ecfg in
+  let cfg = a.Analysis.proc.Program.cfg in
+  let real_conds =
+    List.filter
+      (fun c -> Analysis.site_of_condition a c <> Analysis.Never)
+      a.Analysis.conditions
+  in
+  let ps = { a; real_conds; drops = []; dropped = Hashtbl.create 16; bulk = [] } in
+  let exit_free = if opt3 then Analysis.exit_free_do_headers a else [] in
+  (* --- optimization 3: exit-free DO loops ---
+     Both loop conditions are covered: the header-execution condition
+     (ph, U) and the body condition (h, T).  Constant trips need no
+     counter at all; otherwise one bulk add per loop entry. *)
+  List.iter
+    (fun h ->
+      match Analysis.do_meta a h with
+      | None -> ()
+      | Some meta -> (
+          let ph = Ecfg.preheader_of_header ecfg h in
+          let c_hdr = (ph, Ecfg.body_label) in
+          let c_body = (h, Label.T) in
+          match meta.Ir.static_trip with
+          | Some k ->
+              ignore (try_drop ps c_hdr (Static_trip { ph; trip = k }));
+              ignore (try_drop ps c_body (Static_body { ph; trip = k }))
+          | None ->
+              if is_free ps c_body then
+                ps.bulk <- (c_body, Ast.Var meta.Ir.trip_var) :: ps.bulk;
+              (* the header total is cheaper still as NODE_TOTAL(ph) plus the
+                 latch totals (observation 2) when optimization 2 is on;
+                 otherwise realize it as a bulk add of trip+1 per entry *)
+              if (not opt2) && is_free ps c_hdr then
+                ps.bulk <-
+                  (c_hdr, Ast.Binop (Ast.Add, Ast.Var meta.Ir.trip_var, Ast.Int 1))
+                  :: ps.bulk))
+    exit_free;
+  if opt2 then begin
+    (* --- header counters derived from latches (observation 2, solved for
+       the header's total) --- *)
+    List.iter
+      (fun h ->
+        let ph = Ecfg.preheader_of_header ecfg h in
+        let c = (ph, Ecfg.body_label) in
+        if is_free ps c then begin
+          let latch_edges =
+            List.map
+              (fun (e : Label.t S89_graph.Digraph.edge) -> (e.src, e.label))
+              (Ecfg.latch_edges ecfg h)
+            |> List.sort_uniq compare
+          in
+          let terms = List.map (latch_term ps) latch_edges in
+          if List.for_all Option.is_some terms then
+            ignore
+              (try_drop ps c
+                 (Header_from_latches { ph; latches = List.map Option.get terms }))
+        end)
+      (Ecfg.headers ecfg);
+    (* --- node balances --- *)
+    S89_graph.Digraph.iter_nodes
+      (fun u ->
+        if Ecfg.is_original ecfg u then begin
+          let labels = Cfg.out_labels cfg u in
+          if
+            List.length labels >= 2
+            && List.for_all (fun l -> is_cond ps (u, l)) labels
+          then begin
+            (* victim preference: a cold exit label first, else the last *)
+            let candidates =
+              List.filter (fun l -> is_free ps (u, l)) labels
+              |> List.stable_sort (fun l1 l2 ->
+                     compare
+                       (not (is_exit_label a (u, l2)))
+                       (not (is_exit_label a (u, l1))))
+            in
+            match candidates with
+            | victim :: _ ->
+                let others =
+                  List.filter_map
+                    (fun l -> if Label.equal l victim then None else Some (u, l))
+                    labels
+                in
+                ignore (try_drop ps (u, victim) (Node_balance { node = u; others }))
+            | [] -> ()
+          end
+        end)
+      (Fcdg.graph a.Analysis.fcdg);
+    (* --- exit balances --- *)
+    List.iter
+      (fun h ->
+        let ph = Ecfg.preheader_of_header ecfg h in
+        let exits =
+          List.concat_map (real_parent_conds a) (Ecfg.postexits_of_header ecfg h)
+          |> List.sort_uniq compare
+        in
+        match List.find_opt (is_free ps) exits with
+        | Some victim ->
+            let others = List.filter (fun c -> c <> victim) exits in
+            ignore (try_drop ps victim (Exit_balance { ph; others }))
+        | None -> ())
+      (Ecfg.headers ecfg);
+    (* --- latch balances (drop one latch condition) --- *)
+    List.iter
+      (fun h ->
+        let ph = Ecfg.preheader_of_header ecfg h in
+        let header_cond = (ph, Ecfg.body_label) in
+        (* pointless if the header itself is derived from the latches *)
+        if not (Hashtbl.mem ps.dropped header_cond) then begin
+          let latch_edges =
+            List.map
+              (fun (e : Label.t S89_graph.Digraph.edge) -> (e.src, e.label))
+              (Ecfg.latch_edges ecfg h)
+            |> List.sort_uniq compare
+          in
+          match List.find_opt (is_free ps) latch_edges with
+          | Some victim -> (
+              let other_edges = List.filter (fun c -> c <> victim) latch_edges in
+              let terms = List.map (latch_term ps) other_edges in
+              if List.for_all Option.is_some terms then
+                ignore
+                  (try_drop ps victim
+                     (Latch_balance
+                        { ph; header_cond; others = List.map Option.get terms })))
+          | None -> ()
+        end)
+      (Ecfg.headers ecfg)
+  end;
+  (* --- solvability: re-measure circular drops one at a time --- *)
+  let solvable drops =
+    let known = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        if not (List.exists (fun (d, _) -> d = c) drops) then
+          Hashtbl.replace known c ())
+      a.Analysis.conditions;
+    let node_total_known x =
+      List.for_all (fun c -> Hashtbl.mem known c) (real_parent_conds a x)
+    in
+    let term_known = function
+      | Tcond c -> Hashtbl.mem known c
+      | Tnode_total x -> node_total_known x
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (c, deriv) ->
+          if not (Hashtbl.mem known c) then
+            let ok =
+              match deriv with
+              | Node_balance { node; others } ->
+                  node_total_known node
+                  && List.for_all (fun c -> Hashtbl.mem known c) others
+              | Exit_balance { ph; others } ->
+                  node_total_known ph
+                  && List.for_all (fun c -> Hashtbl.mem known c) others
+              | Latch_balance { ph; header_cond; others } ->
+                  Hashtbl.mem known header_cond && node_total_known ph
+                  && List.for_all term_known others
+              | Header_from_latches { ph; latches } ->
+                  node_total_known ph && List.for_all term_known latches
+              | Static_trip { ph; _ } | Static_body { ph; _ } -> node_total_known ph
+            in
+            if ok then begin
+              Hashtbl.replace known c ();
+              changed := true
+            end)
+        drops
+    done;
+    List.filter (fun (c, _) -> not (Hashtbl.mem known c)) drops
+  in
+  (* Re-measurement cost heuristic for breaking derivation cycles: exit
+     conditions fire once per loop entry (cheap to measure); everything
+     else fires up to once per iteration at its nesting depth. *)
+  let remeasure_cost ((u, l) as c) =
+    if is_exit_label a c then 0
+    else
+      let iv = Ecfg.intervals ecfg in
+      let interval =
+        if Ecfg.is_preheader ecfg u then Ecfg.header_of_preheader ecfg u
+        else Ecfg.interval_of ecfg u
+      in
+      ignore l;
+      1 + Intervals.interval_depth iv interval
+  in
+  let rec settle () =
+    match solvable ps.drops with
+    | [] -> ()
+    | unsolved ->
+        (* re-measure the cheapest unsolved drop (latest on ties) and retry *)
+        let c, _ =
+          List.fold_left
+            (fun best cand ->
+              if remeasure_cost (fst cand) <= remeasure_cost (fst best) then cand
+              else best)
+            (List.hd unsolved) (List.tl unsolved)
+        in
+        Log.debug (fun m ->
+            m "%s: circular derivation, re-measuring %a"
+              ps.a.Analysis.proc.Program.name pp_cond c);
+        ps.drops <- List.filter (fun (d, _) -> d <> c) ps.drops;
+        Hashtbl.remove ps.dropped c;
+        settle ()
+  in
+  settle ();
+  ps
+
+(* ---------------- probe realization ---------------- *)
+
+let realize (a : Analysis.t) probes ~counter c bulk_exprs : realization =
+  let proc = a.Analysis.proc in
+  let cfg = proc.Program.cfg in
+  let name = proc.Program.name in
+  let num_nodes = Cfg.num_nodes cfg in
+  match List.assoc_opt c bulk_exprs with
+  | Some expr ->
+      (* the loop header: the condition is either the preheader's (ph,U) or
+         the header's own body condition (h,T) *)
+      let h =
+        let u, _ = c in
+        let ecfg = a.Analysis.ecfg in
+        if Ecfg.is_preheader ecfg u then Ecfg.header_of_preheader ecfg u else u
+      in
+      List.iter
+        (fun (e : Label.t S89_graph.Digraph.edge) ->
+          Probe.add_edge_action probes ~proc:name ~num_nodes ~node:e.src ~label:e.label
+            (Probe.Bulk_add (counter, expr)))
+        (Analysis.entry_edges a h);
+      Bulk_entries (h, expr)
+  | None -> (
+      match Analysis.site_of_condition a c with
+      | Analysis.Edge_site (u, l) ->
+          Probe.add_edge_action probes ~proc:name ~num_nodes ~node:u ~label:l
+            (Probe.Incr counter);
+          Incr_edge (u, l)
+      | Analysis.Node_site u ->
+          Probe.add_node_action probes ~proc:name ~num_nodes ~node:u
+            (Probe.Incr counter);
+          Incr_node u
+      | Analysis.Invocation_site ->
+          Probe.add_node_action probes ~proc:name ~num_nodes ~node:(Cfg.entry cfg)
+            (Probe.Incr counter);
+          Incr_node (Cfg.entry cfg)
+      | Analysis.Never -> assert false)
+
+(* ---------------- whole-program plan ---------------- *)
+
+let plan ?(opt2 = true) ?(opt3 = true) ?(second_moments = false)
+    (analyses : (string, Analysis.t) Hashtbl.t) : t =
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) analyses [] |> List.sort compare in
+  let next_counter = ref 0 in
+  let fresh () =
+    let c = !next_counter in
+    incr next_counter;
+    c
+  in
+  let probes = Probe.make ~n_counters:0 in
+  let plans = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      let a = Hashtbl.find analyses name in
+      let ps = plan_proc ~opt2 ~opt3 a in
+      let dropped_conds = List.map fst ps.drops in
+      let measured =
+        List.filter (fun c -> not (List.mem c dropped_conds)) ps.real_conds
+        |> List.map (fun c ->
+               let id = fresh () in
+               let r = realize a probes ~counter:id c ps.bulk in
+               (c, id, r))
+      in
+      let second_moment =
+        if not second_moments then []
+        else
+          List.filter_map
+            (fun h ->
+              match Analysis.do_meta a h with
+              | None -> None
+              | Some meta -> (
+                  match meta.Ir.static_trip with
+                  | Some k -> Some (h, -1, Some k)
+                  | None ->
+                      let id = fresh () in
+                      let tp1 =
+                        Ast.Binop (Ast.Add, Ast.Var meta.Ir.trip_var, Ast.Int 1)
+                      in
+                      let expr = Ast.Binop (Ast.Mul, tp1, tp1) in
+                      List.iter
+                        (fun (e : Label.t S89_graph.Digraph.edge) ->
+                          Probe.add_edge_action probes ~proc:name
+                            ~num_nodes:(Cfg.num_nodes a.Analysis.proc.Program.cfg)
+                            ~node:e.src ~label:e.label
+                            (Probe.Bulk_add (id, expr)))
+                        (Analysis.entry_edges a h);
+                      Some (h, id, None)))
+            (Analysis.exit_free_do_headers a)
+      in
+      Hashtbl.replace plans name
+        { analysis = a; measured; derived = ps.drops; second_moment })
+    names;
+  {
+    probes = { probes with Probe.n_counters = !next_counter };
+    n_counters = !next_counter;
+    plans;
+  }
+
+let n_counters t = t.n_counters
+let probes t = t.probes
+let proc_plan t name = Hashtbl.find t.plans name
+let proc_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.plans [] |> List.sort compare
+
+(* dynamic number of counter updates a run executes, from oracle counts *)
+let dynamic_updates (t : t) (vm : S89_vm.Interp.t) : int =
+  Hashtbl.fold
+    (fun name (pp : proc_plan) acc ->
+      let a = pp.analysis in
+      List.fold_left
+        (fun acc (_, _, r) ->
+          acc
+          +
+          match r with
+          | Incr_edge (u, l) -> S89_vm.Interp.edge_count vm name u l
+          | Incr_node u -> S89_vm.Interp.node_execs vm name u
+          | Bulk_entries (h, _) ->
+              List.fold_left
+                (fun acc (e : Label.t S89_graph.Digraph.edge) ->
+                  acc + S89_vm.Interp.edge_count vm name e.src e.label)
+                0
+                (Analysis.entry_edges a h))
+        acc pp.measured)
+    t.plans 0
+
+let pp fmt (t : t) =
+  Fmt.pf fmt "@[<v>smart placement: %d counters" t.n_counters;
+  List.iter
+    (fun name ->
+      let pp_ = Hashtbl.find t.plans name in
+      Fmt.pf fmt "@,  %s: %d measured, %d derived" name (List.length pp_.measured)
+        (List.length pp_.derived);
+      List.iter (fun (c, _, _) -> Fmt.pf fmt "@,    measure %a" pp_cond c) pp_.measured;
+      List.iter (fun (c, _) -> Fmt.pf fmt "@,    derive  %a" pp_cond c) pp_.derived)
+    (proc_names t);
+  Fmt.pf fmt "@]"

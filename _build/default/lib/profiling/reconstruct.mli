@@ -1,0 +1,25 @@
+(** Reconstruction: recover [TOTAL_FREQ] for every control condition from
+    the reduced counter set by replaying the plan's derivations.  The
+    tested invariant: [reconstruct (smart counters) = oracle counts]. *)
+
+type cond = Analysis.cond
+
+(** Raised if derivations cannot be solved (would indicate a planner bug;
+    plans are solvability-checked at construction). *)
+exception Unsolvable of string * cond list
+
+(** [NODE_TOTAL(x)]: sum of the totals of [x]'s real FCDG parent
+    conditions ([None] while some are unknown). *)
+val node_total : Analysis.t -> (cond, int) Hashtbl.t -> int -> int option
+
+(** Totals for one procedure from the counter array. *)
+val proc_totals : Placement.t -> counters:int array -> string -> (cond, int) Hashtbl.t
+
+(** Totals for every procedure. *)
+val totals : Placement.t -> counters:int array -> (string, (cond, int) Hashtbl.t) Hashtbl.t
+
+(** Per-loop E[F²] of the loop frequency (header executions per entry)
+    for the loops the plan tracked second moments for.  Loops never
+    entered are omitted. *)
+val loop_second_moments :
+  Placement.t -> counters:int array -> string -> (cond, int) Hashtbl.t -> (int * float) list

@@ -1,0 +1,1 @@
+lib/sched/dist.ml: Float Fmt S89_util

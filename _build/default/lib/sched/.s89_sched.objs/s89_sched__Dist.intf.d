@@ -1,0 +1,1 @@
+lib/sched/dist.mli: Format S89_util

@@ -1,0 +1,1 @@
+lib/sched/parsim.ml: Array Chunk Dist Float S89_util

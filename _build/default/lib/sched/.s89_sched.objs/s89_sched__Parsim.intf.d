@@ -1,0 +1,1 @@
+lib/sched/parsim.mli: Chunk Dist S89_util

@@ -1,0 +1,74 @@
+(* Chunk-size selection for parallel loops (§5's motivating application,
+   after Kruskal & Weiss 1985).
+
+   With N iid iterations of mean μ and std-dev σ on P processors and a
+   per-chunk dispatch overhead h, chunked self-scheduling with chunk size
+   k has expected makespan approximately
+
+       T(k) ≈ N·μ/P + N·h/(k·P) + σ·√(2·k·ln P)
+
+   (work term, overhead term, imbalance term).  Minimizing over k gives
+
+       k_opt = ( √2 · N · h / (σ · P · √(ln P)) )^(2/3)
+
+   When σ = 0 the imbalance term vanishes and k = ⌈N/P⌉ (one chunk per
+   processor) is optimal — exactly the paper's intuition: "when the
+   variance is large, we have to move to smaller chunk sizes to get better
+   load balancing, at the cost of increased overhead". *)
+
+type strategy =
+  | Static_split (* k = ceil(N/P): one chunk per processor *)
+  | Self_sched (* k = 1: classic self-scheduling *)
+  | Fixed of int
+  | Kruskal_weiss (* k from the formula above *)
+  | Guided (* k = ceil(remaining / P), recomputed per dispatch *)
+
+let clamp ~lo ~hi x = max lo (min hi x)
+
+let static_chunk ~n ~p = (n + p - 1) / p
+
+let kw_chunk ~n ~p ~h ~sigma =
+  if p <= 1 then n
+  else if sigma <= 0.0 then static_chunk ~n ~p
+  else begin
+    let nf = float_of_int n and pf = float_of_int p in
+    let lnp = log pf in
+    if lnp <= 0.0 then n
+    else begin
+      let k =
+        (sqrt 2.0 *. nf *. h /. (sigma *. pf *. sqrt lnp)) ** (2.0 /. 3.0)
+      in
+      clamp ~lo:1 ~hi:(static_chunk ~n ~p) (int_of_float (Float.round k))
+    end
+  end
+
+(* the analytic makespan model behind the formula *)
+let expected_makespan ~n ~p ~h ~mu ~sigma ~k =
+  let nf = float_of_int n and pf = float_of_int p and kf = float_of_int k in
+  (nf *. mu /. pf)
+  +. (nf *. h /. (kf *. pf))
+  +. (sigma *. sqrt (2.0 *. kf *. log pf))
+
+(* chunk size chosen by a strategy before execution; Guided returns its
+   initial chunk (the simulator recomputes per dispatch) *)
+let initial_chunk strategy ~n ~p ~h ~sigma =
+  match strategy with
+  | Static_split -> static_chunk ~n ~p
+  | Self_sched -> 1
+  | Fixed k -> clamp ~lo:1 ~hi:n k
+  | Kruskal_weiss -> kw_chunk ~n ~p ~h ~sigma
+  | Guided -> static_chunk ~n ~p
+
+let strategy_name = function
+  | Static_split -> "static-N/P"
+  | Self_sched -> "self-sched-1"
+  | Fixed k -> Printf.sprintf "fixed-%d" k
+  | Kruskal_weiss -> "kruskal-weiss"
+  | Guided -> "guided"
+
+(* Bridge from the paper's estimator: TIME and VAR of one loop-body
+   execution determine μ and σ for the chunking decision — this is the
+   §5 use case ("allowing the compiler to choose smaller chunk sizes only
+   when it is really necessary"). *)
+let from_estimate ~time:_ ~var ~n ~p ~h =
+  kw_chunk ~n ~p ~h ~sigma:(sqrt (Float.max 0.0 var))

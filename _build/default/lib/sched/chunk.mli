@@ -1,0 +1,29 @@
+(** Chunk-size selection for parallel loops (§5's application, after
+    Kruskal & Weiss 1985): minimize
+    [T(k) ≈ N·μ/P + N·h/(k·P) + σ·√(2·k·ln P)] over the chunk size [k]. *)
+
+type strategy =
+  | Static_split  (** k = ⌈N/P⌉: one chunk per processor *)
+  | Self_sched  (** k = 1: classic self-scheduling *)
+  | Fixed of int
+  | Kruskal_weiss  (** k from the closed form below *)
+  | Guided  (** k = ⌈remaining/P⌉, recomputed per dispatch *)
+
+val static_chunk : n:int -> p:int -> int
+
+(** [k_opt = (√2·N·h / (σ·P·√(ln P)))^(2/3)], clamped to [1, ⌈N/P⌉];
+    ⌈N/P⌉ when σ = 0 (zero variance: perfect split, minimal overhead). *)
+val kw_chunk : n:int -> p:int -> h:float -> sigma:float -> int
+
+(** The analytic makespan model behind the formula. *)
+val expected_makespan : n:int -> p:int -> h:float -> mu:float -> sigma:float -> k:int -> float
+
+(** Chunk size chosen by a strategy before execution (Guided returns its
+    first chunk). *)
+val initial_chunk : strategy -> n:int -> p:int -> h:float -> sigma:float -> int
+
+val strategy_name : strategy -> string
+
+(** Bridge from the paper's estimator: TIME/VAR of one loop-body
+    execution determine μ and σ for the chunking decision. *)
+val from_estimate : time:float -> var:float -> n:int -> p:int -> h:float -> int

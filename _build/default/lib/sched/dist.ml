@@ -1,0 +1,74 @@
+(* Iteration-time distributions for the parallel-loop simulator.
+
+   The estimator hands us a mean (TIME) and a variance (VAR) for one loop
+   iteration; the simulator needs whole distributions.  Each constructor
+   documents its mean/variance so tests can check the moments; [of_moments]
+   builds a distribution matching a given (mean, variance) pair, which is
+   how estimator output is turned into simulator input. *)
+
+module Prng = S89_util.Prng
+
+type t =
+  | Const of float
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float } (* truncated at 0 *)
+  | Exponential of { mean : float }
+  | Bimodal of { fast : float; slow : float; p_slow : float }
+      (* a branchy loop body: fast path, slow path with probability p *)
+  | Shifted_exp of { base : float; extra_mean : float }
+      (* base cost plus an exponential tail *)
+
+let mean = function
+  | Const c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Normal { mu; _ } -> mu (* truncation bias ignored; tests use sigma << mu *)
+  | Exponential { mean } -> mean
+  | Bimodal { fast; slow; p_slow } -> (fast *. (1.0 -. p_slow)) +. (slow *. p_slow)
+  | Shifted_exp { base; extra_mean } -> base +. extra_mean
+
+let variance = function
+  | Const _ -> 0.0
+  | Uniform { lo; hi } ->
+      let d = hi -. lo in
+      d *. d /. 12.0
+  | Normal { sigma; _ } -> sigma *. sigma
+  | Exponential { mean } -> mean *. mean
+  | Bimodal { fast; slow; p_slow } ->
+      let m = (fast *. (1.0 -. p_slow)) +. (slow *. p_slow) in
+      ((fast -. m) ** 2.0 *. (1.0 -. p_slow)) +. ((slow -. m) ** 2.0 *. p_slow)
+  | Shifted_exp { extra_mean; _ } -> extra_mean *. extra_mean
+
+let std_dev d = sqrt (variance d)
+
+let sample rng = function
+  | Const c -> c
+  | Uniform { lo; hi } -> Prng.uniform rng ~lo ~hi
+  | Normal { mu; sigma } -> Float.max 0.0 (mu +. (sigma *. Prng.normal rng))
+  | Exponential { mean } -> Prng.exponential rng ~mean
+  | Bimodal { fast; slow; p_slow } ->
+      if Prng.float rng < p_slow then slow else fast
+  | Shifted_exp { base; extra_mean } ->
+      if extra_mean <= 0.0 then base else base +. Prng.exponential rng ~mean:extra_mean
+
+(* A distribution with the requested mean and variance: constant when the
+   variance is (near) zero, otherwise a base + exponential tail when the
+   coefficient of variation allows it, else a bimodal mix. *)
+let of_moments ~mean:m ~variance:v =
+  if v <= 1e-12 then Const m
+  else
+    let sd = sqrt v in
+    if sd <= m then Shifted_exp { base = m -. sd; extra_mean = sd }
+    else begin
+      (* heavy spread: bimodal with a zero fast path *)
+      (* fast=0, slow=s, p: mean = p·s, var = p(1-p)s²  ⇒ s = (v + m²)/m *)
+      let s = (v +. (m *. m)) /. m in
+      Bimodal { fast = 0.0; slow = s; p_slow = m /. s }
+    end
+
+let pp fmt = function
+  | Const c -> Fmt.pf fmt "const(%g)" c
+  | Uniform { lo; hi } -> Fmt.pf fmt "uniform[%g,%g]" lo hi
+  | Normal { mu; sigma } -> Fmt.pf fmt "normal(%g,%g)" mu sigma
+  | Exponential { mean } -> Fmt.pf fmt "exp(%g)" mean
+  | Bimodal { fast; slow; p_slow } -> Fmt.pf fmt "bimodal(%g,%g,p=%g)" fast slow p_slow
+  | Shifted_exp { base; extra_mean } -> Fmt.pf fmt "shifted-exp(%g+%g)" base extra_mean

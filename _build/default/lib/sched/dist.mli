@@ -1,0 +1,29 @@
+(** Iteration-time distributions for the parallel-loop simulator, with
+    analytic moments so the estimator's (TIME, VAR) pairs can be turned
+    into samplable distributions. *)
+
+module Prng = S89_util.Prng
+
+type t =
+  | Const of float
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float }  (** truncated at 0 *)
+  | Exponential of { mean : float }
+  | Bimodal of { fast : float; slow : float; p_slow : float }
+      (** a branchy loop body: fast path, slow path with probability p *)
+  | Shifted_exp of { base : float; extra_mean : float }
+      (** base cost plus an exponential tail *)
+
+val mean : t -> float
+val variance : t -> float
+val std_dev : t -> float
+
+(** Draw one sample (never negative). *)
+val sample : Prng.t -> t -> float
+
+(** A distribution with exactly the requested mean and variance:
+    constant, base+exponential, or a bimodal mix depending on the
+    coefficient of variation. *)
+val of_moments : mean:float -> variance:float -> t
+
+val pp : Format.formatter -> t -> unit

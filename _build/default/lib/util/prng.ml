@@ -1,0 +1,77 @@
+(* Deterministic splitmix64 PRNG.
+
+   Profiled runs, workload generators and the parallel-loop simulator all
+   need reproducible randomness that is independent of OCaml's global
+   [Random] state; splitmix64 is tiny, fast and statistically fine for
+   simulation purposes. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform in [0, 2^62) as a non-negative OCaml int *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(* uniform integer in [0, n) *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* rejection sampling to avoid modulo bias; [bits] is uniform on
+     [0, 2^62) = [0, max_int], so reject above the largest multiple of n *)
+  let limit = max_int / n * n in
+  let rec go () =
+    let b = bits t in
+    if b < limit then b mod n else go ()
+  in
+  go ()
+
+(* uniform float in [0, 1) *)
+let float t =
+  let b = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float b /. 9007199254740992.0 (* 2^53 *)
+
+(* uniform float in [lo, hi) *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* standard normal via Box-Muller *)
+let normal t =
+  let u1 = ref (float t) in
+  while !u1 = 0.0 do
+    u1 := float t
+  done;
+  let u2 = float t in
+  sqrt (-2.0 *. log !u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* exponential with the given mean *)
+let exponential t ~mean =
+  let u = ref (float t) in
+  while !u = 0.0 do
+    u := float t
+  done;
+  -.mean *. log !u
+
+(* geometric on {1, 2, ...} with success probability p *)
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  if p = 1.0 then 1
+  else
+    let u = ref (float t) in
+    while !u = 0.0 do
+      u := float t
+    done;
+    1 + int_of_float (log !u /. log (1.0 -. p))
+
+(* derive an independent stream (for parallel workers) *)
+let split t = { state = next_int64 t }

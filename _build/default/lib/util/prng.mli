@@ -1,0 +1,33 @@
+(** Deterministic splitmix64 PRNG (independent of [Stdlib.Random]). *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+(** Next raw 64-bit state update. *)
+val next_int64 : t -> int64
+
+(** Uniform non-negative int in [0, 2{^62}). *)
+val bits : t -> int
+
+(** Uniform integer in [0, n); rejection-sampled (no modulo bias). *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val uniform : t -> lo:float -> hi:float -> float
+val bool : t -> bool
+
+(** Standard normal (Box–Muller). *)
+val normal : t -> float
+
+(** Exponential with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Geometric on [{1, 2, ...}] with success probability [p]. *)
+val geometric : t -> p:float -> int
+
+(** Derive an independent stream. *)
+val split : t -> t

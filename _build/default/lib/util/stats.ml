@@ -1,0 +1,46 @@
+(* Streaming statistics (Welford's algorithm): numerically stable mean and
+   variance accumulation.  Used to compare the paper's estimated
+   TIME/VAR against empirical means/variances over many VM runs, and by
+   the parallel-loop simulator. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+
+(* population variance: E[X^2] - E[X]^2, matching the paper's definition *)
+let variance t = if t.n = 0 then nan else t.m2 /. float_of_int t.n
+
+(* unbiased sample variance *)
+let variance_sample t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let std_dev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp fmt t =
+  Fmt.pf fmt "n=%d mean=%.4g std=%.4g min=%.4g max=%.4g" t.n (mean t) (std_dev t)
+    t.min t.max
+
+(* relative error |a-b| / max(|b|, eps) *)
+let rel_err ?(eps = 1e-12) a b = Float.abs (a -. b) /. Stdlib.max (Float.abs b) eps

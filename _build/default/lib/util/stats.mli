@@ -1,0 +1,27 @@
+(** Streaming statistics (Welford): numerically stable mean/variance
+    accumulation, used to compare estimated TIME/VAR against empirical
+    moments over many VM runs. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** Mean ([nan] when empty). *)
+val mean : t -> float
+
+(** Population variance [E(X²) − E(X)²] — the paper's definition. *)
+val variance : t -> float
+
+(** Unbiased sample variance ([nan] below 2 samples). *)
+val variance_sample : t -> float
+
+val std_dev : t -> float
+val min : t -> float
+val max : t -> float
+val of_list : float list -> t
+val pp : Format.formatter -> t -> unit
+
+(** [rel_err a b = |a−b| / max(|b|, eps)]. *)
+val rel_err : ?eps:float -> float -> float -> float

@@ -1,0 +1,1 @@
+lib/vm/builtins.ml: Float List S89_util Value

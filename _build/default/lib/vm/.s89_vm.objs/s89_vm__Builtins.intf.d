@@ -1,0 +1,1 @@
+lib/vm/builtins.mli: S89_util Value

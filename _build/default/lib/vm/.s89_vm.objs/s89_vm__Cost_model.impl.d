@@ -1,0 +1,1 @@
+lib/vm/cost_model.ml: List S89_frontend

@@ -1,0 +1,1 @@
+lib/vm/cost_model.mli: S89_frontend

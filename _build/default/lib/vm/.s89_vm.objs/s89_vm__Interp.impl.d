@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Builtins Cfg Cost_model Fmt Hashtbl Label List Printf Probe S89_cfg S89_frontend S89_graph S89_util Value

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Cost_model Label Probe S89_cfg S89_frontend

@@ -1,0 +1,1 @@
+lib/vm/optimize.ml: Array Builtins Cfg Hashtbl Label List Map Option S89_cfg S89_frontend S89_graph S89_util String Value

@@ -1,0 +1,1 @@
+lib/vm/optimize.mli: S89_cfg S89_frontend

@@ -1,0 +1,1 @@
+lib/vm/probe.ml: Array Hashtbl List S89_cfg S89_frontend

@@ -1,0 +1,1 @@
+lib/vm/probe.mli: Hashtbl S89_cfg S89_frontend

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Float Fmt S89_frontend

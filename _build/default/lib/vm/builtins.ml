@@ -1,0 +1,68 @@
+(* Implementations of the MF77 intrinsics (names/arities are declared in
+   s89_frontend.Intrinsics; the VM dispatches here). *)
+
+module Prng = S89_util.Prng
+open Value
+
+let err name = Value.err "intrinsic %s: bad arguments" name
+
+let fold1 name f = function [ v ] -> f v | _ -> err name
+
+let minmax name pick vs =
+  match vs with
+  | [] | [ _ ] -> err name
+  | v :: rest ->
+      List.fold_left
+        (fun acc v -> if pick (compare_num v acc) then v else acc)
+        v rest
+
+let promote_real = function Int i -> Real (float_of_int i) | v -> v
+
+let apply (rng : Prng.t) name (vs : t list) : t =
+  match (name, vs) with
+  | "ABS", [ Int i ] -> Int (abs i)
+  | "ABS", [ Real r ] -> Real (Float.abs r)
+  | "IABS", [ v ] -> Int (abs (to_int v))
+  | "SQRT", [ v ] ->
+      let x = to_float v in
+      if x < 0.0 then Value.err "SQRT of negative value %g" x else Real (sqrt x)
+  | "EXP", [ v ] -> Real (exp (to_float v))
+  | ("LOG" | "ALOG"), [ v ] ->
+      let x = to_float v in
+      if x <= 0.0 then Value.err "LOG of non-positive value %g" x else Real (log x)
+  | "SIN", [ v ] -> Real (sin (to_float v))
+  | "COS", [ v ] -> Real (cos (to_float v))
+  | "TAN", [ v ] -> Real (tan (to_float v))
+  | "ATAN", [ v ] -> Real (atan (to_float v))
+  | "MOD", [ Int a; Int b ] ->
+      if b = 0 then Value.err "MOD by zero" else Int (a mod b)
+  | "MOD", ([ _; _ ] as vs) -> (
+      match List.map to_float vs with
+      | [ a; b ] when b <> 0.0 -> Real (Float.rem a b)
+      | _ -> Value.err "MOD by zero")
+  | "AMOD", [ a; b ] ->
+      let b = to_float b in
+      if b = 0.0 then Value.err "AMOD by zero" else Real (Float.rem (to_float a) b)
+  | "MIN", vs -> minmax "MIN" (fun c -> c < 0) vs
+  | "MAX", vs -> minmax "MAX" (fun c -> c > 0) vs
+  | "MIN0", vs -> Int (to_int (minmax "MIN0" (fun c -> c < 0) vs))
+  | "MAX0", vs -> Int (to_int (minmax "MAX0" (fun c -> c > 0) vs))
+  | "AMIN1", vs -> promote_real (minmax "AMIN1" (fun c -> c < 0) vs)
+  | "AMAX1", vs -> promote_real (minmax "AMAX1" (fun c -> c > 0) vs)
+  | ("INT" | "IFIX"), vs -> fold1 name (fun v -> Int (to_int v)) vs
+  | ("REAL" | "FLOAT"), vs -> fold1 name (fun v -> Real (to_float v)) vs
+  | "SIGN", [ a; b ] -> (
+      (* |a| with the sign of b *)
+      match (a, b) with
+      | Int x, Int y -> Int (if y >= 0 then abs x else -abs x)
+      | _ ->
+          let x = Float.abs (to_float a) in
+          Real (if to_float b >= 0.0 then x else -.x))
+  | "ISIGN", [ a; b ] ->
+      let x = abs (to_int a) in
+      Int (if to_int b >= 0 then x else -x)
+  | "RAND", [] -> Real (Prng.float rng)
+  | "IRAND", [ v ] ->
+      let n = to_int v in
+      if n <= 0 then Value.err "IRAND bound must be positive" else Int (1 + Prng.int rng n)
+  | _ -> err name

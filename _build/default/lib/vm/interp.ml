@@ -1,0 +1,425 @@
+(* The MF77 virtual machine: a cycle-accounting interpreter over the
+   statement-level CFGs produced by lowering.
+
+   This is the stand-in for the paper's IBM 3090 testbed.  It provides:
+   - execution of a whole Program.t with Fortran calling conventions
+     (scalars and array elements by reference);
+   - cycle accounting driven by a Cost_model (the paper's COST(u) values
+     are charged per node execution, so the estimator's prediction is
+     exactly comparable to the measured cycle count);
+   - "oracle" counts: every node execution and edge traversal is counted
+     for free — these are ground truth for the profiling tests;
+   - profiling instrumentation: probe actions fire on node/edge events and
+     charge [c_counter] cycles each, which is what Table 1 measures;
+   - a simulated PC-sampling profiler (a sample every N cycles), used to
+     reproduce §3's argument that sampling is too coarse for
+     statement-level frequencies. *)
+
+module Ast = S89_frontend.Ast
+module Ir = S89_frontend.Ir
+module Intrinsics = S89_frontend.Intrinsics
+module Sema = S89_frontend.Sema
+module Program = S89_frontend.Program
+module Prng = S89_util.Prng
+open S89_cfg
+
+exception Out_of_fuel
+exception Call_depth_exceeded of int
+exception Stopped (* internal: STOP statement unwinding *)
+
+type array_obj = { data : Value.t array; dims : int array; elt : Ast.typ }
+
+type binding =
+  | Cell of { mutable v : Value.t; ty : Ast.typ }
+  | Arr of array_obj
+  | Elem of array_obj * int
+
+type frame = { fproc : Program.proc; vars : (string, binding) Hashtbl.t }
+
+(* ---- compiled procedures: per-node cost, successor table, probes ---- *)
+
+type cnode = {
+  ir : Ir.node;
+  cost : int;
+  succ : (Label.t * int) array;
+  edge_counts : int array; (* oracle: traversals, parallel to succ *)
+  mutable execs : int; (* oracle: node executions *)
+  node_probes : Probe.action list;
+  edge_probes : (Label.t * Probe.action list) list;
+  mutable samples : int; (* PC-sampling hits *)
+}
+
+type cproc = {
+  cp_proc : Program.proc;
+  code : cnode array;
+  centry : int;
+  mutable invocations : int;
+}
+
+type config = {
+  cost_model : Cost_model.t;
+  instr : Probe.t;
+  seed : int;
+  max_steps : int;
+  max_call_depth : int; (* guards runaway recursion from blowing the stack *)
+  sample_interval : int option;
+}
+
+let default_config =
+  {
+    cost_model = Cost_model.optimized;
+    instr = Probe.empty;
+    seed = 42;
+    max_steps = 200_000_000;
+    max_call_depth = 10_000;
+    sample_interval = None;
+  }
+
+type t = {
+  config : config;
+  prog : Program.t;
+  cprocs : (string, cproc) Hashtbl.t;
+  counters : int array;
+  mutable cycles : int;
+  mutable steps : int;
+  mutable next_sample : int;
+  rng : Prng.t;
+  out : Buffer.t;
+  mutable call_depth : int;
+}
+
+let compile_proc config (p : Program.proc) : cproc =
+  let cfg = p.Program.cfg in
+  let n = Cfg.num_nodes cfg in
+  let pi = Probe.find_proc config.instr p.Program.name in
+  let code =
+    Array.init n (fun i ->
+        let info = Cfg.info cfg i in
+        let succ =
+          Array.of_list
+            (List.map
+               (fun (e : Label.t S89_graph.Digraph.edge) -> (e.label, e.dst))
+               (Cfg.succ_edges cfg i))
+        in
+        {
+          ir = info.Ir.ir;
+          cost = Cost_model.node_cost config.cost_model info.Ir.ir;
+          succ;
+          edge_counts = Array.make (Array.length succ) 0;
+          execs = 0;
+          node_probes = (match pi with Some pi -> pi.Probe.on_node.(i) | None -> []);
+          edge_probes = (match pi with Some pi -> pi.Probe.on_edge.(i) | None -> []);
+          samples = 0;
+        })
+  in
+  { cp_proc = p; code; centry = Cfg.entry cfg; invocations = 0 }
+
+let create ?(config = default_config) (prog : Program.t) : t =
+  let cprocs = Hashtbl.create 8 in
+  List.iter
+    (fun p -> Hashtbl.replace cprocs p.Program.name (compile_proc config p))
+    (Program.procs prog);
+  {
+    config;
+    prog;
+    cprocs;
+    counters = Array.make (max config.instr.Probe.n_counters 1) 0;
+    cycles = 0;
+    steps = 0;
+    next_sample = (match config.sample_interval with Some s -> s | None -> max_int);
+    rng = Prng.create ~seed:config.seed;
+    out = Buffer.create 256;
+    call_depth = 0;
+  }
+
+(* ---- frames and bindings ---- *)
+
+let alloc_array (elt : Ast.typ) (dims : int list) =
+  let size = List.fold_left ( * ) 1 dims in
+  { data = Array.make size (Value.zero_of elt); dims = Array.of_list dims; elt }
+
+let binding_of_kind name (k : Sema.var_kind) =
+  match k with
+  | Sema.Scalar ty -> Cell { v = Value.zero_of ty; ty }
+  | Sema.Const c ->
+      let v =
+        match c with
+        | Ast.Int i -> Value.Int i
+        | Ast.Real r -> Value.Real r
+        | Ast.Bool b -> Value.Bool b
+        | _ -> Value.err "PARAMETER %s is not a literal" name
+      in
+      Cell { v; ty = (match v with Value.Int _ -> Ast.Tint | Value.Real _ -> Ast.Treal | _ -> Ast.Tlogical) }
+  | Sema.Array (elt, dims) ->
+      if List.mem (-1) dims then
+        Value.err "assumed-size array %s must be a dummy argument" name
+      else Arr (alloc_array elt dims)
+
+let lookup frame name =
+  match Hashtbl.find_opt frame.vars name with
+  | Some b -> b
+  | None ->
+      let env = frame.fproc.Program.env in
+      let kind =
+        match Hashtbl.find_opt env.Sema.vars name with
+        | Some k -> k
+        | None -> Sema.Scalar (Ast.implicit_type name)
+      in
+      let b = binding_of_kind name kind in
+      Hashtbl.replace frame.vars name b;
+      b
+
+let read_scalar frame name =
+  match lookup frame name with
+  | Cell c -> c.v
+  | Elem (a, off) -> a.data.(off)
+  | Arr _ -> Value.err "array %s used as a scalar" name
+
+let write_scalar frame name v =
+  match lookup frame name with
+  | Cell c -> c.v <- Value.coerce c.ty v
+  | Elem (a, off) -> a.data.(off) <- Value.coerce a.elt v
+  | Arr _ -> Value.err "assignment to whole array %s" name
+
+let offset name (a : array_obj) (idx : int list) =
+  (* column-major, 1-based; assumed-size arrays check the flat bound only *)
+  if Array.length a.dims = 1 && a.dims.(0) = -1 then begin
+    match idx with
+    | [ i ] ->
+        if i < 1 || i > Array.length a.data then
+          Value.err "%s(%d): out of bounds (size %d)" name i (Array.length a.data)
+        else i - 1
+    | _ -> Value.err "%s: assumed-size arrays are 1-dimensional" name
+  end
+  else begin
+    if List.length idx <> Array.length a.dims then
+      Value.err "%s: rank mismatch" name;
+    let off = ref 0 and stride = ref 1 in
+    List.iteri
+      (fun k i ->
+        let d = a.dims.(k) in
+        if i < 1 || i > d then
+          Value.err "%s: subscript %d of dimension %d out of bounds [1,%d]" name i
+            (k + 1) d;
+        off := !off + ((i - 1) * !stride);
+        stride := !stride * d)
+      idx;
+    !off
+  end
+
+let get_array frame name =
+  match lookup frame name with
+  | Arr a -> a
+  | _ -> Value.err "%s is not an array" name
+
+(* ---- execution ---- *)
+
+let charge st c =
+  st.cycles <- st.cycles + c
+
+let rec eval st frame (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Int i -> Value.Int i
+  | Real r -> Value.Real r
+  | Bool b -> Value.Bool b
+  | Var v -> read_scalar frame v
+  | Index (name, idx) ->
+      let a = get_array frame name in
+      let idx = List.map (fun i -> Value.to_int (eval st frame i)) idx in
+      a.data.(offset name a idx)
+  | Call (f, args) -> (
+      match Hashtbl.find_opt st.prog.Program.by_name f with
+      | Some callee -> (
+          let bindings = List.map (arg_binding st frame) args in
+          match call_proc st callee bindings with
+          | Some v -> v
+          | None -> Value.err "subroutine %s used as a function" f)
+      | None ->
+          let vs = List.map (eval st frame) args in
+          Builtins.apply st.rng f vs)
+  | Unop (Ast.Neg, e) -> Value.neg (eval st frame e)
+  | Unop (Ast.Not, e) -> Value.Bool (not (Value.to_bool (eval st frame e)))
+  | Binop (op, a, b) -> (
+      let va = eval st frame a in
+      let vb = eval st frame b in
+      match op with
+      | Ast.Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Pow -> Value.pow va vb
+      | Lt | Le | Gt | Ge | Eq | Ne -> Value.rel op va vb
+      | And | Or -> Value.logic op va vb)
+
+(* argument passing: variables and array elements by reference, arrays by
+   reference, general expressions by copy-in *)
+and arg_binding st frame (e : Ast.expr) : binding =
+  match e with
+  | Ast.Var v -> lookup frame v
+  | Ast.Index (name, idx) ->
+      let a = get_array frame name in
+      let idx = List.map (fun i -> Value.to_int (eval st frame i)) idx in
+      Elem (a, offset name a idx)
+  | _ ->
+      let v = eval st frame e in
+      Cell
+        {
+          v;
+          ty = (match v with Value.Int _ -> Ast.Tint | Value.Real _ -> Ast.Treal | _ -> Ast.Tlogical);
+        }
+
+and call_proc st (callee : Program.proc) (args : binding list) : Value.t option =
+  let cp =
+    match Hashtbl.find_opt st.cprocs callee.Program.name with
+    | Some cp -> cp
+    | None -> Value.err "uncompiled procedure %s" callee.Program.name
+  in
+  cp.invocations <- cp.invocations + 1;
+  st.call_depth <- st.call_depth + 1;
+  if st.call_depth > st.config.max_call_depth then
+    raise (Call_depth_exceeded st.call_depth);
+  let frame = { fproc = callee; vars = Hashtbl.create 16 } in
+  (try
+     List.iter2
+       (fun p b ->
+         (* coerce copy-in scalars to the declared parameter type *)
+         let b =
+           match (b, Hashtbl.find_opt callee.Program.env.Sema.vars p) with
+           | Cell c, Some (Sema.Scalar ty) when c.ty <> ty ->
+               Cell { v = Value.coerce ty c.v; ty }
+           | _ -> b
+         in
+         Hashtbl.replace frame.vars p b)
+       callee.Program.params args
+   with Invalid_argument _ ->
+     Value.err "arity mismatch calling %s" callee.Program.name);
+  (try run_frame st cp frame
+   with e ->
+     st.call_depth <- st.call_depth - 1;
+     raise e);
+  st.call_depth <- st.call_depth - 1;
+  match callee.Program.env.Sema.result_var with
+  | Some rv -> Some (read_scalar frame rv)
+  | None -> None
+
+and run_frame st (cp : cproc) frame : unit =
+  let pc = ref cp.centry in
+  let running = ref true in
+  while !running do
+    let n = cp.code.(!pc) in
+    st.steps <- st.steps + 1;
+    if st.steps > st.config.max_steps then raise Out_of_fuel;
+    charge st n.cost;
+    n.execs <- n.execs + 1;
+    (* PC sampling: attribute a sample to the node that was executing when
+       the cycle counter crossed the sampling boundary *)
+    while st.cycles >= st.next_sample do
+      n.samples <- n.samples + 1;
+      st.next_sample <-
+        st.next_sample
+        + (match st.config.sample_interval with Some s -> s | None -> max_int)
+    done;
+    fire_actions st frame n.node_probes;
+    let out_label =
+      match n.ir with
+      | Ir.Entry | Ir.Nop _ -> Some Label.U
+      | Ir.Assign (Ast.Lvar v, e) ->
+          write_scalar frame v (eval st frame e);
+          Some Label.U
+      | Ir.Assign (Ast.Larr (name, idx), e) ->
+          let a = get_array frame name in
+          let idx = List.map (fun i -> Value.to_int (eval st frame i)) idx in
+          let off = offset name a idx in
+          a.data.(off) <- Value.coerce a.elt (eval st frame e);
+          Some Label.U
+      | Ir.Branch e ->
+          if Value.to_bool (eval st frame e) then Some Label.T else Some Label.F
+      | Ir.Do_test d ->
+          if Value.to_int (read_scalar frame d.Ir.trip_var) > 0 then Some Label.T
+          else Some Label.F
+      | Ir.Select (e, narms) ->
+          let i = Value.to_int (eval st frame e) in
+          if i >= 1 && i <= narms then Some (Label.Case i) else Some Label.F
+      | Ir.Call (name, args) -> (
+          match Hashtbl.find_opt st.prog.Program.by_name name with
+          | Some callee ->
+              let bindings = List.map (arg_binding st frame) args in
+              ignore (call_proc st callee bindings);
+              Some Label.U
+          | None -> Value.err "CALL of unknown subroutine %s" name)
+      | Ir.Print es ->
+          List.iter
+            (fun e ->
+              Buffer.add_string st.out (Fmt.str "%a " Value.pp (eval st frame e)))
+            es;
+          Buffer.add_char st.out '\n';
+          Some Label.U
+      | Ir.Return -> None
+      | Ir.Stop -> raise Stopped
+    in
+    match out_label with
+    | None -> running := false
+    | Some l -> (
+        let found = ref (-1) in
+        Array.iteri (fun k (lbl, _) -> if !found < 0 && Label.equal lbl l then found := k) n.succ;
+        if !found < 0 then
+          Value.err "no %s successor at node %d of %s" (Label.to_string l) !pc
+            cp.cp_proc.Program.name;
+        n.edge_counts.(!found) <- n.edge_counts.(!found) + 1;
+        (match List.find_opt (fun (lbl, _) -> Label.equal lbl l) n.edge_probes with
+        | Some (_, acts) -> fire_actions st frame acts
+        | None -> ());
+        let _, dst = n.succ.(!found) in
+        pc := dst)
+  done
+
+and fire_actions st frame (acts : Probe.action list) =
+  List.iter
+    (fun (a : Probe.action) ->
+      match a with
+      | Probe.Incr c ->
+          charge st st.config.cost_model.Cost_model.c_counter;
+          st.counters.(c) <- st.counters.(c) + 1
+      | Probe.Bulk_add (c, e) ->
+          charge st
+            (st.config.cost_model.Cost_model.c_counter
+            + Cost_model.expr_cost st.config.cost_model e);
+          st.counters.(c) <- st.counters.(c) + Value.to_int (eval st frame e))
+    acts
+
+(* ---- entry points and results ---- *)
+
+type outcome = Normal_stop | Fell_off_end
+
+let run (st : t) : outcome =
+  let main = Program.main_proc st.prog in
+  match call_proc st main [] with
+  | exception Stopped -> Normal_stop
+  | _ -> Fell_off_end
+
+let cycles st = st.cycles
+let steps st = st.steps
+let output st = Buffer.contents st.out
+let counters st = Array.copy st.counters
+
+let cproc st name =
+  match Hashtbl.find_opt st.cprocs name with
+  | Some cp -> cp
+  | None -> invalid_arg (Printf.sprintf "Interp.cproc: unknown procedure %s" name)
+
+let invocations st name = (cproc st name).invocations
+
+(* oracle: executions of a node *)
+let node_execs st name node = (cproc st name).code.(node).execs
+
+(* oracle: traversals of the CFG edge (node, label) *)
+let edge_count st name node label =
+  let cn = (cproc st name).code.(node) in
+  let total = ref 0 in
+  Array.iteri
+    (fun k (l, _) -> if Label.equal l label then total := !total + cn.edge_counts.(k))
+    cn.succ;
+  !total
+
+(* PC-sampling hits of a node *)
+let node_samples st name node = (cproc st name).code.(node).samples

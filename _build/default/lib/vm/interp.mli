@@ -1,0 +1,67 @@
+(** The MF77 virtual machine: a cycle-accounting interpreter over the
+    statement-level CFGs — the stand-in for the paper's IBM 3090 testbed.
+
+    Alongside executing the program it maintains, for free, "oracle"
+    counts of every node execution and edge traversal (ground truth for
+    the profiling machinery), fires instrumentation probes (charging
+    [c_counter] cycles each — the Table 1 overhead), and can simulate a
+    PC-sampling profiler. *)
+
+module Ast = S89_frontend.Ast
+module Program = S89_frontend.Program
+open S89_cfg
+
+(** The step budget was exhausted (runaway program). *)
+exception Out_of_fuel
+
+(** Recursion exceeded [max_call_depth] (runaway recursion). *)
+exception Call_depth_exceeded of int
+
+type config = {
+  cost_model : Cost_model.t;
+  instr : Probe.t;  (** instrumentation ({!Probe.empty} = none) *)
+  seed : int;  (** PRNG seed for RAND()/IRAND() *)
+  max_steps : int;  (** fuel: statements executed before {!Out_of_fuel} *)
+  max_call_depth : int;  (** recursion guard ({!Call_depth_exceeded}) *)
+  sample_interval : int option;  (** simulated PC sampling every N cycles *)
+}
+
+val default_config : config
+
+type t
+
+(** Compile a program for execution under a configuration. *)
+val create : ?config:config -> Program.t -> t
+
+type outcome =
+  | Normal_stop  (** a STOP statement executed *)
+  | Fell_off_end  (** the main program returned *)
+
+(** Execute the main program.
+    @raise Out_of_fuel when [max_steps] is exceeded
+    @raise S89_vm.Value.Runtime_error on runtime errors *)
+val run : t -> outcome
+
+(** Simulated cycles charged so far (including probe costs). *)
+val cycles : t -> int
+
+(** Statements executed so far. *)
+val steps : t -> int
+
+(** Accumulated PRINT output. *)
+val output : t -> string
+
+(** Snapshot of the instrumentation counters. *)
+val counters : t -> int array
+
+(** Number of invocations of a procedure. *)
+val invocations : t -> string -> int
+
+(** Oracle: executions of a CFG node. *)
+val node_execs : t -> string -> int -> int
+
+(** Oracle: traversals of the CFG edge [(node, label)]. *)
+val edge_count : t -> string -> int -> Label.t -> int
+
+(** PC-sampling hits attributed to a node (0 unless sampling is on). *)
+val node_samples : t -> string -> int -> int

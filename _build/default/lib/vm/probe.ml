@@ -1,0 +1,67 @@
+(* Profiling instrumentation: counters attached to CFG nodes and edges.
+
+   The VM fires these while executing and charges [c_counter] cycles per
+   action (plus the cost of evaluating a bulk expression), which is how the
+   Table 1 profiling overheads are measured.
+
+   Action kinds mirror the paper's §3:
+   - [Incr c]            — the ordinary "increment a counter" update;
+   - [Bulk_add (c, e)]   — the DO-loop optimization: add a computed trip
+                           count to the counter once at loop entry. *)
+
+module Ast = S89_frontend.Ast
+
+type action = Incr of int | Bulk_add of int * Ast.expr
+
+type proc_instr = {
+  on_node : action list array; (* indexed by CFG node id *)
+  on_edge : (S89_cfg.Label.t * action list) list array; (* by source node id *)
+}
+
+type t = {
+  n_counters : int;
+  by_proc : (string, proc_instr) Hashtbl.t;
+}
+
+let empty = { n_counters = 0; by_proc = Hashtbl.create 1 }
+
+let make ~n_counters = { n_counters; by_proc = Hashtbl.create 8 }
+
+let proc_instr_create n =
+  { on_node = Array.make n []; on_edge = Array.make n [] }
+
+let ensure_proc t name ~num_nodes =
+  match Hashtbl.find_opt t.by_proc name with
+  | Some pi -> pi
+  | None ->
+      let pi = proc_instr_create num_nodes in
+      Hashtbl.replace t.by_proc name pi;
+      pi
+
+let add_node_action t ~proc ~num_nodes ~node action =
+  let pi = ensure_proc t proc ~num_nodes in
+  pi.on_node.(node) <- pi.on_node.(node) @ [ action ]
+
+let add_edge_action t ~proc ~num_nodes ~node ~label action =
+  let pi = ensure_proc t proc ~num_nodes in
+  let rec insert = function
+    | [] -> [ (label, [ action ]) ]
+    | (l, acts) :: rest when S89_cfg.Label.equal l label -> (l, acts @ [ action ]) :: rest
+    | x :: rest -> x :: insert rest
+  in
+  pi.on_edge.(node) <- insert pi.on_edge.(node)
+
+let find_proc t name = Hashtbl.find_opt t.by_proc name
+
+(* static counter-update count helpers for reporting *)
+let num_actions t =
+  Hashtbl.fold
+    (fun _ pi acc ->
+      let n = Array.fold_left (fun a l -> a + List.length l) 0 pi.on_node in
+      let e =
+        Array.fold_left
+          (fun a ls -> a + List.fold_left (fun a (_, l) -> a + List.length l) 0 ls)
+          0 pi.on_edge
+      in
+      acc + n + e)
+    t.by_proc 0

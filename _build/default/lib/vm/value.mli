@@ -1,0 +1,45 @@
+(** Runtime values with Fortran-flavoured arithmetic: INTEGER division
+    truncates toward zero, mixed INTEGER/REAL promotes to REAL, and
+    [i ** j] with non-negative integer exponents stays INTEGER. *)
+
+module Ast = S89_frontend.Ast
+
+type t = Int of int | Real of float | Bool of bool
+
+exception Runtime_error of string
+
+(** Raise {!Runtime_error} with a formatted message. *)
+val err : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** The zero/false value of a declared type. *)
+val zero_of : Ast.typ -> t
+
+val to_float : t -> float
+
+(** Truncating conversion (Fortran INT()). *)
+val to_int : t -> int
+
+val to_bool : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Coerce for storage into a variable of the given declared type. *)
+val coerce : Ast.typ -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises {!Runtime_error} on division by zero. *)
+val div : t -> t -> t
+
+(** Raises {!Runtime_error} on negative INTEGER exponents. *)
+val pow : t -> t -> t
+
+val neg : t -> t
+val compare_num : t -> t -> int
+
+(** Relational operators ([Lt] .. [Ne]). *)
+val rel : Ast.binop -> t -> t -> t
+
+(** Logical operators ([And], [Or]). *)
+val logic : Ast.binop -> t -> t -> t

@@ -1,0 +1,1 @@
+lib/workloads/linpack_like.mli:

@@ -1,0 +1,1 @@
+lib/workloads/simple_code.ml: Printf

@@ -1,0 +1,244 @@
+(* Small demonstration programs used by examples, tests and benches. *)
+
+(* The paper's Figure 1 code fragment, embedded in a runnable program.
+   M and N are chosen so that the loop body executes a few times and
+   terminates through the IF (N .LT. 0) branch. *)
+let fig1 ?(m = 3) ?(n = 7) () =
+  Printf.sprintf
+    {|
+      PROGRAM FIG1
+      INTEGER M, N
+      M = %d
+      N = %d
+10    IF (M .GE. 0) THEN
+        IF (N .LT. 0) GOTO 20
+      ELSE
+        IF (N .GE. 0) GOTO 20
+      ENDIF
+      CALL FOO(M,N)
+      GOTO 10
+20    CONTINUE
+      END
+
+      SUBROUTINE FOO(M,N)
+      M = M - 1
+      IF (M .EQ. 1) N = -N
+      END
+|}
+    m n
+
+(* A branchy numeric program whose execution time genuinely varies from
+   run to run: used for estimator-accuracy experiments (estimated TIME
+   vs. mean measured cycles, estimated STD_DEV vs. empirical). *)
+let branchy ?(n = 200) () =
+  Printf.sprintf
+    {|
+      PROGRAM BRANCHY
+      REAL X(%d)
+      INTEGER N, I
+      N = %d
+      S = 0.0
+      DO 10 I = 1, N
+        X(I) = RAND()
+10    CONTINUE
+      DO 20 I = 1, N
+        IF (X(I) .GT. 0.5) THEN
+          S = S + SQRT(X(I)) * FN(X(I))
+        ELSE
+          S = S - X(I)
+        ENDIF
+        IF (X(I) .GT. 0.9) THEN
+          S = S + EXP(X(I))
+        ENDIF
+20    CONTINUE
+      END
+
+      REAL FUNCTION FN(Y)
+      IF (Y .GT. 0.75) THEN
+        FN = Y * Y
+      ELSE
+        FN = Y + 1.0
+      ENDIF
+      END
+|}
+    n n
+
+(* A loop whose body time depends on data through a heavy conditional
+   path — the §5 chunking scenario: the estimator's VAR of the body picks
+   the chunk size. [p_heavy] is the probability (in percent) of the slow
+   path. *)
+let chunky ?(iters = 500) ?(p_heavy = 20) () =
+  Printf.sprintf
+    {|
+      PROGRAM CHUNKY
+      REAL W(%d)
+      INTEGER N, I, K
+      N = %d
+      DO 10 I = 1, N
+        W(I) = RAND()
+10    CONTINUE
+      S = 0.0
+      DO 20 I = 1, N
+        IF (W(I) .LT. %f) THEN
+          DO 15 K = 1, 40
+            S = S + SQRT(W(I) + REAL(K))
+15        CONTINUE
+        ELSE
+          S = S + W(I)
+        ENDIF
+20    CONTINUE
+      END
+|}
+    iters iters
+    (float_of_int p_heavy /. 100.0)
+
+(* Nested loops with data-dependent trip counts: exercises loop-frequency
+   variance (profiled second moments vs. assumed distributions). *)
+let nested_random ?(outer = 50) ?(max_inner = 30) () =
+  Printf.sprintf
+    {|
+      PROGRAM NESTED
+      INTEGER N, I, J, M
+      N = %d
+      S = 0.0
+      DO 20 I = 1, N
+        M = IRAND(%d)
+        DO 10 J = 1, M
+          S = S + REAL(J)*0.5
+10      CONTINUE
+20    CONTINUE
+      END
+|}
+    outer max_inner
+
+(* Mutual recursion (an extension the paper defers): EVEN/ODD on a counter.
+   Used to exercise the fixpoint recursion policy. *)
+let recursive ?(n = 12) () =
+  Printf.sprintf
+    {|
+      PROGRAM RECUR
+      INTEGER N, R
+      N = %d
+      R = 0
+      CALL EVEN(N, R)
+      END
+
+      SUBROUTINE EVEN(N, R)
+      INTEGER N, R
+      IF (N .LE. 0) THEN
+        R = 1
+      ELSE
+        CALL ODD(N - 1, R)
+      ENDIF
+      END
+
+      SUBROUTINE ODD(N, R)
+      INTEGER N, R
+      IF (N .LE. 0) THEN
+        R = 0
+      ELSE
+        CALL EVEN(N - 1, R)
+      ENDIF
+      END
+|}
+    n
+
+(* Unstructured GOTO mess that is still reducible, plus a variant that is
+   genuinely irreducible (two-entry loop) to exercise node splitting. *)
+let irreducible () =
+  {|
+      PROGRAM IRRED
+      INTEGER I, K
+      I = 0
+      K = 10
+      IF (K .GT. 5) GOTO 20
+10    I = I + 1
+      GOTO 30
+20    I = I + 2
+30    K = K - 1
+      IF (K .GT. 7) GOTO 10
+      IF (K .GT. 0) GOTO 20
+      END
+|}
+
+(* computed GOTO dispatcher *)
+let computed_goto ?(n = 30) () =
+  Printf.sprintf
+    {|
+      PROGRAM CGOTO
+      INTEGER N, I, K, C1, C2, C3
+      N = %d
+      C1 = 0
+      C2 = 0
+      C3 = 0
+      DO 50 I = 1, N
+        K = IRAND(4)
+        GOTO (10, 20, 30), K
+        C3 = C3 - 1
+        GOTO 40
+10      C1 = C1 + 1
+        GOTO 40
+20      C2 = C2 + 1
+        GOTO 40
+30      C3 = C3 + 1
+40      CONTINUE
+50    CONTINUE
+      END
+|}
+    n
+
+(* Bubble sort with data-dependent swaps: the classic example of a branch
+   whose probability drifts as the data gets sorted — a stress test for
+   the estimator's independent-branch assumption. *)
+let sort ?(n = 60) ?(passes = 0) () =
+  let passes = if passes = 0 then n - 1 else passes in
+  Printf.sprintf
+    {|
+      PROGRAM SORT
+      REAL A(%d)
+      INTEGER N, I, J, NSWAP
+      N = %d
+      DO 10 I = 1, N
+        A(I) = RAND()
+10    CONTINUE
+      NSWAP = 0
+      DO 30 I = 1, %d
+        DO 20 J = 1, N - 1
+          IF (A(J) .GT. A(J+1)) THEN
+            T = A(J)
+            A(J) = A(J+1)
+            A(J+1) = T
+            NSWAP = NSWAP + 1
+          ENDIF
+20      CONTINUE
+30    CONTINUE
+      END
+|}
+    n n passes
+
+(* Sieve of Eratosthenes: integer-heavy with a data-dependent inner loop
+   entry (only primes trigger the marking loop). *)
+let sieve ?(n = 300) () =
+  Printf.sprintf
+    {|
+      PROGRAM SIEVE
+      INTEGER FLAGS(%d)
+      INTEGER N, I, K, COUNT
+      N = %d
+      DO 10 I = 1, N
+        FLAGS(I) = 1
+10    CONTINUE
+      COUNT = 0
+      DO 30 I = 2, N
+        IF (FLAGS(I) .EQ. 1) THEN
+          COUNT = COUNT + 1
+          K = I + I
+20        IF (K .GT. N) GOTO 30
+          FLAGS(K) = 0
+          K = K + I
+          GOTO 20
+        ENDIF
+30    CONTINUE
+      END
+|}
+    n n

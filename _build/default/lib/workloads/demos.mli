@@ -1,0 +1,37 @@
+(** Small demonstration programs used by examples, tests and benches. *)
+
+(** The paper's Figure 1 fragment in a runnable program ([m]/[n] choose
+    the initial values; defaults terminate through IF (N.LT.0)). *)
+val fig1 : ?m:int -> ?n:int -> unit -> string
+
+(** A branchy numeric program whose execution time varies run to run
+    (estimator-accuracy experiments). *)
+val branchy : ?n:int -> unit -> string
+
+(** A loop whose body time is bimodal through a heavy conditional path —
+    the §5 chunking scenario.  [p_heavy] is the slow-path probability in
+    percent. *)
+val chunky : ?iters:int -> ?p_heavy:int -> unit -> string
+
+(** Nested loops with data-dependent trip counts (loop-frequency
+    variance). *)
+val nested_random : ?outer:int -> ?max_inner:int -> unit -> string
+
+(** Mutual recursion (EVEN/ODD) — exercises the fixpoint recursion
+    policy. *)
+val recursive : ?n:int -> unit -> string
+
+(** A genuinely irreducible two-entry loop — exercises node splitting. *)
+val irreducible : unit -> string
+
+(** A computed-GOTO dispatcher. *)
+val computed_goto : ?n:int -> unit -> string
+
+(** Bubble sort: swap-branch probability drifts as data sorts — a stress
+    test for the independent-branch assumption.  [passes] defaults to
+    [n-1] (full sort). *)
+val sort : ?n:int -> ?passes:int -> unit -> string
+
+(** Sieve of Eratosthenes: integer-heavy, with a GOTO marking loop entered
+    only for primes. *)
+val sieve : ?n:int -> unit -> string

@@ -1,0 +1,95 @@
+(* LINPACK-style LU factorization and solve (DGEFA/DGESL shape): the
+   classic numeric benchmark companion to the Livermore loops.
+
+   Profiling-wise it contributes what LOOPS lacks: whole arrays passed by
+   reference between procedures, a data-dependent pivot-selection branch
+   (taken ~ln(n)/n of the time), a data-dependent row-swap branch, and
+   triangular (non-rectangular) loop nests whose inner trip counts vary
+   per outer iteration — loop-frequency variance that profiled second
+   moments can pick up. *)
+
+let default_n = 24
+
+let source ?(n = default_n) ?(nrhs = 3) () =
+  Printf.sprintf
+    {|
+      PROGRAM LINPAK
+      REAL A(%d, %d), B(%d)
+      INTEGER IPVT(%d)
+      INTEGER N, I, J, R
+      N = %d
+!     --- a random system; partial pivoting supplies the stability, and
+!     the pivot/swap branches stay genuinely data dependent ---
+      DO 10 I = 1, N
+        DO 5 J = 1, N
+          A(I, J) = RAND() - 0.5
+5       CONTINUE
+        A(I, I) = A(I, I) + SIGN(0.25, A(I, I))
+10    CONTINUE
+      CALL GEFA(A, N, IPVT)
+      DO 30 R = 1, %d
+        DO 20 I = 1, N
+          B(I) = RAND()
+20      CONTINUE
+        CALL GESL(A, N, IPVT, B)
+30    CONTINUE
+      END
+
+!     LU factorization with partial pivoting (DGEFA shape)
+      SUBROUTINE GEFA(A, N, IPVT)
+      REAL A(%d, %d)
+      INTEGER IPVT(%d)
+      INTEGER N, K, I, J, L
+      DO 60 K = 1, N - 1
+!       pivot search down column K
+        L = K
+        DO 40 I = K + 1, N
+          IF (ABS(A(I, K)) .GT. ABS(A(L, K))) L = I
+40      CONTINUE
+        IPVT(K) = L
+!       row swap when a better pivot was found (data dependent)
+        IF (L .NE. K) THEN
+          DO 45 J = K, N
+            T = A(L, J)
+            A(L, J) = A(K, J)
+            A(K, J) = T
+45        CONTINUE
+        ENDIF
+!       compute multipliers and eliminate below the diagonal
+        DO 55 I = K + 1, N
+          A(I, K) = A(I, K) / A(K, K)
+          DO 50 J = K + 1, N
+            A(I, J) = A(I, J) - A(I, K) * A(K, J)
+50        CONTINUE
+55      CONTINUE
+60    CONTINUE
+      IPVT(N) = N
+      END
+
+!     triangular solve using the stored factors (DGESL shape)
+      SUBROUTINE GESL(A, N, IPVT, B)
+      REAL A(%d, %d), B(%d)
+      INTEGER IPVT(%d)
+      INTEGER N, K, I, L
+!     forward elimination with the recorded pivots
+      DO 80 K = 1, N - 1
+        L = IPVT(K)
+        IF (L .NE. K) THEN
+          T = B(L)
+          B(L) = B(K)
+          B(K) = T
+        ENDIF
+        DO 70 I = K + 1, N
+          B(I) = B(I) - A(I, K) * B(K)
+70      CONTINUE
+80    CONTINUE
+!     back substitution
+      DO 100 K = N, 1, -1
+        B(K) = B(K) / A(K, K)
+        DO 90 I = 1, K - 1
+          B(I) = B(I) - A(I, K) * B(K)
+90      CONTINUE
+100   CONTINUE
+      END
+|}
+    n n n n n nrhs n n n n n n n

@@ -1,0 +1,8 @@
+(** LINPACK-style LU factorization + solve (DGEFA/DGESL shape): whole
+    arrays by reference, a data-dependent pivot branch, and triangular
+    loop nests with per-iteration trip counts. *)
+
+val default_n : int
+
+(** The benchmark at matrix order [n] with [nrhs] right-hand sides. *)
+val source : ?n:int -> ?nrhs:int -> unit -> string

@@ -1,0 +1,584 @@
+(* LOOPS: an MF77 rendition of the 24 Livermore Fortran Kernels (McMahon
+   1986), the paper's first Table 1 benchmark.
+
+   These are structural stand-ins, not bit-exact ports: each kernel keeps
+   the control-flow and access-pattern character of its original (DO
+   nests, recurrences, strided and indirect access, the famously branchy
+   kernels 15/16/17/24 with GOTOs and conditional loop exits), at a size
+   that an interpreter handles comfortably.  Every kernel initializes its
+   own locals (partly with RAND(), so profiled branch frequencies vary
+   across seeded runs, as real input data would). *)
+
+let n = 400 (* 1-D kernel length *)
+let rep = 3 (* inner repetition count *)
+
+let source =
+  Printf.sprintf
+    {|
+      PROGRAM LOOPS
+      CALL K1
+      CALL K2
+      CALL K3
+      CALL K4
+      CALL K5
+      CALL K6
+      CALL K7
+      CALL K8
+      CALL K9
+      CALL K10
+      CALL K11
+      CALL K12
+      CALL K13
+      CALL K14
+      CALL K15
+      CALL K16
+      CALL K17
+      CALL K18
+      CALL K19
+      CALL K20
+      CALL K21
+      CALL K22
+      CALL K23
+      CALL K24
+      END
+
+!     kernel 1: hydro fragment
+      SUBROUTINE K1
+      REAL X(%d), Y(%d), Z(%d)
+      INTEGER N, L, K
+      N = %d
+      DO 5 K = 1, N
+        Y(K) = RAND()
+        Z(K) = RAND()
+5     CONTINUE
+      Q = 0.5
+      R = 0.1
+      T = 0.01
+      DO 10 L = 1, %d
+        DO 10 K = 1, N - 11
+          X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))
+10    CONTINUE
+      END
+
+!     kernel 2: ICCG-like halving recursion (strided sweep)
+      SUBROUTINE K2
+      REAL X(%d)
+      INTEGER N, K, IPNT, IPNTP, II, I
+      N = %d
+      DO 5 K = 1, N
+        X(K) = RAND()
+5     CONTINUE
+      II = N/2
+      IPNTP = 0
+20    IPNT = IPNTP
+      IPNTP = IPNTP + II
+      II = II/2
+      I = IPNTP + 1
+      DO 30 K = IPNT+2, IPNTP, 2
+        I = I + 1
+        X(I) = X(K) - X(K-1)*X(K+1)
+30    CONTINUE
+      IF (II .GT. 1) GOTO 20
+      END
+
+!     kernel 3: inner product
+      SUBROUTINE K3
+      REAL X(%d), Z(%d)
+      INTEGER N, L, K
+      N = %d
+      DO 5 K = 1, N
+        X(K) = RAND()
+        Z(K) = RAND()
+5     CONTINUE
+      Q = 0.0
+      DO 10 L = 1, %d
+        DO 10 K = 1, N
+          Q = Q + Z(K)*X(K)
+10    CONTINUE
+      END
+
+!     kernel 4: banded linear equations
+      SUBROUTINE K4
+      REAL X(%d), Y(%d)
+      INTEGER N, L, K, M, J
+      N = %d
+      DO 5 K = 1, N
+        X(K) = 1.0
+        Y(K) = 0.001
+5     CONTINUE
+      M = (N - 7)/2
+      DO 10 L = 1, %d
+        DO 10 K = 7, N, M
+          Q = 0.0
+          DO 15 J = 1, 4
+            Q = Q + Y(J)*X(K-J)
+15        CONTINUE
+          X(K) = X(K) - Q*0.1
+10    CONTINUE
+      END
+
+!     kernel 5: tri-diagonal elimination, below diagonal
+      SUBROUTINE K5
+      REAL X(%d), Y(%d), Z(%d)
+      INTEGER N, L, I
+      N = %d
+      DO 5 I = 1, N
+        X(I) = 0.0
+        Y(I) = RAND()
+        Z(I) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 I = 2, N
+          X(I) = Z(I)*(Y(I) - X(I-1))
+10    CONTINUE
+      END
+
+!     kernel 6: general linear recurrence equations
+      SUBROUTINE K6
+      REAL W(%d), B(60,60)
+      INTEGER N, L, I, K
+      N = 50
+      DO 5 I = 1, N
+        W(I) = 0.01
+        DO 5 K = 1, N
+          B(K,I) = 0.001
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 I = 2, N
+          W(I) = 0.01
+          DO 10 K = 1, I-1
+            W(I) = W(I) + B(I,K)*W(I-K)
+10    CONTINUE
+      END
+
+!     kernel 7: equation of state fragment
+      SUBROUTINE K7
+      REAL X(%d), Y(%d), Z(%d), U(%d)
+      INTEGER N, L, K
+      N = %d
+      DO 5 K = 1, N
+        Y(K) = RAND()
+        Z(K) = RAND()
+        U(K) = RAND()
+5     CONTINUE
+      Q = 0.5
+      R = 0.1
+      T = 0.01
+      DO 10 L = 1, %d
+        DO 10 K = 1, N - 6
+          X(K) = U(K) + R*(Z(K) + R*Y(K)) +
+     & T*(U(K+3) + R*(U(K+2) + R*U(K+1)) + T*(U(K+6) + Q*(U(K+5) + Q*U(K+4))))
+10    CONTINUE
+      END
+
+!     kernel 8: ADI integration fragment
+      SUBROUTINE K8
+      REAL U1(5,105), U2(5,105), U3(5,105)
+      INTEGER NL, KX, KY, L
+      NL = 100
+      DO 5 KX = 1, 5
+        DO 5 KY = 1, NL + 3
+          U1(KX,KY) = RAND()
+          U2(KX,KY) = RAND()
+          U3(KX,KY) = RAND()
+5     CONTINUE
+      A11 = 0.1
+      A12 = 0.2
+      DO 10 L = 1, %d
+        DO 10 KX = 2, 4
+          DO 10 KY = 2, NL
+            U1(KX,KY) = U1(KX,KY) + A11*(U2(KX,KY+1) - U2(KX,KY-1))
+     & + A12*(U3(KX,KY+1) - U3(KX,KY-1))
+10    CONTINUE
+      END
+
+!     kernel 9: integrate predictors
+      SUBROUTINE K9
+      REAL PX(13,%d)
+      INTEGER N, L, I, J
+      N = 100
+      DO 5 J = 1, 13
+        DO 5 I = 1, N
+          PX(J,I) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 I = 1, N
+          PX(1,I) = 0.1*PX(3,I) + 0.2*PX(4,I) + 0.3*PX(5,I)
+     & + 0.4*PX(6,I) + 0.5*PX(7,I) + 0.6*PX(8,I)
+10    CONTINUE
+      END
+
+!     kernel 10: difference predictors
+      SUBROUTINE K10
+      REAL CX(13,%d)
+      INTEGER N, L, I
+      N = 100
+      DO 5 I = 1, N
+        CX(5,I) = RAND()
+        CX(6,I) = 0.0
+        CX(7,I) = 0.0
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 I = 1, N
+          AR = CX(5,I)
+          BR = AR - CX(6,I)
+          CX(6,I) = AR
+          CR = BR - CX(7,I)
+          CX(7,I) = BR
+          CX(8,I) = CR
+10    CONTINUE
+      END
+
+!     kernel 11: first sum (prefix sum)
+      SUBROUTINE K11
+      REAL X(%d), Y(%d)
+      INTEGER N, L, K
+      N = %d
+      DO 5 K = 1, N
+        Y(K) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        X(1) = Y(1)
+        DO 10 K = 2, N
+          X(K) = X(K-1) + Y(K)
+10    CONTINUE
+      END
+
+!     kernel 12: first difference
+      SUBROUTINE K12
+      REAL X(%d), Y(%d)
+      INTEGER N, L, K
+      N = %d
+      DO 5 K = 1, N + 1
+        Y(K) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 K = 1, N
+          X(K) = Y(K+1) - Y(K)
+10    CONTINUE
+      END
+
+!     kernel 13: 2-D particle in cell (indirect addressing)
+      SUBROUTINE K13
+      REAL P(4,130), B(8,8), C(8,8), Y(%d), Z(%d), H(8,8)
+      INTEGER NP, L, IP, I1, J1, I2, J2
+      NP = 100
+      DO 5 IP = 1, NP
+        P(1,IP) = 1.0 + 6.0*RAND()
+        P(2,IP) = 1.0 + 6.0*RAND()
+        P(3,IP) = RAND()
+        P(4,IP) = RAND()
+5     CONTINUE
+      DO 6 I1 = 1, 8
+        DO 6 J1 = 1, 8
+          B(I1,J1) = RAND()
+          C(I1,J1) = RAND()
+          H(I1,J1) = 0.0
+6     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 IP = 1, NP
+          I1 = INT(P(1,IP))
+          J1 = INT(P(2,IP))
+          P(3,IP) = P(3,IP) + B(I1,J1)
+          P(1,IP) = P(1,IP) + P(3,IP)*0.01
+          I2 = INT(P(1,IP))
+          J2 = INT(P(2,IP))
+          IF (I2 .LT. 1) I2 = 1
+          IF (I2 .GT. 8) I2 = 8
+          P(1,IP) = P(1,IP) + C(I2,J2)
+          IF (P(1,IP) .LT. 1.0) P(1,IP) = P(1,IP) + 6.0
+          IF (P(1,IP) .GT. 7.0) P(1,IP) = P(1,IP) - 6.0
+          H(I2,J2) = H(I2,J2) + 1.0
+10    CONTINUE
+      END
+
+!     kernel 14: 1-D particle in cell
+      SUBROUTINE K14
+      REAL VX(%d), XX(%d), GR(%d), EX(%d), XI(%d)
+      INTEGER N, L, K, IX
+      N = 150
+      DO 5 K = 1, N
+        VX(K) = 0.0
+        XX(K) = 1.0 + 62.0*RAND()
+        EX(K) = RAND()
+        GR(K) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 K = 1, N
+          IX = INT(XX(K))
+          IF (IX .LT. 1) IX = 1
+          IF (IX .GT. 64) IX = 64
+          XI(K) = REAL(IX)
+          VX(K) = VX(K) + EX(IX) + (XX(K) - XI(K))*GR(IX)
+          XX(K) = XX(K) + VX(K)*0.0001
+          IF (XX(K) .LT. 1.0) XX(K) = XX(K) + 60.0
+          IF (XX(K) .GT. 63.0) XX(K) = XX(K) - 60.0
+10    CONTINUE
+      END
+
+!     kernel 15: casual Fortran, development version (very branchy)
+      SUBROUTINE K15
+      REAL VY(30,30), VS(30,30), VF(30,30), VG(30,30), VH(30,30)
+      INTEGER NG, NZ, L, J, K
+      NG = 20
+      NZ = 20
+      DO 5 J = 1, NG
+        DO 5 K = 1, NZ
+          VY(J,K) = RAND() - 0.3
+          VS(J,K) = RAND() - 0.4
+          VF(J,K) = RAND()
+          VG(J,K) = RAND()
+          VH(J,K) = RAND()
+5     CONTINUE
+      DO 45 L = 1, %d
+      DO 40 J = 2, NG
+        DO 40 K = 2, NZ
+          IF (J .LT. NG) GOTO 31
+          VY(J,K) = 0.0
+          GOTO 45
+31        IF (VH(J,K+1) .GE. VH(J,K)) THEN
+            T = 0.001
+          ELSE
+            T = 0.002
+          ENDIF
+          IF (VF(J,K) .GE. VF(J-1,K)) THEN
+            R = VG(J-1,K)
+          ELSE
+            R = VG(J,K)
+          ENDIF
+          VY(J,K) = SQRT(VS(J,K)*VS(J,K) + R*R)*T/ABS(VS(J,K) + R + 0.01)
+40    CONTINUE
+45    CONTINUE
+      END
+
+!     kernel 16: Monte Carlo search loop (GOTO spaghetti)
+      SUBROUTINE K16
+      REAL PLAN(300), ZONE(300)
+      INTEGER II, LB, K2, K3, L, I, J, IND, K, M
+      II = 100
+      LB = II + II
+      K3 = 0
+      K2 = 0
+      DO 5 I = 1, 300
+        PLAN(I) = RAND()*3.0
+        ZONE(I) = 0.5 + RAND()
+5     CONTINUE
+      DO 485 L = 1, %d
+        M = 1
+        J = 2
+        IND = 0
+405     K = M + J
+        K2 = K2 + 1
+        IF (K .GT. 290) GOTO 475
+        IF (PLAN(K) .EQ. ZONE(K)) GOTO 450
+        IF (PLAN(K) .GT. ZONE(K)) GOTO 460
+420     IF (IND .GT. 10) GOTO 475
+        IND = IND + 1
+        J = J + 1
+        GOTO 405
+450     K3 = K3 + 1
+        GOTO 475
+460     M = M + J
+        IF (M .GT. 280) GOTO 475
+        IND = 0
+        J = 2
+        GOTO 405
+475     CONTINUE
+485   CONTINUE
+      END
+
+!     kernel 17: implicit, conditional computation (GOTO loop)
+      SUBROUTINE K17
+      REAL VXNE(%d), VXND(%d), VE3(%d)
+      INTEGER N, L, I, K
+      N = 100
+      DO 5 I = 1, N
+        VXNE(I) = RAND()
+        VXND(I) = RAND()
+5     CONTINUE
+      DO 62 L = 1, %d
+        K = N
+        XNM = 0.0033
+        E6 = 0.1
+60      VE3(K) = E6
+        E6 = (VXNE(K) + VXND(K))*0.5 + XNM*E6
+        XNM = E6*0.01
+        K = K - 1
+        IF (K .GT. 1) GOTO 60
+        VE3(1) = E6
+62    CONTINUE
+      END
+
+!     kernel 18: 2-D explicit hydrodynamics fragment
+      SUBROUTINE K18
+      REAL ZA(30,30), ZB(30,30), ZP(30,30), ZQ(30,30), ZR(30,30), ZU(30,30)
+      INTEGER KN, JN, L, K, J
+      KN = 25
+      JN = 25
+      DO 5 K = 1, 30
+        DO 5 J = 1, 30
+          ZP(K,J) = RAND()
+          ZQ(K,J) = RAND()
+          ZR(K,J) = RAND()
+          ZU(K,J) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 K = 2, KN
+          DO 10 J = 2, JN
+            ZA(K,J) = (ZP(K+1,J-1) + ZQ(K+1,J-1) - ZP(K,J-1) - ZQ(K,J-1))
+     & *(ZR(K,J) + ZR(K,J-1))/(ZU(K,J-1) + ZU(K+1,J-1) + 0.5)
+            ZB(K,J) = (ZP(K,J-1) + ZQ(K,J-1) - ZP(K,J) - ZQ(K,J))
+     & *(ZR(K,J) + ZR(K-1,J))/(ZU(K,J) + ZU(K,J-1) + 0.5)
+10    CONTINUE
+      END
+
+!     kernel 19: general linear recurrence equations (forward+backward)
+      SUBROUTINE K19
+      REAL B5(%d), SA(%d), SB(%d)
+      INTEGER N, L, K, KB
+      N = 100
+      DO 5 K = 1, N
+        SA(K) = RAND()
+        SB(K) = RAND()*0.1
+5     CONTINUE
+      STB5 = 0.1
+      DO 10 L = 1, %d
+        DO 6 K = 1, N
+          B5(K) = SA(K) + STB5*SB(K)
+          STB5 = B5(K) - STB5
+6       CONTINUE
+        DO 8 KB = 1, N
+          K = N - KB + 1
+          B5(K) = SA(K) + STB5*SB(K)
+          STB5 = B5(K) - STB5
+8       CONTINUE
+10    CONTINUE
+      END
+
+!     kernel 20: discrete ordinates transport
+      SUBROUTINE K20
+      REAL G(%d), VXX(%d), XLL(%d), XLR(%d), VSP(%d), VST(%d)
+      INTEGER N, L, K
+      N = 100
+      DO 5 K = 1, N
+        G(K) = RAND()
+        VXX(K) = 0.01
+        XLL(K) = RAND()
+        XLR(K) = RAND()
+        VSP(K) = RAND()*0.5
+        VST(K) = RAND()*0.5 + 0.5
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 K = 1, N
+          DI = XLR(K) - XLL(K)*VXX(K)
+          DN = 0.2
+          IF (DI .NE. 0.0) THEN
+            DN = G(K)/DI
+            IF (DN .LT. 0.2) DN = 0.2
+            IF (DN .GT. 2.0) DN = 2.0
+          ENDIF
+          VXX(K) = (XLL(K) + VSP(K)*DN)/(VST(K) + DN + 0.01)
+10    CONTINUE
+      END
+
+!     kernel 21: matrix * matrix product
+      SUBROUTINE K21
+      REAL PX(25,25), VY(25,25), CX(25,25)
+      INTEGER L, I, J, K
+      DO 5 I = 1, 25
+        DO 5 J = 1, 25
+          VY(I,J) = RAND()
+          CX(I,J) = RAND()
+          PX(I,J) = 0.0
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 K = 1, 25
+          DO 10 I = 1, 25
+            DO 10 J = 1, 25
+              PX(I,J) = PX(I,J) + VY(I,K)*CX(K,J)
+10    CONTINUE
+      END
+
+!     kernel 22: Planck distribution
+      SUBROUTINE K22
+      REAL Y(%d), U(%d), V(%d), W(%d), X(%d)
+      INTEGER N, L, K
+      N = 100
+      DO 5 K = 1, N
+        U(K) = 0.5 + RAND()
+        V(K) = 0.5 + RAND()
+        Y(K) = 0.0
+        X(K) = 0.0
+5     CONTINUE
+      EXPMAX = 20.0
+      DO 10 L = 1, %d
+        DO 10 K = 1, N
+          Y(K) = U(K)/V(K)
+          IF (Y(K) .GT. EXPMAX) Y(K) = EXPMAX
+          W(K) = X(K)/(EXP(Y(K)) - 1.0 + 0.001)
+10    CONTINUE
+      END
+
+!     kernel 23: 2-D implicit hydrodynamics fragment
+      SUBROUTINE K23
+      REAL ZA(30,30), ZB(30,30), ZR(30,30), ZU(30,30), ZV(30,30), ZZ(30,30)
+      INTEGER L, J, K
+      DO 5 J = 1, 30
+        DO 5 K = 1, 30
+          ZA(J,K) = RAND()
+          ZB(J,K) = RAND()
+          ZR(J,K) = RAND()
+          ZU(J,K) = RAND()
+          ZV(J,K) = RAND()
+          ZZ(J,K) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        DO 10 J = 2, 25
+          DO 10 K = 2, 25
+            QA = ZA(J+1,K)*ZR(J,K) + ZA(J-1,K)*ZB(J,K)
+     & + ZA(J,K+1)*ZU(J,K) + ZA(J,K-1)*ZV(J,K) + ZZ(J,K)
+            ZA(J,K) = ZA(J,K) + 0.175*(QA - ZA(J,K))
+10    CONTINUE
+      END
+
+!     kernel 24: find location of first minimum in array (branchy)
+      SUBROUTINE K24
+      REAL X(%d)
+      INTEGER N, L, K, M
+      N = %d
+      DO 5 K = 1, N
+        X(K) = RAND()
+5     CONTINUE
+      DO 10 L = 1, %d
+        M = 1
+        DO 8 K = 2, N
+          IF (X(K) .LT. X(M)) M = K
+8       CONTINUE
+        X(M) = X(M) + 1.0
+10    CONTINUE
+      END
+|}
+    (* K1 *) (n + 1) (n + 1) (n + 1) n rep
+    (* K2 *) (n + 1) n
+    (* K3 *) (n + 1) (n + 1) n rep
+    (* K4 *) (n + 1) (n + 1) n rep
+    (* K5 *) (n + 1) (n + 1) (n + 1) n rep
+    (* K6 *) (n + 1) rep
+    (* K7 *) (n + 1) (n + 1) (n + 1) (n + 1) n rep
+    (* K8 *) rep
+    (* K9 *) 105 rep
+    (* K10 *) 105 rep
+    (* K11 *) (n + 1) (n + 1) n rep
+    (* K12 *) (n + 2) (n + 2) n rep
+    (* K13 *) (n + 1) (n + 1) rep
+    (* K14 *) 155 155 155 155 155 rep
+    (* K15 *) rep
+    (* K16 *) (rep * 40)
+    (* K17 *) 105 105 105 rep
+    (* K18 *) rep
+    (* K19 *) 105 105 105 rep
+    (* K20 *) 105 105 105 105 105 105 rep
+    (* K21 *) rep
+    (* K22 *) 105 105 105 105 105 rep
+    (* K23 *) rep
+    (* K24 *) (n + 1) n rep

@@ -1,0 +1,14 @@
+(** LOOPS: an MF77 rendition of the 24 Livermore Fortran Kernels (McMahon
+    1986), the paper's first Table 1 benchmark.  Structural stand-ins:
+    each kernel keeps its original's control-flow and access-pattern
+    character (DO nests, recurrences, strided/indirect access, the
+    branchy kernels 15/16/17/24 with GOTOs) at interpreter scale. *)
+
+(** 1-D kernel length. *)
+val n : int
+
+(** Inner repetition count. *)
+val rep : int
+
+(** The whole 24-kernel benchmark program (PROGRAM LOOPS + K1..K24). *)
+val source : string

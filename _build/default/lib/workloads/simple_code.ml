@@ -1,0 +1,103 @@
+(* SIMPLE: an MF77 stand-in for the Lawrence Livermore SIMPLE benchmark
+   (Crowley–Hendrickson–Rudy 1978), the paper's second Table 1 program —
+   2-D Lagrangian hydrodynamics with heat flow on an N×N mesh, NCYCLES
+   time steps.
+
+   The reproduction keeps the benchmark's computational character:
+   per-cycle sweeps over the mesh with 5-point stencils (heat diffusion),
+   velocity/position updates, an equation-of-state pass with a data-
+   dependent branch (the "Courant" style limiter), boundary-condition
+   passes over the mesh edges, and a global reduction deciding the time
+   step.  Default size matches the paper: 100×100, NCYCLES = 10. *)
+
+let default_n = 100
+let default_cycles = 10
+
+let source ?(n = default_n) ?(cycles = default_cycles) () =
+  Printf.sprintf
+    {|
+      PROGRAM SIMPLE
+      REAL R(%d,%d), Z(%d,%d), RU(%d,%d), ZU(%d,%d)
+      REAL P(%d,%d), Q(%d,%d), E(%d,%d), T(%d,%d)
+      INTEGER N, NC, I, J, ICYC
+      N = %d
+      NC = %d
+!     --- mesh and state initialization ---
+      DO 10 I = 1, N
+        DO 10 J = 1, N
+          R(I,J) = REAL(I) + 0.25*RAND()
+          Z(I,J) = REAL(J) + 0.25*RAND()
+          RU(I,J) = 0.0
+          ZU(I,J) = 0.0
+          P(I,J) = 1.0 + 0.1*RAND()
+          Q(I,J) = 0.0
+          E(I,J) = 2.5
+          T(I,J) = 1.0 + 0.01*RAND()
+10    CONTINUE
+      DT = 0.001
+      C0 = 1.4
+!     --- time step loop ---
+      DO 100 ICYC = 1, NC
+!       hydro phase: velocity update from pressure gradients
+        DO 20 I = 2, N-1
+          DO 20 J = 2, N-1
+            DPR = P(I+1,J) - P(I-1,J) + Q(I+1,J) - Q(I-1,J)
+            DPZ = P(I,J+1) - P(I,J-1) + Q(I,J+1) - Q(I,J-1)
+            RU(I,J) = RU(I,J) - DT*DPR*0.5
+            ZU(I,J) = ZU(I,J) - DT*DPZ*0.5
+20      CONTINUE
+!       position update
+        DO 30 I = 2, N-1
+          DO 30 J = 2, N-1
+            R(I,J) = R(I,J) + DT*RU(I,J)
+            Z(I,J) = Z(I,J) + DT*ZU(I,J)
+30      CONTINUE
+!       artificial viscosity: only on compressing zones (branchy)
+        DO 40 I = 2, N-1
+          DO 40 J = 2, N-1
+            DV = RU(I+1,J) - RU(I-1,J) + ZU(I,J+1) - ZU(I,J-1)
+            IF (DV .LT. 0.0) THEN
+              Q(I,J) = 2.0*DV*DV
+            ELSE
+              Q(I,J) = 0.0
+            ENDIF
+40      CONTINUE
+!       equation of state with energy floor (data-dependent branch)
+        DO 50 I = 2, N-1
+          DO 50 J = 2, N-1
+            E(I,J) = E(I,J) - DT*(P(I,J) + Q(I,J))*0.1
+            IF (E(I,J) .LT. 0.1) E(I,J) = 0.1
+            P(I,J) = (C0 - 1.0)*E(I,J)
+50      CONTINUE
+!       heat conduction: 5-point stencil sweep
+        DO 60 I = 2, N-1
+          DO 60 J = 2, N-1
+            T(I,J) = T(I,J) + 0.05*(T(I+1,J) + T(I-1,J) + T(I,J+1)
+     & + T(I,J-1) - 4.0*T(I,J))
+60      CONTINUE
+!       boundary conditions on the four mesh edges
+        DO 70 I = 1, N
+          T(I,1) = T(I,2)
+          T(I,N) = T(I,N-1)
+          RU(I,1) = 0.0
+          RU(I,N) = 0.0
+70      CONTINUE
+        DO 80 J = 1, N
+          T(1,J) = T(2,J)
+          T(N,J) = T(N-1,J)
+          ZU(1,J) = 0.0
+          ZU(N,J) = 0.0
+80      CONTINUE
+!       new time step from a stability reduction (conditional update)
+        VMAX = 0.0
+        DO 90 I = 2, N-1
+          DO 90 J = 2, N-1
+            V = ABS(RU(I,J)) + ABS(ZU(I,J))
+            IF (V .GT. VMAX) VMAX = V
+90      CONTINUE
+        DT = 0.001
+        IF (VMAX .GT. 1.0) DT = 0.001/VMAX
+100   CONTINUE
+      END
+|}
+    n n n n n n n n n n n n n n n n n cycles

@@ -1,0 +1,12 @@
+(** SIMPLE: an MF77 stand-in for the Lawrence Livermore SIMPLE benchmark
+    (Crowley–Hendrickson–Rudy 1978), the paper's second Table 1 program —
+    2-D Lagrangian hydrodynamics with heat flow on an N×N mesh. *)
+
+(** Paper size: 100. *)
+val default_n : int
+
+(** Paper cycle count: 10. *)
+val default_cycles : int
+
+(** The benchmark program at the requested mesh size and cycle count. *)
+val source : ?n:int -> ?cycles:int -> unit -> string

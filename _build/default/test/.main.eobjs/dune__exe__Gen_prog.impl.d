@@ -1,0 +1,1 @@
+test/gen_prog.ml: List S89_frontend S89_util

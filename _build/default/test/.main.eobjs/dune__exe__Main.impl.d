@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_cdg Test_cfg Test_core Test_frontend Test_graph Test_profiling Test_sched Test_util Test_vm Test_workloads

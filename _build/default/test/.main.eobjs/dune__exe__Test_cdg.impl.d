@@ -1,0 +1,1 @@
+test/test_cdg.ml: Alcotest Array Cfg Control_dep Ecfg Fcdg Gen_prog Hashtbl Label List QCheck QCheck_alcotest S89_cdg S89_cfg S89_frontend S89_graph S89_profiling S89_vm S89_workloads

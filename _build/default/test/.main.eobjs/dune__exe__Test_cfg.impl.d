@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Cfg Ecfg Gen_prog Intervals Label List Node_type QCheck QCheck_alcotest S89_cfg S89_frontend S89_graph S89_workloads

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dfs Digraph Dominator Dot Hashtbl Interval_deriv Lca List Node_split Postdom Printf QCheck QCheck_alcotest Reducibility S89_graph S89_util String Topo

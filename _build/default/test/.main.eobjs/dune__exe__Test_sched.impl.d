@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Chunk Dist Float List Parsim S89_sched S89_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Gen List Prng QCheck QCheck_alcotest S89_graph S89_util Stats

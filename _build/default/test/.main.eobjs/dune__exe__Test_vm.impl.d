@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Gen_prog List QCheck QCheck_alcotest S89_cfg S89_frontend S89_util S89_vm S89_workloads String

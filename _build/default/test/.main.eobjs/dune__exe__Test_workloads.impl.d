@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fmt List Printexc Printf S89_cfg S89_frontend S89_profiling S89_vm S89_workloads

@@ -1,0 +1,16 @@
+(* Aggregated test suites for the whole reproduction.  Run via `dune
+   runtest`; property tests (qcheck) are registered as alcotest cases. *)
+let () =
+  Alcotest.run "sarkar89"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("cfg", Test_cfg.suite);
+      ("cdg", Test_cdg.suite);
+      ("frontend", Test_frontend.suite);
+      ("vm", Test_vm.suite);
+      ("profiling", Test_profiling.suite);
+      ("core", Test_core.suite);
+      ("sched", Test_sched.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,424 @@
+(* Tests for s89_cfg: Label, Node_type, Cfg, Intervals, Ecfg. *)
+
+open S89_cfg
+module Digraph = S89_graph.Digraph
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cil = Alcotest.(list int)
+
+(* ---------------- Label / Node_type ---------------- *)
+
+let label_strings () =
+  check Alcotest.string "T" "T" (Label.to_string Label.T);
+  check Alcotest.string "F" "F" (Label.to_string Label.F);
+  check Alcotest.string "U" "U" (Label.to_string Label.U);
+  check Alcotest.string "case" "C3" (Label.to_string (Label.Case 3));
+  check Alcotest.string "pseudo" "Z2" (Label.to_string (Label.Pseudo 2));
+  check cb "pseudo flag" true (Label.is_pseudo (Label.Pseudo 1));
+  check cb "not pseudo" false (Label.is_pseudo Label.T);
+  check cb "equal" true (Label.equal (Label.Case 2) (Label.Case 2));
+  check cb "not equal" false (Label.equal (Label.Case 2) (Label.Case 3));
+  check cb "compare" true (Label.compare Label.T Label.F <> 0)
+
+let node_type_strings () =
+  List.iter
+    (fun (t, s) -> check Alcotest.string s s (Node_type.to_string t))
+    [ (Node_type.Start, "START"); (Node_type.Stop, "STOP");
+      (Node_type.Header, "HEADER"); (Node_type.Preheader, "PREHEADER");
+      (Node_type.Postexit, "POSTEXIT"); (Node_type.Other, "OTHER") ]
+
+(* ---------------- Cfg ---------------- *)
+
+(* the paper's Figure 1 graph, hand-built with string payloads *)
+let fig1_cfg () =
+  let cfg = Cfg.create ~dummy:"" in
+  let entry = Cfg.add_node cfg "ENTRY" in
+  let if_m = Cfg.add_node cfg "10 IF(M.GE.0)" in
+  let if_nlt = Cfg.add_node cfg "IF(N.LT.0)" in
+  let if_nge = Cfg.add_node cfg "IF(N.GE.0)" in
+  let call = Cfg.add_node cfg "CALL FOO" in
+  let cont = Cfg.add_node cfg "20 CONTINUE" in
+  Cfg.add_edge cfg ~src:entry ~dst:if_m ~label:Label.U;
+  Cfg.add_edge cfg ~src:if_m ~dst:if_nlt ~label:Label.T;
+  Cfg.add_edge cfg ~src:if_m ~dst:if_nge ~label:Label.F;
+  Cfg.add_edge cfg ~src:if_nlt ~dst:cont ~label:Label.T;
+  Cfg.add_edge cfg ~src:if_nlt ~dst:call ~label:Label.F;
+  Cfg.add_edge cfg ~src:if_nge ~dst:cont ~label:Label.T;
+  Cfg.add_edge cfg ~src:if_nge ~dst:call ~label:Label.F;
+  Cfg.add_edge cfg ~src:call ~dst:if_m ~label:Label.U;
+  Cfg.set_entry cfg entry;
+  Cfg.set_exits cfg [ cont ];
+  (cfg, (entry, if_m, if_nlt, if_nge, call, cont))
+
+let cfg_basics () =
+  let cfg, (entry, if_m, _, _, _, cont) = fig1_cfg () in
+  check ci "nodes" 6 (Cfg.num_nodes cfg);
+  check ci "entry" entry (Cfg.entry cfg);
+  check cil "exits" [ cont ] (Cfg.exits cfg);
+  check Alcotest.string "payload" "ENTRY" (Cfg.info cfg entry);
+  Cfg.set_info cfg entry "E2";
+  check Alcotest.string "set payload" "E2" (Cfg.info cfg entry);
+  check cb "type default" true (Node_type.equal (Cfg.node_type cfg if_m) Node_type.Other);
+  Cfg.set_node_type cfg if_m Node_type.Header;
+  check cb "set type" true (Node_type.equal (Cfg.node_type cfg if_m) Node_type.Header);
+  check cb "validate ok" true (Cfg.validate cfg = Ok ())
+
+let cfg_out_labels () =
+  let cfg, (_, if_m, _, _, call, _) = fig1_cfg () in
+  check cb "branch labels" true (Cfg.out_labels cfg if_m = [ Label.T; Label.F ]);
+  check cb "uncond labels" true (Cfg.out_labels cfg call = [ Label.U ])
+
+let cfg_validate_errors () =
+  let cfg = Cfg.create ~dummy:() in
+  check cb "no entry" true (Cfg.validate cfg = Error Cfg.No_entry);
+  let a = Cfg.add_node cfg () in
+  Cfg.set_entry cfg a;
+  check cb "no exit" true (Cfg.validate cfg = Error Cfg.No_exit);
+  Cfg.set_exits cfg [ 9 ];
+  check cb "dangling exit" true (Cfg.validate cfg = Error (Cfg.Dangling_exit 9));
+  let b = Cfg.add_node cfg () in
+  Cfg.set_exits cfg [ b ];
+  (match Cfg.validate cfg with
+  | Error (Cfg.Unreachable [ n ]) -> check ci "unreachable b" b n
+  | _ -> Alcotest.fail "expected Unreachable");
+  Cfg.add_edge cfg ~src:a ~dst:b ~label:Label.U;
+  check cb "now valid" true (Cfg.validate cfg = Ok ());
+  Cfg.add_edge cfg ~src:b ~dst:a ~label:Label.U;
+  check cb "exit with successor" true
+    (Cfg.validate cfg = Error (Cfg.Exit_has_successor b))
+
+let cfg_normalize_entry () =
+  let cfg = Cfg.create ~dummy:"x" in
+  let a = Cfg.add_node cfg "a" in
+  let b = Cfg.add_node cfg "b" in
+  Cfg.add_edge cfg ~src:a ~dst:b ~label:Label.U;
+  Cfg.add_edge cfg ~src:b ~dst:a ~label:Label.U;
+  Cfg.set_entry cfg a;
+  let e = Cfg.normalize_entry cfg in
+  check cb "fresh entry" true (e <> a);
+  check ci "entry updated" e (Cfg.entry cfg);
+  check ci "no preds" 0 (List.length (Cfg.pred_edges cfg e));
+  (* idempotent *)
+  check ci "idempotent" e (Cfg.normalize_entry cfg)
+
+(* ---------------- Intervals ---------------- *)
+
+let intervals_fig1 () =
+  let cfg, (entry, if_m, if_nlt, if_nge, call, cont) = fig1_cfg () in
+  let iv = Intervals.compute cfg in
+  check ci "root is entry" entry (Intervals.root iv);
+  check cil "one header" [ if_m ] (Intervals.headers iv);
+  check cb "is_header" true (Intervals.is_header iv if_m);
+  check cb "entry not header" false (Intervals.is_header iv entry);
+  check ci "hdr of body" if_m (Intervals.hdr iv call);
+  check ci "hdr of header" if_m (Intervals.hdr iv if_m);
+  check ci "hdr outside" entry (Intervals.hdr iv cont);
+  check cb "hdr_parent of loop = root" true
+    (Intervals.hdr_parent iv if_m = Some entry);
+  check cb "hdr_parent of root" true (Intervals.hdr_parent iv entry = None);
+  check ci "hdr_lca" entry (Intervals.hdr_lca iv if_m entry);
+  check ci "depth" 1 (Intervals.interval_depth iv if_m);
+  check cb "encloses root->loop" true (Intervals.encloses iv entry if_m);
+  check cb "not encloses loop->root" false (Intervals.encloses iv if_m entry);
+  let members = Intervals.members iv if_m in
+  check cb "members" true
+    (Intervals.IS.equal members (Intervals.IS.of_list [ if_m; if_nlt; if_nge; call ]));
+  check cil "back edge sources" [ call ] (Intervals.back_edge_sources iv if_m);
+  check ci "exit edges" 2 (List.length (Intervals.exit_edges iv cfg if_m))
+
+let intervals_nested () =
+  (* entry -> h1 -> h2 -> b -> h2(back) ; b -> l1 -> h1(back); l1 -> exit *)
+  let cfg = Cfg.create ~dummy:() in
+  let e = Cfg.add_node cfg () in
+  let h1 = Cfg.add_node cfg () in
+  let h2 = Cfg.add_node cfg () in
+  let b = Cfg.add_node cfg () in
+  let l1 = Cfg.add_node cfg () in
+  let x = Cfg.add_node cfg () in
+  List.iter
+    (fun (u, v, l) -> Cfg.add_edge cfg ~src:u ~dst:v ~label:l)
+    [ (e, h1, Label.U); (h1, h2, Label.U); (h2, b, Label.U); (b, h2, Label.T);
+      (b, l1, Label.F); (l1, h1, Label.T); (l1, x, Label.F) ];
+  Cfg.set_entry cfg e;
+  Cfg.set_exits cfg [ x ];
+  let iv = Intervals.compute cfg in
+  check cil "headers outermost first" [ h1; h2 ] (Intervals.headers iv);
+  check ci "hdr b innermost" h2 (Intervals.hdr iv b);
+  check ci "hdr l1" h1 (Intervals.hdr iv l1);
+  check cb "parent h2 = h1" true (Intervals.hdr_parent iv h2 = Some h1);
+  check ci "lca h2 h1" h1 (Intervals.hdr_lca iv h2 h1);
+  check ci "depth h2" 2 (Intervals.interval_depth iv h2);
+  check cb "h1 encloses h2" true (Intervals.encloses iv h1 h2);
+  check cb "h2 members subset h1" true
+    (Intervals.IS.subset (Intervals.members iv h2) (Intervals.members iv h1))
+
+let intervals_entry_preds () =
+  let cfg = Cfg.create ~dummy:() in
+  let a = Cfg.add_node cfg () in
+  let b = Cfg.add_node cfg () in
+  Cfg.add_edge cfg ~src:a ~dst:b ~label:Label.U;
+  Cfg.add_edge cfg ~src:b ~dst:a ~label:Label.U;
+  Cfg.set_entry cfg a;
+  Cfg.set_exits cfg [ b ];
+  (try
+     ignore (Intervals.compute cfg);
+     Alcotest.fail "expected Entry_has_preds"
+   with Intervals.Entry_has_preds n -> check ci "offender" a n)
+
+let intervals_irreducible () =
+  let cfg = Cfg.create ~dummy:() in
+  let e = Cfg.add_node cfg () in
+  let a = Cfg.add_node cfg () in
+  let b = Cfg.add_node cfg () in
+  List.iter
+    (fun (u, v, l) -> Cfg.add_edge cfg ~src:u ~dst:v ~label:l)
+    [ (e, a, Label.T); (e, b, Label.F); (a, b, Label.U); (b, a, Label.U) ];
+  Cfg.set_entry cfg e;
+  Cfg.set_exits cfg [];
+  (try
+     ignore (Intervals.compute cfg);
+     Alcotest.fail "expected Irreducible"
+   with Intervals.Irreducible w -> check cb "witness nonempty" true (w <> []))
+
+let cfg_make_reducible () =
+  let cfg = Cfg.create ~dummy:"n" in
+  let e = Cfg.add_node cfg "e" in
+  let a = Cfg.add_node cfg "a" in
+  let b = Cfg.add_node cfg "b" in
+  let x = Cfg.add_node cfg "x" in
+  List.iter
+    (fun (u, v, l) -> Cfg.add_edge cfg ~src:u ~dst:v ~label:l)
+    [ (e, a, Label.T); (e, b, Label.F); (a, b, Label.T); (b, a, Label.T);
+      (a, x, Label.F); (b, x, Label.F) ];
+  Cfg.set_entry cfg e;
+  Cfg.set_exits cfg [ x ];
+  let splits = Cfg.make_reducible cfg in
+  check cb "splits happened" true (splits <> []);
+  List.iter
+    (fun (orig, copy) ->
+      check Alcotest.string "payload copied" (Cfg.info cfg orig) (Cfg.info cfg copy))
+    splits;
+  ignore (Intervals.compute cfg) (* must not raise now *)
+
+(* ---------------- Ecfg ---------------- *)
+
+let ecfg_fig1 () =
+  let cfg, (entry, if_m, if_nlt, if_nge, call, cont) = fig1_cfg () in
+  let e = Ecfg.extend ~empty:"." cfg in
+  let ext = Ecfg.cfg e in
+  let start = Ecfg.start e and stop = Ecfg.stop e in
+  check ci "orig preserved" 6 (Ecfg.orig_count e);
+  check cb "original flag" true (Ecfg.is_original e call);
+  check cb "start synthetic" false (Ecfg.is_original e start);
+  (* node types *)
+  check cb "start type" true (Node_type.equal (Cfg.node_type ext start) Node_type.Start);
+  check cb "stop type" true (Node_type.equal (Cfg.node_type ext stop) Node_type.Stop);
+  check cb "header type" true (Node_type.equal (Cfg.node_type ext if_m) Node_type.Header);
+  let ph = Ecfg.preheader_of_header e if_m in
+  check cb "preheader type" true
+    (Node_type.equal (Cfg.node_type ext ph) Node_type.Preheader);
+  check ci "header_of_preheader" if_m (Ecfg.header_of_preheader e ph);
+  check cb "is_preheader" true (Ecfg.is_preheader e ph);
+  (* entry edge redirected to the preheader *)
+  check cb "entry->ph" true
+    (List.exists (fun (ed : Label.t Digraph.edge) -> ed.dst = ph)
+       (Cfg.succ_edges ext entry));
+  check cb "entry not direct to header" false
+    (List.exists (fun (ed : Label.t Digraph.edge) -> ed.dst = if_m)
+       (Cfg.succ_edges ext entry));
+  (* back edge unredirected *)
+  check cb "latch kept" true
+    (List.exists (fun (ed : Label.t Digraph.edge) -> ed.dst = if_m)
+       (Cfg.succ_edges ext call));
+  check ci "latch edges" 1 (List.length (Ecfg.latch_edges e if_m));
+  (* two postexits, one per exit edge, pseudo edges from the preheader *)
+  let pes = Ecfg.postexits_of_header e if_m in
+  check ci "two postexits" 2 (List.length pes);
+  List.iter
+    (fun pe ->
+      check cb "postexit flagged" true (Ecfg.is_postexit e pe);
+      check ci "exited interval" if_m (Ecfg.exited_interval e pe);
+      check cb "pseudo from preheader" true
+        (List.exists
+           (fun (ed : Label.t Digraph.edge) ->
+             ed.src = ph && Label.is_pseudo ed.label)
+           (Cfg.pred_edges ext pe));
+      check cb "forwards to cont" true
+        (List.exists (fun (ed : Label.t Digraph.edge) -> ed.dst = cont)
+           (Cfg.succ_edges ext pe)))
+    pes;
+  (* START -> entry, exit -> STOP, pseudo START -> STOP *)
+  check cb "start->entry" true
+    (List.exists (fun (ed : Label.t Digraph.edge) -> ed.dst = entry)
+       (Cfg.succ_edges ext start));
+  check cb "start->stop pseudo" true
+    (List.exists
+       (fun (ed : Label.t Digraph.edge) -> ed.dst = stop && Label.is_pseudo ed.label)
+       (Cfg.succ_edges ext start));
+  check cb "cont->stop" true
+    (List.exists (fun (ed : Label.t Digraph.edge) -> ed.dst = stop)
+       (Cfg.succ_edges ext cont));
+  (* intervals of nodes *)
+  check ci "interval of call" if_m (Ecfg.interval_of e call);
+  check ci "interval of ph = root" entry (Ecfg.interval_of e ph);
+  check ci "interval of if_nlt" if_m (Ecfg.interval_of e if_nlt);
+  check ci "interval of if_nge" if_m (Ecfg.interval_of e if_nge)
+
+(* exits that leave two nested intervals at once must cascade: one postexit
+   per level, each with a pseudo edge from that level's preheader *)
+let ecfg_cascade () =
+  let cfg = Cfg.create ~dummy:() in
+  let e = Cfg.add_node cfg () in
+  let h1 = Cfg.add_node cfg () in
+  let h2 = Cfg.add_node cfg () in
+  let b = Cfg.add_node cfg () in
+  let l1 = Cfg.add_node cfg () in
+  let x = Cfg.add_node cfg () in
+  List.iter
+    (fun (u, v, l) -> Cfg.add_edge cfg ~src:u ~dst:v ~label:l)
+    [ (e, h1, Label.U); (h1, h2, Label.U); (h2, b, Label.U); (b, h2, Label.T);
+      (b, x, Label.Case 1) (* two-level exit! *); (b, l1, Label.F);
+      (l1, h1, Label.T); (l1, x, Label.F) ];
+  Cfg.set_entry cfg e;
+  Cfg.set_exits cfg [ x ];
+  let ec = Ecfg.extend ~empty:() cfg in
+  let pes_inner = Ecfg.postexits_of_header ec h2 in
+  let pes_outer = Ecfg.postexits_of_header ec h1 in
+  (* inner level: the Case-1 two-level exit AND the normal F exit to l1;
+     outer level: the Case-1 cascade plus l1's own F exit *)
+  check ci "inner postexits" 2 (List.length pes_inner);
+  check ci "outer postexits" 2 (List.length pes_outer);
+  let ext = Ecfg.cfg ec in
+  (* the two-level exit cascades: b -> pe_inner -> pe_outer -> x *)
+  check cb "cascade chains through both levels" true
+    (List.exists
+       (fun pe_i ->
+         match Cfg.succ_edges ext pe_i with
+         | [ ed ] -> List.mem ed.dst pes_outer
+         | _ -> false)
+       pes_inner);
+  ignore b
+
+let ecfg_nonterminating () =
+  let cfg = Cfg.create ~dummy:() in
+  let e = Cfg.add_node cfg () in
+  let h = Cfg.add_node cfg () in
+  let x = Cfg.add_node cfg () in
+  List.iter
+    (fun (u, v, l) -> Cfg.add_edge cfg ~src:u ~dst:v ~label:l)
+    [ (e, h, Label.T); (e, x, Label.F); (h, h, Label.U) ];
+  Cfg.set_entry cfg e;
+  Cfg.set_exits cfg [ x ];
+  (try
+     ignore (Ecfg.extend ~empty:() cfg);
+     Alcotest.fail "expected Nonterminating_interval"
+   with Ecfg.Nonterminating_interval n -> check ci "offending header" h n)
+
+(* structural invariants on every demo program *)
+let ecfg_invariants () =
+  List.iter
+    (fun src ->
+      let prog = S89_frontend.Program.of_source src in
+      List.iter
+        (fun (p : S89_frontend.Program.proc) ->
+          let ec = Ecfg.extend p.S89_frontend.Program.cfg in
+          let ext = Ecfg.cfg ec in
+          (* unique entry START with no preds; unique exit STOP with no succs *)
+          check ci "start no preds" 0 (List.length (Cfg.pred_edges ext (Ecfg.start ec)));
+          check ci "stop no succs" 0 (List.length (Cfg.succ_edges ext (Ecfg.stop ec)));
+          check cb "valid" true (Cfg.validate ext = Ok ());
+          (* every header has exactly one preheader edge *)
+          List.iter
+            (fun h ->
+              let ph = Ecfg.preheader_of_header ec h in
+              check cb "ph -> h" true
+                (List.exists
+                   (fun (ed : Label.t Digraph.edge) ->
+                     ed.src = ph && Label.equal ed.label Ecfg.body_label)
+                   (Cfg.pred_edges ext h));
+              check cb "header has postexits" true
+                (Ecfg.postexits_of_header ec h <> []))
+            (Ecfg.headers ec);
+          (* pseudo edges originate only at START or preheaders *)
+          Cfg.iter_edges
+            (fun ed ->
+              if Label.is_pseudo ed.label then
+                check cb "pseudo source" true
+                  (ed.src = Ecfg.start ec || Ecfg.is_preheader ec ed.src))
+            ext)
+        (S89_frontend.Program.procs prog))
+    [ S89_workloads.Demos.fig1 (); S89_workloads.Demos.branchy ();
+      S89_workloads.Demos.chunky (); S89_workloads.Demos.nested_random ();
+      S89_workloads.Demos.computed_goto (); S89_workloads.Demos.irreducible () ]
+
+let suite =
+  [
+    Alcotest.test_case "label strings" `Quick label_strings;
+    Alcotest.test_case "node type strings" `Quick node_type_strings;
+    Alcotest.test_case "cfg basics" `Quick cfg_basics;
+    Alcotest.test_case "cfg out_labels" `Quick cfg_out_labels;
+    Alcotest.test_case "cfg validate errors" `Quick cfg_validate_errors;
+    Alcotest.test_case "cfg normalize entry" `Quick cfg_normalize_entry;
+    Alcotest.test_case "intervals: fig1" `Quick intervals_fig1;
+    Alcotest.test_case "intervals: nested" `Quick intervals_nested;
+    Alcotest.test_case "intervals: entry preds" `Quick intervals_entry_preds;
+    Alcotest.test_case "intervals: irreducible" `Quick intervals_irreducible;
+    Alcotest.test_case "cfg make_reducible" `Quick cfg_make_reducible;
+    Alcotest.test_case "ecfg: fig1 structure" `Quick ecfg_fig1;
+    Alcotest.test_case "ecfg: multi-level exit cascade" `Quick ecfg_cascade;
+    Alcotest.test_case "ecfg: nonterminating interval" `Quick ecfg_nonterminating;
+    Alcotest.test_case "ecfg: invariants on demos" `Quick ecfg_invariants;
+  ]
+
+(* ECFG structural invariants on randomly generated programs *)
+let ecfg_invariants_random_prop =
+  QCheck.Test.make ~count:50 ~name:"ECFG invariants (random programs)"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let prog = Gen_prog.gen_program seed in
+      List.for_all
+        (fun (p : S89_frontend.Program.proc) ->
+          let ec = Ecfg.extend p.S89_frontend.Program.cfg in
+          let ext = Ecfg.cfg ec in
+          (* valid, START source-only, STOP sink-only *)
+          Cfg.validate ext = Ok ()
+          && Cfg.pred_edges ext (Ecfg.start ec) = []
+          && Cfg.succ_edges ext (Ecfg.stop ec) = []
+          (* every header: exactly one preheader edge, >=1 postexit, >=1 latch *)
+          && List.for_all
+               (fun h ->
+                 let ph = Ecfg.preheader_of_header ec h in
+                 List.length
+                   (List.filter
+                      (fun (e : Label.t S89_graph.Digraph.edge) -> e.src = ph)
+                      (Cfg.pred_edges ext h))
+                 = 1
+                 && Ecfg.postexits_of_header ec h <> []
+                 && Ecfg.latch_edges ec h <> [])
+               (Ecfg.headers ec)
+          (* after the exit cascade no edge jumps between sibling
+             intervals: the endpoints' intervals are always tree-related,
+             and exits step out exactly one level at a time *)
+          && (let iv = Ecfg.intervals ec in
+              let ok = ref true in
+              Cfg.iter_edges
+                (fun e ->
+                  let a = Ecfg.interval_of ec e.src
+                  and b = Ecfg.interval_of ec e.dst in
+                  if not (Intervals.encloses iv a b || Intervals.encloses iv b a)
+                  then ok := false;
+                  (* an outward edge (exit) may only climb one level *)
+                  if
+                    Intervals.encloses iv b a && a <> b
+                    && Intervals.interval_depth iv a
+                       - Intervals.interval_depth iv b
+                       > 1
+                  then ok := false)
+                ext;
+              !ok))
+        (S89_frontend.Program.procs prog))
+
+let suite =
+  suite @ [ QCheck_alcotest.to_alcotest ecfg_invariants_random_prop ]

@@ -1,0 +1,495 @@
+(* Tests for s89_vm: Value semantics, Builtins, the interpreter (results,
+   calling conventions, oracle counts, cycle accounting, sampling, fuel),
+   the cost model and the optimizer. *)
+
+module Ast = S89_frontend.Ast
+module Ir = S89_frontend.Ir
+module Program = S89_frontend.Program
+module Interp = S89_vm.Interp
+module Value = S89_vm.Value
+module CM = S89_vm.Cost_model
+module Cfg = S89_cfg.Cfg
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.float 1e-9
+
+(* ---------------- Value ---------------- *)
+
+let value_arith () =
+  check cb "int add" true (Value.add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+  check cb "mixed promotes" true
+    (Value.add (Value.Int 2) (Value.Real 0.5) = Value.Real 2.5);
+  (* Fortran integer division truncates toward zero *)
+  check cb "int div" true (Value.div (Value.Int 7) (Value.Int 2) = Value.Int 3);
+  check cb "neg int div" true (Value.div (Value.Int (-7)) (Value.Int 2) = Value.Int (-3));
+  check cb "int pow" true (Value.pow (Value.Int 2) (Value.Int 10) = Value.Int 1024);
+  check cb "pow zero" true (Value.pow (Value.Int 5) (Value.Int 0) = Value.Int 1);
+  check cb "real pow int" true (Value.pow (Value.Real 2.0) (Value.Int (-1)) = Value.Real 0.5);
+  check cb "neg" true (Value.neg (Value.Int 3) = Value.Int (-3));
+  check cb "rel" true (Value.rel Ast.Lt (Value.Int 1) (Value.Real 1.5) = Value.Bool true);
+  check cb "logic" true
+    (Value.logic Ast.And (Value.Bool true) (Value.Bool false) = Value.Bool false)
+
+let value_errors () =
+  let expect_err f =
+    match f () with
+    | exception Value.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "expected runtime error"
+  in
+  expect_err (fun () -> Value.div (Value.Int 1) (Value.Int 0));
+  expect_err (fun () -> Value.div (Value.Real 1.0) (Value.Real 0.0));
+  expect_err (fun () -> Value.add (Value.Bool true) (Value.Int 1));
+  expect_err (fun () -> Value.pow (Value.Int 2) (Value.Int (-1)));
+  expect_err (fun () -> Value.coerce Ast.Tlogical (Value.Int 1));
+  expect_err (fun () -> ignore (Value.to_bool (Value.Int 1)))
+
+let value_coerce () =
+  check cb "int->real" true (Value.coerce Ast.Treal (Value.Int 3) = Value.Real 3.0);
+  check cb "real->int truncates" true (Value.coerce Ast.Tint (Value.Real 3.9) = Value.Int 3);
+  check cb "identity" true (Value.coerce Ast.Tint (Value.Int 3) = Value.Int 3)
+
+(* ---------------- Builtins ---------------- *)
+
+let builtins () =
+  let rng = S89_util.Prng.create ~seed:1 in
+  let app name vs = S89_vm.Builtins.apply rng name vs in
+  check cb "ABS int" true (app "ABS" [ Value.Int (-3) ] = Value.Int 3);
+  check cb "ABS real" true (app "ABS" [ Value.Real (-1.5) ] = Value.Real 1.5);
+  check cb "SQRT" true (app "SQRT" [ Value.Real 9.0 ] = Value.Real 3.0);
+  (* Fortran MOD keeps the dividend's sign (truncated division) *)
+  check cb "MOD" true (app "MOD" [ Value.Int 7; Value.Int 3 ] = Value.Int 1);
+  check cb "MOD negative" true (app "MOD" [ Value.Int (-7); Value.Int 3 ] = Value.Int (-1));
+  check cb "MIN variadic" true
+    (app "MIN" [ Value.Int 3; Value.Int 1; Value.Int 2 ] = Value.Int 1);
+  check cb "MAX mixed" true
+    (app "MAX" [ Value.Int 3; Value.Real 3.5 ] = Value.Real 3.5);
+  check cb "MIN0" true (app "MIN0" [ Value.Int 4; Value.Int 9 ] = Value.Int 4);
+  check cb "INT truncates" true (app "INT" [ Value.Real 2.9 ] = Value.Int 2);
+  check cb "FLOAT" true (app "FLOAT" [ Value.Int 2 ] = Value.Real 2.0);
+  check cb "SIGN" true (app "SIGN" [ Value.Int (-5); Value.Int 1 ] = Value.Int 5);
+  check cb "SIGN negative" true (app "SIGN" [ Value.Int 5; Value.Int (-1) ] = Value.Int (-5));
+  (* IRAND in [1, n] *)
+  for _ = 1 to 200 do
+    match app "IRAND" [ Value.Int 6 ] with
+    | Value.Int i when i >= 1 && i <= 6 -> ()
+    | _ -> Alcotest.fail "IRAND out of range"
+  done;
+  (match app "RAND" [] with
+  | Value.Real r when r >= 0.0 && r < 1.0 -> ()
+  | _ -> Alcotest.fail "RAND out of range");
+  match app "SQRT" [ Value.Real (-1.0) ] with
+  | exception Value.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "SQRT(-1) should fail"
+
+(* ---------------- Interp: computation results ---------------- *)
+
+let run_and_output ?(seed = 42) src =
+  let prog = Program.of_source src in
+  let config = { Interp.default_config with seed } in
+  let vm = Interp.create ~config prog in
+  ignore (Interp.run vm);
+  (vm, String.trim (Interp.output vm))
+
+let interp_factorial () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      NFACT = 1\n      DO 10 I = 1, 6\n      NFACT = NFACT * I\n10    CONTINUE\n      PRINT *, NFACT\n      END\n"
+  in
+  check Alcotest.string "6! = 720" "720" out
+
+let interp_function_call () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      PRINT *, IFIB(10)\n      END\n\n      INTEGER FUNCTION IFIB(N)\n      INTEGER A, B, T, I\n      A = 0\n      B = 1\n      DO 10 I = 1, N\n      T = A + B\n      A = B\n      B = T\n10    CONTINUE\n      IFIB = A\n      END\n"
+  in
+  check Alcotest.string "fib 10 = 55" "55" out
+
+let interp_by_reference () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      INTEGER A, B\n      A = 1\n      B = 2\n      CALL SWAP(A, B)\n      PRINT *, A, B\n      END\n\n      SUBROUTINE SWAP(X, Y)\n      INTEGER X, Y, T\n      T = X\n      X = Y\n      Y = T\n      END\n"
+  in
+  check Alcotest.string "swapped" "2 1" out
+
+let interp_array_element_ref () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      REAL A(3)\n      A(2) = 5.0\n      CALL BUMP(A(2))\n      PRINT *, A(2)\n      END\n\n      SUBROUTINE BUMP(X)\n      X = X + 1.0\n      END\n"
+  in
+  check Alcotest.string "array element by ref" "6" out
+
+let interp_aliasing () =
+  (* CALL FOO(M, M): both parameters alias the same cell *)
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      INTEGER M\n      M = 3\n      CALL FOO(M, M)\n      PRINT *, M\n      END\n\n      SUBROUTINE FOO(A, B)\n      INTEGER A, B\n      A = A + 1\n      B = B + 10\n      END\n"
+  in
+  check Alcotest.string "aliased" "14" out
+
+let interp_copy_in () =
+  (* expression arguments are copy-in: writes are lost *)
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      INTEGER M\n      M = 3\n      CALL FOO(M + 0)\n      PRINT *, M\n      END\n\n      SUBROUTINE FOO(A)\n      INTEGER A\n      A = 99\n      END\n"
+  in
+  check Alcotest.string "copy-in" "3" out
+
+let interp_2d_arrays () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      REAL A(3, 4)\n      DO 10 I = 1, 3\n      DO 10 J = 1, 4\n      A(I, J) = REAL(I * 10 + J)\n10    CONTINUE\n      PRINT *, A(2, 3)\n      END\n"
+  in
+  check Alcotest.string "2d indexing" "23" out
+
+let interp_zero_trip () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      K = 0\n      DO 10 I = 5, 1\n      K = K + 1\n10    CONTINUE\n      PRINT *, K\n      END\n"
+  in
+  check Alcotest.string "zero-trip DO" "0" out
+
+let interp_negative_step () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      K = 0\n      DO 10 I = 10, 1, -2\n      K = K + I\n10    CONTINUE\n      PRINT *, K\n      END\n"
+  in
+  check Alcotest.string "10+8+6+4+2" "30" out
+
+let interp_computed_goto () =
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      DO 50 K = 1, 4\n      GOTO (10, 20, 30), K\n      PRINT *, 99\n      GOTO 50\n10    PRINT *, 1\n      GOTO 50\n20    PRINT *, 2\n      GOTO 50\n30    PRINT *, 3\n50    CONTINUE\n      END\n"
+  in
+  check Alcotest.string "dispatch" "1\n2\n3\n99"
+    (String.concat "\n" (List.map String.trim (String.split_on_char '\n' out)))
+
+let interp_stop_unwinds () =
+  let vm, out =
+    run_and_output
+      "      PROGRAM T\n      CALL DEEP\n      PRINT *, 2\n      END\n\n      SUBROUTINE DEEP\n      PRINT *, 1\n      STOP\n      END\n"
+  in
+  ignore vm;
+  check Alcotest.string "stopped before 2" "1" out
+
+let interp_out_of_fuel () =
+  let prog =
+    Program.of_source
+      "      PROGRAM T\n10    X = X + 1.0\n      IF (X .GT. -1.0) GOTO 10\n      END\n"
+  in
+  let config = { Interp.default_config with max_steps = 1000 } in
+  let vm = Interp.create ~config prog in
+  match Interp.run vm with
+  | exception Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+
+(* ---------------- Interp: oracle counts & cycles ---------------- *)
+
+let interp_oracle_counts () =
+  let prog = Program.of_source (S89_workloads.Demos.fig1 ()) in
+  let vm = Interp.create prog in
+  ignore (Interp.run vm);
+  (* M=3: header IF executes 3 times; FOO called twice; exit via (4,T) *)
+  check ci "invocations main" 1 (Interp.invocations vm "FIG1");
+  check ci "invocations foo" 2 (Interp.invocations vm "FOO");
+  check ci "header execs" 3 (Interp.node_execs vm "FIG1" 3);
+  check ci "call execs" 2 (Interp.node_execs vm "FIG1" 6);
+  check ci "edge (3,T)" 3 (Interp.edge_count vm "FIG1" 3 S89_cfg.Label.T);
+  check ci "edge (3,F)" 0 (Interp.edge_count vm "FIG1" 3 S89_cfg.Label.F);
+  check ci "edge (4,T) exit" 1 (Interp.edge_count vm "FIG1" 4 S89_cfg.Label.T);
+  check ci "edge (4,F)" 2 (Interp.edge_count vm "FIG1" 4 S89_cfg.Label.F)
+
+let interp_cycles_by_hand () =
+  (* straight-line program: cycles = sum of node costs, both models *)
+  let src = "      PROGRAM T\n      X = 1.0\n      Y = X + 2.0\n      END\n" in
+  List.iter
+    (fun cm ->
+      let prog = Program.of_source src in
+      let config = { Interp.default_config with cost_model = cm } in
+      let vm = Interp.create ~config prog in
+      ignore (Interp.run vm);
+      let p = Program.find prog "T" in
+      let expected = ref 0 in
+      Cfg.iter_nodes
+        (fun n -> expected := !expected + CM.node_cost cm (Cfg.info p.Program.cfg n).Ir.ir)
+        p.Program.cfg;
+      check ci ("cycles = sum of costs, " ^ cm.CM.name) !expected (Interp.cycles vm))
+    [ CM.optimized; CM.unoptimized ]
+
+let interp_determinism () =
+  let cycles seed =
+    let prog = Program.of_source (S89_workloads.Demos.branchy ()) in
+    let config = { Interp.default_config with seed } in
+    let vm = Interp.create ~config prog in
+    ignore (Interp.run vm);
+    Interp.cycles vm
+  in
+  check ci "same seed same cycles" (cycles 7) (cycles 7);
+  check cb "different seeds differ" true (cycles 7 <> cycles 8)
+
+let interp_sampling () =
+  let prog = Program.of_source (S89_workloads.Demos.branchy ()) in
+  let interval = 50 in
+  let config = { Interp.default_config with sample_interval = Some interval } in
+  let vm = Interp.create ~config prog in
+  ignore (Interp.run vm);
+  let total = ref 0 in
+  List.iter
+    (fun (p : Program.proc) ->
+      Cfg.iter_nodes
+        (fun n -> total := !total + Interp.node_samples vm p.Program.name n)
+        p.Program.cfg)
+    (Program.procs prog);
+  let expected = Interp.cycles vm / interval in
+  check cb "sample count ~ cycles/interval" true (abs (!total - expected) <= 1)
+
+(* probes: instrumented counters count what they should *)
+let interp_probes () =
+  let prog = Program.of_source (S89_workloads.Demos.fig1 ()) in
+  let probes = S89_vm.Probe.make ~n_counters:3 in
+  let num_nodes = Cfg.num_nodes (Program.find prog "FIG1").Program.cfg in
+  S89_vm.Probe.add_node_action probes ~proc:"FIG1" ~num_nodes ~node:3
+    (S89_vm.Probe.Incr 0);
+  S89_vm.Probe.add_edge_action probes ~proc:"FIG1" ~num_nodes ~node:3
+    ~label:S89_cfg.Label.T (S89_vm.Probe.Incr 1);
+  S89_vm.Probe.add_edge_action probes ~proc:"FIG1" ~num_nodes ~node:0
+    ~label:S89_cfg.Label.U
+    (S89_vm.Probe.Bulk_add (2, Ast.Int 7));
+  let config = { Interp.default_config with instr = probes } in
+  let vm = Interp.create ~config prog in
+  ignore (Interp.run vm);
+  let c = Interp.counters vm in
+  check ci "node probe" 3 c.(0);
+  check ci "edge probe" 3 c.(1);
+  check ci "bulk probe" 7 c.(2);
+  (* instrumented run costs more *)
+  let vm0 = Interp.create prog in
+  ignore (Interp.run vm0);
+  check cb "probe cost charged" true (Interp.cycles vm > Interp.cycles vm0)
+
+(* ---------------- Optimizer ---------------- *)
+
+let optimize_folds () =
+  (* RAND() is impure, so these cannot be propagated away entirely *)
+  let prog =
+    Program.of_source
+      "      PROGRAM T\n      X = 2.0 * 3.0 + RAND()\n      Z = X ** 2\n      PRINT *, Z\n      END\n"
+  in
+  let opt = S89_vm.Optimize.program prog in
+  let p = Program.find opt "T" in
+  let found_fold = ref false and found_sq = ref false in
+  Cfg.iter_nodes
+    (fun n ->
+      match (Cfg.info p.Program.cfg n).Ir.ir with
+      | Ir.Assign (Ast.Lvar "X", Ast.Binop (Ast.Add, Ast.Real 6.0, Ast.Call ("RAND", [])))
+        ->
+          found_fold := true
+      | Ir.Assign (Ast.Lvar "Z", Ast.Binop (Ast.Mul, Ast.Var "X", Ast.Var "X")) ->
+          found_sq := true
+      | _ -> ())
+    p.Program.cfg;
+  check cb "constant folded" true !found_fold;
+  check cb "x**2 -> x*x" true !found_sq
+
+let optimize_propagates () =
+  let prog =
+    Program.of_source
+      "      PROGRAM T\n      K = 3\n      M = K + 4\n      PRINT *, M\n      END\n"
+  in
+  let opt = S89_vm.Optimize.program prog in
+  let p = Program.find opt "T" in
+  let found = ref false in
+  Cfg.iter_nodes
+    (fun n ->
+      match (Cfg.info p.Program.cfg n).Ir.ir with
+      (* K=3 and M=K+4 both propagate all the way into the PRINT *)
+      | Ir.Print [ Ast.Int 7 ] -> found := true
+      | _ -> ())
+    p.Program.cfg;
+  check cb "constant propagated through chain" true !found
+
+let optimize_removes_dead () =
+  let prog =
+    Program.of_source
+      "      PROGRAM T\n      X = 1.0\n      X = 2.0\n      UNUSED = 5.0\n      PRINT *, X\n      END\n"
+  in
+  let before = Cfg.num_nodes (Program.find prog "T").Program.cfg in
+  let opt = S89_vm.Optimize.program prog in
+  let after = Cfg.num_nodes (Program.find opt "T").Program.cfg in
+  check cb "dead assign elided" true (after < before)
+
+let optimize_reduces_cycles () =
+  let prog = Program.of_source S89_workloads.Livermore.source in
+  let opt = S89_vm.Optimize.program prog in
+  let cycles prog =
+    let vm = Interp.create prog in
+    ignore (Interp.run vm);
+    Interp.cycles vm
+  in
+  check cb "optimizer reduces simulated cycles" true (cycles opt < cycles prog)
+
+(* semantics preservation: same output and same branch counts on demos *)
+let optimize_preserves_semantics () =
+  List.iter
+    (fun src ->
+      let prog = Program.of_source src in
+      let opt = S89_vm.Optimize.program prog in
+      let run prog =
+        let config = { Interp.default_config with seed = 33 } in
+        let vm = Interp.create ~config prog in
+        ignore (Interp.run vm);
+        vm
+      in
+      let vm0 = run prog and vm1 = run opt in
+      check Alcotest.string "same output" (Interp.output vm0) (Interp.output vm1);
+      (* procedure invocation counts unchanged *)
+      List.iter
+        (fun (p : Program.proc) ->
+          check ci "same invocations" (Interp.invocations vm0 p.Program.name)
+            (Interp.invocations vm1 p.Program.name))
+        (Program.procs prog))
+    [ S89_workloads.Demos.fig1 (); S89_workloads.Demos.branchy ();
+      S89_workloads.Demos.chunky (); S89_workloads.Demos.computed_goto ();
+      S89_workloads.Demos.nested_random () ]
+
+let optimize_preserves_random_prop =
+  QCheck.Test.make ~count:30 ~name:"optimizer preserves semantics (random programs)"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let prog = Gen_prog.gen_program seed in
+      let opt = S89_vm.Optimize.program prog in
+      let run prog =
+        let config = { Interp.default_config with seed = 5 } in
+        let vm = Interp.create ~config prog in
+        ignore (Interp.run vm);
+        vm
+      in
+      let vm0 = run prog and vm1 = run opt in
+      Interp.output vm0 = Interp.output vm1
+      && Interp.invocations vm0 "HELPER" = Interp.invocations vm1 "HELPER"
+      && Interp.cycles vm1 <= Interp.cycles vm0)
+
+(* cost model: expr_cost of a known expression *)
+let cost_model_expr () =
+  let cm = CM.optimized in
+  (* X + 1 : var + const + add *)
+  let e = Ast.Binop (Ast.Add, Ast.Var "X", Ast.Int 1) in
+  check ci "x+1" (cm.CM.c_var + cm.CM.c_const + cm.CM.c_add) (CM.expr_cost cm e);
+  (* A(I): idx var + 1 dim + elem *)
+  let e = Ast.Index ("A", [ Ast.Var "I" ]) in
+  check ci "a(i)" (cm.CM.c_var + cm.CM.c_index + cm.CM.c_elem) (CM.expr_cost cm e);
+  (* SQRT(X) expensive intrinsic *)
+  let e = Ast.Call ("SQRT", [ Ast.Var "X" ]) in
+  check ci "sqrt" (cm.CM.c_var + cm.CM.c_intrinsic_expensive) (CM.expr_cost cm e);
+  (* user call: linkage + user_call hook *)
+  let e = Ast.Call ("F", [ Ast.Var "X" ]) in
+  check ci "user call"
+    (cm.CM.c_var + cm.CM.c_call + 100)
+    (CM.expr_cost ~user_call:(fun _ -> 100) cm e)
+
+let suite =
+  [
+    Alcotest.test_case "value arithmetic" `Quick value_arith;
+    Alcotest.test_case "value errors" `Quick value_errors;
+    Alcotest.test_case "value coercion" `Quick value_coerce;
+    Alcotest.test_case "builtins" `Quick builtins;
+    Alcotest.test_case "interp: factorial" `Quick interp_factorial;
+    Alcotest.test_case "interp: function call" `Quick interp_function_call;
+    Alcotest.test_case "interp: by-reference args" `Quick interp_by_reference;
+    Alcotest.test_case "interp: array element ref" `Quick interp_array_element_ref;
+    Alcotest.test_case "interp: parameter aliasing" `Quick interp_aliasing;
+    Alcotest.test_case "interp: copy-in expressions" `Quick interp_copy_in;
+    Alcotest.test_case "interp: 2-d arrays" `Quick interp_2d_arrays;
+    Alcotest.test_case "interp: zero-trip DO" `Quick interp_zero_trip;
+    Alcotest.test_case "interp: negative step DO" `Quick interp_negative_step;
+    Alcotest.test_case "interp: computed goto" `Quick interp_computed_goto;
+    Alcotest.test_case "interp: STOP unwinds" `Quick interp_stop_unwinds;
+    Alcotest.test_case "interp: out of fuel" `Quick interp_out_of_fuel;
+    Alcotest.test_case "interp: oracle counts" `Quick interp_oracle_counts;
+    Alcotest.test_case "interp: cycles by hand" `Quick interp_cycles_by_hand;
+    Alcotest.test_case "interp: determinism" `Quick interp_determinism;
+    Alcotest.test_case "interp: sampling" `Quick interp_sampling;
+    Alcotest.test_case "interp: probes" `Quick interp_probes;
+    Alcotest.test_case "optimize: folds" `Quick optimize_folds;
+    Alcotest.test_case "optimize: propagates" `Quick optimize_propagates;
+    Alcotest.test_case "optimize: dead assigns" `Quick optimize_removes_dead;
+    Alcotest.test_case "optimize: reduces cycles" `Slow optimize_reduces_cycles;
+    Alcotest.test_case "optimize: preserves semantics" `Quick optimize_preserves_semantics;
+    QCheck_alcotest.to_alcotest optimize_preserves_random_prop;
+    Alcotest.test_case "cost model expr" `Quick cost_model_expr;
+  ]
+
+(* ---------------- runtime errors and Fortran corner cases ---------------- *)
+
+let expect_runtime_error src =
+  let prog = Program.of_source src in
+  let vm = Interp.create prog in
+  match Interp.run vm with
+  | exception Value.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let interp_runtime_errors () =
+  (* out-of-bounds subscript *)
+  expect_runtime_error
+    "      PROGRAM T\n      REAL A(3)\n      I = 4\n      A(I) = 1.0\n      END\n";
+  (* zero subscript *)
+  expect_runtime_error
+    "      PROGRAM T\n      REAL A(3)\n      I = 0\n      X = A(I)\n      END\n";
+  (* integer division by zero *)
+  expect_runtime_error
+    "      PROGRAM T\n      K = 0\n      M = 7 / K\n      END\n";
+  (* SQRT of a negative *)
+  expect_runtime_error
+    "      PROGRAM T\n      X = SQRT(0.0 - 2.0)\n      END\n"
+
+let interp_assumed_size_arrays () =
+  (* the callee declares an assumed-size X and indexes the caller's storage *)
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      REAL A(5)\n      DO 10 I = 1, 5\n      A(I) = REAL(I)\n10    CONTINUE\n      PRINT *, TOTAL(A, 5)\n      END\n\n      REAL FUNCTION TOTAL(X, N)\n      REAL X(*)\n      INTEGER N, I\n      TOTAL = 0.0\n      DO 20 I = 1, N\n      TOTAL = TOTAL + X(I)\n20    CONTINUE\n      END\n"
+  in
+  check Alcotest.string "sums via assumed size" "15" out;
+  (* but the flat bound is still enforced *)
+  expect_runtime_error
+    "      PROGRAM T\n      REAL A(3)\n      CALL F(A)\n      END\n\n      SUBROUTINE F(X)\n      REAL X(*)\n      X(9) = 1.0\n      END\n"
+
+let interp_param_coercion () =
+  (* copy-in expression arguments coerce to the declared parameter type *)
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      CALL F(2.9 + 0.0)\n      END\n\n      SUBROUTINE F(K)\n      INTEGER K\n      PRINT *, K\n      END\n"
+  in
+  check Alcotest.string "real expr into INTEGER param truncates" "2" out
+
+let interp_whole_array_pass () =
+  (* 2-D arrays pass by reference, callee mutates in place *)
+  let _, out =
+    run_and_output
+      "      PROGRAM T\n      REAL M(2, 2)\n      M(1, 1) = 1.0\n      CALL SCALE(M)\n      PRINT *, M(1, 1)\n      END\n\n      SUBROUTINE SCALE(A)\n      REAL A(2, 2)\n      A(1, 1) = A(1, 1) * 4.0\n      END\n"
+  in
+  check Alcotest.string "2-d array by reference" "4" out
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "interp: runtime errors" `Quick interp_runtime_errors;
+      Alcotest.test_case "interp: assumed-size arrays" `Quick interp_assumed_size_arrays;
+      Alcotest.test_case "interp: parameter coercion" `Quick interp_param_coercion;
+      Alcotest.test_case "interp: whole-array passing" `Quick interp_whole_array_pass;
+    ]
+
+let interp_call_depth_guard () =
+  (* unbounded recursion must fail cleanly, not blow the OCaml stack *)
+  let prog =
+    Program.of_source
+      "      PROGRAM T\n      CALL LOOPY(0)\n      END\n\n      SUBROUTINE LOOPY(N)\n      INTEGER N\n      CALL LOOPY(N + 1)\n      END\n"
+  in
+  let config = { Interp.default_config with max_call_depth = 500 } in
+  let vm = Interp.create ~config prog in
+  match Interp.run vm with
+  | exception Interp.Call_depth_exceeded d -> check cb "depth reported" true (d > 500)
+  | _ -> Alcotest.fail "expected Call_depth_exceeded"
+
+let suite =
+  suite @ [ Alcotest.test_case "interp: call depth guard" `Quick interp_call_depth_guard ]

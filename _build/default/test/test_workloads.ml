@@ -1,0 +1,95 @@
+(* Tests for the workload suite: every benchmark program must parse,
+   lower, validate, analyze and run to completion deterministically. *)
+
+module Program = S89_frontend.Program
+module Interp = S89_vm.Interp
+module Cfg = S89_cfg.Cfg
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let all_sources =
+  [ ("fig1", S89_workloads.Demos.fig1 ());
+    ("branchy", S89_workloads.Demos.branchy ());
+    ("chunky", S89_workloads.Demos.chunky ());
+    ("nested", S89_workloads.Demos.nested_random ());
+    ("recursive", S89_workloads.Demos.recursive ());
+    ("irreducible", S89_workloads.Demos.irreducible ());
+    ("cgoto", S89_workloads.Demos.computed_goto ());
+    ("sort", S89_workloads.Demos.sort ());
+    ("sieve", S89_workloads.Demos.sieve ());
+    ("linpack", S89_workloads.Linpack_like.source ());
+    ("loops", S89_workloads.Livermore.source);
+    ("simple-small", S89_workloads.Simple_code.source ~n:12 ~cycles:2 ()) ]
+
+let workloads_build_and_run () =
+  List.iter
+    (fun (name, src) ->
+      let prog =
+        try Program.of_source src
+        with e -> Alcotest.failf "%s failed to build: %s" name (Printexc.to_string e)
+      in
+      List.iter
+        (fun (p : Program.proc) ->
+          match Cfg.validate p.Program.cfg with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "%s/%s invalid: %s" name p.Program.name
+                (Fmt.str "%a" Cfg.pp_error e))
+        (Program.procs prog);
+      let vm = Interp.create prog in
+      (match Interp.run vm with
+      | Interp.Normal_stop | Interp.Fell_off_end -> ()
+      | exception e -> Alcotest.failf "%s crashed: %s" name (Printexc.to_string e));
+      check cb (name ^ " does real work") true (Interp.cycles vm > 0))
+    all_sources
+
+let workloads_analyze () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Program.of_source src in
+      try ignore (S89_profiling.Analysis.of_program prog)
+      with e -> Alcotest.failf "%s analysis failed: %s" name (Printexc.to_string e))
+    all_sources
+
+let workloads_deterministic () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Program.of_source src in
+      let cycles seed =
+        let vm = Interp.create ~config:{ Interp.default_config with seed } prog in
+        ignore (Interp.run vm);
+        Interp.cycles vm
+      in
+      check ci (name ^ " deterministic") (cycles 5) (cycles 5))
+    all_sources
+
+let loops_has_24_kernels () =
+  let prog = Program.of_source S89_workloads.Livermore.source in
+  check ci "24 kernels + main" 25 (List.length (Program.procs prog));
+  let vm = Interp.create prog in
+  ignore (Interp.run vm);
+  for k = 1 to 24 do
+    check ci (Printf.sprintf "K%d runs once" k) 1
+      (Interp.invocations vm (Printf.sprintf "K%d" k))
+  done
+
+let simple_scales () =
+  let cycles n =
+    let prog = Program.of_source (S89_workloads.Simple_code.source ~n ~cycles:2 ()) in
+    let vm = Interp.create prog in
+    ignore (Interp.run vm);
+    Interp.cycles vm
+  in
+  (* quadratic-ish growth in the mesh size *)
+  check cb "bigger mesh, more work" true (cycles 24 > 3 * cycles 12)
+
+let suite =
+  [
+    Alcotest.test_case "all workloads build and run" `Slow workloads_build_and_run;
+    Alcotest.test_case "all workloads analyze" `Slow workloads_analyze;
+    Alcotest.test_case "runs are deterministic" `Slow workloads_deterministic;
+    Alcotest.test_case "LOOPS has 24 kernels" `Slow loops_has_24_kernels;
+    Alcotest.test_case "SIMPLE scales with mesh" `Slow simple_scales;
+  ]
