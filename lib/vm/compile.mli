@@ -1,0 +1,65 @@
+(** Compile-once, run-many backend: MF77 expressions and IR nodes are
+    compiled to OCaml closures over integer slot indices.  Variable
+    resolution, intrinsic dispatch, successor lookup, constant folding of
+    literal operands and array stride/bounds precomputation all happen
+    once, at compile time; the hot path is closure calls over a
+    {!Env.slots} frame. *)
+
+module Ast = S89_frontend.Ast
+module Ir = S89_frontend.Ir
+module Program = S89_frontend.Program
+module Prng = S89_util.Prng
+open S89_cfg
+
+(** Runtime hooks shared by all compiled closures of one VM instance.
+    [call] is tied to the interpreter's procedure-call machinery after
+    compilation (breaking the compile/interp dependency cycle). *)
+type rt = {
+  rng : Prng.t;
+  out : Buffer.t;
+  mutable call : Program.proc -> Env.binding list -> Value.t option;
+}
+
+val make_rt : rng:Prng.t -> out:Buffer.t -> rt
+
+(** A compiled expression: evaluate against a frame. *)
+type cexpr = Env.slots -> Value.t
+
+val compile_expr : rt -> Program.t -> Env.layout -> Ast.expr -> cexpr
+
+(** Compiled argument: Fortran calling conventions (variables and array
+    elements by reference, other expressions by copy-in). *)
+val compile_arg : rt -> Program.t -> Env.layout -> Ast.expr -> Env.slots -> Env.binding
+
+(** Evaluate compiled arguments left to right. *)
+val eval_bindings : (Env.slots -> Env.binding) array -> Env.slots -> Env.binding list
+
+(** Sentinels returned by compiled node steps instead of a successor
+    index. *)
+val ret_code : int
+
+val stop_code : int
+
+(** [compile_node rt prog layout ~node_id ~succ ir] compiles one IR node
+    to a step closure returning the successor {e index} (into [succ]) to
+    take, or {!ret_code} / {!stop_code}.  Successor indices, case
+    dispatch tables and probe-free fast paths are resolved at compile
+    time. *)
+val compile_node :
+  rt ->
+  Program.t ->
+  Env.layout ->
+  node_id:int ->
+  succ:Label.t array ->
+  Ir.node ->
+  Env.slots ->
+  int
+
+(** A probe action with its cycle charge and bulk expression compiled. *)
+type caction =
+  | CIncr of int  (** counter id; charges [c_counter] *)
+  | CBulk of int * int * cexpr
+      (** counter id, precomputed expression cost, compiled expression *)
+
+val compile_action :
+  rt -> Program.t -> Env.layout -> Cost_model.t -> Probe.action -> caction

@@ -1,0 +1,156 @@
+(* Slot-resolved variable environments: compile-time name -> slot maps so
+   frames are dense binding arrays instead of string hash tables. *)
+
+module Ast = S89_frontend.Ast
+module Ir = S89_frontend.Ir
+module Sema = S89_frontend.Sema
+module Program = S89_frontend.Program
+open S89_cfg
+
+type array_obj = { data : Value.t array; dims : int array; elt : Ast.typ }
+
+type binding =
+  | Cell of { mutable v : Value.t; ty : Ast.typ }
+  | Arr of array_obj
+  | Elem of array_obj * int
+  | Poison of string
+
+type slots = binding array
+
+let alloc_array (elt : Ast.typ) (dims : int list) =
+  let size = List.fold_left ( * ) 1 dims in
+  { data = Array.make size (Value.zero_of elt); dims = Array.of_list dims; elt }
+
+let binding_of_kind name (k : Sema.var_kind) =
+  match k with
+  | Sema.Scalar ty -> Cell { v = Value.zero_of ty; ty }
+  | Sema.Const c -> (
+      (* a bad PARAMETER must fail at first use, not at frame creation *)
+      match c with
+      | Ast.Int i -> Cell { v = Value.Int i; ty = Ast.Tint }
+      | Ast.Real r -> Cell { v = Value.Real r; ty = Ast.Treal }
+      | Ast.Bool b -> Cell { v = Value.Bool b; ty = Ast.Tlogical }
+      | _ -> Poison (Fmt.str "PARAMETER %s is not a literal" name))
+  | Sema.Array (elt, dims) ->
+      if List.mem (-1) dims then
+        Poison (Fmt.str "assumed-size array %s must be a dummy argument" name)
+      else Arr (alloc_array elt dims)
+
+let offset name (a : array_obj) (idx : int list) =
+  (* column-major, 1-based; assumed-size arrays check the flat bound only *)
+  if Array.length a.dims = 1 && a.dims.(0) = -1 then begin
+    match idx with
+    | [ i ] ->
+        if i < 1 || i > Array.length a.data then
+          Value.err "%s(%d): out of bounds (size %d)" name i (Array.length a.data)
+        else i - 1
+    | _ -> Value.err "%s: assumed-size arrays are 1-dimensional" name
+  end
+  else begin
+    if List.length idx <> Array.length a.dims then
+      Value.err "%s: rank mismatch" name;
+    let off = ref 0 and stride = ref 1 in
+    List.iteri
+      (fun k i ->
+        let d = a.dims.(k) in
+        if i < 1 || i > d then
+          Value.err "%s: subscript %d of dimension %d out of bounds [1,%d]" name i
+            (k + 1) d;
+        off := !off + ((i - 1) * !stride);
+        stride := !stride * d)
+      idx;
+    !off
+  end
+
+(* ---- compile-time layouts ---- *)
+
+type layout = {
+  lproc : Program.proc;
+  names : string array;
+  kinds : Sema.var_kind array;
+  param_tys : Ast.typ option array;
+  n_params : int;
+  result_slot : int option;
+  index : (string, int) Hashtbl.t;  (* compile-time only *)
+}
+
+(* every variable name an expression can touch at runtime *)
+let rec expr_names acc (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Real _ | Ast.Bool _ -> acc
+  | Ast.Var v -> v :: acc
+  | Ast.Index (name, idx) -> List.fold_left expr_names (name :: acc) idx
+  | Ast.Call (_, args) -> List.fold_left expr_names acc args
+  | Ast.Unop (_, e) -> expr_names acc e
+  | Ast.Binop (_, a, b) -> expr_names (expr_names acc a) b
+
+let node_names acc (n : Ir.node) =
+  let acc = List.fold_left expr_names acc (Ir.exprs_of n) in
+  match n with
+  | Ir.Assign (Ast.Lvar v, _) -> v :: acc
+  | Ir.Assign (Ast.Larr (name, _), _) -> name :: acc
+  | Ir.Do_test d -> d.Ir.trip_var :: d.Ir.do_var :: acc
+  | _ -> acc
+
+let layout (p : Program.proc) : layout =
+  let env = p.Program.env in
+  let index = Hashtbl.create 32 in
+  let rev_names = ref [] and n = ref 0 in
+  let add name =
+    if not (Hashtbl.mem index name) then begin
+      Hashtbl.replace index name !n;
+      rev_names := name :: !rev_names;
+      incr n
+    end
+  in
+  (* dummy arguments own slots 0 .. n_params-1 in order, even when a name
+     repeats (the later occurrence wins name lookups, as with hash frames) *)
+  List.iter
+    (fun prm ->
+      Hashtbl.replace index prm !n;
+      rev_names := prm :: !rev_names;
+      incr n)
+    p.Program.params;
+  let n_params = !n in
+  Hashtbl.iter (fun name _ -> add name) env.Sema.vars;
+  (match env.Sema.result_var with Some rv -> add rv | None -> ());
+  let names_in_body = ref [] in
+  Cfg.iter_nodes
+    (fun i ->
+      names_in_body := node_names !names_in_body (Cfg.info p.Program.cfg i).Ir.ir)
+    p.Program.cfg;
+  List.iter add (List.rev !names_in_body);
+  let names = Array.of_list (List.rev !rev_names) in
+  let kind_of name =
+    match Hashtbl.find_opt env.Sema.vars name with
+    | Some k -> k
+    | None -> Sema.Scalar (Ast.implicit_type name)
+  in
+  let kinds = Array.map kind_of names in
+  let param_tys =
+    Array.init n_params (fun i ->
+        match Hashtbl.find_opt env.Sema.vars names.(i) with
+        | Some (Sema.Scalar ty) -> Some ty
+        | _ -> None)
+  in
+  let result_slot =
+    match env.Sema.result_var with
+    | Some rv -> Hashtbl.find_opt index rv
+    | None -> None
+  in
+  { lproc = p; names; kinds; param_tys; n_params; result_slot; index }
+
+let slot (l : layout) name =
+  match Hashtbl.find_opt l.index name with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Env.slot: %s has no slot in %s" name l.lproc.Program.name)
+
+let n_slots (l : layout) = Array.length l.names
+
+let make_frame (l : layout) : slots =
+  let n = Array.length l.names in
+  Array.init n (fun i ->
+      if i < l.n_params then Poison (Fmt.str "unbound dummy argument %s" l.names.(i))
+      else binding_of_kind l.names.(i) l.kinds.(i))

@@ -1,0 +1,62 @@
+(** Slot-resolved variable environments for the VM.
+
+    A procedure's variables are resolved to dense integer slots once, at
+    compile time; a frame is then just a [binding array] and every
+    variable access on the hot path is an array read — no string hashing.
+    The binding/array types here are shared by both VM backends (the
+    tree-walking reference evaluator keeps per-frame hash tables but
+    passes the same [binding] values across calls). *)
+
+module Ast = S89_frontend.Ast
+module Sema = S89_frontend.Sema
+module Program = S89_frontend.Program
+
+type array_obj = { data : Value.t array; dims : int array; elt : Ast.typ }
+
+type binding =
+  | Cell of { mutable v : Value.t; ty : Ast.typ }  (** scalar storage *)
+  | Arr of array_obj  (** whole array (by reference) *)
+  | Elem of array_obj * int  (** one element (by reference) *)
+  | Poison of string
+      (** unusable storage (assumed-size array that is not a dummy
+          argument); raises the recorded message on first use *)
+
+(** A compiled frame: one binding per slot of the procedure's layout. *)
+type slots = binding array
+
+(** Allocate a zero-initialized array; column-major, 1-based. *)
+val alloc_array : Ast.typ -> int list -> array_obj
+
+(** Fresh local storage for a declared or implicitly-typed variable. *)
+val binding_of_kind : string -> Sema.var_kind -> binding
+
+(** Flat offset of a subscript list (bounds-checked).
+    @raise Value.Runtime_error on rank mismatch or out-of-bounds *)
+val offset : string -> array_obj -> int list -> int
+
+(** Compile-time slot assignment for one procedure: dummy arguments first
+    (slots [0 .. n_params-1], in order), then declared variables, then
+    every other name the body mentions. *)
+type layout = {
+  lproc : Program.proc;
+  names : string array;  (** slot -> variable name *)
+  kinds : Sema.var_kind array;  (** slot -> kind, implicit typing resolved *)
+  param_tys : Ast.typ option array;
+      (** per dummy argument: declared scalar type (drives copy-in
+          coercion), [None] when undeclared or non-scalar *)
+  n_params : int;
+  result_slot : int option;  (** for FUNCTIONs: slot of the result var *)
+  index : (string, int) Hashtbl.t;  (** name -> slot; compile-time only *)
+}
+
+val layout : Program.proc -> layout
+
+(** Slot of a name; total for every name the procedure can mention.
+    @raise Invalid_argument for names absent from the layout (compiler bug) *)
+val slot : layout -> string -> int
+
+val n_slots : layout -> int
+
+(** Fresh frame with local storage in every non-parameter slot; parameter
+    slots hold [Poison] until the caller binds the arguments. *)
+val make_frame : layout -> slots

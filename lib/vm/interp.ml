@@ -13,7 +13,14 @@
      charge [c_counter] cycles each, which is what Table 1 measures;
    - a simulated PC-sampling profiler (a sample every N cycles), used to
      reproduce §3's argument that sampling is too coarse for
-     statement-level frequencies. *)
+     statement-level frequencies.
+
+   Two execution backends share all of the bookkeeping:
+   - [Compiled] (default): expressions and nodes are compiled once into
+     OCaml closures over slot-resolved frames (see Env and Compile) —
+     no AST walking, no string hashing, O(1) successor dispatch;
+   - [Tree]: the original tree-walking evaluator over per-frame hash
+     tables, kept as the semantic reference for differential testing. *)
 
 module Ast = S89_frontend.Ast
 module Ir = S89_frontend.Ir
@@ -27,34 +34,53 @@ exception Out_of_fuel
 exception Call_depth_exceeded of int
 exception Stopped (* internal: STOP statement unwinding *)
 
-type array_obj = { data : Value.t array; dims : int array; elt : Ast.typ }
-
-type binding =
+type binding = Env.binding =
   | Cell of { mutable v : Value.t; ty : Ast.typ }
-  | Arr of array_obj
-  | Elem of array_obj * int
+  | Arr of Env.array_obj
+  | Elem of Env.array_obj * int
+  | Poison of string
 
 type frame = { fproc : Program.proc; vars : (string, binding) Hashtbl.t }
 
-(* ---- compiled procedures: per-node cost, successor table, probes ---- *)
+(* ---- compiled procedures: per-node cost, dispatch tables, probes ---- *)
+
+(* O(1) successor lookup by edge label (first matching successor wins,
+   like the linear scan it replaces); -1 = no such successor *)
+type dispatch = { d_u : int; d_t : int; d_f : int; d_cases : int array }
+
+let succ_index (d : dispatch) (l : Label.t) =
+  match l with
+  | Label.U -> d.d_u
+  | Label.T -> d.d_t
+  | Label.F -> d.d_f
+  | Label.Case c -> if c >= 1 && c <= Array.length d.d_cases then d.d_cases.(c - 1) else -1
+  | Label.Pseudo _ -> -1
 
 type cnode = {
   ir : Ir.node;
   cost : int;
-  succ : (Label.t * int) array;
-  edge_counts : int array; (* oracle: traversals, parallel to succ *)
+  succ_labels : Label.t array;
+  succ_dst : int array; (* destination pc, parallel to succ_labels *)
+  dispatch : dispatch;
+  edge_counts : int array; (* oracle: traversals, parallel to succ_labels *)
   mutable execs : int; (* oracle: node executions *)
   node_probes : Probe.action list;
-  edge_probes : (Label.t * Probe.action list) list;
+  edge_probes : Probe.action list array; (* parallel to succ_labels *)
+  cnode_probes : Compile.caction array; (* compiled backend's node probes *)
+  cedge_probes : Compile.caction array array; (* parallel to succ_labels *)
+  step : Env.slots -> int; (* compiled step: successor index or sentinel *)
   mutable samples : int; (* PC-sampling hits *)
 }
 
 type cproc = {
   cp_proc : Program.proc;
+  layout : Env.layout;
   code : cnode array;
   centry : int;
   mutable invocations : int;
 }
+
+type backend = Tree | Compiled
 
 type config = {
   cost_model : Cost_model.t;
@@ -63,6 +89,7 @@ type config = {
   max_steps : int;
   max_call_depth : int; (* guards runaway recursion from blowing the stack *)
   sample_interval : int option;
+  backend : backend;
 }
 
 let default_config =
@@ -73,6 +100,7 @@ let default_config =
     max_steps = 200_000_000;
     max_call_depth = 10_000;
     sample_interval = None;
+    backend = Compiled;
   }
 
 type t = {
@@ -86,74 +114,80 @@ type t = {
   rng : Prng.t;
   out : Buffer.t;
   mutable call_depth : int;
+  rt : Compile.rt; (* hooks captured by the compiled closures *)
 }
 
-let compile_proc config (p : Program.proc) : cproc =
+let compile_proc config rt (prog : Program.t) (p : Program.proc) : cproc =
   let cfg = p.Program.cfg in
   let n = Cfg.num_nodes cfg in
   let pi = Probe.find_proc config.instr p.Program.name in
+  let lay = Env.layout p in
   let code =
     Array.init n (fun i ->
         let info = Cfg.info cfg i in
-        let succ =
+        let edges = Cfg.succ_edges cfg i in
+        let succ_labels =
           Array.of_list
-            (List.map
-               (fun (e : Label.t S89_graph.Digraph.edge) -> (e.label, e.dst))
-               (Cfg.succ_edges cfg i))
+            (List.map (fun (e : Label.t S89_graph.Digraph.edge) -> e.label) edges)
         in
+        let succ_dst =
+          Array.of_list
+            (List.map (fun (e : Label.t S89_graph.Digraph.edge) -> e.dst) edges)
+        in
+        let d_u = ref (-1) and d_t = ref (-1) and d_f = ref (-1) in
+        let max_case =
+          Array.fold_left
+            (fun m l -> match l with Label.Case c -> max m c | _ -> m)
+            0 succ_labels
+        in
+        let d_cases = Array.make max_case (-1) in
+        Array.iteri
+          (fun k l ->
+            match l with
+            | Label.U -> if !d_u < 0 then d_u := k
+            | Label.T -> if !d_t < 0 then d_t := k
+            | Label.F -> if !d_f < 0 then d_f := k
+            | Label.Case c -> if d_cases.(c - 1) < 0 then d_cases.(c - 1) <- k
+            | Label.Pseudo _ -> ())
+          succ_labels;
+        let node_probes =
+          match pi with Some pi -> pi.Probe.on_node.(i) | None -> []
+        in
+        let edge_probe_assoc =
+          match pi with Some pi -> pi.Probe.on_edge.(i) | None -> []
+        in
+        let edge_probes =
+          Array.map
+            (fun l ->
+              match
+                List.find_opt (fun (lbl, _) -> Label.equal lbl l) edge_probe_assoc
+              with
+              | Some (_, acts) -> acts
+              | None -> [])
+            succ_labels
+        in
+        let caction = Compile.compile_action rt prog lay config.cost_model in
         {
           ir = info.Ir.ir;
           cost = Cost_model.node_cost config.cost_model info.Ir.ir;
-          succ;
-          edge_counts = Array.make (Array.length succ) 0;
+          succ_labels;
+          succ_dst;
+          dispatch = { d_u = !d_u; d_t = !d_t; d_f = !d_f; d_cases };
+          edge_counts = Array.make (Array.length succ_labels) 0;
           execs = 0;
-          node_probes = (match pi with Some pi -> pi.Probe.on_node.(i) | None -> []);
-          edge_probes = (match pi with Some pi -> pi.Probe.on_edge.(i) | None -> []);
+          node_probes;
+          edge_probes;
+          cnode_probes = Array.of_list (List.map caction node_probes);
+          cedge_probes = Array.map (fun acts -> Array.of_list (List.map caction acts)) edge_probes;
+          step = Compile.compile_node rt prog lay ~node_id:i ~succ:succ_labels info.Ir.ir;
           samples = 0;
         })
   in
-  { cp_proc = p; code; centry = Cfg.entry cfg; invocations = 0 }
+  { cp_proc = p; layout = lay; code; centry = Cfg.entry cfg; invocations = 0 }
 
-let create ?(config = default_config) (prog : Program.t) : t =
-  let cprocs = Hashtbl.create 8 in
-  List.iter
-    (fun p -> Hashtbl.replace cprocs p.Program.name (compile_proc config p))
-    (Program.procs prog);
-  {
-    config;
-    prog;
-    cprocs;
-    counters = Array.make (max config.instr.Probe.n_counters 1) 0;
-    cycles = 0;
-    steps = 0;
-    next_sample = (match config.sample_interval with Some s -> s | None -> max_int);
-    rng = Prng.create ~seed:config.seed;
-    out = Buffer.create 256;
-    call_depth = 0;
-  }
+(* ---- frames and bindings (tree backend) ---- *)
 
-(* ---- frames and bindings ---- *)
-
-let alloc_array (elt : Ast.typ) (dims : int list) =
-  let size = List.fold_left ( * ) 1 dims in
-  { data = Array.make size (Value.zero_of elt); dims = Array.of_list dims; elt }
-
-let binding_of_kind name (k : Sema.var_kind) =
-  match k with
-  | Sema.Scalar ty -> Cell { v = Value.zero_of ty; ty }
-  | Sema.Const c ->
-      let v =
-        match c with
-        | Ast.Int i -> Value.Int i
-        | Ast.Real r -> Value.Real r
-        | Ast.Bool b -> Value.Bool b
-        | _ -> Value.err "PARAMETER %s is not a literal" name
-      in
-      Cell { v; ty = (match v with Value.Int _ -> Ast.Tint | Value.Real _ -> Ast.Treal | _ -> Ast.Tlogical) }
-  | Sema.Array (elt, dims) ->
-      if List.mem (-1) dims then
-        Value.err "assumed-size array %s must be a dummy argument" name
-      else Arr (alloc_array elt dims)
+let binding_of_kind = Env.binding_of_kind
 
 let lookup frame name =
   match Hashtbl.find_opt frame.vars name with
@@ -174,48 +208,62 @@ let read_scalar frame name =
   | Cell c -> c.v
   | Elem (a, off) -> a.data.(off)
   | Arr _ -> Value.err "array %s used as a scalar" name
+  | Poison m -> Value.err "%s" m
 
 let write_scalar frame name v =
   match lookup frame name with
   | Cell c -> c.v <- Value.coerce c.ty v
   | Elem (a, off) -> a.data.(off) <- Value.coerce a.elt v
   | Arr _ -> Value.err "assignment to whole array %s" name
+  | Poison m -> Value.err "%s" m
 
-let offset name (a : array_obj) (idx : int list) =
-  (* column-major, 1-based; assumed-size arrays check the flat bound only *)
-  if Array.length a.dims = 1 && a.dims.(0) = -1 then begin
-    match idx with
-    | [ i ] ->
-        if i < 1 || i > Array.length a.data then
-          Value.err "%s(%d): out of bounds (size %d)" name i (Array.length a.data)
-        else i - 1
-    | _ -> Value.err "%s: assumed-size arrays are 1-dimensional" name
-  end
-  else begin
-    if List.length idx <> Array.length a.dims then
-      Value.err "%s: rank mismatch" name;
-    let off = ref 0 and stride = ref 1 in
-    List.iteri
-      (fun k i ->
-        let d = a.dims.(k) in
-        if i < 1 || i > d then
-          Value.err "%s: subscript %d of dimension %d out of bounds [1,%d]" name i
-            (k + 1) d;
-        off := !off + ((i - 1) * !stride);
-        stride := !stride * d)
-      idx;
-    !off
-  end
+let offset = Env.offset
 
 let get_array frame name =
   match lookup frame name with
   | Arr a -> a
-  | _ -> Value.err "%s is not an array" name
+  | Cell _ | Elem _ -> Value.err "%s is not an array" name
+  | Poison m -> Value.err "%s" m
 
-(* ---- execution ---- *)
+(* ---- shared bookkeeping ---- *)
 
-let charge st c =
-  st.cycles <- st.cycles + c
+let charge st c = st.cycles <- st.cycles + c
+
+let find_cproc st name =
+  match Hashtbl.find_opt st.cprocs name with
+  | Some cp -> cp
+  | None -> Value.err "uncompiled procedure %s" name
+
+let enter_call st (cp : cproc) =
+  cp.invocations <- cp.invocations + 1;
+  st.call_depth <- st.call_depth + 1;
+  if st.call_depth > st.config.max_call_depth then
+    raise (Call_depth_exceeded st.call_depth)
+
+(* sampling slow path: attribute hits to the executing node (taken only
+   when the cycle counter crossed the sampling boundary) *)
+let take_samples st (n : cnode) =
+  while st.cycles >= st.next_sample do
+    n.samples <- n.samples + 1;
+    st.next_sample <-
+      st.next_sample
+      + (match st.config.sample_interval with Some s -> s | None -> max_int)
+  done
+
+(* charge node cost, count the execution, attribute PC samples *)
+let account st (n : cnode) =
+  st.steps <- st.steps + 1;
+  if st.steps > st.config.max_steps then raise Out_of_fuel;
+  charge st n.cost;
+  n.execs <- n.execs + 1;
+  while st.cycles >= st.next_sample do
+    n.samples <- n.samples + 1;
+    st.next_sample <-
+      st.next_sample
+      + (match st.config.sample_interval with Some s -> s | None -> max_int)
+  done
+
+(* ---- tree-walking backend (the semantic reference) ---- *)
 
 let rec eval st frame (e : Ast.expr) : Value.t =
   match e with
@@ -255,7 +303,10 @@ let rec eval st frame (e : Ast.expr) : Value.t =
    reference, general expressions by copy-in *)
 and arg_binding st frame (e : Ast.expr) : binding =
   match e with
-  | Ast.Var v -> lookup frame v
+  | Ast.Var v -> (
+      match lookup frame v with
+      | Poison m -> Value.err "%s" m
+      | b -> b)
   | Ast.Index (name, idx) ->
       let a = get_array frame name in
       let idx = List.map (fun i -> Value.to_int (eval st frame i)) idx in
@@ -269,15 +320,8 @@ and arg_binding st frame (e : Ast.expr) : binding =
         }
 
 and call_proc st (callee : Program.proc) (args : binding list) : Value.t option =
-  let cp =
-    match Hashtbl.find_opt st.cprocs callee.Program.name with
-    | Some cp -> cp
-    | None -> Value.err "uncompiled procedure %s" callee.Program.name
-  in
-  cp.invocations <- cp.invocations + 1;
-  st.call_depth <- st.call_depth + 1;
-  if st.call_depth > st.config.max_call_depth then
-    raise (Call_depth_exceeded st.call_depth);
+  let cp = find_cproc st callee.Program.name in
+  enter_call st cp;
   let frame = { fproc = callee; vars = Hashtbl.create 16 } in
   (try
      List.iter2
@@ -307,18 +351,7 @@ and run_frame st (cp : cproc) frame : unit =
   let running = ref true in
   while !running do
     let n = cp.code.(!pc) in
-    st.steps <- st.steps + 1;
-    if st.steps > st.config.max_steps then raise Out_of_fuel;
-    charge st n.cost;
-    n.execs <- n.execs + 1;
-    (* PC sampling: attribute a sample to the node that was executing when
-       the cycle counter crossed the sampling boundary *)
-    while st.cycles >= st.next_sample do
-      n.samples <- n.samples + 1;
-      st.next_sample <-
-        st.next_sample
-        + (match st.config.sample_interval with Some s -> s | None -> max_int)
-    done;
+    account st n;
     fire_actions st frame n.node_probes;
     let out_label =
       match n.ir with
@@ -360,17 +393,15 @@ and run_frame st (cp : cproc) frame : unit =
     match out_label with
     | None -> running := false
     | Some l -> (
-        let found = ref (-1) in
-        Array.iteri (fun k (lbl, _) -> if !found < 0 && Label.equal lbl l then found := k) n.succ;
-        if !found < 0 then
+        let k = succ_index n.dispatch l in
+        if k < 0 then
           Value.err "no %s successor at node %d of %s" (Label.to_string l) !pc
             cp.cp_proc.Program.name;
-        n.edge_counts.(!found) <- n.edge_counts.(!found) + 1;
-        (match List.find_opt (fun (lbl, _) -> Label.equal lbl l) n.edge_probes with
-        | Some (_, acts) -> fire_actions st frame acts
-        | None -> ());
-        let _, dst = n.succ.(!found) in
-        pc := dst)
+        n.edge_counts.(k) <- n.edge_counts.(k) + 1;
+        (match n.edge_probes.(k) with
+        | [] -> ()
+        | acts -> fire_actions st frame acts);
+        pc := n.succ_dst.(k))
   done
 
 and fire_actions st frame (acts : Probe.action list) =
@@ -387,13 +418,122 @@ and fire_actions st frame (acts : Probe.action list) =
           st.counters.(c) <- st.counters.(c) + Value.to_int (eval st frame e))
     acts
 
+(* ---- compiled backend ---- *)
+
+let fire_cactions st venv (acts : Compile.caction array) =
+  Array.iter
+    (fun (a : Compile.caction) ->
+      match a with
+      | Compile.CIncr c ->
+          charge st st.config.cost_model.Cost_model.c_counter;
+          st.counters.(c) <- st.counters.(c) + 1
+      | Compile.CBulk (c, xcost, f) ->
+          charge st (st.config.cost_model.Cost_model.c_counter + xcost);
+          st.counters.(c) <- st.counters.(c) + Value.to_int (f venv))
+    acts
+
+let rec call_proc_compiled st (callee : Program.proc) (args : binding list) :
+    Value.t option =
+  let cp = find_cproc st callee.Program.name in
+  enter_call st cp;
+  let lay = cp.layout in
+  let venv = Env.make_frame lay in
+  (try
+     let n_params = lay.Env.n_params in
+     let rec bind i = function
+       | [] -> if i <> n_params then raise (Invalid_argument "arity")
+       | b :: rest ->
+           if i >= n_params then raise (Invalid_argument "arity");
+           let b =
+             match (b, lay.Env.param_tys.(i)) with
+             | Cell c, Some ty when c.ty <> ty -> Cell { v = Value.coerce ty c.v; ty }
+             | _ -> b
+           in
+           venv.(i) <- b;
+           bind (i + 1) rest
+     in
+     bind 0 args
+   with Invalid_argument _ ->
+     Value.err "arity mismatch calling %s" callee.Program.name);
+  (try run_frame_compiled st cp venv
+   with e ->
+     st.call_depth <- st.call_depth - 1;
+     raise e);
+  st.call_depth <- st.call_depth - 1;
+  match lay.Env.result_slot with
+  | Some s -> (
+      match venv.(s) with
+      | Cell c -> Some c.v
+      | Elem (a, off) -> Some a.data.(off)
+      | Arr _ -> Value.err "array %s used as a scalar" lay.Env.names.(s)
+      | Poison m -> Value.err "%s" m)
+  | None -> None
+
+and run_frame_compiled st (cp : cproc) (venv : Env.slots) : unit =
+  let code = cp.code in
+  let max_steps = st.config.max_steps in
+  let pc = ref cp.centry in
+  let running = ref true in
+  while !running do
+    let n = code.(!pc) in
+    (* [account], open-coded: this is the per-node hot path *)
+    let steps = st.steps + 1 in
+    st.steps <- steps;
+    if steps > max_steps then raise Out_of_fuel;
+    st.cycles <- st.cycles + n.cost;
+    n.execs <- n.execs + 1;
+    if st.cycles >= st.next_sample then take_samples st n;
+    if Array.length n.cnode_probes > 0 then fire_cactions st venv n.cnode_probes;
+    let k = n.step venv in
+    if k >= 0 then begin
+      n.edge_counts.(k) <- n.edge_counts.(k) + 1;
+      (match n.cedge_probes.(k) with
+      | [||] -> ()
+      | acts -> fire_cactions st venv acts);
+      pc := n.succ_dst.(k)
+    end
+    else if k = Compile.ret_code then running := false
+    else raise Stopped
+  done
+
+(* ---- construction ---- *)
+
+let create ?(config = default_config) (prog : Program.t) : t =
+  let rng = Prng.create ~seed:config.seed in
+  let out = Buffer.create 256 in
+  let rt = Compile.make_rt ~rng ~out in
+  let cprocs = Hashtbl.create 8 in
+  List.iter
+    (fun p -> Hashtbl.replace cprocs p.Program.name (compile_proc config rt prog p))
+    (Program.procs prog);
+  let st =
+    {
+      config;
+      prog;
+      cprocs;
+      counters = Array.make (max config.instr.Probe.n_counters 1) 0;
+      cycles = 0;
+      steps = 0;
+      next_sample = (match config.sample_interval with Some s -> s | None -> max_int);
+      rng;
+      out;
+      call_depth = 0;
+      rt;
+    }
+  in
+  rt.Compile.call <- (fun callee args -> call_proc_compiled st callee args);
+  st
+
 (* ---- entry points and results ---- *)
 
 type outcome = Normal_stop | Fell_off_end
 
 let run (st : t) : outcome =
   let main = Program.main_proc st.prog in
-  match call_proc st main [] with
+  let call =
+    match st.config.backend with Tree -> call_proc | Compiled -> call_proc_compiled
+  in
+  match call st main [] with
   | exception Stopped -> Normal_stop
   | _ -> Fell_off_end
 
@@ -417,8 +557,8 @@ let edge_count st name node label =
   let cn = (cproc st name).code.(node) in
   let total = ref 0 in
   Array.iteri
-    (fun k (l, _) -> if Label.equal l label then total := !total + cn.edge_counts.(k))
-    cn.succ;
+    (fun k l -> if Label.equal l label then total := !total + cn.edge_counts.(k))
+    cn.succ_labels;
   !total
 
 (* PC-sampling hits of a node *)

@@ -17,6 +17,14 @@ exception Out_of_fuel
 (** Recursion exceeded [max_call_depth] (runaway recursion). *)
 exception Call_depth_exceeded of int
 
+(** Execution backend.  [Compiled] (the default) runs closures compiled
+    once per procedure over slot-resolved frames ({!Env}, {!Compile});
+    [Tree] is the original AST-walking evaluator over hashed frames, kept
+    as the semantic reference for differential testing.  Both backends
+    share all accounting (cycles, oracle counts, probes, sampling) and
+    must be observationally identical. *)
+type backend = Tree | Compiled
+
 type config = {
   cost_model : Cost_model.t;
   instr : Probe.t;  (** instrumentation ({!Probe.empty} = none) *)
@@ -24,6 +32,7 @@ type config = {
   max_steps : int;  (** fuel: statements executed before {!Out_of_fuel} *)
   max_call_depth : int;  (** recursion guard ({!Call_depth_exceeded}) *)
   sample_interval : int option;  (** simulated PC sampling every N cycles *)
+  backend : backend;  (** execution engine (default [Compiled]) *)
 }
 
 val default_config : config

@@ -493,3 +493,144 @@ let interp_call_depth_guard () =
 
 let suite =
   suite @ [ Alcotest.test_case "interp: call depth guard" `Quick interp_call_depth_guard ]
+
+(* ---------------- Differential: Tree vs Compiled backends ----------------
+
+   The compiled backend (slot frames + closure code) must be
+   observationally identical to the tree walker: same cycles, steps,
+   output, probe counters, invocation counts and oracle node/edge counts
+   on every program.  We check this on every generated program (which
+   exercises DO nests, IFs, calls, arrays and the PRNG intrinsics) and on
+   the demo corpus (which adds computed GOTO, recursion and unstructured
+   control flow). *)
+
+module Label = S89_cfg.Label
+module Probe = S89_vm.Probe
+
+let placement_probes prog =
+  S89_profiling.Placement.probes
+    (S89_profiling.Placement.plan ~second_moments:true
+       (S89_profiling.Analysis.of_program prog))
+
+let run_backend ~instr ~seed backend prog =
+  let config = { Interp.default_config with seed; instr; backend } in
+  let vm = Interp.create ~config prog in
+  let outcome = Interp.run vm in
+  (vm, outcome)
+
+let check_backends_agree ?(instr = Probe.empty) ?(seed = 42) what prog =
+  let t, ot = run_backend ~instr ~seed Interp.Tree prog in
+  let c, oc = run_backend ~instr ~seed Interp.Compiled prog in
+  check cb (what ^ ": outcome") true (ot = oc);
+  check ci (what ^ ": cycles") (Interp.cycles t) (Interp.cycles c);
+  check ci (what ^ ": steps") (Interp.steps t) (Interp.steps c);
+  check Alcotest.string (what ^ ": output") (Interp.output t) (Interp.output c);
+  check (Alcotest.array ci) (what ^ ": counters") (Interp.counters t)
+    (Interp.counters c);
+  List.iter
+    (fun (p : Program.proc) ->
+      let name = p.Program.name in
+      check ci (what ^ ": invocations " ^ name) (Interp.invocations t name)
+        (Interp.invocations c name);
+      let cfg = p.Program.cfg in
+      for node = 0 to Cfg.num_nodes cfg - 1 do
+        check ci
+          (Printf.sprintf "%s: execs %s/%d" what name node)
+          (Interp.node_execs t name node)
+          (Interp.node_execs c name node);
+        List.iter
+          (fun l ->
+            check ci
+              (Printf.sprintf "%s: edge %s/%d/%s" what name node
+                 (Label.to_string l))
+              (Interp.edge_count t name node l)
+              (Interp.edge_count c name node l))
+          (S89_cfg.Cfg.out_labels cfg node)
+      done)
+    (Program.procs prog)
+
+let diff_generated () =
+  for seed = 0 to 59 do
+    let prog = Gen_prog.gen_program seed in
+    let instr = placement_probes prog in
+    check_backends_agree ~instr ~seed (Printf.sprintf "gen %d" seed) prog
+  done
+
+let diff_demos () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Program.of_source src in
+      let instr = placement_probes prog in
+      check_backends_agree ~instr (Printf.sprintf "demo %s" name) prog)
+    [
+      ("fig1", S89_workloads.Demos.fig1 ());
+      ("branchy", S89_workloads.Demos.branchy ());
+      ("chunky", S89_workloads.Demos.chunky ());
+      ("nested_random", S89_workloads.Demos.nested_random ());
+      ("recursive", S89_workloads.Demos.recursive ());
+      ("computed_goto", S89_workloads.Demos.computed_goto ());
+      ("sort", S89_workloads.Demos.sort ());
+      ("sieve", S89_workloads.Demos.sieve ());
+    ]
+
+(* Multi-way Select dispatch: per-Case oracle edge counts and edge probes.
+   A 3-arm computed GOTO driven by IRAND(4) takes each Case and the
+   fallthrough; per-label counts must agree across backends, sum to the
+   trip count, and edge probes attached to every outgoing label must
+   reproduce the oracle counts exactly. *)
+let select_edge_bookkeeping () =
+  let n = 200 in
+  let prog = Program.of_source (S89_workloads.Demos.computed_goto ~n ()) in
+  let p = Program.find prog "CGOTO" in
+  let cfg = p.Program.cfg in
+  let num_nodes = Cfg.num_nodes cfg in
+  let sel = ref (-1) in
+  for i = 0 to num_nodes - 1 do
+    match (Cfg.info cfg i).Ir.ir with Ir.Select _ -> sel := i | _ -> ()
+  done;
+  check cb "found Select node" true (!sel >= 0);
+  let sel = !sel in
+  let labels = S89_cfg.Cfg.out_labels cfg sel in
+  check ci "four outgoing labels" 4 (List.length labels);
+  let instr = Probe.make ~n_counters:(List.length labels) in
+  List.iteri
+    (fun k l ->
+      Probe.add_edge_action instr ~proc:"CGOTO" ~num_nodes ~node:sel ~label:l
+        (Probe.Incr k))
+    labels;
+  let t, _ = run_backend ~instr ~seed:7 Interp.Tree prog in
+  let c, _ = run_backend ~instr ~seed:7 Interp.Compiled prog in
+  let total = ref 0 in
+  List.iteri
+    (fun k l ->
+      let et = Interp.edge_count t "CGOTO" sel l in
+      let ec = Interp.edge_count c "CGOTO" sel l in
+      check ci (Printf.sprintf "oracle agrees on %s" (Label.to_string l)) et ec;
+      check ci
+        (Printf.sprintf "tree probe matches oracle on %s" (Label.to_string l))
+        et
+        (Interp.counters t).(k);
+      check ci
+        (Printf.sprintf "compiled probe matches oracle on %s" (Label.to_string l))
+        ec
+        (Interp.counters c).(k);
+      total := !total + ec)
+    labels;
+  check ci "case counts sum to trips" n !total;
+  (* IRAND(4) over 3 arms: every arm and the fallthrough must fire *)
+  List.iter
+    (fun l ->
+      check cb
+        (Printf.sprintf "%s taken at least once" (Label.to_string l))
+        true
+        (Interp.edge_count c "CGOTO" sel l > 0))
+    labels
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "backends: 60 generated programs" `Quick diff_generated;
+      Alcotest.test_case "backends: demo corpus" `Quick diff_demos;
+      Alcotest.test_case "backends: Select edge bookkeeping" `Quick
+        select_edge_bookkeeping;
+    ]
