@@ -26,6 +26,13 @@ module Interproc = S89_core.Interproc
 module Report = S89_core.Report
 module Stats = S89_util.Stats
 module W = S89_workloads.Demos
+module Pool = S89_exec.Pool
+module Chunked = S89_exec.Chunked
+
+(* work pool shared by the targets that distribute independent reps
+   (accuracy's measurement runs, chunks' simulator replications);
+   set from --domains N, defaults to sequential *)
+let bench_pool = ref (Pool.create ~domains:1 ())
 
 let section title =
   Fmt.pr "@.=============================================================@.";
@@ -370,11 +377,17 @@ let accuracy () =
   List.iter
     (fun (name, src, runs) ->
       let t = Pipeline.of_source src in
-      let st = Stats.create () in
-      for s = 0 to runs - 1 do
-        let vm = Pipeline.run_once ~seed:(1001 + s) t in
-        Stats.add st (float_of_int (Interp.cycles vm))
-      done;
+      (* independent seeded measurement runs, distributed over the bench
+         pool (--domains N).  Each run's cycle count depends only on its
+         seed and the fold below is in seed order, so the Stats are
+         identical at any domain count. *)
+      let cycles =
+        Pool.map !bench_pool
+          (fun s ->
+            float_of_int (Interp.cycles (Pipeline.run_once ~seed:(1001 + s) t)))
+          (Array.init runs (fun s -> s))
+      in
+      let st = Stats.of_list (Array.to_list cycles) in
       let profile = Pipeline.profile_smart ~runs ~seed:1001 t in
       (* the paper's formula (Case 1 with FREQ², iterations fully correlated)
          and the Wald-identity variant (independent iterations), both with
@@ -418,7 +431,9 @@ let chunks () =
           let dist = S89_sched.Dist.of_moments ~mean:mu ~variance:(sigma *. sigma) in
           let k = S89_sched.Chunk.kw_chunk ~n ~p ~h ~sigma in
           let avg strat =
-            Stats.mean (S89_sched.Parsim.run_avg ~seeds:8 ~n ~p ~h ~dist strat)
+            Stats.mean
+              (S89_sched.Parsim.run_avg ~seeds:8 ~map:(Pool.map_list !bench_pool)
+                 ~n ~p ~h ~dist strat)
           in
           let m_static = avg S89_sched.Chunk.Static_split in
           let m_self = avg S89_sched.Chunk.Self_sched in
@@ -462,7 +477,8 @@ let chunks () =
           (fun (nm, strat) ->
             let m =
               Stats.mean
-                (S89_sched.Parsim.run_avg ~seeds:8 ~n:nf ~p ~h:hov ~dist strat)
+                (S89_sched.Parsim.run_avg ~seeds:8
+                   ~map:(Pool.map_list !bench_pool) ~n:nf ~p ~h:hov ~dist strat)
             in
             Fmt.pr "  %-14s makespan %.0f@." nm m)
           [ ("static-N/P", S89_sched.Chunk.Static_split);
@@ -470,6 +486,106 @@ let chunks () =
             ("kruskal-weiss", S89_sched.Chunk.Fixed k) ]
       end)
     (S89_cfg.Ecfg.headers a.Analysis.ecfg)
+
+(* ------------------------------------------------------------------ *)
+(* P3: Domain work-pool scaling                                        *)
+(* ------------------------------------------------------------------ *)
+
+let stats_equal a b =
+  Stats.count a = Stats.count b
+  && Stats.mean a = Stats.mean b
+  && Stats.variance a = Stats.variance b
+  && Stats.min a = Stats.min b
+  && Stats.max a = Stats.max b
+
+let scaling () =
+  section
+    "P3: Domain work-pool scaling (1/2/4 domains vs sequential)\n\
+     three hot paths: Parsim.run_avg replications, batch VM measurement\n\
+     runs (Chunked.map with the self-tuned Kruskal-Weiss chunk), and the\n\
+     per-procedure ECFG->CDG->FCDG analysis pipelines.  Every parallel\n\
+     run is checked identical to the sequential one.";
+  let host = Domain.recommended_domain_count () in
+  Fmt.pr "@.host cores (Domain.recommended_domain_count): %d%s@." host
+    (if host = 1 then "  [single core: parallel rows measure pure overhead]"
+     else "");
+  let row name d w_seq w_par same =
+    record
+      (Printf.sprintf "scaling/%s/d%d" name d)
+      [
+        ("domains", Int d);
+        ("wall_s_seq", Num w_seq);
+        ("wall_s_parallel", Num w_par);
+        ("parallel_speedup", Num (w_seq /. w_par));
+        ("identical", Int (if same then 1 else 0));
+      ];
+    Fmt.pr "%-18s %8d %11.4f %11.4f %9.2fx%s@." name d w_seq w_par
+      (w_seq /. w_par)
+      (if same then "" else "  [MISMATCH]")
+  in
+  Fmt.pr "@.%-18s %8s %11s %11s %10s@." "workload" "domains" "seq (s)"
+    "par (s)" "speedup";
+  Fmt.pr "%s@." (String.make 64 '-');
+  (* -- 1: Parsim.run_avg seeded replications -- *)
+  let n = 50_000 and p = 16 and h = 50.0 and seeds = 64 in
+  let dist = S89_sched.Dist.Exponential { mean = 100.0 } in
+  let run_avg ?map () =
+    S89_sched.Parsim.run_avg ?map ~seeds ~n ~p ~h ~dist
+      S89_sched.Chunk.Kruskal_weiss
+  in
+  let st0, w_seq, _ = timed_best ~reps:3 (fun () -> run_avg ()) in
+  List.iter
+    (fun d ->
+      let pool = Pool.create ~force_parallel:(d > 1) ~domains:d () in
+      let st, w_par, _ =
+        timed_best ~reps:3 (fun () -> run_avg ~map:(Pool.map_list pool) ())
+      in
+      row "parsim.run_avg" d w_seq w_par (stats_equal st0 st))
+    [ 1; 2; 4 ];
+  (* -- 2: batch VM measurement runs via Chunked.map (KW self-chunking) -- *)
+  let t = Pipeline.of_source (W.chunky ()) in
+  let seeds_arr = Array.init 32 (fun s -> 1001 + s) in
+  let one_run s = Interp.cycles (Pipeline.run_once ~seed:s t) in
+  let c0, w_seq, _ =
+    timed_best ~reps:3 (fun () -> Array.map one_run seeds_arr)
+  in
+  List.iter
+    (fun d ->
+      let pool = Pool.create ~force_parallel:(d > 1) ~domains:d () in
+      let c, w_par, _ =
+        timed_best ~reps:3 (fun () -> Chunked.map pool one_run seeds_arr)
+      in
+      row "vm.batch-runs" d w_seq w_par (c = c0))
+    [ 1; 2; 4 ];
+  (* -- 3: per-procedure analysis pipelines (LOOPS + SIMPLE) -- *)
+  let progs =
+    [
+      Program.of_source S89_workloads.Livermore.source;
+      Program.of_source (S89_workloads.Simple_code.source ());
+    ]
+  in
+  let analyze pool = List.map (fun prog -> Analysis.of_program ?pool prog) progs in
+  let same_analyses a b =
+    List.for_all2
+      (fun ta tb ->
+        Hashtbl.length ta = Hashtbl.length tb
+        && Hashtbl.fold
+             (fun name (x : Analysis.t) acc ->
+               acc
+               &&
+               match Hashtbl.find_opt tb name with
+               | None -> false
+               | Some (y : Analysis.t) -> x.Analysis.conditions = y.Analysis.conditions)
+             ta true)
+      a b
+  in
+  let a0, w_seq, _ = timed_best ~reps:3 (fun () -> analyze None) in
+  List.iter
+    (fun d ->
+      let pool = Pool.create ~force_parallel:(d > 1) ~domains:d () in
+      let a, w_par, _ = timed_best ~reps:3 (fun () -> analyze (Some pool)) in
+      row "analysis.pipeline" d w_seq w_par (same_analyses a0 a))
+    [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* X5: compile-time analysis vs profiling                              *)
@@ -565,7 +681,7 @@ let all_targets =
     ("counters", counters); ("x1", counters); ("sampling", sampling);
     ("x2", sampling); ("accuracy", accuracy); ("x3", accuracy); ("chunks", chunks);
     ("x4", chunks); ("static", static_analysis); ("x5", static_analysis);
-    ("wall", wall) ]
+    ("scaling", scaling); ("p3", scaling); ("wall", wall) ]
 
 let default_order =
   [ figure1; figure2; figure3; table1; counters; sampling; accuracy; chunks;
@@ -583,6 +699,33 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let json_file, args = split_json [] args in
+  (* peel off `--domains N` anywhere in the argument list; reject <= 0 *)
+  let rec split_domains = function
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 ->
+            let d', rest' = split_domains rest in
+            ((match d' with None -> Some d | some -> some (* last wins *)), rest')
+        | Some d ->
+            Fmt.epr "--domains: must be >= 1 (got %d)@." d;
+            exit 1
+        | None ->
+            Fmt.epr "--domains: expected a positive integer (got %s)@." v;
+            exit 1)
+    | "--domains" :: [] ->
+        Fmt.epr "--domains requires a value@.";
+        exit 1
+    | a :: rest ->
+        let d, rest' = split_domains rest in
+        (d, a :: rest')
+    | [] -> (None, [])
+  in
+  let domains_opt, args = split_domains args in
+  let domains = Option.value domains_opt ~default:1 in
+  bench_pool := Pool.create ~force_parallel:(domains > 1) ~domains ();
+  if domains > 1 then
+    Fmt.pr "using a %d-domain work pool for independent reps@."
+      (Pool.domains !bench_pool);
   (* fail on an unwritable path now, not after minutes of benchmarking *)
   (match json_file with
   | Some file -> (

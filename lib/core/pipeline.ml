@@ -27,9 +27,10 @@ type t = {
   analyses : (string, Analysis.t) Hashtbl.t;
 }
 
-let create (prog : Program.t) : t = { prog; analyses = Analysis.of_program prog }
+let create ?pool (prog : Program.t) : t =
+  { prog; analyses = Analysis.of_program ?pool prog }
 
-let of_source src = create (Program.of_source src)
+let of_source ?pool src = create ?pool (Program.of_source src)
 
 (* ---------------- running ---------------- *)
 

@@ -14,11 +14,12 @@ type t = {
   analyses : (string, Analysis.t) Hashtbl.t;  (** ECFG/CDG/FCDG per procedure *)
 }
 
-(** Build the analyses for an already-lowered program. *)
-val create : Program.t -> t
+(** Build the analyses for an already-lowered program.  [?pool] analyzes
+    procedures on separate domains (same result as sequential). *)
+val create : ?pool:S89_exec.Pool.t -> Program.t -> t
 
 (** Parse, analyze, lower and build the analyses from MF77 source. *)
-val of_source : string -> t
+val of_source : ?pool:S89_exec.Pool.t -> string -> t
 
 (** One uninstrumented VM run (its oracle counts serve as exact totals). *)
 val run_once : ?cost_model:Cost_model.t -> ?seed:int -> t -> Interp.t

@@ -1,0 +1,118 @@
+(* Chunked parallel map: the repo eating its own dog food.
+
+   [Pool.map] dispatches items one at a time; when items are cheap, the
+   per-dispatch cost (an atomic fetch-and-add plus cache traffic) is the
+   overhead [h] of the paper's §5 trade-off, and the right chunk size is
+   exactly the Kruskal–Weiss choice the estimator computes for parallel
+   loops:
+
+       k_opt = ( √2 · N · h / (σ · P · √(ln P)) )^(2/3)
+
+   The default strategy measures per-item wall time online (Welford, via
+   [S89_util.Stats]), and periodically recomputes k from the current
+   mean/σ estimate and the remaining item count using
+   [S89_sched.Chunk.kw_chunk] — the very formula §5 derives from the
+   profiler's TIME/VAR.  Workers start at chunk size 1 (calibration =
+   pure self-scheduling), so the first samples exist before the formula
+   is consulted.
+
+   Only scheduling adapts; results stay deterministic: they are written
+   by item index, exceptions re-raise smallest-index-first, exactly as in
+   [Pool.map]. *)
+
+module Stats = S89_util.Stats
+module Chunk = S89_sched.Chunk
+
+type strategy =
+  | Fixed of int (* constant chunk size (clamped to >= 1) *)
+  | Static (* ceil(N/P): one chunk per worker *)
+  | Kruskal_weiss of { h : float } (* §5: k from online mean/sigma; h = seconds/dispatch *)
+  | Custom of (remaining:int -> workers:int -> mean:float -> sigma:float -> int)
+
+(* one pool dispatch is roughly an atomic RMW + closure call + a little
+   cache traffic; a few microseconds is the right order of magnitude *)
+let default_dispatch_overhead = 5e-6
+
+let default_strategy = Kruskal_weiss { h = default_dispatch_overhead }
+
+let adaptive = function
+  | Fixed _ | Static -> false
+  | Kruskal_weiss _ | Custom _ -> true
+
+let map ?(strategy = default_strategy) (pool : Pool.t) f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if (not (Pool.parallel pool)) || n = 1 then Array.map f arr
+  else begin
+    let workers = min (Pool.domains pool) n in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let chunk =
+      Atomic.make
+        (match strategy with
+        | Fixed k -> max 1 k
+        | Static -> (n + workers - 1) / workers
+        | Kruskal_weiss _ | Custom _ -> 1 (* calibration: self-scheduling *))
+    in
+    let lock = Mutex.create () in
+    let stats = Stats.create () in
+    (* don't trust mean/sigma before every worker has reported something *)
+    let calibration = 2 * workers in
+    let recompute () =
+      (* called under [lock] *)
+      let remaining = n - min n (Atomic.get next) in
+      if Stats.count stats >= calibration && remaining > 0 then begin
+        let mean = Stats.mean stats and sigma = Stats.std_dev stats in
+        let k =
+          match strategy with
+          | Kruskal_weiss { h } ->
+              if sigma <= 0.0 then Chunk.static_chunk ~n:remaining ~p:workers
+              else Chunk.kw_chunk ~n:remaining ~p:workers ~h ~sigma
+          | Custom g -> g ~remaining ~workers ~mean ~sigma
+          | Fixed _ | Static -> Atomic.get chunk
+        in
+        Atomic.set chunk (max 1 k)
+      end
+    in
+    let adapt = adaptive strategy in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let k = Atomic.get chunk in
+        let start = Atomic.fetch_and_add next k in
+        if start >= n then continue_ := false
+        else begin
+          let stop = min n (start + k) in
+          if adapt then begin
+            (* time each item individually so sigma reflects per-item
+               variation, not per-chunk averages *)
+            let costs = Array.make (stop - start) 0.0 in
+            for i = start to stop - 1 do
+              let t0 = Unix.gettimeofday () in
+              (match f arr.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+              costs.(i - start) <- Unix.gettimeofday () -. t0
+            done;
+            Mutex.protect lock (fun () ->
+                Array.iter (Stats.add stats) costs;
+                recompute ())
+          end
+          else
+            for i = start to stop - 1 do
+              match f arr.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+            done
+        end
+      done
+    in
+    Pool.run_workers ~workers ~errors worker;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?strategy pool f xs =
+  Array.to_list (map ?strategy pool f (Array.of_list xs))

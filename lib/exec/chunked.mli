@@ -1,0 +1,31 @@
+(** Chunked parallel map whose chunk size defaults to the paper's §5
+    Kruskal–Weiss formula, fed by an online (Welford) mean/variance
+    estimate of the measured per-item cost — the repo scheduling itself
+    with the machinery it implements. *)
+
+type strategy =
+  | Fixed of int  (** constant chunk size (clamped to [>= 1]) *)
+  | Static  (** one chunk per worker, [ceil (N/P)] *)
+  | Kruskal_weiss of { h : float }
+      (** §5: recompute [k] online from measured per-item mean/σ and the
+          remaining item count ([S89_sched.Chunk.kw_chunk]); [h] is the
+          assumed per-dispatch overhead in seconds *)
+  | Custom of (remaining:int -> workers:int -> mean:float -> sigma:float -> int)
+      (** pluggable: called under the pool's statistics lock with the
+          current online estimates *)
+
+(** Per-dispatch overhead assumed by [default_strategy] (seconds). *)
+val default_dispatch_overhead : float
+
+(** [Kruskal_weiss { h = default_dispatch_overhead }]. *)
+val default_strategy : strategy
+
+(** [map ?strategy pool f arr] — like [Pool.map] (input-order results,
+    smallest-index exception re-raise, sequential fallback) but workers
+    grab chunks of items per dispatch; the chunk size comes from
+    [strategy].  Only scheduling adapts to the measured costs — results
+    are independent of the chunking. *)
+val map : ?strategy:strategy -> Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map] over lists. *)
+val map_list : ?strategy:strategy -> Pool.t -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,84 @@
+(* Domain-based work pool (OCaml 5 multicore).
+
+   The pool runs pure-ish per-item work in parallel while keeping every
+   observable result deterministic:
+
+   - [map]/[mapi]/[fold] return results in INPUT order, whatever the
+     scheduling order was, so a parallel run is indistinguishable from a
+     sequential one (given per-item determinism — give each item its own
+     seed, e.g. via [S89_util.Prng.split]);
+   - reductions ([fold]) combine the mapped values sequentially,
+     left-to-right, on the calling domain — deterministic reduction order;
+   - a worker exception does not abort the other items; after the join,
+     the exception of the SMALLEST failing item index is re-raised on the
+     caller with its original backtrace (again independent of scheduling);
+   - with [domains = 1], or when the host has a single core
+     ([Domain.recommended_domain_count () = 1]), [map] degrades to a plain
+     sequential loop on the calling domain — no Domain is ever spawned.
+     [~force_parallel:true] overrides the single-core fallback so the
+     Domain path itself can be exercised (tests, measurements).
+
+   Work distribution is size-1 self-scheduling over a shared atomic index:
+   item cost may vary wildly (whole-procedure analyses, seeded simulator
+   replications), and per-item dispatch is one [Atomic.fetch_and_add].
+   For workloads where that overhead matters, [Chunked.map] batches
+   dispatches with the paper's §5 chunk-size formula. *)
+
+type t = {
+  domains : int; (* worker count used by the parallel path *)
+  parallel : bool; (* false: never spawn, run on the calling domain *)
+}
+
+let create ?(force_parallel = false) ~domains () =
+  if domains <= 0 then invalid_arg "Pool.create: domains must be positive";
+  let parallel =
+    domains > 1 && (force_parallel || Domain.recommended_domain_count () > 1)
+  in
+  { domains; parallel }
+
+let domains t = t.domains
+let parallel t = t.parallel
+
+(* Run [worker] on [workers] domains including the calling one, join, then
+   re-raise the smallest-index captured error, if any. *)
+let run_workers ~workers ~(errors : (exn * Printexc.raw_backtrace) option array)
+    worker =
+  let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  (* the calling domain participates instead of idling in join *)
+  worker ();
+  Array.iter Domain.join spawned;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors
+
+let mapi t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if (not t.parallel) || n = 1 then Array.mapi f arr
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else
+          match f i arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+      done
+    in
+    run_workers ~workers:(min t.domains n) ~errors worker;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map t f arr = mapi t (fun _ x -> f x) arr
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let fold t f combine init arr =
+  Array.fold_left combine init (map t f arr)

@@ -1,0 +1,49 @@
+(** Domain-based work pool with deterministic observable behaviour:
+    results in input order, sequential left-to-right reduction, and
+    exception re-raise (smallest failing item index, original backtrace)
+    independent of scheduling order. *)
+
+type t
+
+(** [create ~domains ()] — a pool whose parallel operations use [domains]
+    workers (the calling domain counts as one).  Falls back to a purely
+    sequential, no-Domain path when [domains = 1] or the host is
+    single-core ([Domain.recommended_domain_count () = 1]);
+    [~force_parallel:true] keeps the Domain path on single-core hosts
+    (tests, overhead measurements).  Raises [Invalid_argument] for
+    [domains <= 0]. *)
+val create : ?force_parallel:bool -> domains:int -> unit -> t
+
+(** Worker count the parallel path would use. *)
+val domains : t -> int
+
+(** Whether [map] actually spawns domains (false: sequential path). *)
+val parallel : t -> bool
+
+(** [map t f arr] — [Array.map f arr], items distributed over the pool by
+    size-1 self-scheduling.  Results are in input order; if any item
+    raises, all other items still run and the exception of the smallest
+    failing index is re-raised with its backtrace. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map] with the item index. *)
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [map] over lists. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [fold t f combine init arr] maps [f] in parallel, then combines the
+    mapped values sequentially left-to-right on the calling domain —
+    deterministic reduction order even for non-commutative [combine]. *)
+val fold : t -> ('a -> 'b) -> ('acc -> 'b -> 'acc) -> 'acc -> 'a array -> 'acc
+
+(**/**)
+
+(** Internal plumbing shared with [Chunked]: run [worker] on [workers]
+    domains (the calling one included), join, then re-raise the
+    smallest-index error captured in [errors]. *)
+val run_workers :
+  workers:int ->
+  errors:(exn * Printexc.raw_backtrace) option array ->
+  (unit -> unit) ->
+  unit

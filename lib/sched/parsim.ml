@@ -26,7 +26,10 @@ type result = {
 let run ?(seed = 1) ~n ~p ~h ~(dist : Dist.t) (strategy : Chunk.strategy) : result =
   if n < 0 || p <= 0 then invalid_arg "Parsim.run";
   let rng = Prng.create ~seed in
-  let worker_rngs = Array.init p (fun _ -> Prng.split rng) in
+  (* index-derived worker streams: stream i is a function of (seed, i)
+     only, so the simulation is reproducible for a fixed seed whatever
+     order the streams are created in *)
+  let worker_rngs = Array.init p (Prng.split rng) in
   let remaining = ref n in
   let chunks = ref 0 in
   let sigma = Dist.std_dev dist in
@@ -76,11 +79,21 @@ let run ?(seed = 1) ~n ~p ~h ~(dist : Dist.t) (strategy : Chunk.strategy) : resu
     worker_busy = busy;
   }
 
-(* average makespan over several seeds *)
-let run_avg ?(seeds = 10) ~n ~p ~h ~dist strategy : Stats.t =
+(* Average makespan over several seeds.
+
+   The returned statistics are a function of the seed list [1..seeds]
+   ALONE, never of scheduling order: replication s is seeded with s and
+   nothing else, and the makespans are folded into the accumulator in
+   seed order below, after all replications finish.  Handing the
+   replications to a parallel [map] (e.g. [S89_exec.Pool.map_list pool])
+   therefore returns a [Stats.t] byte-equal to the sequential run's —
+   tested in test/test_sched.ml. *)
+let run_avg ?(seeds = 10) ?map ~n ~p ~h ~dist strategy : Stats.t =
+  let one s = (run ~seed:s ~n ~p ~h ~dist strategy).makespan in
+  let seed_list = List.init seeds (fun i -> i + 1) in
+  let makespans =
+    match map with None -> List.map one seed_list | Some m -> m one seed_list
+  in
   let st = Stats.create () in
-  for s = 1 to seeds do
-    let r = run ~seed:s ~n ~p ~h ~dist strategy in
-    Stats.add st r.makespan
-  done;
+  List.iter (Stats.add st) makespans;
   st

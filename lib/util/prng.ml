@@ -13,12 +13,15 @@ let copy t = { state = t.state }
 
 let golden = 0x9E3779B97F4A7C15L
 
-let next_int64 t =
-  t.state <- Int64.add t.state golden;
-  let z = t.state in
+(* splitmix64 finalizer *)
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
 
 (* uniform in [0, 2^62) as a non-negative OCaml int *)
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
@@ -73,5 +76,14 @@ let geometric t ~p =
     done;
     1 + int_of_float (log !u /. log (1.0 -. p))
 
-(* derive an independent stream (for parallel workers) *)
-let split t = { state = next_int64 t }
+(* Derive the [i]-th child stream.  The child state depends only on the
+   parent's CURRENT state and the index — the parent is NOT advanced — so
+   any parallel schedule that hands stream [i] to work item [i]
+   reproduces the sequential stream assignment exactly.  Children are
+   pairwise distinct: [mix] is a bijection and the pre-mix states
+   [state + (i+1)·golden] are distinct (golden is odd).  The extra [mix]
+   decorrelates each child from the parent's own output sequence (which
+   is [mix] applied ONCE to the same arithmetic progression). *)
+let split t i =
+  if i < 0 then invalid_arg "Prng.split: negative index";
+  { state = mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }

@@ -29,5 +29,10 @@ val exponential : t -> mean:float -> float
 (** Geometric on [{1, 2, ...}] with success probability [p]. *)
 val geometric : t -> p:float -> int
 
-(** Derive an independent stream. *)
-val split : t -> t
+(** [split t i] derives the [i]-th child stream from [t]'s current state
+    without advancing [t]: child streams are reproducible functions of
+    (parent state, index), pairwise distinct, and independent of the
+    order in which they are created — so a parallel schedule reproduces
+    the sequential stream assignment.  Raises [Invalid_argument] for a
+    negative index. *)
+val split : t -> int -> t

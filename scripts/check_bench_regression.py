@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Guard against VM-backend performance regressions.
+
+Compares a freshly generated bench JSON (``bench/main.exe -- t1 --json``)
+against the committed baseline (``BENCH_PR1.json``) and fails if any
+``table1/*`` entry's ``speedup_vs_tree`` dropped by more than the allowed
+fraction (default 20%).  Entries present in only one file are reported but
+do not fail the check; absolute wall times are ignored because CI hardware
+varies — the compiled-vs-tree *ratio* is the stable signal.
+
+Usage: check_bench_regression.py CURRENT.json [BASELINE.json] [--tolerance 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for row in data.get("benchmarks", []):
+        name = row.get("name", "")
+        if name.startswith("table1/") and "speedup_vs_tree" in row:
+            out[name] = float(row["speedup_vs_tree"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?", default="BENCH_PR1.json")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional drop vs baseline (default 0.2)")
+    args = ap.parse_args()
+
+    current = load_speedups(args.current)
+    baseline = load_speedups(args.baseline)
+    if not baseline:
+        print(f"error: no table1 speedup_vs_tree entries in {args.baseline}")
+        return 2
+    if not current:
+        print(f"error: no table1 speedup_vs_tree entries in {args.current}")
+        return 2
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"warn: {name} missing from {args.current}")
+            continue
+        cur = current[name]
+        floor = base * (1.0 - args.tolerance)
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(f"{status:10s} {name}: {cur:.3f}x vs baseline {base:.3f}x "
+              f"(floor {floor:.3f}x)")
+        if cur < floor:
+            failed = True
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name} not in baseline (new entry)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

