@@ -25,27 +25,65 @@ module Pipeline = S89_core.Pipeline
 module Interproc = S89_core.Interproc
 module Report = S89_core.Report
 
+module Diag = S89_diag.Diag
+
+(* Every failure leaves through here: one diagnostic line on stderr and
+   an exit code determined by the diagnostic's code family (documented in
+   docs/ERRORS.md): 2 usage/IO/database, 3 parse/sema, 4 analysis,
+   5 runtime/fault. *)
+let fail_diag ?path (d : Diag.t) : 'a =
+  (match path with
+  | Some p -> Fmt.epr "ptranc: %s: %a@." p Diag.pp d
+  | None -> Fmt.epr "ptranc: %a@." Diag.pp d);
+  exit (Diag.exit_code d)
+
+(* Exceptions that may legitimately escape a subcommand, mapped to
+   diagnostics; anything unlisted is a bug and keeps its backtrace. *)
+let diag_of_exn : exn -> Diag.t option = function
+  | Sys_error msg -> Some (Diag.error ~code:"IO001" msg)
+  | Database.Load_error { line; msg } ->
+      Some (Diag.error ?line:(if line > 0 then Some line else None) ~code:"DB001" msg)
+  | Analysis.Unanalyzable { proc; reason } ->
+      Some (Diag.error ~proc ~code:"ANA001" reason)
+  | S89_cfg.Ecfg.Nonterminating_interval h ->
+      Some (Diag.errorf ~code:"ANA002" "interval analysis did not terminate at header %d" h)
+  | Interproc.Recursion_unsupported procs ->
+      Some
+        (Diag.errorf ~code:"EST001" ~hint:"the paper defers recursion"
+           "recursive call graph: %s" (String.concat ", " procs))
+  | Interproc.No_convergence procs ->
+      Some
+        (Diag.errorf ~code:"EST002" "fixpoint did not converge over: %s"
+           (String.concat ", " procs))
+  | S89_vm.Value.Runtime_error msg -> Some (Diag.error ~code:"RUN001" msg)
+  | Interp.Out_of_fuel -> Some (Diag.error ~code:"RUN002" "out of fuel (max_steps exceeded)")
+  | Interp.Out_of_cycles -> Some (Diag.error ~code:"RUN003" "cycle budget exhausted")
+  | Interp.Call_depth_exceeded d ->
+      Some (Diag.errorf ~code:"RUN004" "call depth exceeded %d" d)
+  | S89_util.Fault.Injected msg ->
+      Some (Diag.error ~code:"FLT001" ~hint:"injected by S89_FAULTS" msg)
+  | S89_util.Fault.Bad_spec msg ->
+      Some (Diag.error ~code:"CLI001" ~hint:"fix the S89_FAULTS variable" msg)
+  | Failure msg -> Some (Diag.error ~code:"CLI001" msg)
+  | _ -> None
+
+(* run a subcommand body under the exception-to-diagnostic net *)
+let guard f =
+  try f () with e -> (match diag_of_exn e with Some d -> fail_diag d | None -> raise e)
+
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error msg -> fail_diag (Diag.error ~code:"IO001" msg)
 
 let load_program path =
-  try Program.of_source (read_file path) with
-  | S89_frontend.Lexer.Error (msg, line) ->
-      Fmt.epr "%s:%d: lexical error: %s@." path line msg;
-      exit 1
-  | S89_frontend.Parser.Parse_error (msg, line) ->
-      Fmt.epr "%s:%d: parse error: %s@." path line msg;
-      exit 1
-  | S89_frontend.Sema.Error msg ->
-      Fmt.epr "%s: semantic error: %s@." path msg;
-      exit 1
-  | S89_frontend.Lower.Error msg ->
-      Fmt.epr "%s: lowering error: %s@." path msg;
-      exit 1
+  match Program.of_source_result (read_file path) with
+  | Ok prog -> prog
+  | Error d -> fail_diag ~path d
 
 (* ---------------- common args ---------------- *)
 
@@ -81,6 +119,7 @@ let maybe_optimize opt prog = if opt then S89_vm.Optimize.program prog else prog
 
 let parse_cmd =
   let run file =
+    guard @@ fun () ->
     let prog = load_program file in
     Fmt.pr "%a@." S89_frontend.Ast.pp_program
       (List.map (fun (p : Program.proc) -> p.Program.env.S89_frontend.Sema.unit_)
@@ -94,6 +133,7 @@ let parse_cmd =
 
 let cfg_cmd =
   let run file proc dot optimize =
+    guard @@ fun () ->
     let prog = maybe_optimize optimize (load_program file) in
     let p = pick_proc prog proc in
     if dot then print_string (Report.cfg_dot p)
@@ -108,6 +148,7 @@ let cfg_cmd =
 
 let ecfg_cmd =
   let run file proc dot =
+    guard @@ fun () ->
     let prog = load_program file in
     let p = pick_proc prog proc in
     let a = Analysis.of_proc p in
@@ -123,6 +164,7 @@ let ecfg_cmd =
 
 let fcdg_cmd =
   let run file proc =
+    guard @@ fun () ->
     let prog = load_program file in
     let p = pick_proc prog proc in
     let a = Analysis.of_proc p in
@@ -138,6 +180,7 @@ let fcdg_cmd =
 
 let plan_cmd =
   let run file =
+    guard @@ fun () ->
     let prog = load_program file in
     let analyses = Analysis.of_program prog in
     let smart = Placement.plan analyses in
@@ -159,6 +202,7 @@ let run_cmd =
       & info [ "instrument" ] ~docv:"KIND" ~doc:"Instrumentation: none, smart or naive")
   in
   let run file seed optimize instr =
+    guard @@ fun () ->
     let prog = maybe_optimize optimize (load_program file) in
     let cm = cost_model_of_opt optimize in
     let instr_probes, describe =
@@ -191,6 +235,7 @@ let db_arg =
 
 let profile_cmd =
   let run file runs seed db =
+    guard @@ fun () ->
     let prog = load_program file in
     let t = Pipeline.create prog in
     let profile = Pipeline.profile_smart ~runs ~seed t in
@@ -225,6 +270,7 @@ let estimate_cmd =
       & info [ "csv" ] ~docv:"PATH" ~doc:"Also write per-node estimates as CSV")
   in
   let run file runs seed optimize from_db flat hot csv =
+    guard @@ fun () ->
     let prog = maybe_optimize optimize (load_program file) in
     let cm = cost_model_of_opt optimize in
     let t = Pipeline.create prog in
@@ -259,6 +305,7 @@ let estimate_cmd =
 
 let static_cmd =
   let run file optimize =
+    guard @@ fun () ->
     let prog = maybe_optimize optimize (load_program file) in
     let cm = cost_model_of_opt optimize in
     let t = Pipeline.create prog in
@@ -297,6 +344,7 @@ let chunks_cmd =
       value & opt int 10000 & info [ "N" ] ~docv:"ITERS" ~doc:"Loop iterations to schedule")
   in
   let run file runs seed p h n =
+    guard @@ fun () ->
     let prog = load_program file in
     let t = Pipeline.create prog in
     let profile = Pipeline.profile_smart ~runs ~seed t in
@@ -382,8 +430,11 @@ let () =
   setup_logs ();
   let doc = "average program execution times and their variance (PLDI'89 reproduction)" in
   let info = Cmd.info "ptranc" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ parse_cmd; cfg_cmd; ecfg_cmd; fcdg_cmd; plan_cmd; run_cmd; profile_cmd;
-            estimate_cmd; static_cmd; chunks_cmd; demo_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ parse_cmd; cfg_cmd; ecfg_cmd; fcdg_cmd; plan_cmd; run_cmd; profile_cmd;
+           estimate_cmd; static_cmd; chunks_cmd; demo_cmd ])
+  in
+  (* usage errors land in the same exit-code family as IO errors (2) *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,0 +1,256 @@
+(* fuzz — a crash-hunting harness over the whole pipeline.
+
+   Three input classes per seed:
+   - valid:     programs from the property-test generator (terminating,
+                runnable by construction);
+   - mutated:   valid programs with a few line-level mutations (dropped,
+                duplicated, swapped, token-spliced, truncated lines) —
+                mostly still lexable, often semantically broken;
+   - corrupted: valid programs with random byte flips — garbage that must
+                still be rejected gracefully.
+
+   The invariants checked for every input:
+   - no uncaught exception anywhere in parse → analyze → plan → profile →
+     estimate: inputs are either accepted or rejected with a structured
+     diagnostic;
+   - the tree-walking and compiled backends agree exactly (cycles,
+     statements, output — or the same diagnostic code on failure);
+   - estimates from oracle counts reproduce the measured cycle count
+     (reconstruction exactness) on programs that run to completion.
+
+   Failures are triaged to reproducible artifacts: the offending source
+   and a note with the seed, mode and repro command, written under
+   --out (default fuzz-crashes/).  Exit code 1 if anything was found. *)
+
+module Program = S89_frontend.Program
+module Pipeline = S89_core.Pipeline
+module Interproc = S89_core.Interproc
+module Interp = S89_vm.Interp
+module Diag = S89_diag.Diag
+module Prng = S89_util.Prng
+module Gen = S89_testgen.Gen_prog
+
+type mode = Valid | Mutated | Corrupted
+
+let mode_name = function
+  | Valid -> "valid"
+  | Mutated -> "mutated"
+  | Corrupted -> "corrupted"
+
+(* ---------------- input generation ---------------- *)
+
+let splice_tokens =
+  [| "DO 10 I = 1, 3"; "END"; "GOTO 999"; "IF ("; "CALL NOPE(X)"; ")"; "= +";
+     "ELSE"; "CONTINUE"; "PROGRAM Q" |]
+
+let mutate seed src =
+  let rng = Prng.create ~seed:(seed lxor 0x5eed) in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let n = Array.length lines in
+  let ops = 1 + Prng.int rng 3 in
+  for _ = 1 to ops do
+    let i = Prng.int rng n in
+    match Prng.int rng 5 with
+    | 0 -> lines.(i) <- "" (* drop a line *)
+    | 1 -> lines.(i) <- lines.(Prng.int rng n) (* duplicate another line *)
+    | 2 ->
+        let j = Prng.int rng n in
+        let tmp = lines.(i) in
+        lines.(i) <- lines.(j);
+        lines.(j) <- tmp
+    | 3 ->
+        lines.(i) <-
+          lines.(i) ^ " " ^ splice_tokens.(Prng.int rng (Array.length splice_tokens))
+    | _ ->
+        let l = String.length lines.(i) in
+        if l > 0 then lines.(i) <- String.sub lines.(i) 0 (Prng.int rng l)
+  done;
+  String.concat "\n" (Array.to_list lines)
+
+let corrupt seed src =
+  let rng = Prng.create ~seed:(seed lxor 0xbad) in
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  let flips = 1 + Prng.int rng 8 in
+  for _ = 1 to flips do
+    Bytes.set b (Prng.int rng n) (Char.chr (Prng.int rng 256))
+  done;
+  Bytes.to_string b
+
+let gen_input mode seed =
+  let src = Gen.gen_source seed in
+  match mode with
+  | Valid -> src
+  | Mutated -> mutate seed src
+  | Corrupted -> corrupt seed src
+
+(* ---------------- the oracle ---------------- *)
+
+exception Fuzz_failure of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Fuzz_failure m)) fmt
+
+(* mutated programs may loop forever or recurse; keep runs bounded *)
+let bounded backend =
+  { Interp.default_config with max_steps = 5_000_000; max_call_depth = 500; backend }
+
+type verdict = Accepted | Rejected of string (* diagnostic code *)
+
+(* runtime failures that MAY legitimately surface from deep layers
+   (profiling, estimation) on semantically broken but parseable inputs *)
+let runtime_reject : exn -> string option = function
+  | S89_vm.Value.Runtime_error _ -> Some "RUN001"
+  | Interp.Out_of_fuel -> Some "RUN002"
+  | Interp.Out_of_cycles -> Some "RUN003"
+  | Interp.Call_depth_exceeded _ -> Some "RUN004"
+  | Interproc.Recursion_unsupported _ -> Some "EST001"
+  | _ -> None
+
+let check mode src : verdict =
+  match Program.of_source_result src with
+  | Error d -> Rejected d.Diag.code
+  | Ok prog -> (
+      let t = Pipeline.create prog in
+      match Pipeline.diagnostics t with
+      | d :: _ when mode = Valid ->
+          failf "analysis diagnostic on a valid program: %s" d.Diag.code
+      | d :: _ -> Rejected d.Diag.code
+      | [] -> (
+          (* both backends, bounded: exact agreement or same rejection *)
+          let run backend =
+            let vm = Interp.create ~config:(bounded backend) prog in
+            match Interp.run_result vm with
+            | Ok _ -> Ok (Interp.cycles vm, Interp.steps vm, Interp.output vm)
+            | Error d -> Error d.Diag.code
+          in
+          match (run Interp.Compiled, run Interp.Tree) with
+          | Ok (c1, s1, o1), Ok (c2, s2, o2) ->
+              if c1 <> c2 || s1 <> s2 then
+                failf "backend divergence: compiled %d cycles/%d steps, tree %d/%d"
+                  c1 s1 c2 s2;
+              if o1 <> o2 then failf "backend divergence: PRINT output differs";
+              (* reconstruction exactness from oracle counts, then smart
+                 profiling + estimation; deep layers may legitimately
+                 reject semantically broken (non-valid) inputs *)
+              (match
+                 let vm = Pipeline.run_once t in
+                 let est = Pipeline.estimate_oracle t vm in
+                 let measured = float_of_int (Interp.cycles vm) in
+                 let predicted = Interproc.program_time est in
+                 if Float.abs (measured -. predicted) > 1e-6 *. (1.0 +. measured)
+                 then
+                   failf "reconstruction inexact: measured %.3f, predicted %.3f"
+                     measured predicted;
+                 let profile = Pipeline.profile_smart ~runs:2 t in
+                 ignore (Pipeline.estimate_profiled t profile)
+               with
+              | () -> ()
+              | exception e -> (
+                  match runtime_reject e with
+                  | Some code when mode <> Valid -> ignore code
+                  | _ -> raise e));
+              Accepted
+          | Error d1, Error d2 ->
+              if d1 <> d2 then
+                failf "backend divergence: compiled rejects %s, tree rejects %s" d1 d2;
+              Rejected d1
+          | Ok _, Error d -> failf "backend divergence: tree rejects %s, compiled runs" d
+          | Error d, Ok _ -> failf "backend divergence: compiled rejects %s, tree runs" d)
+      )
+
+(* ---------------- driver ---------------- *)
+
+type failure = { mode : mode; seed : int; what : string; src : string }
+
+let usage () =
+  prerr_endline
+    "usage: fuzz [--seeds N] [--start-seed N] [--budget SECS[s]] [--out DIR]";
+  exit 2
+
+let parse_budget s =
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = 's' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  match float_of_string_opt s with Some b when b > 0.0 -> b | _ -> usage ()
+
+let () =
+  let seeds = ref 200
+  and start = ref 1
+  and budget = ref infinity
+  and out_dir = ref "fuzz-crashes" in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest ->
+        (match int_of_string_opt v with Some n when n > 0 -> seeds := n | _ -> usage ());
+        parse rest
+    | "--start-seed" :: v :: rest ->
+        (match int_of_string_opt v with Some n -> start := n | _ -> usage ());
+        parse rest
+    | "--budget" :: v :: rest ->
+        budget := parse_budget v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_dir := v;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let completed = ref 0 in
+  let accepted = ref 0 in
+  let rejected = Hashtbl.create 16 in
+  (try
+     for seed = !start to !start + !seeds - 1 do
+       if Unix.gettimeofday () -. t0 > !budget then raise Exit;
+       List.iter
+         (fun mode ->
+           let src = gen_input mode seed in
+           match check mode src with
+           | Accepted -> incr accepted
+           | Rejected code ->
+               Hashtbl.replace rejected code
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt rejected code))
+           | exception e ->
+               let what =
+                 match e with
+                 | Fuzz_failure m -> m
+                 | e -> "uncaught exception: " ^ Printexc.to_string e
+               in
+               failures := { mode; seed; what; src } :: !failures)
+         [ Valid; Mutated; Corrupted ];
+       incr completed
+     done
+   with Exit -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "fuzz: %d seeds x 3 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
+    !completed elapsed !accepted
+    (Hashtbl.fold (fun _ n acc -> acc + n) rejected 0)
+    (List.length !failures);
+  let codes =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) rejected [] |> List.sort compare
+  in
+  List.iter (fun (c, n) -> Printf.printf "  rejected with %s: %d\n" c n) codes;
+  if !failures <> [] then begin
+    (try Unix.mkdir !out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    List.iter
+      (fun f ->
+        let base = Printf.sprintf "%s/%s-%d" !out_dir (mode_name f.mode) f.seed in
+        let write path s =
+          let oc = open_out path in
+          output_string oc s;
+          close_out oc
+        in
+        write (base ^ ".f77") f.src;
+        write (base ^ ".txt")
+          (Printf.sprintf
+             "mode: %s\nseed: %d\nfailure: %s\nreproduce: dune exec fuzz/fuzz.exe -- \
+              --seeds 1 --start-seed %d\n"
+             (mode_name f.mode) f.seed f.what f.seed);
+        Printf.printf "FAILURE %s seed %d: %s\n  artifact: %s.f77\n" (mode_name f.mode)
+          f.seed f.what base)
+      (List.rev !failures);
+    exit 1
+  end

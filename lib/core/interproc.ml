@@ -16,6 +16,12 @@ module Freq = S89_profiling.Freq
 exception Recursion_unsupported of string list
 exception No_convergence of string list
 
+module Diag = S89_diag.Diag
+
+let log_src = Logs.Src.create "s89.interproc" ~doc:"interprocedural estimation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type recursion_policy = Reject | Fixpoint of { tol : float; max_iter : int }
 
 type freq_var_spec =
@@ -49,8 +55,30 @@ let freq_var_model (spec : freq_var_spec) (proc : string) : Variance.freq_var_mo
 let estimate ?(cost_model = Cost_model.optimized) ?(freq_var = Zero)
     ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
     ?(recursion = Reject) ?cost_override
+    ?(on_diag = fun d -> Log.warn (fun m -> m "%a" Diag.pp d))
     (prog : Program.t) (analyses : (string, Analysis.t) Hashtbl.t)
     ~(totals : string -> (Analysis.cond, int) Hashtbl.t) : t =
+  (* graceful degradation: a procedure with no analysis (skipped by
+     [Pipeline.create] after an analysis failure) is left out of the
+     estimate and its calls are treated as opaque, zero-cost calls —
+     with a warning, not a crash *)
+  let analyzed name = Hashtbl.mem analyses name in
+  Array.iter
+    (fun (p : Program.proc) ->
+      if not (analyzed p.Program.name) then
+        on_diag
+          (Diag.warningf ~proc:p.Program.name ~code:"ANA003"
+             ~hint:"its callers see an opaque call with TIME 0"
+             "procedure has no analysis; excluded from the estimate"))
+    prog.Program.procs;
+  (* callees degrade to opaque calls, but the main program is the root
+     of the estimate: without its analysis there is no program TIME at
+     all, so that failure is structural, not degradable *)
+  if not (analyzed prog.Program.main) then
+    raise
+      (Analysis.Unanalyzable
+         { proc = prog.Program.main;
+           reason = "main program has no analysis; nothing to estimate" });
   let time_of = Hashtbl.create 8 and var_of = Hashtbl.create 8 in
   let callee_time name =
     match Hashtbl.find_opt time_of name with Some t -> t | None -> 0.0
@@ -106,14 +134,19 @@ let estimate ?(cost_model = Cost_model.optimized) ?(freq_var = Zero)
   in
   List.iter
     (fun scc ->
+      (* un-analyzed members are skipped; what remains of the SCC is
+         estimated (an un-analyzed member breaks the recursive cycle, so
+         the remainder is treated as recursive only if it still is) *)
+      let scc = List.filter (fun p -> analyzed p.Program.name) scc in
       let recursive =
         match scc with
-        | [ p ] ->
-            List.mem p.Program.name (Program.callees prog p)
+        | [] -> false
+        | [ p ] -> List.mem p.Program.name (Program.callees prog p)
         | _ -> true
       in
       if not recursive then
         match scc with
+        | [] -> ()
         | [ p ] -> commit p (estimate_proc p)
         | _ -> assert false
       else begin

@@ -54,6 +54,9 @@ type t = {
     @param recursion what to do on call-graph cycles (default [Reject])
     @param cost_override replace the model-derived local COST of original
       nodes ([proc name -> node -> cost]); used by the worked example
+    @param on_diag called with a warning for every procedure missing from
+      [analyses] (skipped from the estimate, its calls treated as opaque
+      zero-cost calls); defaults to logging
     @param totals per-procedure [TOTAL_FREQ] tables (from reconstruction,
       a database, or oracle counts) *)
 val estimate :
@@ -63,6 +66,7 @@ val estimate :
   ?call_variance:bool ->
   ?recursion:recursion_policy ->
   ?cost_override:(string -> int -> float) ->
+  ?on_diag:(S89_diag.Diag.t -> unit) ->
   Program.t ->
   (string, Analysis.t) Hashtbl.t ->
   totals:(string -> (Analysis.cond, int) Hashtbl.t) ->

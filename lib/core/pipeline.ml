@@ -22,15 +22,78 @@ let log_src = Logs.Src.create "s89.pipeline" ~doc:"end-to-end pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Diag = S89_diag.Diag
+module Fault = S89_util.Fault
+
 type t = {
   prog : Program.t;
   analyses : (string, Analysis.t) Hashtbl.t;
+  diags : Diag.t list;
 }
 
-let create ?pool (prog : Program.t) : t =
-  { prog; analyses = Analysis.of_program ?pool prog }
+(* per-procedure analysis failure -> structured diagnostic *)
+let analysis_diag (name : string) : exn -> Diag.t = function
+  | Fault.Injected msg ->
+      Diag.error ~proc:name ~code:"FLT001" ~hint:"injected by S89_FAULTS" msg
+  | Analysis.Unanalyzable { proc; reason } -> Diag.error ~proc ~code:"ANA001" reason
+  | S89_cfg.Ecfg.Nonterminating_interval h ->
+      Diag.errorf ~proc:name ~code:"ANA002"
+        ~hint:"the paper assumes all executions terminate"
+        "interval with header %d has no exit edge" h
+  | S89_graph.Node_split.Gave_up n ->
+      Diag.errorf ~proc:name ~code:"ANA001" "node splitting gave up with %d nodes" n
+  | e ->
+      Diag.errorf ~proc:name ~code:"ANA001" "analysis failed: %s"
+        (Printexc.to_string e)
 
-let of_source ?pool src = create ?pool (Program.of_source src)
+(* Graceful degradation (default): a procedure whose analysis fails is
+   recorded as a diagnostic and skipped — the rest of the program is
+   still analyzed, and the estimator treats the skipped procedure's calls
+   as opaque.  [~strict:true] restores fail-fast: the first failure
+   propagates as its original exception. *)
+let create ?(strict = false) ?pool (prog : Program.t) : t =
+  let procs = Array.of_list (Program.procs prog) in
+  let attempt (p : Program.proc) : (Analysis.t, Diag.t) result =
+    match Analysis.of_proc p with
+    | a -> Ok a
+    (* a malformed S89_FAULTS is a configuration error, not a
+       per-procedure failure: degrading it would repeat the same
+       message for every procedure and fake a partially-green run *)
+    | exception (Fault.Bad_spec _ as e) -> raise e
+    | exception e when not strict -> Error (analysis_diag p.Program.name e)
+  in
+  let results =
+    match pool with
+    | Some pool -> S89_exec.Pool.map pool attempt procs
+    | None -> Array.map attempt procs
+  in
+  let analyses = Hashtbl.create 8 in
+  let diags = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok a -> Hashtbl.replace analyses procs.(i).Program.name a
+      | Error d ->
+          Log.warn (fun m -> m "%a" Diag.pp d);
+          diags := d :: !diags)
+    results;
+  { prog; analyses; diags = List.rev !diags }
+
+let diagnostics t = t.diags
+
+let of_source ?strict ?pool src = create ?strict ?pool (Program.of_source src)
+
+(* frontend + analysis under one Result: a frontend failure is the single
+   error; analysis failures degrade per procedure as in [create] *)
+let of_source_result ?strict ?pool src : (t, Diag.t) result =
+  match Program.of_source_result src with
+  | Error d -> Error d
+  | Ok prog -> (
+      match create ?strict ?pool prog with
+      | t -> Ok t
+      | exception e ->
+          (* only reachable under [~strict:true] *)
+          Error (analysis_diag "" e))
 
 (* ---------------- running ---------------- *)
 
@@ -65,7 +128,12 @@ let profile_smart ?(cost_model = Cost_model.optimized) ?(runs = 1) ?(seed = 1)
     ignore (Interp.run vm);
     cycles := !cycles + Interp.cycles vm;
     let cs = Interp.counters vm in
-    Array.iteri (fun i c -> sums.(i) <- sums.(i) + c) cs
+    (* the VM rounds its counter array up to length >= 1 even for an
+       empty plan (a fully-degraded pipeline profiles nothing), so sum
+       over the plan's counters, not the VM's *)
+    for i = 0 to Array.length sums - 1 do
+      sums.(i) <- sums.(i) + cs.(i)
+    done
   done;
   Log.info (fun m ->
       m "profiled %d runs with %d counters (%.0f cycles/run)" runs

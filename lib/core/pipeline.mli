@@ -9,17 +9,37 @@ module Placement = S89_profiling.Placement
 module Reconstruct = S89_profiling.Reconstruct
 module Database = S89_profiling.Database
 
+module Diag = S89_diag.Diag
+
 type t = {
   prog : Program.t;
   analyses : (string, Analysis.t) Hashtbl.t;  (** ECFG/CDG/FCDG per procedure *)
+  diags : Diag.t list;
+      (** one diagnostic per procedure whose analysis failed (empty under
+          [~strict:true], which fails fast instead) *)
 }
 
 (** Build the analyses for an already-lowered program.  [?pool] analyzes
-    procedures on separate domains (same result as sequential). *)
-val create : ?pool:S89_exec.Pool.t -> Program.t -> t
+    procedures on separate domains (same result as sequential).
+
+    By default a procedure whose analysis fails is skipped and recorded
+    in {!diags} — the remaining procedures are still analyzed and the
+    estimator treats the skipped procedure's calls as opaque.
+    [~strict:true] restores fail-fast behaviour: the first analysis
+    failure propagates as its original exception. *)
+val create : ?strict:bool -> ?pool:S89_exec.Pool.t -> Program.t -> t
+
+(** The per-procedure diagnostics collected by {!create}. *)
+val diagnostics : t -> Diag.t list
 
 (** Parse, analyze, lower and build the analyses from MF77 source. *)
-val of_source : ?pool:S89_exec.Pool.t -> string -> t
+val of_source : ?strict:bool -> ?pool:S89_exec.Pool.t -> string -> t
+
+(** Like {!of_source} but frontend failures come back as a structured
+    diagnostic instead of an exception (analysis failures still degrade
+    per procedure unless [~strict:true]). *)
+val of_source_result :
+  ?strict:bool -> ?pool:S89_exec.Pool.t -> string -> (t, Diag.t) result
 
 (** One uninstrumented VM run (its oracle counts serve as exact totals). *)
 val run_once : ?cost_model:Cost_model.t -> ?seed:int -> t -> Interp.t

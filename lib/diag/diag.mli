@@ -1,0 +1,63 @@
+(** Structured diagnostics: severity, stable code, optional
+    procedure/source location, message and hint — the error currency
+    every layer converts its exceptions into at service boundaries.
+    Codes (and the CLI exit-code families derived from them) are
+    catalogued in docs/ERRORS.md. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable machine-readable code, e.g. ["LEX001"] *)
+  proc : string option;  (** procedure concerned, if known *)
+  line : int option;  (** 1-based source line, if known *)
+  message : string;
+  hint : string option;
+}
+
+val v :
+  ?severity:severity -> ?proc:string -> ?line:int -> ?hint:string ->
+  code:string -> string -> t
+
+val error : ?proc:string -> ?line:int -> ?hint:string -> code:string -> string -> t
+val warning : ?proc:string -> ?line:int -> ?hint:string -> code:string -> string -> t
+val info : ?proc:string -> ?line:int -> ?hint:string -> code:string -> string -> t
+
+(** [Format]-style constructors. *)
+val errorf :
+  ?proc:string -> ?line:int -> ?hint:string -> code:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
+  ?proc:string -> ?line:int -> ?hint:string -> code:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_string : severity -> string
+val is_error : t -> bool
+
+(** CLI exit codes per code family: 2 usage/IO ([IO]/[DB]/[CLI]),
+    3 parse/sema/lowering ([LEX]/[PAR]/[SEM]/[LOW]), 4 analysis/estimation
+    ([ANA]/[EST]), 5 runtime ([RUN]/[FLT]). *)
+val exit_code : t -> int
+
+val exit_io : int
+val exit_frontend : int
+val exit_analysis : int
+val exit_runtime : int
+
+(** The code's alphabetic prefix ("LEX", "DB", ...). *)
+val family : t -> string
+
+(** One-line rendering: [error[LEX001] PROC:12: message (hint: ...)]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+type 'a r = ('a, t) result
+
+(** [Ok v -> v]; [Error d -> failwith (to_string d)] — for callers that
+    want the exception shim back. *)
+val get_ok : 'a r -> 'a
+
+val errors : t list -> t list
+val warnings : t list -> t list

@@ -42,7 +42,8 @@ let adaptive = function
 let map ?(strategy = default_strategy) (pool : Pool.t) f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if (not (Pool.parallel pool)) || n = 1 then Array.map f arr
+  else if (not (Pool.parallel pool)) || n = 1 then
+    Array.mapi (fun i x -> Pool.apply_faulty f i x) arr
   else begin
     let workers = min (Pool.domains pool) n in
     let results = Array.make n None in
@@ -90,7 +91,7 @@ let map ?(strategy = default_strategy) (pool : Pool.t) f arr =
             let costs = Array.make (stop - start) 0.0 in
             for i = start to stop - 1 do
               let t0 = Unix.gettimeofday () in
-              (match f arr.(i) with
+              (match Pool.apply_faulty f i arr.(i) with
               | v -> results.(i) <- Some v
               | exception e ->
                   errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
@@ -102,7 +103,7 @@ let map ?(strategy = default_strategy) (pool : Pool.t) f arr =
           end
           else
             for i = start to stop - 1 do
-              match f arr.(i) with
+              match Pool.apply_faulty f i arr.(i) with
               | v -> results.(i) <- Some v
               | exception e ->
                   errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
@@ -116,3 +117,23 @@ let map ?(strategy = default_strategy) (pool : Pool.t) f arr =
 
 let map_list ?strategy pool f xs =
   Array.to_list (map ?strategy pool f (Array.of_list xs))
+
+(* budgeted variant: the chunk scheduling is unchanged; each item's wall
+   time is (re)measured by the wrapper and overruns reported by index *)
+let map_budgeted ?strategy pool ~budget f arr =
+  if budget <= 0.0 then invalid_arg "Chunked.map_budgeted: budget must be positive";
+  let n = Array.length arr in
+  let durations = Array.make n 0.0 in
+  let indexed = Array.mapi (fun i x -> (i, x)) arr in
+  let g (i, x) =
+    let t0 = Unix.gettimeofday () in
+    let r = f x in
+    durations.(i) <- Unix.gettimeofday () -. t0;
+    r
+  in
+  let results = map ?strategy pool g indexed in
+  let over = ref [] in
+  for i = n - 1 downto 0 do
+    if durations.(i) > budget then over := (i, durations.(i)) :: !over
+  done;
+  (results, { Pool.over_budget = !over })

@@ -29,3 +29,15 @@ val map : ?strategy:strategy -> Pool.t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [map] over lists. *)
 val map_list : ?strategy:strategy -> Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Like {!map} but each item's wall-clock time is measured and items
+    exceeding [budget] seconds are reported ([Pool.budget_report],
+    ascending index).  Items are never killed — results stay complete
+    and deterministic.  Raises [Invalid_argument] when [budget <= 0.]. *)
+val map_budgeted :
+  ?strategy:strategy ->
+  Pool.t ->
+  budget:float ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array * Pool.budget_report

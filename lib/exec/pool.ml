@@ -24,6 +24,8 @@
    For workloads where that overhead matters, [Chunked.map] batches
    dispatches with the paper's §5 chunk-size formula. *)
 
+module Fault = S89_util.Fault
+
 type t = {
   domains : int; (* worker count used by the parallel path *)
   parallel : bool; (* false: never spawn, run on the calling domain *)
@@ -38,6 +40,28 @@ let create ?(force_parallel = false) ~domains () =
 
 let domains t = t.domains
 let parallel t = t.parallel
+
+(* Apply one item under the active fault spec (no-op when S89_FAULTS is
+   unset).  A [Slow_item] decision sleeps; a [Worker_raise] decision
+   crashes the attempt, and the pool retries — [Fault.max_retries] extra
+   attempts, decisions keyed by (item, attempt) so they are scheduling
+   independent — before letting [Fault.Injected] propagate.  Exceptions
+   from [f] itself always propagate: the pool is resilient to its own
+   injected faults, not to real bugs. *)
+let apply_faulty (f : 'a -> 'b) (key : int) (x : 'a) : 'b =
+  match Fault.active () with
+  | None -> f x
+  | Some sp ->
+      if Fault.fires sp Fault.Slow_item ~key ~attempt:0 then
+        Unix.sleepf (Fault.slow_seconds sp);
+      let rec attempt a =
+        if Fault.fires sp Fault.Worker_raise ~key ~attempt:a then
+          if a >= Fault.max_retries then
+            raise (Fault.Injected (Fault.injected_msg Fault.Worker_raise ~key))
+          else attempt (a + 1)
+        else f x
+      in
+      attempt 0
 
 (* Run [worker] on [workers] domains including the calling one, join, then
    re-raise the smallest-index captured error, if any. *)
@@ -56,7 +80,8 @@ let run_workers ~workers ~(errors : (exn * Printexc.raw_backtrace) option array)
 let mapi t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if (not t.parallel) || n = 1 then Array.mapi f arr
+  else if (not t.parallel) || n = 1 then
+    Array.mapi (fun i x -> apply_faulty (f i) i x) arr
   else begin
     let results = Array.make n None in
     let errors = Array.make n None in
@@ -67,7 +92,7 @@ let mapi t f arr =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue_ := false
         else
-          match f i arr.(i) with
+          match apply_faulty (f i) i arr.(i) with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
       done
@@ -82,3 +107,28 @@ let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
 let fold t f combine init arr =
   Array.fold_left combine init (map t f arr)
+
+(* ---- per-item wall-clock budgets ---- *)
+
+type budget_report = { over_budget : (int * float) list }
+
+let no_overruns = { over_budget = [] }
+
+let mapi_budgeted t ~budget f arr =
+  if budget <= 0.0 then invalid_arg "Pool.mapi_budgeted: budget must be positive";
+  let n = Array.length arr in
+  let durations = Array.make n 0.0 in
+  let g i x =
+    let t0 = Unix.gettimeofday () in
+    let r = f i x in
+    durations.(i) <- Unix.gettimeofday () -. t0;
+    r
+  in
+  let results = mapi t g arr in
+  let over = ref [] in
+  for i = n - 1 downto 0 do
+    if durations.(i) > budget then over := (i, durations.(i)) :: !over
+  done;
+  (results, { over_budget = !over })
+
+let map_budgeted t ~budget f arr = mapi_budgeted t ~budget (fun _ x -> f x) arr

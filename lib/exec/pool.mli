@@ -37,6 +37,26 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
     deterministic reduction order even for non-commutative [combine]. *)
 val fold : t -> ('a -> 'b) -> ('acc -> 'b -> 'acc) -> 'acc -> 'a array -> 'acc
 
+(** Which items of a budgeted map ran over their per-item budget:
+    [(index, measured seconds)], ascending by index — deterministic
+    whatever the scheduling was. *)
+type budget_report = { over_budget : (int * float) list }
+
+(** The empty report. *)
+val no_overruns : budget_report
+
+(** [map_budgeted t ~budget f arr] — {!map}, but each item's wall-clock
+    time is measured and items exceeding [budget] seconds are reported.
+    Items are never killed (results stay complete and deterministic);
+    the report tells the caller which items to distrust or re-plan.
+    Raises [Invalid_argument] when [budget <= 0.]. *)
+val map_budgeted :
+  t -> budget:float -> ('a -> 'b) -> 'a array -> 'b array * budget_report
+
+(** [map_budgeted] with the item index. *)
+val mapi_budgeted :
+  t -> budget:float -> (int -> 'a -> 'b) -> 'a array -> 'b array * budget_report
+
 (**/**)
 
 (** Internal plumbing shared with [Chunked]: run [worker] on [workers]
@@ -47,3 +67,10 @@ val run_workers :
   errors:(exn * Printexc.raw_backtrace) option array ->
   (unit -> unit) ->
   unit
+
+(** Internal plumbing shared with [Chunked]: apply [f] to one item under
+    the active fault spec — sleep on a [Slow_item] decision, retry
+    [Worker_raise] decisions up to [Fault.max_retries] before letting
+    [Fault.Injected] propagate.  No-op wrapper when [S89_FAULTS] is
+    unset. *)
+val apply_faulty : ('a -> 'b) -> int -> 'a -> 'b

@@ -93,6 +93,23 @@ let of_sema (penv : Sema.program_env) : t =
 
 let of_source src = of_sema (Sema.parse_and_analyze src)
 
+(* Diagnostic shim over [of_source]: every exception the frontend stack
+   can raise on malformed input becomes a structured diagnostic.  The
+   raising [of_source] stays as the thin compatibility API. *)
+let of_source_result src : (t, S89_diag.Diag.t) result =
+  let module D = S89_diag.Diag in
+  match of_source src with
+  | t -> Ok t
+  | exception Lexer.Error (msg, line) -> Error (D.error ~line ~code:"LEX001" msg)
+  | exception Parser.Parse_error (msg, line) -> Error (D.error ~line ~code:"PAR001" msg)
+  | exception Sema.Error msg -> Error (D.error ~code:"SEM001" msg)
+  | exception Lower.Error msg -> Error (D.error ~code:"LOW001" msg)
+  | exception S89_graph.Node_split.Gave_up n ->
+      Error
+        (D.errorf ~code:"LOW002"
+           ~hint:"the control flow is pathologically irreducible"
+           "node splitting gave up with %d nodes" n)
+
 let find t name =
   match Hashtbl.find_opt t.by_name name with
   | Some p -> p

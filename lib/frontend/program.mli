@@ -31,6 +31,11 @@ val of_sema : Sema.program_env -> t
 (** Parse, analyze and lower MF77 source. *)
 val of_source : string -> t
 
+(** Like {!of_source}, but every frontend failure (lexical, parse,
+    semantic, lowering, node-splitting fuel) is returned as a structured
+    diagnostic instead of an exception. *)
+val of_source_result : string -> (t, S89_diag.Diag.t) result
+
 (** Find a unit by name; raises [Invalid_argument] if unknown. *)
 val find : t -> string -> proc
 

@@ -35,9 +35,107 @@ type t = {
 
 let synthetic_info = { Ir.ir = Ir.Nop "SYNTH"; src_label = None }
 
+exception Unanalyzable of { proc : string; reason : string }
+
+(* The frequency laws assert FREQ(x) = FREQ(h) for every node x hanging
+   under a loop preheader's body condition (ph, U) — "executes once per
+   execution of the header".  That is only sound if x lies on every pass
+   through the loop.  A jump from a loop's exit path back into its body
+   (e.g. a GOTO back into a DO body from after it) keeps the graph
+   reducible, but extends the natural loop to swallow its own exit path:
+   some node then postdominates the header — so it hangs under (ph, U) —
+   while whole iterations bypass it, and the laws silently overcount.
+   Detect that up front: for every original node x control dependent on
+   (ph, U), no pass through the loop (header to back-edge source or to
+   exit-edge source, inside the members) may avoid x. *)
+let check_body_conditions name (proc : Program.proc) (ecfg : _ Ecfg.t)
+    (cdg : Control_dep.t) : unit =
+  let module Digraph = S89_graph.Digraph in
+  let cfg = proc.Program.cfg in
+  let ivs = Ecfg.intervals ecfg in
+  let cd = Control_dep.graph cdg in
+  List.iter
+    (fun h ->
+      let ph = Ecfg.preheader_of_header ecfg h in
+      let members = Intervals.members ivs h in
+      let sinks = Hashtbl.create 8 in
+      List.iter
+        (fun s -> Hashtbl.replace sinks s ())
+        (Intervals.back_edge_sources ivs h);
+      List.iter
+        (fun (e : Label.t Digraph.edge) -> Hashtbl.replace sinks e.src ())
+        (Intervals.exit_edges ivs cfg h);
+      List.iter
+        (fun (e : Label.t Digraph.edge) ->
+          if e.label = Ecfg.body_label && Ecfg.is_original ecfg e.dst && e.dst <> h
+          then begin
+            let x = e.dst in
+            (* can a pass through the loop complete without touching x? *)
+            let seen = Hashtbl.create 16 in
+            let rec bypasses v =
+              (not (Hashtbl.mem seen v))
+              && begin
+                   Hashtbl.replace seen v ();
+                   Hashtbl.mem sinks v
+                   || List.exists
+                        (fun w ->
+                          w <> h && w <> x
+                          && Intervals.IS.mem w members
+                          && bypasses w)
+                        (Digraph.succs (Cfg.graph cfg) v)
+                 end
+            in
+            if bypasses h then
+              raise
+                (Unanalyzable
+                   {
+                     proc = name;
+                     reason =
+                       Printf.sprintf
+                         "loop at node %d re-entered around its header: node \
+                          %d postdominates the header but is bypassed by some \
+                          iteration, so the interval frequency laws do not \
+                          apply"
+                         h x;
+                   })
+          end)
+        (Digraph.succ_edges cd ph))
+    (Intervals.headers ivs)
+
 let of_proc (proc : Program.proc) : t =
+  let name = proc.Program.name in
+  (* chaos hook: S89_FAULTS=analysis_raise:P fails this procedure's
+     analysis, exercising the pipeline's graceful-degradation path *)
+  (match S89_util.Fault.active () with
+  | Some sp
+    when S89_util.Fault.fires sp S89_util.Fault.Analysis_raise
+           ~key:(S89_util.Fault.string_key name) ~attempt:0 ->
+      raise
+        (S89_util.Fault.Injected
+           (S89_util.Fault.injected_msg S89_util.Fault.Analysis_raise
+              ~key:(S89_util.Fault.string_key name)))
+  | _ -> ());
+  (* the interval/ECFG pipeline assumes reducibility (the paper does too);
+     turn a violated assumption into a structured failure up front instead
+     of undefined behaviour deep inside interval analysis *)
+  (match Cfg.validate proc.Program.cfg with
+  | Ok () ->
+      if
+        not
+          (S89_graph.Reducibility.is_reducible
+             (Cfg.graph proc.Program.cfg)
+             ~root:(Cfg.entry proc.Program.cfg))
+      then
+        raise
+          (Unanalyzable
+             { proc = name; reason = "control flow graph is irreducible" })
+  | Error e ->
+      raise
+        (Unanalyzable
+           { proc = name; reason = Fmt.str "invalid CFG: %a" Cfg.pp_error e }));
   let ecfg = Ecfg.extend ~empty:synthetic_info proc.Program.cfg in
   let cdg = Control_dep.compute ecfg in
+  check_body_conditions name proc ecfg cdg;
   let fcdg = Fcdg.of_cdg cdg ecfg in
   { proc; ecfg; cdg; fcdg; conditions = Fcdg.control_conditions fcdg }
 

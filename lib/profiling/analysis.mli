@@ -27,7 +27,14 @@ type t = {
 (** Payload given to synthetic ECFG nodes. *)
 val synthetic_info : Ir.info
 
-(** Analyze one procedure (ECFG, CDG, FCDG). *)
+(** The procedure violates an analysis precondition (invalid or
+    irreducible CFG) — raised by {!of_proc} instead of failing deep
+    inside interval analysis. *)
+exception Unanalyzable of { proc : string; reason : string }
+
+(** Analyze one procedure (ECFG, CDG, FCDG).
+    @raise Unanalyzable on an invalid or irreducible CFG
+    @raise S89_util.Fault.Injected under [S89_FAULTS=analysis_raise:P] *)
 val of_proc : Program.proc -> t
 
 (** Analyze every procedure of a program, keyed by name.  [?pool] runs

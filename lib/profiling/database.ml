@@ -4,12 +4,18 @@
    executions in the program database, so as to get a more representative
    set of frequency values."
 
-   On-disk format: a line-oriented text file,
+   On-disk format (version 2): a line-oriented text file,
+       s89-profile-db 2
        run-count N
        total <proc> <node> <label> <sum>
-   which keeps the database human-inspectable and trivially mergeable. *)
+       checksum <16 hex digits>
+   which keeps the database human-inspectable and trivially mergeable.
+   The trailing checksum (FNV-1a/64 of every byte before it) detects
+   truncated or bit-flipped files at load time.  Header-less version-1
+   files (no magic, no checksum) are still read. *)
 
 open S89_cfg
+module Fault = S89_util.Fault
 
 type cond = Analysis.cond
 
@@ -54,47 +60,153 @@ let merge ~into:(a : t) (b : t) =
 
 (* ---------------- (de)serialization ---------------- *)
 
+exception Load_error of { line : int; msg : string }
+
+let magic = "s89-profile-db"
+let format_version = 2
+
+(* FNV-1a/64 over a string; printed as 16 hex digits *)
+let fnv64 (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
 let label_to_db = Label.to_string
 
-let label_of_db s =
+let label_of_db s : Label.t option =
   match s with
-  | "T" -> Label.T
-  | "F" -> Label.F
-  | "U" -> Label.U
+  | "T" -> Some Label.T
+  | "F" -> Some Label.F
+  | "U" -> Some Label.U
   | _ ->
-      if String.length s >= 2 && s.[0] = 'C' then
-        Label.Case (int_of_string (String.sub s 1 (String.length s - 1)))
-      else if String.length s >= 2 && s.[0] = 'Z' then
-        Label.Pseudo (int_of_string (String.sub s 1 (String.length s - 1)))
-      else failwith ("Database: bad label " ^ s)
+      let tagged tag mk =
+        if String.length s >= 2 && s.[0] = tag then
+          Option.map mk (int_of_string_opt (String.sub s 1 (String.length s - 1)))
+        else None
+      in
+      (match tagged 'C' (fun i -> Label.Case i) with
+      | Some _ as r -> r
+      | None -> tagged 'Z' (fun i -> Label.Pseudo i))
 
 let save t path =
-  let oc = open_out path in
-  Printf.fprintf oc "run-count %d\n" t.runs;
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%s %d\n" magic format_version;
+  Printf.bprintf buf "run-count %d\n" t.runs;
   let entries =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sums [] |> List.sort compare
   in
   List.iter
     (fun ((proc, (node, label)), v) ->
-      Printf.fprintf oc "total %s %d %s %d\n" proc node (label_to_db label) v)
+      Printf.bprintf buf "total %s %d %s %d\n" proc node (label_to_db label) v)
     entries;
+  let body = Buffer.contents buf in
+  let full = body ^ Printf.sprintf "checksum %016Lx\n" (fnv64 body) in
+  (* fault injection: simulate a writer dying mid-write (the checksum is
+     what lets [load] catch the resulting half-file) *)
+  let full =
+    match Fault.active () with
+    | Some sp
+      when Fault.fires sp Fault.Db_truncate ~key:(Fault.string_key path) ~attempt:0
+      ->
+        String.sub full 0 (String.length full / 2)
+    | _ -> full
+  in
+  let oc = open_out path in
+  output_string oc full;
   close_out oc
 
-let load path =
-  let ic = open_in path in
+(* Parse one content row into [t]; [Error (line, msg)] on a bad row. *)
+let parse_row t lineno line : (unit, int * string) result =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "run-count"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+          t.runs <- n;
+          Ok ()
+      | _ -> Error (lineno, "bad run-count: " ^ n))
+  | [ "total"; proc; node; label; v ] -> (
+      match (int_of_string_opt node, label_of_db label, int_of_string_opt v) with
+      | Some node, Some label, Some v ->
+          Hashtbl.replace t.sums (proc, (node, label)) v;
+          Ok ()
+      | _ -> Error (lineno, "bad total row: " ^ line))
+  | [] | [ "" ] -> Ok ()
+  | _ -> Error (lineno, "unrecognized line: " ^ line)
+
+let load ?(repair = false) path =
+  let ic =
+    try open_in path with Sys_error msg -> raise (Load_error { line = 0; msg })
+  in
+  let lines =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> ());
+    List.rev !acc
+  in
   let t = create () in
-  (try
-     while true do
-       let line = input_line ic in
-       match String.split_on_char ' ' (String.trim line) with
-       | [ "run-count"; n ] -> t.runs <- int_of_string n
-       | [ "total"; proc; node; label; v ] ->
-           Hashtbl.replace t.sums
-             (proc, (int_of_string node, label_of_db label))
-             (int_of_string v)
-       | [] | [ "" ] -> ()
-       | _ -> failwith ("Database: bad line: " ^ line)
-     done
-   with End_of_file -> ());
-  close_in ic;
-  t
+  (* parse rows in order, stopping at the first problem; under
+     [~repair:true] the rows parsed before the problem (the valid
+     prefix) are kept, otherwise the problem becomes a [Load_error] *)
+  let finish : (unit, int * string) result -> t = function
+    | Ok () -> t
+    | Error (line, msg) -> if repair then t else raise (Load_error { line; msg })
+  in
+  match lines with
+  | [] ->
+      if repair then t else raise (Load_error { line = 0; msg = "empty database file" })
+  | first :: rest -> (
+      let header =
+        match String.split_on_char ' ' (String.trim first) with
+        | [ m; v ] when m = magic -> (
+            match int_of_string_opt v with
+            | Some n when n = format_version -> Ok true
+            | Some n ->
+                Error (1, Printf.sprintf "unsupported database format version %d" n)
+            | None -> Error (1, "bad database format version: " ^ v))
+        | _ -> Ok false (* header-less version 1 *)
+      in
+      match header with
+      | Error _ as e -> finish (e :> (unit, int * string) result)
+      | Ok false ->
+          (* version 1: no checksum to verify *)
+          let rec go lineno = function
+            | [] -> Ok ()
+            | line :: rest -> (
+                match parse_row t lineno line with
+                | Ok () -> go (lineno + 1) rest
+                | Error _ as e -> e)
+          in
+          finish (go 1 lines)
+      | Ok true ->
+          let body = Buffer.create 256 in
+          Buffer.add_string body first;
+          Buffer.add_char body '\n';
+          let rec go lineno = function
+            | [] -> Error (lineno - 1, "missing checksum (truncated file?)")
+            | line :: rest -> (
+                match String.split_on_char ' ' (String.trim line) with
+                | [ "checksum"; hex ] ->
+                    if List.exists (fun l -> String.trim l <> "") rest then
+                      Error (lineno + 1, "content after the checksum line")
+                    else
+                      let expect =
+                        Printf.sprintf "%016Lx" (fnv64 (Buffer.contents body))
+                      in
+                      if String.lowercase_ascii hex = expect then Ok ()
+                      else Error (lineno, "checksum mismatch (corrupt database?)")
+                | _ -> (
+                    match parse_row t lineno line with
+                    | Ok () ->
+                        Buffer.add_string body line;
+                        Buffer.add_char body '\n';
+                        go (lineno + 1) rest
+                    | Error _ as e -> e))
+          in
+          finish (go 2 rest))

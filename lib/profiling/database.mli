@@ -23,9 +23,19 @@ val proc_totals : t -> string -> (cond, int) Hashtbl.t
 (** Add [b]'s runs and sums into [a]. *)
 val merge : into:t -> t -> unit
 
-(** Write the line-oriented text format ([run-count N] header, then one
-    [total <proc> <node> <label> <sum>] line per condition). *)
+(** A database file could not be loaded: [line] is the 1-based offending
+    line (0 = the file itself, e.g. unreadable or empty). *)
+exception Load_error of { line : int; msg : string }
+
+(** Write the line-oriented text format: a [s89-profile-db 2] magic line,
+    a [run-count N] line, one [total <proc> <node> <label> <sum>] line
+    per condition, and a trailing [checksum] line (FNV-1a/64 of all
+    preceding bytes) that lets {!load} detect truncation/corruption. *)
 val save : t -> string -> unit
 
-(** Load a database written by {!save}.  Raises [Failure] on bad input. *)
-val load : string -> t
+(** Load a database written by {!save} (or the header-less version-1
+    format, which has no checksum).  Raises {!Load_error} on unreadable,
+    truncated, corrupt or malformed input; [~repair:true] never raises on
+    malformed content — the valid prefix rows are kept and the rest
+    dropped. *)
+val load : ?repair:bool -> string -> t

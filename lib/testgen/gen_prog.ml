@@ -1,0 +1,220 @@
+(* Random MF77 program generator for property-based testing.
+
+   Generated programs are:
+   - terminating: every loop is a bounded DO; GOTOs only jump forward
+     (conditional loop exits included, via EXIT-style forward GOTOs);
+   - reducible by construction (backward edges come only from DO latches),
+     which matches the paper's assumption;
+   - runnable: variables are initialized before use, subscripts stay in
+     bounds, RAND()/IRAND() make branch outcomes and trip counts vary with
+     the VM seed.
+
+   The generator produces an AST (so parser round-trip tests can compare
+   structurally) and the matching source text comes from Ast.pp_program. *)
+
+module Ast = S89_frontend.Ast
+module Prng = S89_util.Prng
+
+type ctx = {
+  rng : Prng.t;
+  mutable next_label : int;
+  mutable depth : int; (* nesting depth, to bound program size *)
+  mutable stmts_left : int; (* budget *)
+  mutable exit_labels : int list; (* labels of enclosing-loop exits *)
+}
+
+let scalars = [ "X"; "Y"; "Z"; "W" ] (* REAL by implicit typing *)
+let ints = [ "I"; "J"; "K"; "M" ] (* INTEGER by implicit typing *)
+let array_name = "A"
+let array_size = 32
+
+let pick ctx xs = List.nth xs (Prng.int ctx.rng (List.length xs))
+
+let fresh_label ctx =
+  ctx.next_label <- ctx.next_label + 10;
+  ctx.next_label
+
+(* integer expression in a small safe range *)
+let rec gen_int_expr ctx depth : Ast.expr =
+  if depth <= 0 || Prng.int ctx.rng 3 = 0 then
+    match Prng.int ctx.rng 3 with
+    | 0 -> Ast.Int (1 + Prng.int ctx.rng 5)
+    | 1 -> Ast.Var (pick ctx ints)
+    | _ -> Ast.Call ("IRAND", [ Ast.Int (2 + Prng.int ctx.rng 6) ])
+  else
+    match Prng.int ctx.rng 3 with
+    | 0 -> Ast.Binop (Ast.Add, gen_int_expr ctx (depth - 1), gen_int_expr ctx (depth - 1))
+    | 1 -> Ast.Call ("MAX0", [ gen_int_expr ctx (depth - 1); Ast.Int 1 ])
+    | _ -> Ast.Call ("MIN0", [ gen_int_expr ctx (depth - 1); Ast.Int 9 ])
+
+(* bounded-index array subscript: 1 + MOD(|ie|, size) *)
+let safe_subscript ctx =
+  Ast.Binop
+    ( Ast.Add,
+      Ast.Int 1,
+      Ast.Call ("MOD", [ Ast.Call ("IABS", [ gen_int_expr ctx 1 ]); Ast.Int array_size ])
+    )
+
+let rec gen_real_expr ctx depth : Ast.expr =
+  if depth <= 0 || Prng.int ctx.rng 3 = 0 then
+    match Prng.int ctx.rng 4 with
+    | 0 -> Ast.Real (float_of_int (Prng.int ctx.rng 100) /. 10.0)
+    | 1 -> Ast.Var (pick ctx scalars)
+    | 2 -> Ast.Call ("RAND", [])
+    | _ ->
+        (* parser-level AST: array refs in expressions are unresolved Calls *)
+        Ast.Call (array_name, [ safe_subscript ctx ])
+  else
+    match Prng.int ctx.rng 5 with
+    | 0 ->
+        Ast.Binop (Ast.Add, gen_real_expr ctx (depth - 1), gen_real_expr ctx (depth - 1))
+    | 1 ->
+        Ast.Binop (Ast.Mul, gen_real_expr ctx (depth - 1), gen_real_expr ctx (depth - 1))
+    | 2 -> Ast.Call ("ABS", [ gen_real_expr ctx (depth - 1) ])
+    | 3 -> Ast.Call ("SQRT", [ Ast.Call ("ABS", [ gen_real_expr ctx (depth - 1) ]) ])
+    | _ ->
+        Ast.Binop (Ast.Sub, gen_real_expr ctx (depth - 1), gen_real_expr ctx (depth - 1))
+
+let gen_cond ctx : Ast.expr =
+  let rel = pick ctx [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+  if Prng.bool ctx.rng then Ast.Binop (rel, gen_real_expr ctx 1, gen_real_expr ctx 1)
+  else Ast.Binop (rel, gen_int_expr ctx 1, gen_int_expr ctx 1)
+
+let gen_assign ctx : Ast.stmt =
+  match Prng.int ctx.rng 4 with
+  | 0 -> Ast.Assign (Ast.Lvar (pick ctx ints), gen_int_expr ctx 2)
+  | 1 | 2 -> Ast.Assign (Ast.Lvar (pick ctx scalars), gen_real_expr ctx 2)
+  | _ -> Ast.Assign (Ast.Larr (array_name, [ safe_subscript ctx ]), gen_real_expr ctx 2)
+
+let rec gen_stmt ctx : Ast.lstmt list =
+  ctx.stmts_left <- ctx.stmts_left - 1;
+  let simple s = [ { Ast.label = None; stmt = s } ] in
+  let choice = Prng.int ctx.rng 11 in
+  if ctx.stmts_left <= 0 || ctx.depth >= 3 then simple (gen_assign ctx)
+  else
+    match choice with
+    | 0 | 1 | 2 | 3 -> simple (gen_assign ctx)
+    | 4 | 5 ->
+        (* IF block, possibly with ELSE *)
+        let arms = [ (gen_cond ctx, gen_block ctx (1 + Prng.int ctx.rng 3)) ] in
+        let arms =
+          if Prng.int ctx.rng 3 = 0 then
+            arms @ [ (gen_cond ctx, gen_block ctx (1 + Prng.int ctx.rng 2)) ]
+          else arms
+        in
+        let els =
+          if Prng.bool ctx.rng then Some (gen_block ctx (1 + Prng.int ctx.rng 2))
+          else None
+        in
+        simple (Ast.If_block (arms, els))
+    | 6 | 7 ->
+        (* bounded DO loop, constant or variable trip count *)
+        let var = pick ctx ints in
+        let lo = Ast.Int 1 in
+        let hi =
+          if Prng.bool ctx.rng then Ast.Int (1 + Prng.int ctx.rng 6)
+          else Ast.Call ("IRAND", [ Ast.Int (1 + Prng.int ctx.rng 6) ])
+        in
+        ctx.depth <- ctx.depth + 1;
+        let exit_label = fresh_label ctx in
+        let saved = ctx.exit_labels in
+        ctx.exit_labels <- exit_label :: saved;
+        let body = gen_block ctx (1 + Prng.int ctx.rng 4) in
+        ctx.exit_labels <- saved;
+        ctx.depth <- ctx.depth - 1;
+        [ { Ast.label = None;
+            stmt = Ast.Do { do_var = var; do_lo = lo; do_hi = hi; do_step = None;
+                            do_body = body } };
+          (* landing pad for conditional exits out of this loop *)
+          { Ast.label = Some exit_label; stmt = Ast.Continue } ]
+    | 8 ->
+        (* conditional loop exit (forward GOTO), if inside a loop *)
+        (match ctx.exit_labels with
+        | l :: _ -> simple (Ast.If_logical (gen_cond ctx, Ast.Goto l))
+        | [] -> simple (gen_assign ctx))
+    | 9 ->
+        (* call the auxiliary subroutine *)
+        simple (Ast.Call_stmt ("HELPER", [ Ast.Var (pick ctx scalars) ]))
+    | _ ->
+        (* computed GOTO dispatcher with forward targets only *)
+        let l1 = fresh_label ctx in
+        let l2 = fresh_label ctx in
+        let lend = fresh_label ctx in
+        [ { Ast.label = None; stmt = Ast.Cgoto ([ l1; l2 ], gen_int_expr ctx 1) };
+          (* out-of-range selector falls through here *)
+          { Ast.label = None; stmt = gen_assign ctx };
+          { Ast.label = None; stmt = Ast.Goto lend };
+          { Ast.label = Some l1; stmt = gen_assign ctx };
+          { Ast.label = None; stmt = Ast.Goto lend };
+          { Ast.label = Some l2; stmt = gen_assign ctx };
+          { Ast.label = Some lend; stmt = Ast.Continue } ]
+
+and gen_block ctx n : Ast.block =
+  if n <= 0 then [ { Ast.label = None; stmt = gen_assign ctx } ]
+  else List.concat (List.init n (fun _ -> gen_stmt ctx))
+
+let helper_unit : Ast.program_unit =
+  {
+    kind = Ast.Subroutine;
+    name = "HELPER";
+    params = [ "V" ];
+    decls = [];
+    body =
+      [
+        { Ast.label = None;
+          stmt =
+            Ast.If_block
+              ( [ ( Ast.Binop (Ast.Gt, Ast.Var "V", Ast.Real 0.5),
+                    [ { Ast.label = None;
+                        stmt = Ast.Assign (Ast.Lvar "V", Ast.Binop (Ast.Mul, Ast.Var "V", Ast.Real 0.5)) } ] )
+                ],
+                Some
+                  [ { Ast.label = None;
+                      stmt = Ast.Assign (Ast.Lvar "V", Ast.Binop (Ast.Add, Ast.Var "V", Ast.Real 0.25)) } ] )
+        };
+      ];
+  }
+
+(* generate a full program AST from a seed *)
+let gen_ast ?(size = 14) seed : Ast.program =
+  let ctx =
+    { rng = Prng.create ~seed; next_label = 100; depth = 0; stmts_left = size;
+      exit_labels = [] }
+  in
+  let init =
+    (* initialize everything the generator may read *)
+    List.map
+      (fun v -> { Ast.label = None; stmt = Ast.Assign (Ast.Lvar v, Ast.Int 1) })
+      ints
+    @ List.map
+        (fun v ->
+          { Ast.label = None; stmt = Ast.Assign (Ast.Lvar v, Ast.Call ("RAND", [])) })
+        scalars
+    @ [ { Ast.label = None;
+          stmt =
+            Ast.Do
+              { do_var = "I"; do_lo = Ast.Int 1; do_hi = Ast.Int array_size;
+                do_step = None;
+                do_body =
+                  [ { Ast.label = None;
+                      stmt =
+                        Ast.Assign
+                          (Ast.Larr (array_name, [ Ast.Var "I" ]), Ast.Call ("RAND", []))
+                    } ] } } ]
+  in
+  let body = init @ gen_block ctx (3 + Prng.int ctx.rng 4) in
+  let main =
+    {
+      Ast.kind = Ast.Program;
+      name = "RANDPROG";
+      params = [];
+      decls = [ Ast.Dvar (Ast.Treal, [ (array_name, [ array_size ]) ]) ];
+      body;
+    }
+  in
+  [ main; helper_unit ]
+
+let gen_source ?size seed : string = Ast.to_source (gen_ast ?size seed)
+
+let gen_program ?size seed : S89_frontend.Program.t =
+  S89_frontend.Program.of_source (gen_source ?size seed)

@@ -1,0 +1,62 @@
+(** Seeded fault injection.  A spec (normally from the [S89_FAULTS]
+    environment variable, e.g.
+    ["worker_raise:0.05,slow_item:0.02@0.005,seed:7"]) assigns
+    probabilities to injection sites; decisions are pure functions of
+    (seed, site, key, attempt) so fault-injected runs are exactly
+    reproducible and independent of scheduling.  This module only
+    decides — the injection points (Pool, Chunked, Analysis, Database)
+    act. *)
+
+type site =
+  | Worker_raise  (** pool/chunked item raises {!Injected} *)
+  | Slow_item  (** pool/chunked item sleeps {!slow_seconds} *)
+  | Analysis_raise  (** per-procedure analysis raises {!Injected} *)
+  | Db_truncate  (** [Database.save] writes a truncated file *)
+
+(** The exception injection points raise.  Recognizable (see
+    {!is_injected}) so resilient layers can absorb it. *)
+exception Injected of string
+
+(** Raised (from {!active}) when [S89_FAULTS] is set but malformed.
+    Deliberately NOT absorbed by the fault-tolerant layers: silently
+    ignoring a typo'd fault spec would fake green chaos runs, so this
+    must propagate to the top level as a configuration error. *)
+exception Bad_spec of string
+
+type spec
+
+(** The no-faults spec (all probabilities 0); parse-result base. *)
+val empty : spec
+
+(** Parse an [S89_FAULTS] string. *)
+val parse : string -> (spec, string) result
+
+(** The process-wide active spec: parsed from [S89_FAULTS] on first use
+    ({!Bad_spec} on a malformed value), [None] when unset.  {!set} and
+    {!with_spec} override the environment. *)
+val active : unit -> spec option
+
+val set : spec option -> unit
+
+(** Run [f] with [spec] active, restoring the previous spec after. *)
+val with_spec : spec option -> (unit -> 'a) -> 'a
+
+(** Does [site] fire for [key] on retry [attempt]?  Deterministic. *)
+val fires : spec -> site -> key:int -> attempt:int -> bool
+
+(** The configured probability of a site. *)
+val prob : spec -> site -> float
+
+(** Stable non-negative key for string-keyed sites (procedure names,
+    paths). *)
+val string_key : string -> int
+
+(** Sleep duration for [Slow_item] (seconds). *)
+val slow_seconds : spec -> float
+
+(** Extra attempts a fault-absorbing layer grants before letting
+    {!Injected} propagate. *)
+val max_retries : int
+
+val injected_msg : site -> key:int -> string
+val is_injected : exn -> bool

@@ -31,6 +31,7 @@ module Prng = S89_util.Prng
 open S89_cfg
 
 exception Out_of_fuel
+exception Out_of_cycles
 exception Call_depth_exceeded of int
 exception Stopped (* internal: STOP statement unwinding *)
 
@@ -87,6 +88,7 @@ type config = {
   instr : Probe.t;
   seed : int;
   max_steps : int;
+  max_cycles : int; (* cycle fuel; max_int = unlimited *)
   max_call_depth : int; (* guards runaway recursion from blowing the stack *)
   sample_interval : int option;
   backend : backend;
@@ -98,6 +100,7 @@ let default_config =
     instr = Probe.empty;
     seed = 42;
     max_steps = 200_000_000;
+    max_cycles = max_int;
     max_call_depth = 10_000;
     sample_interval = None;
     backend = Compiled;
@@ -114,8 +117,29 @@ type t = {
   rng : Prng.t;
   out : Buffer.t;
   mutable call_depth : int;
+  mutable overflowed : int list; (* counters that saturated (ascending, distinct) *)
   rt : Compile.rt; (* hooks captured by the compiled closures *)
 }
+
+(* a counter hit max_int: saturate and remember — never silent wraparound *)
+let record_overflow st c =
+  if not (List.mem c st.overflowed) then
+    st.overflowed <- List.sort compare (c :: st.overflowed)
+
+(* checked counter arithmetic: saturate at max_int with a diagnostic,
+   never wrap around (the reconstruction laws assume exact sums) *)
+let counter_incr st c =
+  let old = st.counters.(c) in
+  if old = max_int then record_overflow st c else st.counters.(c) <- old + 1
+
+let counter_add st c v =
+  let old = st.counters.(c) in
+  let s = old + v in
+  if v > 0 && s < old then begin
+    record_overflow st c;
+    st.counters.(c) <- max_int
+  end
+  else st.counters.(c) <- s
 
 let compile_proc config rt (prog : Program.t) (p : Program.proc) : cproc =
   let cfg = p.Program.cfg in
@@ -255,6 +279,7 @@ let account st (n : cnode) =
   st.steps <- st.steps + 1;
   if st.steps > st.config.max_steps then raise Out_of_fuel;
   charge st n.cost;
+  if st.cycles > st.config.max_cycles then raise Out_of_cycles;
   n.execs <- n.execs + 1;
   while st.cycles >= st.next_sample do
     n.samples <- n.samples + 1;
@@ -410,12 +435,12 @@ and fire_actions st frame (acts : Probe.action list) =
       match a with
       | Probe.Incr c ->
           charge st st.config.cost_model.Cost_model.c_counter;
-          st.counters.(c) <- st.counters.(c) + 1
+          counter_incr st c
       | Probe.Bulk_add (c, e) ->
           charge st
             (st.config.cost_model.Cost_model.c_counter
             + Cost_model.expr_cost st.config.cost_model e);
-          st.counters.(c) <- st.counters.(c) + Value.to_int (eval st frame e))
+          counter_add st c (Value.to_int (eval st frame e)))
     acts
 
 (* ---- compiled backend ---- *)
@@ -426,10 +451,10 @@ let fire_cactions st venv (acts : Compile.caction array) =
       match a with
       | Compile.CIncr c ->
           charge st st.config.cost_model.Cost_model.c_counter;
-          st.counters.(c) <- st.counters.(c) + 1
+          counter_incr st c
       | Compile.CBulk (c, xcost, f) ->
           charge st (st.config.cost_model.Cost_model.c_counter + xcost);
-          st.counters.(c) <- st.counters.(c) + Value.to_int (f venv))
+          counter_add st c (Value.to_int (f venv)))
     acts
 
 let rec call_proc_compiled st (callee : Program.proc) (args : binding list) :
@@ -472,15 +497,21 @@ let rec call_proc_compiled st (callee : Program.proc) (args : binding list) :
 and run_frame_compiled st (cp : cproc) (venv : Env.slots) : unit =
   let code = cp.code in
   let max_steps = st.config.max_steps in
+  let max_cycles = st.config.max_cycles in
   let pc = ref cp.centry in
   let running = ref true in
   while !running do
     let n = code.(!pc) in
-    (* [account], open-coded: this is the per-node hot path *)
+    (* [account], open-coded: this is the per-node hot path.  Both budget
+       checks share one branch: the remaining-budget differences are both
+       non-negative iff neither limit is exceeded, so [lor]-ing them and
+       testing the sign bit keeps the loop at a single guard branch *)
     let steps = st.steps + 1 in
     st.steps <- steps;
-    if steps > max_steps then raise Out_of_fuel;
-    st.cycles <- st.cycles + n.cost;
+    let cycles = st.cycles + n.cost in
+    st.cycles <- cycles;
+    if (max_steps - steps) lor (max_cycles - cycles) < 0 then
+      if steps > max_steps then raise Out_of_fuel else raise Out_of_cycles;
     n.execs <- n.execs + 1;
     if st.cycles >= st.next_sample then take_samples st n;
     if Array.length n.cnode_probes > 0 then fire_cactions st venv n.cnode_probes;
@@ -518,6 +549,7 @@ let create ?(config = default_config) (prog : Program.t) : t =
       rng;
       out;
       call_depth = 0;
+      overflowed = [];
       rt;
     }
   in
@@ -563,3 +595,40 @@ let edge_count st name node label =
 
 (* PC-sampling hits of a node *)
 let node_samples st name node = (cproc st name).code.(node).samples
+
+(* ---- guarded execution: structured results ---- *)
+
+let counter_overflowed st = st.overflowed
+
+module Diag = S89_diag.Diag
+
+let diagnostics st =
+  List.map
+    (fun c ->
+      Diag.warningf ~code:"RUN005"
+        ~hint:"the reconstruction laws assume exact sums; rerun with fewer \
+               iterations or split the profile across runs"
+        "counter %d saturated at max_int" c)
+    st.overflowed
+
+let run_result (st : t) : (outcome, Diag.t) result =
+  match run st with
+  | o -> Ok o
+  | exception Value.Runtime_error msg -> Error (Diag.error ~code:"RUN001" msg)
+  | exception Out_of_fuel ->
+      Error
+        (Diag.errorf ~code:"RUN002"
+           ~hint:"raise [max_steps] if the program is expected to run this long"
+           "out of fuel after %d statements" st.steps)
+  | exception Out_of_cycles ->
+      Error
+        (Diag.errorf ~code:"RUN003"
+           ~hint:"raise [max_cycles] if the program is expected to run this long"
+           "cycle budget exhausted after %d cycles" st.cycles)
+  | exception Call_depth_exceeded d ->
+      Error
+        (Diag.errorf ~code:"RUN004"
+           ~hint:"raise [max_call_depth] for deeply recursive programs"
+           "call depth exceeded %d" d)
+  | exception S89_util.Fault.Injected msg ->
+      Error (Diag.error ~code:"FLT001" ~hint:"injected by S89_FAULTS" msg)

@@ -14,6 +14,9 @@ open S89_cfg
 (** The step budget was exhausted (runaway program). *)
 exception Out_of_fuel
 
+(** The cycle budget ([max_cycles]) was exhausted. *)
+exception Out_of_cycles
+
 (** Recursion exceeded [max_call_depth] (runaway recursion). *)
 exception Call_depth_exceeded of int
 
@@ -30,6 +33,7 @@ type config = {
   instr : Probe.t;  (** instrumentation ({!Probe.empty} = none) *)
   seed : int;  (** PRNG seed for RAND()/IRAND() *)
   max_steps : int;  (** fuel: statements executed before {!Out_of_fuel} *)
+  max_cycles : int;  (** cycle fuel ([max_int] = unlimited, the default) *)
   max_call_depth : int;  (** recursion guard ({!Call_depth_exceeded}) *)
   sample_interval : int option;  (** simulated PC sampling every N cycles *)
   backend : backend;  (** execution engine (default [Compiled]) *)
@@ -74,3 +78,17 @@ val edge_count : t -> string -> int -> Label.t -> int
 
 (** PC-sampling hits attributed to a node (0 unless sampling is on). *)
 val node_samples : t -> string -> int -> int
+
+(** Instrumentation counters that saturated at [max_int] during the run
+    (ascending, no duplicates).  A saturated counter holds [max_int]
+    rather than a silently wrapped value. *)
+val counter_overflowed : t -> int list
+
+(** Warnings accumulated during the run (one [RUN005] per saturated
+    counter). *)
+val diagnostics : t -> S89_diag.Diag.t list
+
+(** Like {!run}, but guard trips and runtime errors come back as a
+    structured diagnostic ([RUN001]..[RUN004], [FLT001]) instead of an
+    exception. *)
+val run_result : t -> (outcome, S89_diag.Diag.t) result

@@ -8,7 +8,13 @@ fraction (default 20%).  Entries present in only one file are reported but
 do not fail the check; absolute wall times are ignored because CI hardware
 varies — the compiled-vs-tree *ratio* is the stable signal.
 
-Usage: check_bench_regression.py CURRENT.json [BASELINE.json] [--tolerance 0.2]
+Additionally, any ``guards/*`` entry in the current file (the PR-4
+``guards`` bench target) must report a ``guard_overhead`` at or below
+``--guard-threshold`` (default 2%): guarded execution is required to be
+free on the hot path.
+
+Usage: check_bench_regression.py CURRENT.json [BASELINE.json]
+       [--tolerance 0.2] [--guard-threshold 0.02]
 """
 
 import argparse
@@ -16,14 +22,27 @@ import json
 import sys
 
 
-def load_speedups(path):
+def load_entries(path):
     with open(path) as f:
         data = json.load(f)
+    return data.get("benchmarks", [])
+
+
+def load_speedups(path):
     out = {}
-    for row in data.get("benchmarks", []):
+    for row in load_entries(path):
         name = row.get("name", "")
         if name.startswith("table1/") and "speedup_vs_tree" in row:
             out[name] = float(row["speedup_vs_tree"])
+    return out
+
+
+def load_guard_overheads(path):
+    out = {}
+    for row in load_entries(path):
+        name = row.get("name", "")
+        if name.startswith("guards/") and "guard_overhead" in row:
+            out[name] = float(row["guard_overhead"])
     return out
 
 
@@ -33,6 +52,8 @@ def main():
     ap.add_argument("baseline", nargs="?", default="BENCH_PR1.json")
     ap.add_argument("--tolerance", type=float, default=0.2,
                     help="allowed fractional drop vs baseline (default 0.2)")
+    ap.add_argument("--guard-threshold", type=float, default=0.02,
+                    help="max allowed guards/* guard_overhead (default 0.02)")
     args = ap.parse_args()
 
     current = load_speedups(args.current)
@@ -58,6 +79,14 @@ def main():
             failed = True
     for name in sorted(set(current) - set(baseline)):
         print(f"note: {name} not in baseline (new entry)")
+
+    for name, overhead in sorted(load_guard_overheads(args.current).items()):
+        ok = overhead <= args.guard_threshold
+        status = "ok" if ok else "REGRESSION"
+        print(f"{status:10s} {name}: guard overhead {overhead * 100:+.2f}% "
+              f"(threshold {args.guard_threshold * 100:.2f}%)")
+        if not ok:
+            failed = True
 
     return 1 if failed else 0
 

@@ -13,5 +13,6 @@ let () =
       ("profiling", Test_profiling.suite);
       ("core", Test_core.suite);
       ("sched", Test_sched.suite);
+      ("robustness", Test_robustness.suite);
       ("workloads", Test_workloads.suite);
     ]

@@ -576,8 +576,10 @@ let database_rejects_garbage () =
   output_string oc "this is not a database\n";
   close_out oc;
   (match Database.load path with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure on garbage");
+  | exception Database.Load_error { line = 1; _ } -> ()
+  | exception Database.Load_error { line; _ } ->
+      Alcotest.failf "Load_error on unexpected line %d" line
+  | _ -> Alcotest.fail "expected Load_error on garbage");
   Sys.remove path
 
 let pretty_printers_smoke () =
