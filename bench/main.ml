@@ -12,6 +12,7 @@
      accuracy (X3)  estimated TIME/STD_DEV vs measured mean/std over runs
      chunks   (X4)  variance-driven chunk size (Kruskal-Weiss) vs baselines
      static   (X5)  compile-time frequency analysis vs profiling
+     wal      (P5)  crash-safe store: WAL append/recovery, compaction
      wall           Bechamel wall-clock suite (one Test per table/figure) *)
 
 module Interp = S89_vm.Interp
@@ -723,7 +724,95 @@ let static_analysis () =
      data-dependent branching is why the paper profiles.@."
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel wall-clock suite                                           *)
+(* P5: crash-safe store costs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wal_bench () =
+  section
+    "P5: WAL persistence costs (crash-safe store)\n\
+     append throughput without fsync (the framing + checksum price),\n\
+     recovery of the resulting log, and snapshot compaction";
+  let module Wal = S89_store.Wal in
+  let module Store = S89_store.Store in
+  let with_tmp_dir f =
+    let dir = Filename.temp_file "s89bench" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun x -> try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  with_tmp_dir @@ fun dir ->
+  let n = 20_000 in
+  let payload i = Printf.sprintf "run %d\ntotal MAIN 1 T %d\ntotal MAIN 4 F %d" i i (i * 7) in
+  let path = Filename.concat dir "bench.log" in
+  let _, w_append, _ =
+    timed (fun () ->
+        let w, _ = Wal.open_ ~fsync:false path in
+        for i = 0 to n - 1 do
+          Wal.append w (payload i)
+        done;
+        Wal.close w)
+  in
+  let r, w_recover, _ = timed (fun () -> Wal.recover path) in
+  Fmt.pr "@.%-34s %10d records@." "log size" n;
+  Fmt.pr "%-34s %10.0f records/s  (%.2f us/record)@." "append (no fsync)"
+    (float_of_int n /. w_append)
+    (1e6 *. w_append /. float_of_int n);
+  Fmt.pr "%-34s %10.0f records/s  (%.3f s total)@." "recovery scan"
+    (float_of_int (List.length r.Wal.payloads) /. w_recover)
+    w_recover;
+  record "wal/append"
+    [ ("records", Int n); ("wall_s", Num w_append);
+      ("records_per_s", Num (float_of_int n /. w_append)) ];
+  record "wal/recover"
+    [ ("records", Int (List.length r.Wal.payloads)); ("wall_s", Num w_recover);
+      ("records_per_s", Num (float_of_int (List.length r.Wal.payloads) /. w_recover)) ];
+  Sys.remove path;
+  (* store-level: run appends through accumulate + auto-compaction *)
+  let totals =
+    let tbl = Hashtbl.create 4 in
+    List.iter (fun c -> Hashtbl.replace tbl c 3)
+      [ (1, S89_cfg.Label.T); (4, S89_cfg.Label.F); (9, S89_cfg.Label.U) ];
+    let per_proc = Hashtbl.create 1 in
+    Hashtbl.replace per_proc "MAIN" tbl;
+    per_proc
+  in
+  let sdir = Filename.concat dir "store" in
+  let runs = 4_096 in
+  let s = Store.open_ ~fsync:false ~compact_threshold:256 ~dir:sdir () in
+  let _, w_store, _ =
+    timed (fun () ->
+        for i = 0 to runs - 1 do
+          Store.append_run s ~seed:i totals
+        done)
+  in
+  let _, w_compact, _ = timed (fun () -> Store.compact s) in
+  Store.close s;
+  let _, w_reopen, _ =
+    timed (fun () -> Store.close (Store.open_ ~fsync:false ~dir:sdir ()))
+  in
+  Array.iter
+    (fun x -> try Sys.remove (Filename.concat sdir x) with Sys_error _ -> ())
+    (Sys.readdir sdir);
+  (try Unix.rmdir sdir with Unix.Unix_error _ -> ());
+  Fmt.pr "%-34s %10.0f runs/s  (threshold 256, %d runs)@." "store append+auto-compact"
+    (float_of_int runs /. w_store)
+    runs;
+  Fmt.pr "%-34s %10.4f s@." "final compaction" w_compact;
+  Fmt.pr "%-34s %10.4f s@." "recovery (open after close)" w_reopen;
+  record "wal/store_append"
+    [ ("runs", Int runs); ("wall_s", Num w_store);
+      ("runs_per_s", Num (float_of_int runs /. w_store)) ];
+  record "wal/compact" [ ("wall_s", Num w_compact) ];
+  record "wal/reopen" [ ("wall_s", Num w_reopen) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock suite                                          *)
 (* ------------------------------------------------------------------ *)
 
 let wall () =
@@ -781,7 +870,7 @@ let all_targets =
     ("x2", sampling); ("accuracy", accuracy); ("x3", accuracy); ("chunks", chunks);
     ("x4", chunks); ("static", static_analysis); ("x5", static_analysis);
     ("scaling", scaling); ("p3", scaling); ("guards", guards); ("p4", guards);
-    ("wall", wall) ]
+    ("wal", wal_bench); ("p5", wal_bench); ("wall", wall) ]
 
 let default_order =
   [ figure1; figure2; figure3; table1; counters; sampling; accuracy; chunks;

@@ -11,6 +11,8 @@
      profile     run N times with smart counters, write a profile database
      estimate    estimate TIME/VAR from a database or from fresh runs
      chunks      variance-driven chunk sizes for each loop
+     batch       checkpointed profiling batch over a crash-safe store
+     serve       spool-directory daemon running batches as jobs arrive
      demo        print one of the built-in demo programs *)
 
 open Cmdliner
@@ -24,6 +26,8 @@ module Database = S89_profiling.Database
 module Pipeline = S89_core.Pipeline
 module Interproc = S89_core.Interproc
 module Report = S89_core.Report
+module Service = S89_core.Service
+module Store = S89_store.Store
 
 module Diag = S89_diag.Diag
 
@@ -62,6 +66,14 @@ let diag_of_exn : exn -> Diag.t option = function
       Some (Diag.errorf ~code:"RUN004" "call depth exceeded %d" d)
   | S89_util.Fault.Injected msg ->
       Some (Diag.error ~code:"FLT001" ~hint:"injected by S89_FAULTS" msg)
+  | Store.Corrupt msg ->
+      Some
+        (Diag.error ~code:"DB001" ~hint:"the store holds a foreign or damaged record"
+           msg)
+  | S89_exec.Supervise.Circuit_open key ->
+      Some
+        (Diag.errorf ~code:"SRV002" ~hint:"closes on the next success"
+           "circuit breaker open for %s" key)
   | S89_util.Fault.Bad_spec msg ->
       Some (Diag.error ~code:"CLI001" ~hint:"fix the S89_FAULTS variable" msg)
   | Failure msg -> Some (Diag.error ~code:"CLI001" msg)
@@ -381,6 +393,125 @@ let chunks_cmd =
        ~doc:"Variance-driven Kruskal-Weiss chunk sizes for every loop")
     Term.(const run $ file_arg $ runs_arg $ seed_arg $ p_arg $ h_arg $ n_arg)
 
+(* ---------------- batch / serve ----------------
+
+   Graceful shutdown: SIGINT/SIGTERM raise a flag the service polls
+   between runs (and between spool scans).  Completed work is already
+   durable in the WAL, so the handler only has to ask the loop to stop;
+   the final flush happens on the normal return path. *)
+
+let stop_requested = ref false
+
+let install_signal_handlers () =
+  let handler _ = stop_requested := true in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let no_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:"Skip fsync on WAL appends (faster, loses crash durability)")
+
+let batch_cmd =
+  let dir_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Store directory (snapshot + WAL)")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ] ~doc:"Continue an interrupted batch from its checkpoint")
+  in
+  let export_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "export" ] ~docv:"PATH"
+          ~doc:"Also write the final database in the profile-db v2 format")
+  in
+  let run file runs seed optimize dir resume export no_fsync =
+    guard @@ fun () ->
+    install_signal_handlers ();
+    let source = read_file file in
+    let cm = cost_model_of_opt optimize in
+    match
+      Service.batch ~fsync:(not no_fsync) ~cost_model:cm
+        ~should_stop:(fun () -> !stop_requested)
+        ?export ~resume ~runs ~seed ~dir source
+    with
+    | Error d -> fail_diag ~path:file d
+    | Ok (Service.Completed { runs; report }) ->
+        print_string report;
+        Fmt.pr "@.batch complete: %d runs accumulated in %s@." runs dir
+    | Ok (Service.Interrupted { completed; total }) ->
+        (* graceful shutdown is still an incomplete batch: flag it with
+           the SRV family exit code so scripts resume before consuming *)
+        fail_diag
+          (Diag.v ~severity:Diag.Info ~code:"SRV001"
+             ~hint:"re-run with --resume to finish"
+             (Fmt.str "interrupted after %d/%d runs; all completed runs are durable"
+                completed total))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Profile N runs into a crash-safe store, checkpointing each run")
+    Term.(
+      const run $ file_arg $ runs_arg $ seed_arg $ opt_arg $ dir_arg $ resume_arg
+      $ export_arg $ no_fsync_arg)
+
+let serve_cmd =
+  let spool_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR" ~doc:"Spool directory watched for job files")
+  in
+  let store_root_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "store-root" ] ~docv:"DIR"
+          ~doc:"Root under which each job gets its store and report")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "poll-interval" ] ~docv:"SECONDS" ~doc:"Spool scan interval")
+  in
+  let max_jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-jobs" ] ~docv:"N" ~doc:"Exit after processing N jobs")
+  in
+  let idle_exit_arg =
+    Arg.(
+      value & flag
+      & info [ "idle-exit" ] ~doc:"Exit when the spool is empty instead of polling")
+  in
+  let run runs seed spool store_root poll max_jobs idle_exit no_fsync =
+    guard @@ fun () ->
+    install_signal_handlers ();
+    let stats =
+      Service.serve ~fsync:(not no_fsync) ~poll_interval:poll ?max_jobs ~idle_exit
+        ~should_stop:(fun () -> !stop_requested)
+        ~runs ~seed ~spool ~store_root ()
+    in
+    Fmt.pr "serve: %d jobs completed, %d failed@." stats.Service.jobs_done
+      stats.Service.jobs_failed;
+    if !stop_requested then
+      Fmt.epr "ptranc: %a@." Diag.pp
+        (Diag.v ~severity:Diag.Info ~code:"SRV001"
+           "shutdown requested; in-flight work is checkpointed")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Watch a spool directory and run each job as a checkpointed batch")
+    Term.(
+      const run $ runs_arg $ seed_arg $ spool_arg $ store_root_arg $ poll_arg
+      $ max_jobs_arg $ idle_exit_arg $ no_fsync_arg)
+
 let demo_cmd =
   let which =
     Arg.(
@@ -434,7 +565,7 @@ let () =
     Cmd.eval
       (Cmd.group info
          [ parse_cmd; cfg_cmd; ecfg_cmd; fcdg_cmd; plan_cmd; run_cmd; profile_cmd;
-           estimate_cmd; static_cmd; chunks_cmd; demo_cmd ])
+           estimate_cmd; static_cmd; chunks_cmd; batch_cmd; serve_cmd; demo_cmd ])
   in
   (* usage errors land in the same exit-code family as IO errors (2) *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -9,6 +9,14 @@
    - corrupted: valid programs with random byte flips — garbage that must
                 still be rejected gracefully.
 
+   A fourth, input-free class per seed exercises the crash-safe store:
+   - store-recovery: build a store (appends, events, compactions), then
+                truncate/flip/garbage its on-disk files at seeded
+                offsets; reopening must either succeed with no more
+                runs than were appended and remain fully operational
+                (append + compact + reopen), or reject with the
+                structured [Store.Corrupt].
+
    The invariants checked for every input:
    - no uncaught exception anywhere in parse → analyze → plan → profile →
      estimate: inputs are either accepted or rejected with a structured
@@ -30,12 +38,13 @@ module Diag = S89_diag.Diag
 module Prng = S89_util.Prng
 module Gen = S89_testgen.Gen_prog
 
-type mode = Valid | Mutated | Corrupted
+type mode = Valid | Mutated | Corrupted | Store_recovery
 
 let mode_name = function
   | Valid -> "valid"
   | Mutated -> "mutated"
   | Corrupted -> "corrupted"
+  | Store_recovery -> "store-recovery"
 
 (* ---------------- input generation ---------------- *)
 
@@ -83,6 +92,7 @@ let gen_input mode seed =
   | Valid -> src
   | Mutated -> mutate seed src
   | Corrupted -> corrupt seed src
+  | Store_recovery -> invalid_arg "store-recovery takes no source input"
 
 (* ---------------- the oracle ---------------- *)
 
@@ -158,6 +168,104 @@ let check mode src : verdict =
           | Error d, Ok _ -> failf "backend divergence: compiled rejects %s, tree runs" d)
       )
 
+(* ---------------- store recovery fuzzing ---------------- *)
+
+module Wal = S89_store.Wal
+module Store = S89_store.Store
+module Label = S89_cfg.Label
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "s89fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let seeded_totals rng =
+  let tbl = Hashtbl.create 4 in
+  for node = 0 to Prng.int rng 4 do
+    Hashtbl.replace tbl
+      (node, if Prng.int rng 2 = 0 then S89_cfg.Label.T else Label.F)
+      (Prng.int rng 100)
+  done;
+  let per_proc = Hashtbl.create 1 in
+  Hashtbl.replace per_proc "P" tbl;
+  per_proc
+
+(* build a store, mangle its files at seeded offsets, reopen: recovery
+   must never invent runs, never crash unstructured, and must leave the
+   store fully operational (append + compact + clean reopen) *)
+let check_store seed : verdict =
+  let rng = Prng.create ~seed:(seed lxor 0x570e) in
+  with_tmp_dir @@ fun dir ->
+  let appended = ref 0 in
+  let s =
+    Store.open_ ~fsync:false ~compact_threshold:(2 + Prng.int rng 6) ~dir ()
+  in
+  Store.set_meta s [ ("fuzz-seed", string_of_int seed) ];
+  let n = 1 + Prng.int rng 12 in
+  for r = 0 to n - 1 do
+    Store.append_run s ~seed:r (seeded_totals rng);
+    incr appended;
+    if Prng.int rng 5 = 0 then
+      Store.append_event s (Printf.sprintf "ev %d" (Prng.int rng 3))
+  done;
+  Store.close s;
+  let mangles = 1 + Prng.int rng 3 in
+  for _ = 1 to mangles do
+    let fs = Sys.readdir dir in
+    if Array.length fs > 0 then begin
+      let path = Filename.concat dir fs.(Prng.int rng (Array.length fs)) in
+      let content = read_file path in
+      let len = String.length content in
+      match Prng.int rng 3 with
+      | 0 -> write_file path (String.sub content 0 (Prng.int rng (len + 1)))
+      | 1 when len > 0 ->
+          let b = Bytes.of_string content in
+          for _ = 0 to Prng.int rng 4 do
+            Bytes.set b (Prng.int rng len) (Char.chr (Prng.int rng 256))
+          done;
+          write_file path (Bytes.to_string b)
+      | _ ->
+          write_file path
+            (content
+            ^ String.init (Prng.int rng 50) (fun _ -> Char.chr (Prng.int rng 256)))
+    end
+  done;
+  match Store.open_ ~fsync:false ~dir () with
+  | exception Store.Corrupt _ -> Rejected "DB001" (* structured rejection *)
+  | s2 ->
+      if Store.runs s2 > !appended then
+        failf "recovery invented runs: %d recovered from %d appended"
+          (Store.runs s2) !appended;
+      Store.append_run s2 ~seed:(n + 1) (seeded_totals rng);
+      Store.compact s2;
+      let runs_now = Store.runs s2 in
+      Store.close s2;
+      let s3 = Store.open_ ~fsync:false ~dir () in
+      if Store.runs s3 <> runs_now then
+        failf "post-recovery reopen lost runs: %d then %d" runs_now (Store.runs s3);
+      Store.close s3;
+      Accepted
+
 (* ---------------- driver ---------------- *)
 
 type failure = { mode : mode; seed : int; what : string; src : string }
@@ -221,11 +329,25 @@ let () =
                in
                failures := { mode; seed; what; src } :: !failures)
          [ Valid; Mutated; Corrupted ];
+       (match check_store seed with
+       | Accepted -> incr accepted
+       | Rejected code ->
+           Hashtbl.replace rejected code
+             (1 + Option.value ~default:0 (Hashtbl.find_opt rejected code))
+       | exception e ->
+           let what =
+             match e with
+             | Fuzz_failure m -> m
+             | e -> "uncaught exception: " ^ Printexc.to_string e
+           in
+           failures :=
+             { mode = Store_recovery; seed; what; src = "(no source: store-recovery mangles on-disk store files)" }
+             :: !failures);
        incr completed
      done
    with Exit -> ());
   let elapsed = Unix.gettimeofday () -. t0 in
-  Printf.printf "fuzz: %d seeds x 3 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
+  Printf.printf "fuzz: %d seeds x 4 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
     !completed elapsed !accepted
     (Hashtbl.fold (fun _ n acc -> acc + n) rejected 0)
     (List.length !failures);

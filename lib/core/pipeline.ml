@@ -35,6 +35,10 @@ type t = {
 let analysis_diag (name : string) : exn -> Diag.t = function
   | Fault.Injected msg ->
       Diag.error ~proc:name ~code:"FLT001" ~hint:"injected by S89_FAULTS" msg
+  | S89_exec.Supervise.Circuit_open key ->
+      Diag.errorf ~proc:name ~code:"SRV002"
+        ~hint:"degraded to the opaque-callee path; closes on the next success"
+        "analysis suppressed: circuit breaker open for %s" key
   | Analysis.Unanalyzable { proc; reason } -> Diag.error ~proc ~code:"ANA001" reason
   | S89_cfg.Ecfg.Nonterminating_interval h ->
       Diag.errorf ~proc:name ~code:"ANA002"
@@ -51,10 +55,27 @@ let analysis_diag (name : string) : exn -> Diag.t = function
    still analyzed, and the estimator treats the skipped procedure's calls
    as opaque.  [~strict:true] restores fail-fast: the first failure
    propagates as its original exception. *)
-let create ?(strict = false) ?pool (prog : Program.t) : t =
+(* [?supervisor] wraps each procedure's analysis in
+   [Supervise.protect] — transient failures are restarted with
+   deterministic backoff, and a procedure whose circuit breaker is open
+   (repeated failures, or pre-tripped by a resumed batch's journal) is
+   suppressed immediately and degrades to the ANA003 opaque-callee path.
+   [?journal] is called once per procedure, on the calling domain and in
+   procedure order (deterministic even under [?pool]), with
+   ["ana <proc> ok"] or ["ana <proc> failed <CODE>"] — the batch
+   checkpoint appends these to its WAL so a resumed batch knows which
+   procedures already completed or failed. *)
+let create ?(strict = false) ?pool ?supervisor ?journal (prog : Program.t) : t =
   let procs = Array.of_list (Program.procs prog) in
   let attempt (p : Program.proc) : (Analysis.t, Diag.t) result =
-    match Analysis.of_proc p with
+    let work () =
+      match supervisor with
+      | None -> Analysis.of_proc p
+      | Some s ->
+          S89_exec.Supervise.protect s ~key:p.Program.name (fun () ->
+              Analysis.of_proc p)
+    in
+    match work () with
     | a -> Ok a
     (* a malformed S89_FAULTS is a configuration error, not a
        per-procedure failure: degrading it would repeat the same
@@ -71,8 +92,15 @@ let create ?(strict = false) ?pool (prog : Program.t) : t =
   let diags = ref [] in
   Array.iteri
     (fun i r ->
+      let name = procs.(i).Program.name in
+      (match journal with
+      | None -> ()
+      | Some j -> (
+          match r with
+          | Ok _ -> j (Printf.sprintf "ana %s ok" name)
+          | Error d -> j (Printf.sprintf "ana %s failed %s" name d.Diag.code)));
       match r with
-      | Ok a -> Hashtbl.replace analyses procs.(i).Program.name a
+      | Ok a -> Hashtbl.replace analyses name a
       | Error d ->
           Log.warn (fun m -> m "%a" Diag.pp d);
           diags := d :: !diags)
@@ -81,15 +109,16 @@ let create ?(strict = false) ?pool (prog : Program.t) : t =
 
 let diagnostics t = t.diags
 
-let of_source ?strict ?pool src = create ?strict ?pool (Program.of_source src)
+let of_source ?strict ?pool ?supervisor ?journal src =
+  create ?strict ?pool ?supervisor ?journal (Program.of_source src)
 
 (* frontend + analysis under one Result: a frontend failure is the single
    error; analysis failures degrade per procedure as in [create] *)
-let of_source_result ?strict ?pool src : (t, Diag.t) result =
+let of_source_result ?strict ?pool ?supervisor ?journal src : (t, Diag.t) result =
   match Program.of_source_result src with
   | Error d -> Error d
   | Ok prog -> (
-      match create ?strict ?pool prog with
+      match create ?strict ?pool ?supervisor ?journal prog with
       | t -> Ok t
       | exception e ->
           (* only reachable under [~strict:true] *)
@@ -151,6 +180,20 @@ let profile_smart ?(cost_model = Cost_model.optimized) ?(runs = 1) ?(seed = 1)
     avg_cycles = float_of_int !cycles /. float_of_int runs;
     database;
   }
+
+(* one instrumented run against an existing plan, reconstructed alone —
+   the batch service journals each run's totals to its WAL, so the unit
+   of persistence is a single run, not a whole profile.  Summing the
+   per-run totals equals profiling all runs at once (linearity). *)
+let profile_run ?(cost_model = Cost_model.optimized) ~plan ~seed t :
+    (string, (Analysis.cond, int) Hashtbl.t) Hashtbl.t =
+  let config =
+    { Interp.default_config with cost_model; instr = Placement.probes plan; seed }
+  in
+  let vm = Interp.create ~config t.prog in
+  ignore (Interp.run vm);
+  let counters = Array.sub (Interp.counters vm) 0 (Placement.n_counters plan) in
+  Reconstruct.totals plan ~counters
 
 (* ---------------- estimation ---------------- *)
 

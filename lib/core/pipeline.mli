@@ -26,20 +26,46 @@ type t = {
     in {!diags} — the remaining procedures are still analyzed and the
     estimator treats the skipped procedure's calls as opaque.
     [~strict:true] restores fail-fast behaviour: the first analysis
-    failure propagates as its original exception. *)
-val create : ?strict:bool -> ?pool:S89_exec.Pool.t -> Program.t -> t
+    failure propagates as its original exception.
+
+    [?supervisor] wraps each procedure's analysis in
+    {!S89_exec.Supervise.protect}: transient failures restart with
+    deterministic backoff, and a procedure whose circuit is open
+    (repeated failures, or pre-tripped from a resumed batch's journal)
+    is suppressed with an [SRV002] diagnostic and degrades like any
+    other analysis failure.  [?journal] is invoked once per procedure on
+    the calling domain, in procedure order, with ["ana <proc> ok"] or
+    ["ana <proc> failed <CODE>"]. *)
+val create :
+  ?strict:bool ->
+  ?pool:S89_exec.Pool.t ->
+  ?supervisor:S89_exec.Supervise.t ->
+  ?journal:(string -> unit) ->
+  Program.t ->
+  t
 
 (** The per-procedure diagnostics collected by {!create}. *)
 val diagnostics : t -> Diag.t list
 
 (** Parse, analyze, lower and build the analyses from MF77 source. *)
-val of_source : ?strict:bool -> ?pool:S89_exec.Pool.t -> string -> t
+val of_source :
+  ?strict:bool ->
+  ?pool:S89_exec.Pool.t ->
+  ?supervisor:S89_exec.Supervise.t ->
+  ?journal:(string -> unit) ->
+  string ->
+  t
 
 (** Like {!of_source} but frontend failures come back as a structured
     diagnostic instead of an exception (analysis failures still degrade
     per procedure unless [~strict:true]). *)
 val of_source_result :
-  ?strict:bool -> ?pool:S89_exec.Pool.t -> string -> (t, Diag.t) result
+  ?strict:bool ->
+  ?pool:S89_exec.Pool.t ->
+  ?supervisor:S89_exec.Supervise.t ->
+  ?journal:(string -> unit) ->
+  string ->
+  (t, Diag.t) result
 
 (** One uninstrumented VM run (its oracle counts serve as exact totals). *)
 val run_once : ?cost_model:Cost_model.t -> ?seed:int -> t -> Interp.t
@@ -66,6 +92,17 @@ val profile_smart :
   ?second_moments:bool ->
   t ->
   profile
+
+(** One instrumented run against an existing [plan], reconstructed alone
+    — the persistence unit of the batch service's WAL.  By linearity,
+    accumulating per-run totals over seeds [s..s+n-1] equals
+    [profile_smart ~runs:n ~seed:s]. *)
+val profile_run :
+  ?cost_model:Cost_model.t ->
+  plan:Placement.t ->
+  seed:int ->
+  t ->
+  (string, (Analysis.cond, int) Hashtbl.t) Hashtbl.t
 
 (** Estimate from a smart profile.  When [use_second_moments] (default
     true) the profiled E[F²] feeds [VAR(FREQ)] for the tracked loops. *)

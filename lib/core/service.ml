@@ -1,0 +1,281 @@
+(* Batch/daemon service layer: checkpointed profiling batches over the
+   crash-safe store, and a spool-directory daemon driving them.
+
+   A batch profiles one program [runs] times with seeds
+   [seed .. seed+runs-1], appending each completed run's totals to the
+   store's WAL as it finishes.  The completed-run count IS the
+   checkpoint: a killed batch restarted with [~resume:true] picks up at
+   seed [seed + Store.runs] and, because run totals are integers and all
+   the conservation laws are linear, produces byte-identical estimates
+   to an uninterrupted batch.
+
+   Batch metadata ([source-fnv], [base-seed], [runs]) is persisted on
+   the first open and validated on resume — resuming with a different
+   program or seed would silently blend incompatible profiles (DB004).
+   Resuming is explicit: opening a non-empty store without [~resume:true]
+   is refused (DB005).
+
+   Per-procedure analysis is wrapped in a {!S89_exec.Supervise}
+   supervisor (restart-with-backoff + circuit breaker) and journaled to
+   the store; a resumed batch pre-trips the breaker for procedures its
+   journal recorded as failed, so they degrade to the opaque-callee path
+   identically instead of being retried into a different result. *)
+
+module Supervise = S89_exec.Supervise
+module Store = S89_store.Store
+module Database = S89_profiling.Database
+module Placement = S89_profiling.Placement
+module Cost_model = S89_vm.Cost_model
+module Diag = S89_diag.Diag
+
+let log_src = Logs.Src.create "s89.service" ~doc:"batch/daemon service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type progress = { completed : int; total : int }
+
+type outcome =
+  | Completed of { runs : int; report : string }
+  | Interrupted of progress
+
+(* ---------------- batch ---------------- *)
+
+let source_fnv source = Printf.sprintf "%016Lx" (Database.fnv64 source)
+
+(* validate (or install) the batch metadata; [Error DB004/DB005] when the
+   store belongs to a different batch or resume was not requested *)
+let check_meta store ~resume ~source ~seed ~runs : (unit, Diag.t) result =
+  let fresh = Store.runs store = 0 && Store.meta store = [] in
+  if fresh then begin
+    Store.set_meta store
+      [ ("source-fnv", source_fnv source); ("base-seed", string_of_int seed);
+        ("runs", string_of_int runs) ];
+    Ok ()
+  end
+  else if not resume then
+    Error
+      (Diag.errorf ~code:"DB005"
+         ~hint:"pass --resume to continue it, or use a fresh directory"
+         "store already holds a batch (%d of %s runs done)" (Store.runs store)
+         (Option.value ~default:"?" (Store.meta_find store "runs")))
+  else
+    let mismatch key actual =
+      match Store.meta_find store key with
+      | Some v when v <> actual -> Some (key, v, actual)
+      | _ -> None
+    in
+    match
+      List.filter_map Fun.id
+        [ mismatch "source-fnv" (source_fnv source);
+          mismatch "base-seed" (string_of_int seed);
+          mismatch "runs" (string_of_int runs) ]
+    with
+    | [] -> Ok ()
+    | (key, stored, given) :: _ ->
+        Error
+          (Diag.errorf ~code:"DB004"
+             ~hint:"resume must use the original program, seed and run count"
+             "batch mismatch on %s: store has %s, command line implies %s" key
+             stored given)
+
+(* procedures the journal recorded as failed in an earlier attempt *)
+let journaled_failures store =
+  List.filter_map
+    (fun ev ->
+      match String.split_on_char ' ' ev with
+      | [ "ana"; proc; "failed"; _code ] -> Some proc
+      | _ -> None)
+    (Store.events store)
+
+let log_event = function
+  | Supervise.Restarted { key; attempt; delay; error } ->
+      Log.warn (fun m ->
+          m "[SRV004] restarting %s (attempt %d) in %.4fs after: %s" key attempt
+            delay error)
+  | Supervise.Tripped { key; failures } ->
+      Log.warn (fun m ->
+          m "[SRV002] circuit opened for %s after %d consecutive failures" key
+            failures)
+  | Supervise.Rejected_open { key } ->
+      Log.info (fun m -> m "[SRV002] %s rejected: circuit open" key)
+  | Supervise.Wedged { index; seconds } ->
+      Log.warn (fun m ->
+          m "[SRV003] item %d ran %.2fs past its heartbeat deadline" index seconds)
+
+let render_report ~cost_model pipe db =
+  let est =
+    Pipeline.estimate_totals ~cost_model pipe ~totals:(Database.proc_totals db)
+  in
+  Fmt.str "%a" Report.pp est
+
+let batch ?(policy = Supervise.default_policy) ?(on_event = log_event)
+    ?(fsync = true) ?(compact_threshold = 64)
+    ?(cost_model = Cost_model.optimized) ?(should_stop = fun () -> false)
+    ?export ~resume ~runs ~seed ~dir source : (outcome, Diag.t) result =
+  if runs <= 0 then Error (Diag.error ~code:"CLI001" "runs must be positive")
+  else
+    let store = Store.open_ ~fsync ~compact_threshold ~dir () in
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    List.iter (fun d -> Log.warn (fun m -> m "%a" Diag.pp d)) (Store.recovery_diags store);
+    match check_meta store ~resume ~source ~seed ~runs with
+    | Error d -> Error d
+    | Ok () -> (
+        let supervisor = Supervise.create ~policy ~on_event () in
+        List.iter
+          (fun proc -> Supervise.trip supervisor ~key:proc)
+          (journaled_failures store);
+        match
+          Pipeline.of_source_result ~supervisor
+            ~journal:(Store.append_event store) source
+        with
+        | Error d -> Error d
+        | Ok pipe ->
+            let plan = Placement.plan ~second_moments:true pipe.Pipeline.analyses in
+            let stopped = ref false in
+            (try
+               for r = Store.runs store to runs - 1 do
+                 if should_stop () then begin
+                   stopped := true;
+                   raise Exit
+                 end;
+                 let totals =
+                   Pipeline.profile_run ~cost_model ~plan ~seed:(seed + r) pipe
+                 in
+                 Store.append_run store ~seed:(seed + r) totals
+               done
+             with Exit -> ());
+            if !stopped then begin
+              (* the WAL is already durable; just report where we are *)
+              Log.info (fun m ->
+                  m "[SRV001] interrupted after %d/%d runs; WAL flushed"
+                    (Store.runs store) runs);
+              Ok (Interrupted { completed = Store.runs store; total = runs })
+            end
+            else begin
+              Store.compact store;
+              Option.iter (Store.export store) export;
+              let report =
+                render_report ~cost_model pipe (Store.database store)
+              in
+              Ok (Completed { runs = Store.runs store; report })
+            end)
+
+(* ---------------- serve ---------------- *)
+
+(* One job = one MF77 source file dropped into the spool directory.  A
+   processed job moves to [spool/done/] (or [spool/failed/] with a
+   [.err] next to it); its report and store live under
+   [store_root/<job>/].  Jobs always run with [~resume:true], so a
+   daemon killed mid-job finishes that job's batch on restart. *)
+
+type serve_stats = { jobs_done : int; jobs_failed : int }
+
+let job_name file = Filename.remove_extension (Filename.basename file)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let spool_jobs spool =
+  let files = try Sys.readdir spool with Sys_error _ -> [||] in
+  Array.to_list files
+  |> List.filter (fun f ->
+         String.length f > 0
+         && f.[0] <> '.'
+         && not (Sys.is_directory (Filename.concat spool f)))
+  |> List.sort compare
+
+let serve ?policy ?(fsync = true) ?(cost_model = Cost_model.optimized)
+    ?(poll_interval = 0.2) ?max_jobs ?(idle_exit = false)
+    ?(should_stop = fun () -> false) ~runs ~seed ~spool ~store_root () :
+    serve_stats =
+  mkdir_p spool;
+  mkdir_p (Filename.concat spool "done");
+  mkdir_p (Filename.concat spool "failed");
+  mkdir_p store_root;
+  let stats = ref { jobs_done = 0; jobs_failed = 0 } in
+  let budget_left () =
+    match max_jobs with
+    | Some n -> !stats.jobs_done + !stats.jobs_failed < n
+    | None -> true
+  in
+  let finish file ~ok =
+    let dest = Filename.concat spool (if ok then "done" else "failed") in
+    Sys.rename (Filename.concat spool file) (Filename.concat dest file)
+  in
+  let process file =
+    let name = job_name file in
+    let dir = Filename.concat store_root name in
+    Log.info (fun m -> m "job %s: profiling %d runs into %s" name runs dir);
+    match
+      batch ?policy ~fsync ~cost_model ~should_stop ~resume:true ~runs ~seed
+        ~dir
+        (read_file (Filename.concat spool file))
+    with
+    | Ok (Completed { runs; report }) ->
+        write_file (Filename.concat store_root (name ^ ".report")) report;
+        finish file ~ok:true;
+        stats := { !stats with jobs_done = !stats.jobs_done + 1 };
+        Log.info (fun m -> m "job %s: completed (%d runs)" name runs)
+    | Ok (Interrupted { completed; total }) ->
+        (* graceful shutdown mid-job: leave the job spooled; the next
+           serve resumes it from the checkpoint *)
+        Log.info (fun m ->
+            m "[SRV001] job %s interrupted at %d/%d runs; will resume" name
+              completed total)
+    | Error d ->
+        write_file
+          (Filename.concat store_root (name ^ ".err"))
+          (Diag.to_string d ^ "\n");
+        finish file ~ok:false;
+        stats := { !stats with jobs_failed = !stats.jobs_failed + 1 };
+        Log.warn (fun m -> m "job %s: %a" name Diag.pp d)
+    | exception e ->
+        (* a crash in one job must not take the daemon down *)
+        write_file
+          (Filename.concat store_root (name ^ ".err"))
+          (Printexc.to_string e ^ "\n");
+        finish file ~ok:false;
+        stats := { !stats with jobs_failed = !stats.jobs_failed + 1 };
+        Log.err (fun m -> m "job %s: %s" name (Printexc.to_string e))
+  in
+  let running = ref true in
+  while !running do
+    if should_stop () || not (budget_left ()) then running := false
+    else
+      match spool_jobs spool with
+      | [] ->
+          if idle_exit then running := false
+          else
+            (* sleep in short slices so a signal is honoured promptly *)
+            let slice = Float.min poll_interval 0.05 in
+            let rec nap left =
+              if left > 0.0 && not (should_stop ()) then begin
+                (try Unix.sleepf (Float.min slice left)
+                 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                nap (left -. slice)
+              end
+            in
+            nap poll_interval
+      | jobs ->
+          List.iter
+            (fun file ->
+              if (not (should_stop ())) && budget_left () then process file)
+            jobs
+  done;
+  !stats

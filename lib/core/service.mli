@@ -1,0 +1,75 @@
+(** Checkpointed profiling batches over the crash-safe {!S89_store.Store}
+    and a spool-directory daemon driving them.  The completed-run count
+    in the store is the checkpoint: a killed batch restarted with
+    [~resume:true] continues at seed [base + completed] and produces
+    byte-identical estimates to an uninterrupted batch (run totals are
+    integers; the conservation laws are linear). *)
+
+module Supervise = S89_exec.Supervise
+module Cost_model = S89_vm.Cost_model
+module Diag = S89_diag.Diag
+
+type progress = { completed : int; total : int }
+
+type outcome =
+  | Completed of { runs : int; report : string }
+      (** all runs accumulated; [report] is the Figure-3 style estimate *)
+  | Interrupted of progress
+      (** [should_stop] fired; the WAL already holds every completed run *)
+
+(** [batch ~resume ~runs ~seed ~dir source] profiles [source] [runs]
+    times (seeds [seed..seed+runs-1]) into the store at [dir], appending
+    each completed run to the WAL, then compacts and reports.
+
+    Batch metadata ([source-fnv], [base-seed], [runs]) is persisted on
+    first open and validated on resume: a non-empty store without
+    [~resume:true] is refused ([DB005]); a resume whose program, seed or
+    run count differs from the store's is refused ([DB004]).
+
+    Per-procedure analysis runs under a {!Supervise} supervisor and is
+    journaled to the store; a resumed batch pre-trips the circuit
+    breaker for procedures journaled as failed so they degrade
+    identically instead of being retried into a different result.
+
+    [should_stop] is polled between runs — graceful shutdown returns
+    [Interrupted] with everything already durable. *)
+val batch :
+  ?policy:Supervise.policy ->
+  ?on_event:(Supervise.event -> unit) ->
+  ?fsync:bool ->
+  ?compact_threshold:int ->
+  ?cost_model:Cost_model.t ->
+  ?should_stop:(unit -> bool) ->
+  ?export:string ->
+  resume:bool ->
+  runs:int ->
+  seed:int ->
+  dir:string ->
+  string ->
+  (outcome, Diag.t) result
+
+type serve_stats = { jobs_done : int; jobs_failed : int }
+
+(** [serve ~runs ~seed ~spool ~store_root ()] — spool-directory daemon:
+    each non-hidden file in [spool] is one MF77 job, processed in name
+    order with {!batch} (always [~resume:true], so a daemon killed
+    mid-job finishes the job's batch on restart).  Completed jobs move
+    to [spool/done/] with their report at [store_root/<job>.report];
+    failed jobs move to [spool/failed/] with a [.err].  Polls every
+    [poll_interval] seconds until [should_stop] fires, [max_jobs] jobs
+    are processed, or — with [~idle_exit:true] (tests) — the spool is
+    empty. *)
+val serve :
+  ?policy:Supervise.policy ->
+  ?fsync:bool ->
+  ?cost_model:Cost_model.t ->
+  ?poll_interval:float ->
+  ?max_jobs:int ->
+  ?idle_exit:bool ->
+  ?should_stop:(unit -> bool) ->
+  runs:int ->
+  seed:int ->
+  spool:string ->
+  store_root:string ->
+  unit ->
+  serve_stats

@@ -37,7 +37,7 @@ val is_error : t -> bool
 
 (** CLI exit codes per code family: 2 usage/IO ([IO]/[DB]/[CLI]),
     3 parse/sema/lowering ([LEX]/[PAR]/[SEM]/[LOW]), 4 analysis/estimation
-    ([ANA]/[EST]), 5 runtime ([RUN]/[FLT]). *)
+    ([ANA]/[EST]), 5 runtime/service ([RUN]/[FLT]/[SRV]). *)
 val exit_code : t -> int
 
 val exit_io : int

@@ -1,0 +1,213 @@
+(* Supervision over the work pool: restart-with-backoff, circuit
+   breaking, and heartbeat deadlines.
+
+   The pool (PR 3/4) already keeps results deterministic and absorbs its
+   own injected faults; this layer adds the service-grade policies on
+   top:
+
+   - [protect] runs one keyed piece of work and, on failure, restarts it
+     up to [max_restarts] times with exponential backoff.  The backoff
+     delays carry DETERMINISTIC jitter: the jitter draws come from the
+     same (seed, site, key, attempt) decision stream as fault injection
+     ([Fault.uniform] on the [Backoff] site), so a supervised run under
+     [S89_FAULTS] replays the exact same schedule every time;
+   - a per-key CIRCUIT BREAKER counts protect-level failures (i.e.
+     failures that survived all restarts); at [breaker_threshold] the
+     key's circuit opens and further work for it fails fast with
+     [Circuit_open] instead of burning retries.  The pipeline maps an
+     open circuit to its ANA003 opaque-callee degradation path, and a
+     resumed batch pre-trips the keys its journal recorded as failed;
+   - [map] is a heartbeat-supervised [Pool.mapi]: every item stamps a
+     heartbeat when it starts and the monitor domain reports items still
+     running past [heartbeat_deadline] as wedged.  OCaml domains cannot
+     be killed, so a wedged item is REPORTED (and bounded by the VM's
+     fuel/cycle guards, which guarantee eventual termination) rather
+     than cancelled; faulted items are restarted via [protect].
+
+   Events are plain variants (no diagnostics dependency); service layers
+   convert them to SRV diagnostics at their boundary. *)
+
+module Fault = S89_util.Fault
+
+type policy = {
+  max_restarts : int;
+  base_backoff : float;
+  max_backoff : float;
+  jitter : float;
+  breaker_threshold : int;
+  heartbeat_deadline : float;
+  seed : int;
+}
+
+let default_policy =
+  { max_restarts = 2; base_backoff = 0.001; max_backoff = 0.05; jitter = 0.1;
+    breaker_threshold = 3; heartbeat_deadline = 1.0; seed = 1 }
+
+type event =
+  | Restarted of { key : string; attempt : int; delay : float; error : string }
+  | Tripped of { key : string; failures : int }
+  | Rejected_open of { key : string }
+  | Wedged of { index : int; seconds : float }
+
+exception Circuit_open of string
+
+type t = {
+  policy : policy;
+  on_event : event -> unit;
+  mu : Mutex.t;
+  failures : (string, int) Hashtbl.t; (* consecutive protect-level failures *)
+  tripped : (string, unit) Hashtbl.t;
+}
+
+let create ?(policy = default_policy) ?(on_event = fun _ -> ()) () =
+  if policy.max_restarts < 0 then
+    invalid_arg "Supervise.create: max_restarts must be >= 0";
+  if policy.breaker_threshold <= 0 then
+    invalid_arg "Supervise.create: breaker_threshold must be positive";
+  { policy; on_event; mu = Mutex.create (); failures = Hashtbl.create 16;
+    tripped = Hashtbl.create 16 }
+
+let policy t = t.policy
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* the jitter stream: the active S89_FAULTS spec if any (so chaos runs
+   replay their schedules), else a spec synthesized from the policy seed *)
+let jitter_spec policy =
+  match Fault.active () with Some sp -> sp | None -> Fault.with_seed policy.seed
+
+let backoff_schedule policy ~key =
+  let sp = jitter_spec policy in
+  List.init policy.max_restarts (fun attempt ->
+      let base = policy.base_backoff *. (2.0 ** float_of_int attempt) in
+      let d = Float.min policy.max_backoff base in
+      d *. (1.0 +. policy.jitter *. Fault.uniform sp Fault.Backoff ~key ~attempt))
+
+let breaker_open t ~key = locked t (fun () -> Hashtbl.mem t.tripped key)
+
+let trip t ~key =
+  locked t (fun () ->
+      Hashtbl.replace t.failures key t.policy.breaker_threshold;
+      Hashtbl.replace t.tripped key ())
+
+let failure_count t ~key =
+  locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.failures key))
+
+(* a success closes the key's accounting; a failure bumps it and may trip
+   the breaker — the [Tripped] event fires exactly once per opening *)
+let record t ~key ok =
+  let tripped_now =
+    locked t (fun () ->
+        if ok then begin
+          Hashtbl.remove t.failures key;
+          Hashtbl.remove t.tripped key;
+          None
+        end
+        else begin
+          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.failures key) in
+          Hashtbl.replace t.failures key n;
+          if n >= t.policy.breaker_threshold && not (Hashtbl.mem t.tripped key)
+          then begin
+            Hashtbl.replace t.tripped key ();
+            Some n
+          end
+          else None
+        end)
+  in
+  match tripped_now with
+  | Some n -> t.on_event (Tripped { key; failures = n })
+  | None -> ()
+
+let protect t ~key f =
+  if breaker_open t ~key then begin
+    t.on_event (Rejected_open { key });
+    raise (Circuit_open key)
+  end;
+  let schedule = backoff_schedule t.policy ~key:(Fault.string_key key) in
+  let rec go attempt delays =
+    match f () with
+    | v ->
+        record t ~key true;
+        v
+    (* a malformed fault spec is a configuration error, never a
+       transient worker failure: restarting it would loop on the same
+       [Bad_spec] and hide the typo *)
+    | exception (Fault.Bad_spec _ as e) -> raise e
+    | exception e -> (
+        match delays with
+        | delay :: rest ->
+            t.on_event
+              (Restarted { key; attempt; delay; error = Printexc.to_string e });
+            if delay > 0.0 then Unix.sleepf delay;
+            go (attempt + 1) rest
+        | [] ->
+            record t ~key false;
+            raise e)
+  in
+  go 0 schedule
+
+(* ---------------- heartbeats ---------------- *)
+
+module Heartbeat = struct
+  (* per-item start stamp; nan = not running.  Written by worker domains,
+     read by the monitor — [Atomic.t] makes the publication well-defined. *)
+  type hb = float Atomic.t array
+
+  let create n = Array.init n (fun _ -> Atomic.make Float.nan)
+  let start (hb : hb) i now = Atomic.set hb.(i) now
+  let stop (hb : hb) i = Atomic.set hb.(i) Float.nan
+
+  let stale (hb : hb) ~now ~deadline =
+    let out = ref [] in
+    for i = Array.length hb - 1 downto 0 do
+      let t0 = Atomic.get hb.(i) in
+      if (not (Float.is_nan t0)) && now -. t0 > deadline then
+        out := (i, now -. t0) :: !out
+    done;
+    !out
+end
+
+type wedged_report = (int * float) list
+
+let map t pool f arr =
+  let n = Array.length arr in
+  let hb = Heartbeat.create n in
+  (* max observed overrun per item; written only by the monitor domain,
+     read after its join *)
+  let overrun = Array.make n 0.0 in
+  let finished = Atomic.make false in
+  let monitor =
+    Domain.spawn (fun () ->
+        let deadline = t.policy.heartbeat_deadline in
+        let tick = Float.min 0.01 (Float.max 1e-4 (deadline /. 4.0)) in
+        while not (Atomic.get finished) do
+          Unix.sleepf tick;
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun (i, age) ->
+              let over = age -. deadline in
+              if over > overrun.(i) then overrun.(i) <- over)
+            (Heartbeat.stale hb ~now ~deadline)
+        done)
+  in
+  let g i x =
+    Heartbeat.start hb i (Unix.gettimeofday ());
+    Fun.protect
+      ~finally:(fun () -> Heartbeat.stop hb i)
+      (fun () -> protect t ~key:(string_of_int i) (fun () -> f i x))
+  in
+  let results =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set finished true;
+        Domain.join monitor)
+      (fun () -> Pool.mapi pool g arr)
+  in
+  let wedged = ref [] in
+  for i = n - 1 downto 0 do
+    if overrun.(i) > 0.0 then wedged := (i, overrun.(i)) :: !wedged
+  done;
+  List.iter (fun (index, seconds) -> t.on_event (Wedged { index; seconds })) !wedged;
+  (results, !wedged)

@@ -1,0 +1,80 @@
+(** Supervision over the work pool: restart-with-backoff (deterministic
+    jitter from the {!S89_util.Fault} decision stream), a per-key circuit
+    breaker, and heartbeat deadlines that report wedged items.  Events
+    are plain variants; service layers convert them to SRV diagnostics
+    at their boundary. *)
+
+type policy = {
+  max_restarts : int;  (** restarts granted beyond the first attempt *)
+  base_backoff : float;  (** seconds before restart 0; doubles per restart *)
+  max_backoff : float;  (** backoff ceiling, seconds *)
+  jitter : float;  (** fractional jitter, e.g. [0.1] = up to +10% *)
+  breaker_threshold : int;
+      (** consecutive protect-level failures before a key's circuit opens *)
+  heartbeat_deadline : float;
+      (** seconds an item may run without finishing before it is
+          reported as wedged *)
+  seed : int;  (** jitter stream seed when no [S89_FAULTS] spec is active *)
+}
+
+(** 2 restarts, 1ms base / 50ms max backoff, 10% jitter, breaker at 3,
+    1s heartbeat deadline. *)
+val default_policy : policy
+
+type event =
+  | Restarted of { key : string; attempt : int; delay : float; error : string }
+      (** a keyed piece of work failed and will be retried after [delay] *)
+  | Tripped of { key : string; failures : int }
+      (** the key's circuit opened (fires once per opening) *)
+  | Rejected_open of { key : string }
+      (** work was rejected because the key's circuit is open *)
+  | Wedged of { index : int; seconds : float }
+      (** a {!map} item ran [seconds] past the heartbeat deadline *)
+
+(** Raised by {!protect} (without running the work) when the key's
+    circuit is open. *)
+exception Circuit_open of string
+
+type t
+
+(** Raises [Invalid_argument] for a negative [max_restarts] or a
+    non-positive [breaker_threshold]. *)
+val create : ?policy:policy -> ?on_event:(event -> unit) -> unit -> t
+
+val policy : t -> policy
+
+(** The deterministic backoff schedule for a key: delay of restart [a] is
+    [min max_backoff (base_backoff · 2{^a}) · (1 + jitter · u)] with [u]
+    drawn from the (seed, Backoff, key, a) fault decision stream — the
+    active [S89_FAULTS] spec's seed if one is set, else [policy.seed].
+    Pure: same policy, same spec, same key ⟹ same schedule. *)
+val backoff_schedule : policy -> key:int -> float list
+
+(** [protect t ~key f] — run [f], restarting it per the backoff schedule
+    on exceptions ([Fault.Bad_spec] excepted: configuration errors are
+    never retried).  A failure that survives all restarts is recorded
+    against [key]'s breaker and re-raised; a success resets the key.
+    Raises {!Circuit_open} immediately when the key's circuit is open. *)
+val protect : t -> key:string -> (unit -> 'a) -> 'a
+
+(** Open [key]'s circuit without running anything — used by a resumed
+    batch to pre-trip the procedures its journal recorded as failed. *)
+val trip : t -> key:string -> unit
+
+val breaker_open : t -> key:string -> bool
+
+(** Consecutive recorded failures for a key (0 after a success). *)
+val failure_count : t -> key:string -> int
+
+(** Items of a supervised {!map} that ran past the heartbeat deadline:
+    [(index, seconds over deadline)], ascending by index. *)
+type wedged_report = (int * float) list
+
+(** [map t pool f arr] — heartbeat-supervised [Pool.mapi]: each item is
+    wrapped in {!protect} (keyed by its index) and stamps heartbeats a
+    monitor domain watches; items still running past
+    [policy.heartbeat_deadline] are reported as wedged (domains cannot be
+    killed — pair with the VM's fuel/cycle guards for termination).
+    Results stay input-ordered and deterministic; the wedged report is
+    timing-dependent and advisory. *)
+val map : t -> Pool.t -> (int -> 'a -> 'b) -> 'a array -> 'b array * wedged_report

@@ -42,12 +42,19 @@ let accumulate t (per_proc : (string, (cond, int) Hashtbl.t) Hashtbl.t) =
     per_proc
 
 (* accumulated totals of one procedure, for feeding Freq.compute; since
-   FREQ only uses ratios, sums over runs work directly (§3) *)
+   FREQ only uses ratios, sums over runs work directly (§3).  Entries are
+   inserted in sorted key order so the result's iteration order does not
+   depend on how [t.sums] was populated (snapshot replay vs live
+   accumulation) — byte-identical estimates across resumes rely on it. *)
 let proc_totals t proc : (cond, int) Hashtbl.t =
+  let entries =
+    Hashtbl.fold
+      (fun (p, cond) v acc -> if p = proc then (cond, v) :: acc else acc)
+      t.sums []
+    |> List.sort compare
+  in
   let out = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun (p, cond) v -> if p = proc then Hashtbl.replace out cond v)
-    t.sums;
+  List.iter (fun (cond, v) -> Hashtbl.replace out cond v) entries;
   out
 
 let merge ~into:(a : t) (b : t) =
@@ -76,7 +83,7 @@ let fnv64 (s : string) : int64 =
 
 let label_to_db = Label.to_string
 
-let label_of_db s : Label.t option =
+let label_of_string s : Label.t option =
   match s with
   | "T" -> Some Label.T
   | "F" -> Some Label.F
@@ -91,7 +98,9 @@ let label_of_db s : Label.t option =
       | Some _ as r -> r
       | None -> tagged 'Z' (fun i -> Label.Pseudo i))
 
-let save t path =
+(* the full v2 file image, checksum line included — [save] writes exactly
+   this, and the WAL store uses it as its atomic snapshot encoding *)
+let to_string t =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "%s %d\n" magic format_version;
   Printf.bprintf buf "run-count %d\n" t.runs;
@@ -103,7 +112,10 @@ let save t path =
       Printf.bprintf buf "total %s %d %s %d\n" proc node (label_to_db label) v)
     entries;
   let body = Buffer.contents buf in
-  let full = body ^ Printf.sprintf "checksum %016Lx\n" (fnv64 body) in
+  body ^ Printf.sprintf "checksum %016Lx\n" (fnv64 body)
+
+let save t path =
+  let full = to_string t in
   (* fault injection: simulate a writer dying mid-write (the checksum is
      what lets [load] catch the resulting half-file) *)
   let full =
@@ -128,7 +140,7 @@ let parse_row t lineno line : (unit, int * string) result =
           Ok ()
       | _ -> Error (lineno, "bad run-count: " ^ n))
   | [ "total"; proc; node; label; v ] -> (
-      match (int_of_string_opt node, label_of_db label, int_of_string_opt v) with
+      match (int_of_string_opt node, label_of_string label, int_of_string_opt v) with
       | Some node, Some label, Some v ->
           Hashtbl.replace t.sums (proc, (node, label)) v;
           Ok ()

@@ -33,6 +33,18 @@ exception Load_error of { line : int; msg : string }
     preceding bytes) that lets {!load} detect truncation/corruption. *)
 val save : t -> string -> unit
 
+(** The exact byte image {!save} writes (checksum line included) —
+    deterministic ([total] rows sorted), used by the WAL store as its
+    snapshot encoding. *)
+val to_string : t -> string
+
+(** Parse one database label token ({!S89_cfg.Label.to_string} form) —
+    shared with the WAL store's record rows. *)
+val label_of_string : string -> S89_cfg.Label.t option
+
+(** FNV-1a/64 of a string, as used by the trailing [checksum] line. *)
+val fnv64 : string -> int64
+
 (** Load a database written by {!save} (or the header-less version-1
     format, which has no checksum).  Raises {!Load_error} on unreadable,
     truncated, corrupt or malformed input; [~repair:true] never raises on

@@ -1,0 +1,308 @@
+(* Crash-safe profile store: epoch'd snapshots + a write-ahead log.
+
+   Layout of a store directory:
+
+       snapshot-<epoch>.db   the profile database folded up to the start
+                             of the epoch, in the Database v2 text format
+                             (checksummed, human-inspectable)
+       wal-<epoch>.log       checksummed records appended since then
+
+   Record payloads (one [Wal] record each):
+
+       meta\n<key> <value>...      batch metadata (source digest, seed, runs)
+       run <seed>\ntotal <proc> <node> <label> <v>...
+                                   one completed profiling run's totals
+       event <text>                a journal line (e.g. per-procedure
+                                   analysis completions)
+
+   Crash-safety invariants:
+
+   - every completed [append_run]/[append_event]/[set_meta] is durable
+     (fsync'd) before it returns; a kill mid-append leaves a torn tail
+     that recovery drops, losing at most the in-flight record;
+   - compaction commits by ATOMIC RENAME of the new snapshot: the new
+     epoch's WAL (carrying the metadata and journal forward) is written
+     BEFORE the rename, so whichever side of the commit point a crash
+     lands on, recovery sees one consistent (snapshot, wal) pair and no
+     run is ever replayed twice or lost;
+   - recovery picks the highest-epoch snapshot that validates (a corrupt
+     one is reported and skipped), replays its WAL's valid prefix on top,
+     and deletes stale files from older epochs.
+
+   The merged in-memory view is a plain [Database.t]; estimates read it
+   through [Database.proc_totals], which is iteration-order deterministic,
+   so a resumed batch reproduces an uninterrupted run byte-for-byte. *)
+
+module Database = S89_profiling.Database
+module Diag = S89_diag.Diag
+
+type cond = Database.cond
+
+exception Corrupt of string
+
+let corruptf fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+type t = {
+  dir : string;
+  fsync : bool;
+  compact_threshold : int;
+  db : Database.t; (* merged view: snapshot + replayed WAL *)
+  mutable epoch : int;
+  mutable wal : Wal.t;
+  mutable wal_runs : int; (* run records in the current WAL *)
+  mutable meta : (string * string) list;
+  mutable events : string list; (* journal, oldest first, deduplicated *)
+  mutable diags : Diag.t list; (* recovery diagnostics, oldest first *)
+}
+
+let snapshot_path dir epoch = Filename.concat dir (Printf.sprintf "snapshot-%06d.db" epoch)
+let wal_path dir epoch = Filename.concat dir (Printf.sprintf "wal-%06d.log" epoch)
+
+(* ---------------- record payloads ---------------- *)
+
+let run_payload ~seed (totals : (string, (cond, int) Hashtbl.t) Hashtbl.t) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "run %d" seed;
+  let rows =
+    Hashtbl.fold
+      (fun proc tbl acc ->
+        Hashtbl.fold (fun cond v acc -> (proc, cond, v) :: acc) tbl acc)
+      totals []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (proc, (node, label), v) ->
+      Printf.bprintf buf "\ntotal %s %d %s %d" proc node
+        (S89_cfg.Label.to_string label) v)
+    rows;
+  Buffer.contents buf
+
+let meta_payload kvs =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "meta";
+  List.iter (fun (k, v) -> Printf.bprintf buf "\n%s %s" k v) kvs;
+  Buffer.contents buf
+
+let event_payload text = "event " ^ text
+
+(* parse one checksum-valid record into the store state; a record that
+   passes its checksum but does not parse indicates a format mismatch,
+   which is a hard [Corrupt] (recovery already dropped torn tails) *)
+let replay t payload =
+  match String.split_on_char '\n' payload with
+  | first :: rest when String.length first >= 4 && String.sub first 0 4 = "run " -> (
+      match int_of_string_opt (String.sub first 4 (String.length first - 4)) with
+      | None -> corruptf "bad run record header: %s" first
+      | Some _seed ->
+          let per_proc : (string, (cond, int) Hashtbl.t) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          List.iter
+            (fun line ->
+              match String.split_on_char ' ' line with
+              | [ "total"; proc; node; label; v ] -> (
+                  match
+                    ( int_of_string_opt node,
+                      Database.label_of_string label,
+                      int_of_string_opt v )
+                  with
+                  | Some node, Some label, Some v ->
+                      let tbl =
+                        match Hashtbl.find_opt per_proc proc with
+                        | Some tbl -> tbl
+                        | None ->
+                            let tbl = Hashtbl.create 16 in
+                            Hashtbl.replace per_proc proc tbl;
+                            tbl
+                      in
+                      Hashtbl.replace tbl (node, label) v
+                  | _ -> corruptf "bad total row in run record: %s" line)
+              | _ -> corruptf "unrecognized line in run record: %s" line)
+            rest;
+          Database.accumulate t.db per_proc;
+          t.wal_runs <- t.wal_runs + 1)
+  | [ "meta" ] -> ()
+  | "meta" :: kvs ->
+      List.iter
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some i ->
+              let k = String.sub line 0 i in
+              let v = String.sub line (i + 1) (String.length line - i - 1) in
+              t.meta <- (k, v) :: List.remove_assoc k t.meta
+          | None -> corruptf "bad meta line: %s" line)
+        kvs
+  | [ line ] when String.length line >= 6 && String.sub line 0 6 = "event " ->
+      let text = String.sub line 6 (String.length line - 6) in
+      if not (List.mem text t.events) then t.events <- t.events @ [ text ]
+  | _ -> corruptf "unrecognized record: %s" (String.escaped payload)
+
+(* ---------------- opening / recovery ---------------- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(* (epoch, path) pairs for files matching prefix..suffix, newest first *)
+let scan dir ~prefix ~suffix =
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list files
+  |> List.filter_map (fun f ->
+         let pl = String.length prefix and sl = String.length suffix in
+         if
+           String.length f = pl + 6 + sl
+           && String.sub f 0 pl = prefix
+           && String.sub f (String.length f - sl) sl = suffix
+         then
+           Option.map
+             (fun e -> (e, Filename.concat dir f))
+             (int_of_string_opt (String.sub f pl 6))
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let open_ ?(fsync = true) ?(compact_threshold = 64) ~dir () =
+  mkdir_p dir;
+  let snaps = scan dir ~prefix:"snapshot-" ~suffix:".db" in
+  let wals = scan dir ~prefix:"wal-" ~suffix:".log" in
+  let db = Database.create () in
+  let diags = ref [] in
+  (* highest-epoch snapshot that validates; corrupt ones are skipped
+     (atomic rename makes them near-impossible, but a disk can bit-rot) *)
+  let epoch =
+    let rec pick = function
+      | [] -> None
+      | (e, path) :: rest -> (
+          match Database.load path with
+          | snap ->
+              Database.merge ~into:db snap;
+              Some e
+          | exception Database.Load_error { line; msg } ->
+              diags :=
+                Diag.warningf ~code:"DB003" ~line
+                  ~hint:"falling back to the previous snapshot" "corrupt snapshot %s: %s"
+                  path msg
+                :: !diags;
+              pick rest)
+    in
+    match pick snaps with
+    | Some e -> e
+    | None -> (
+        (* no committed snapshot: the OLDEST WAL is authoritative — a
+           higher-epoch WAL without its snapshot is an uncommitted
+           compaction (the crash window between writing the new WAL and
+           the atomic rename) and must be discarded, not replayed *)
+        match List.rev wals with
+        | (e, _) :: _ -> e
+        | [] -> 0)
+  in
+  let wal, recovery = Wal.open_ ~fsync (wal_path dir epoch) in
+  if recovery.Wal.dropped_bytes > 0 then
+    diags :=
+      Diag.warningf ~code:"DB002"
+        ~hint:"a writer died mid-append; completed records are intact"
+        "dropped %d bytes of torn WAL tail (%d records recovered)"
+        recovery.Wal.dropped_bytes
+        (List.length recovery.Wal.payloads)
+      :: !diags;
+  let t =
+    { dir; fsync; compact_threshold; db; epoch; wal; wal_runs = 0; meta = [];
+      events = []; diags = [] }
+  in
+  List.iter (replay t) recovery.Wal.payloads;
+  (* stale files from other epochs (interrupted compactions), plus any
+     half-written snapshot temp files left by a crash before rename *)
+  List.iter
+    (fun (e, path) ->
+      if e <> epoch then try Sys.remove path with Sys_error _ -> ())
+    (snaps @ wals);
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  t.diags <- List.rev !diags;
+  t
+
+let database t = t.db
+let runs t = Database.runs t.db
+let meta t = t.meta
+let meta_find t key = List.assoc_opt key t.meta
+let events t = t.events
+let recovery_diags t = t.diags
+let epoch t = t.epoch
+let wal_records t = Wal.records t.wal
+
+(* ---------------- appending ---------------- *)
+
+let append_event t text =
+  if String.contains text '\n' then invalid_arg "Store.append_event: newline";
+  if not (List.mem text t.events) then begin
+    Wal.append t.wal (event_payload text);
+    t.events <- t.events @ [ text ]
+  end
+
+let set_meta t kvs =
+  List.iter
+    (fun (k, v) ->
+      if String.contains k ' ' || String.contains k '\n' then
+        invalid_arg "Store.set_meta: key with space/newline";
+      if String.contains v '\n' then invalid_arg "Store.set_meta: value with newline")
+    kvs;
+  Wal.append t.wal (meta_payload kvs);
+  List.iter (fun (k, v) -> t.meta <- (k, v) :: List.remove_assoc k t.meta) kvs
+
+(* ---------------- compaction ---------------- *)
+
+let write_atomic ~fsync path content =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let b = Bytes.unsafe_of_string content in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done;
+  if fsync then Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp path;
+  if fsync then begin
+    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | dirfd ->
+        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+        Unix.close dirfd
+  end
+
+let compact t =
+  let next = t.epoch + 1 in
+  (* the new epoch's WAL first, carrying metadata + journal forward — if
+     we crash before the rename below, recovery stays on the old epoch
+     and deletes this file as stale *)
+  (try Sys.remove (wal_path t.dir next) with Sys_error _ -> ());
+  let new_wal, _ = Wal.open_ ~fsync:t.fsync (wal_path t.dir next) in
+  if t.meta <> [] then Wal.append new_wal (meta_payload t.meta);
+  List.iter (fun ev -> Wal.append new_wal (event_payload ev)) t.events;
+  (* commit point: atomic rename of the snapshot *)
+  write_atomic ~fsync:t.fsync (snapshot_path t.dir next) (Database.to_string t.db);
+  (* the old epoch's files are now stale *)
+  Wal.close t.wal;
+  (try Sys.remove (wal_path t.dir t.epoch) with Sys_error _ -> ());
+  (try Sys.remove (snapshot_path t.dir t.epoch) with Sys_error _ -> ());
+  t.wal <- new_wal;
+  t.epoch <- next;
+  t.wal_runs <- 0
+
+let append_run t ~seed totals =
+  Wal.append t.wal (run_payload ~seed totals);
+  Database.accumulate t.db totals;
+  t.wal_runs <- t.wal_runs + 1;
+  if t.wal_runs >= t.compact_threshold then compact t
+
+let export t path = write_atomic ~fsync:t.fsync path (Database.to_string t.db)
+
+let close t = Wal.close t.wal

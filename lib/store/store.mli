@@ -1,0 +1,67 @@
+(** Crash-safe profile store: epoch'd {!S89_profiling.Database} v2
+    snapshots plus a checksummed write-ahead log ({!Wal}).  Every
+    completed append is durable before it returns; compaction commits by
+    atomic rename; recovery replays the WAL's valid prefix on top of the
+    newest valid snapshot — a kill at any byte loses at most the
+    in-flight record and never corrupts or double-counts the database. *)
+
+module Database = S89_profiling.Database
+module Diag = S89_diag.Diag
+
+type cond = Database.cond
+
+(** A checksum-valid record whose contents do not parse (format
+    mismatch, not a torn write — those are dropped by recovery). *)
+exception Corrupt of string
+
+type t
+
+(** Open (creating the directory if needed) and recover.  Appends are
+    fsync'd unless [~fsync:false] (tests, benchmarks).  A WAL that
+    accumulates [compact_threshold] run records is compacted
+    automatically. *)
+val open_ : ?fsync:bool -> ?compact_threshold:int -> dir:string -> unit -> t
+
+(** The merged view (snapshot + replayed WAL).  Shares structure with the
+    store: do not mutate. *)
+val database : t -> Database.t
+
+(** Accumulated profiling runs (snapshot + WAL). *)
+val runs : t -> int
+
+(** Batch metadata, last write per key wins. *)
+val meta : t -> (string * string) list
+
+val meta_find : t -> string -> string option
+
+(** Merge metadata keys (durable: appended as a WAL record). *)
+val set_meta : t -> (string * string) list -> unit
+
+(** Journal lines (e.g. per-procedure analysis completions), oldest
+    first, deduplicated.  Carried across compactions. *)
+val events : t -> string list
+
+(** Append one journal line (durable; no-op if already present). *)
+val append_event : t -> string -> unit
+
+(** What recovery had to report: [DB002] (torn WAL tail dropped),
+    [DB003] (corrupt snapshot skipped). *)
+val recovery_diags : t -> Diag.t list
+
+val epoch : t -> int
+
+(** Records in the current WAL (all kinds). *)
+val wal_records : t -> int
+
+(** Append one completed profiling run's per-procedure totals (durable
+    before returning).  Triggers compaction at [compact_threshold]. *)
+val append_run : t -> seed:int -> (string, (cond, int) Hashtbl.t) Hashtbl.t -> unit
+
+(** Fold the WAL into a fresh snapshot (atomic) and start a new epoch,
+    carrying metadata and journal forward. *)
+val compact : t -> unit
+
+(** Write the merged database to [path] atomically (Database v2 format). *)
+val export : t -> string -> unit
+
+val close : t -> unit

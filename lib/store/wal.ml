@@ -1,0 +1,132 @@
+(* Write-ahead log: an append-only file of checksummed records.
+
+   Framing (binary-safe, self-delimiting):
+
+       rec <payload-bytes> <fnv64-hex-of-payload>\n
+       <payload bytes>\n
+
+   Appends are durable — each record is written in one [write] and, with
+   [~fsync:true] (the default), fsync'd before [append] returns.  A
+   writer can die at any byte: recovery scans records from the start and
+   stops at the first framing violation, short payload, or checksum
+   mismatch, keeping exactly the VALID PREFIX of records.  [open_]
+   truncates the file to that prefix so later appends never land after a
+   torn tail.
+
+   The seeded fault injector ([S89_FAULTS=wal_torn:P]) simulates the
+   mid-append crash: [append] writes half the record's bytes and raises
+   [Fault.Injected], leaving the torn tail for recovery to drop. *)
+
+module Fault = S89_util.Fault
+
+let fnv64 (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let frame payload =
+  Printf.sprintf "rec %d %016Lx\n%s\n" (String.length payload) (fnv64 payload)
+    payload
+
+(* ---------------- recovery ---------------- *)
+
+type recovery = {
+  payloads : string list;  (* the valid prefix, in append order *)
+  valid_bytes : int;  (* file offset just past the last valid record *)
+  dropped_bytes : int;  (* torn/corrupt tail length *)
+}
+
+let recover_string (s : string) : recovery =
+  let n = String.length s in
+  let payloads = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok do
+    match String.index_from_opt s !pos '\n' with
+    | None -> ok := false
+    | Some nl -> (
+        let header = String.sub s !pos (nl - !pos) in
+        match String.split_on_char ' ' header with
+        | [ "rec"; len; hex ] -> (
+            match int_of_string_opt len with
+            | Some len when len >= 0 && nl + 1 + len + 1 <= n ->
+                let payload = String.sub s (nl + 1) len in
+                if
+                  s.[nl + 1 + len] = '\n'
+                  && String.lowercase_ascii hex
+                     = Printf.sprintf "%016Lx" (fnv64 payload)
+                then begin
+                  payloads := payload :: !payloads;
+                  pos := nl + 1 + len + 1
+                end
+                else ok := false
+            | _ -> ok := false)
+        | _ -> ok := false)
+  done;
+  { payloads = List.rev !payloads; valid_bytes = !pos; dropped_bytes = n - !pos }
+
+let read_whole path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      Some (really_input_string ic (in_channel_length ic))
+
+let recover path =
+  match read_whole path with
+  | None -> { payloads = []; valid_bytes = 0; dropped_bytes = 0 }
+  | Some s -> recover_string s
+
+(* ---------------- appending ---------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fsync : bool;
+  mutable records : int; (* records in the file, recovered + appended *)
+  mutable closed : bool;
+}
+
+let open_ ?(fsync = true) path =
+  let r = recover path in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  (* drop the torn tail so appends continue the valid prefix *)
+  Unix.ftruncate fd r.valid_bytes;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  if fsync && r.dropped_bytes > 0 then Unix.fsync fd;
+  ({ path; fd; fsync; records = List.length r.payloads; closed = false }, r)
+
+let write_all fd (s : string) =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let append t payload =
+  if t.closed then invalid_arg "Wal.append: closed";
+  let record = frame payload in
+  (* fault injection: die mid-write, leaving a torn tail for recovery *)
+  (match Fault.active () with
+  | Some sp when Fault.fires sp Fault.Wal_torn ~key:t.records ~attempt:0 ->
+      write_all t.fd (String.sub record 0 (String.length record / 2));
+      if t.fsync then Unix.fsync t.fd;
+      raise (Fault.Injected (Fault.injected_msg Fault.Wal_torn ~key:t.records))
+  | _ -> ());
+  write_all t.fd record;
+  if t.fsync then Unix.fsync t.fd;
+  t.records <- t.records + 1
+
+let records t = t.records
+let path t = t.path
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try if t.fsync then Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    Unix.close t.fd
+  end

@@ -9,6 +9,7 @@
    - slow_item:P[@SECS] pool/chunked items sleep SECS (default 1ms) with prob. P
    - analysis_raise:P   per-procedure analysis raises [Injected] with prob. P
    - db_truncate:P      Database.save writes a truncated file with prob. P
+   - wal_torn:P         Wal.append writes a torn half-record, then dies
    - seed:N             base seed of the decision stream (default 1)
 
    Decisions are PURE FUNCTIONS of (seed, site, key, attempt): whether
@@ -21,7 +22,7 @@
    Analysis, Database) act on the decisions (sleep, raise, truncate), so
    the module stays dependency-free. *)
 
-type site = Worker_raise | Slow_item | Analysis_raise | Db_truncate
+type site = Worker_raise | Slow_item | Analysis_raise | Db_truncate | Wal_torn | Backoff
 
 exception Injected of string
 exception Bad_spec of string
@@ -33,13 +34,18 @@ type spec = {
   slow_seconds : float;
   analysis_raise : float;
   db_truncate : float;
+  wal_torn : float;
 }
 
 let default_slow_seconds = 0.001
 
 let empty =
   { seed = 1; worker_raise = 0.0; slow_item = 0.0;
-    slow_seconds = default_slow_seconds; analysis_raise = 0.0; db_truncate = 0.0 }
+    slow_seconds = default_slow_seconds; analysis_raise = 0.0; db_truncate = 0.0;
+    wal_torn = 0.0 }
+
+let with_seed seed = { empty with seed }
+let seed spec = spec.seed
 
 (* ---------------- parsing ---------------- *)
 
@@ -78,6 +84,10 @@ let parse s =
             | "db_truncate" -> (
                 match prob_of v with
                 | Ok p -> go { spec with db_truncate = p } rest
+                | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
+            | "wal_torn" -> (
+                match prob_of v with
+                | Ok p -> go { spec with wal_torn = p } rest
                 | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
             | "slow_item" -> (
                 (* optional @SECS suffix: slow_item:0.1@0.02 *)
@@ -146,6 +156,8 @@ let site_tag = function
   | Slow_item -> 0x534cL
   | Analysis_raise -> 0x414eL
   | Db_truncate -> 0x4442L
+  | Wal_torn -> 0x574cL
+  | Backoff -> 0x424fL
 
 let uniform spec site ~key ~attempt =
   let h = Int64.of_int spec.seed in
@@ -160,6 +172,10 @@ let prob spec = function
   | Slow_item -> spec.slow_item
   | Analysis_raise -> spec.analysis_raise
   | Db_truncate -> spec.db_truncate
+  | Wal_torn -> spec.wal_torn
+  (* [Backoff] never fires by itself: its decision stream is only sampled
+     via [uniform] for deterministic backoff jitter *)
+  | Backoff -> 0.0
 
 let fires spec site ~key ~attempt =
   let p = prob spec site in
@@ -186,7 +202,9 @@ let injected_msg site ~key =
     | Worker_raise -> "worker_raise"
     | Slow_item -> "slow_item"
     | Analysis_raise -> "analysis_raise"
-    | Db_truncate -> "db_truncate")
+    | Db_truncate -> "db_truncate"
+    | Wal_torn -> "wal_torn"
+    | Backoff -> "backoff")
     key
 
 let is_injected = function Injected _ -> true | _ -> false

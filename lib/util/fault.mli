@@ -12,6 +12,10 @@ type site =
   | Slow_item  (** pool/chunked item sleeps {!slow_seconds} *)
   | Analysis_raise  (** per-procedure analysis raises {!Injected} *)
   | Db_truncate  (** [Database.save] writes a truncated file *)
+  | Wal_torn  (** [Wal.append] writes a torn half-record, then dies *)
+  | Backoff
+      (** never fires; its decision stream is sampled via {!uniform} for
+          deterministic supervision backoff jitter *)
 
 (** The exception injection points raise.  Recognizable (see
     {!is_injected}) so resilient layers can absorb it. *)
@@ -28,6 +32,14 @@ type spec
 (** The no-faults spec (all probabilities 0); parse-result base. *)
 val empty : spec
 
+(** {!empty} with the given decision-stream seed — lets layers that only
+    need the deterministic decision stream (e.g. supervision backoff
+    jitter) build a spec without any fault probabilities. *)
+val with_seed : int -> spec
+
+(** The spec's decision-stream seed. *)
+val seed : spec -> int
+
 (** Parse an [S89_FAULTS] string. *)
 val parse : string -> (spec, string) result
 
@@ -43,6 +55,12 @@ val with_spec : spec option -> (unit -> 'a) -> 'a
 
 (** Does [site] fire for [key] on retry [attempt]?  Deterministic. *)
 val fires : spec -> site -> key:int -> attempt:int -> bool
+
+(** The underlying uniform draw in [0, 1) behind {!fires} — a pure
+    function of (seed, site, key, attempt).  Exposed so other
+    deterministic schedules (supervision backoff jitter) can share the
+    decision stream. *)
+val uniform : spec -> site -> key:int -> attempt:int -> float
 
 (** The configured probability of a site. *)
 val prob : spec -> site -> float

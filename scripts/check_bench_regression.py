@@ -13,6 +13,10 @@ Additionally, any ``guards/*`` entry in the current file (the PR-4
 ``--guard-threshold`` (default 2%): guarded execution is required to be
 free on the hot path.
 
+Malformed input (missing file, invalid JSON, a bench entry whose field is
+not numeric) is reported as a one-line error with exit status 2 — never a
+traceback — so CI logs point at the broken file, not at this script.
+
 Usage: check_bench_regression.py CURRENT.json [BASELINE.json]
        [--tolerance 0.2] [--guard-threshold 0.02]
 """
@@ -22,28 +26,46 @@ import json
 import sys
 
 
+class BenchInputError(Exception):
+    """A bench JSON file that cannot be interpreted."""
+
+
 def load_entries(path):
-    with open(path) as f:
-        data = json.load(f)
-    return data.get("benchmarks", [])
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise BenchInputError(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise BenchInputError(f"{path} is not valid JSON: {e}")
+    if not isinstance(data, dict) or not isinstance(data.get("benchmarks"), list):
+        raise BenchInputError(
+            f"{path}: expected a JSON object with a 'benchmarks' array")
+    return data["benchmarks"]
+
+
+def load_field(path, prefix, field):
+    out = {}
+    for row in load_entries(path):
+        if not isinstance(row, dict):
+            raise BenchInputError(f"{path}: non-object entry in 'benchmarks'")
+        name = row.get("name", "")
+        if name.startswith(prefix) and field in row:
+            try:
+                out[name] = float(row[field])
+            except (TypeError, ValueError):
+                raise BenchInputError(
+                    f"{path}: entry {name!r} has non-numeric {field}: "
+                    f"{row[field]!r}")
+    return out
 
 
 def load_speedups(path):
-    out = {}
-    for row in load_entries(path):
-        name = row.get("name", "")
-        if name.startswith("table1/") and "speedup_vs_tree" in row:
-            out[name] = float(row["speedup_vs_tree"])
-    return out
+    return load_field(path, "table1/", "speedup_vs_tree")
 
 
 def load_guard_overheads(path):
-    out = {}
-    for row in load_entries(path):
-        name = row.get("name", "")
-        if name.startswith("guards/") and "guard_overhead" in row:
-            out[name] = float(row["guard_overhead"])
-    return out
+    return load_field(path, "guards/", "guard_overhead")
 
 
 def main():
@@ -56,8 +78,13 @@ def main():
                     help="max allowed guards/* guard_overhead (default 0.02)")
     args = ap.parse_args()
 
-    current = load_speedups(args.current)
-    baseline = load_speedups(args.baseline)
+    try:
+        current = load_speedups(args.current)
+        baseline = load_speedups(args.baseline)
+        guard_overheads = load_guard_overheads(args.current)
+    except BenchInputError as e:
+        print(f"error: {e}")
+        return 2
     if not baseline:
         print(f"error: no table1 speedup_vs_tree entries in {args.baseline}")
         return 2
@@ -68,7 +95,11 @@ def main():
     failed = False
     for name, base in sorted(baseline.items()):
         if name not in current:
-            print(f"warn: {name} missing from {args.current}")
+            # a silently vanished bench target would hide any regression in
+            # it forever, so absence is itself a failure
+            print(f"MISSING    {name}: in baseline {args.baseline} but not "
+                  f"in {args.current}")
+            failed = True
             continue
         cur = current[name]
         floor = base * (1.0 - args.tolerance)
@@ -80,7 +111,7 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"note: {name} not in baseline (new entry)")
 
-    for name, overhead in sorted(load_guard_overheads(args.current).items()):
+    for name, overhead in sorted(guard_overheads.items()):
         ok = overhead <= args.guard_threshold
         status = "ok" if ok else "REGRESSION"
         print(f"{status:10s} {name}: guard overhead {overhead * 100:+.2f}% "

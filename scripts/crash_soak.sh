@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Crash-recovery soak for `ptranc batch`.
+#
+# Builds a reference run (no crash), then for each of $POINTS seeded kill
+# points: starts a fault-injected batch over the same workload, SIGKILLs it
+# at a deterministic delay, resumes with `--resume`, and asserts that
+#   * the resumed batch exits 0,
+#   * the exported profile database is byte-identical to the reference,
+#   * the printed estimates are identical to the reference report
+#     (modulo the trailer line that names the per-point store directory).
+# Any mismatch copies the surviving store (snapshot + WAL) into
+# $ARTIFACTS/ for post-mortem and fails the job.
+#
+# Tunables (env): POINTS (kill points, default 20), RUNS (profiled runs,
+# default 120), SEED (base VM seed, default 7), SOAK_FAULTS (S89_FAULTS
+# spec injected into the killed attempt only, default wal_torn:0.01,seed:3),
+# ARTIFACTS (default soak-artifacts).
+
+set -u
+
+POINTS="${POINTS:-20}"
+RUNS="${RUNS:-120}"
+SEED="${SEED:-7}"
+SOAK_FAULTS="${SOAK_FAULTS:-wal_torn:0.01,seed:3}"
+ARTIFACTS="${ARTIFACTS:-soak-artifacts}"
+
+say() { printf 'soak: %s\n' "$*"; }
+die() { printf 'soak: FATAL: %s\n' "$*" >&2; exit 1; }
+
+command -v dune >/dev/null || die "dune not on PATH"
+dune build bin/ptranc.exe || die "build failed"
+BIN="$(pwd)/_build/default/bin/ptranc.exe"
+[ -x "$BIN" ] || die "missing $BIN"
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/crash-soak.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+SRC="$WORK/loops.f"
+"$BIN" demo loops > "$SRC" || die "could not emit demo source"
+
+# Reference: one uninterrupted batch. Everything else must match it.
+say "reference batch: $RUNS runs, seed $SEED"
+"$BIN" batch --dir "$WORK/ref-store" --runs "$RUNS" --seed "$SEED" \
+    --export "$WORK/ref.db" "$SRC" > "$WORK/ref.report" 2>&1 \
+    || { cat "$WORK/ref.report"; die "reference batch failed"; }
+grep -v '^batch complete:' "$WORK/ref.report" > "$WORK/ref.estimates"
+
+failures=0
+for k in $(seq 0 $((POINTS - 1))); do
+    # Deterministic kill delay, spread across the batch's lifetime.
+    delay=$(awk -v k="$k" 'BEGIN { printf "%.3f", 0.05 + k * 0.14 }')
+    dir="$WORK/store-$k"
+
+    # Fault-injected first attempt, SIGKILLed at the seeded point.  The
+    # kill may land after completion for late points; the resume below is
+    # then a durability/idempotency check rather than a recovery one.
+    ( S89_FAULTS="$SOAK_FAULTS" timeout -s KILL "$delay" \
+        "$BIN" batch --dir "$dir" --runs "$RUNS" --seed "$SEED" "$SRC"; \
+      exit $? ) > "$WORK/kill-$k.log" 2>&1
+    first_rc=$?
+
+    # Clean resume: must finish the batch and reproduce the reference.
+    "$BIN" batch --dir "$dir" --resume --runs "$RUNS" --seed "$SEED" \
+        --export "$WORK/out-$k.db" "$SRC" > "$WORK/resume-$k.log" 2>&1
+    rc=$?
+
+    point_ok=1
+    if [ "$rc" -ne 0 ]; then
+        say "point $k (kill@${delay}s, first rc=$first_rc): resume exited $rc"
+        point_ok=0
+    elif ! cmp -s "$WORK/out-$k.db" "$WORK/ref.db"; then
+        say "point $k (kill@${delay}s): exported database differs from reference"
+        point_ok=0
+    else
+        grep -v '^batch complete:' "$WORK/resume-$k.log" > "$WORK/out-$k.estimates"
+        if ! diff -q "$WORK/ref.estimates" "$WORK/out-$k.estimates" >/dev/null; then
+            say "point $k (kill@${delay}s): estimates differ from reference"
+            point_ok=0
+        fi
+    fi
+
+    if [ "$point_ok" -eq 1 ]; then
+        say "point $k (kill@${delay}s, first rc=$first_rc): ok"
+    else
+        failures=$((failures + 1))
+        mkdir -p "$ARTIFACTS/point-$k"
+        cp -r "$dir" "$ARTIFACTS/point-$k/store" 2>/dev/null
+        cp "$WORK/kill-$k.log" "$WORK/resume-$k.log" "$WORK/out-$k.db" \
+           "$ARTIFACTS/point-$k/" 2>/dev/null
+        diff "$WORK/ref.estimates" "$WORK/out-$k.estimates" \
+            > "$ARTIFACTS/point-$k/estimates.diff" 2>&1
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    cp "$WORK/ref.db" "$WORK/ref.report" "$ARTIFACTS/" 2>/dev/null
+    die "$failures of $POINTS kill points diverged; artifacts in $ARTIFACTS/"
+fi
+say "all $POINTS kill points recovered byte-identical estimates"

@@ -14,5 +14,6 @@ let () =
       ("core", Test_core.suite);
       ("sched", Test_sched.suite);
       ("robustness", Test_robustness.suite);
+      ("store", Test_store.suite);
       ("workloads", Test_workloads.suite);
     ]
