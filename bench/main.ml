@@ -48,9 +48,10 @@ let section title =
    emits them by hand (no JSON library in the image). *)
 
 let timed f =
-  (* settle the heap first so a run never pays major-GC debt left by the
-     previous (possibly much more allocation-heavy) measurement *)
-  Gc.full_major ();
+  (* settle the heap first so a run never pays major-GC debt (or works
+     against a fragmented free list) left by the previous — possibly much
+     more allocation-heavy — measurement *)
+  Gc.compact ();
   let a0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -84,10 +85,16 @@ let timed_pair ~reps f g =
   done;
   ((rf, !wf, af), (rg, !wg, ag))
 
-type json_field = Num of float | Int of int
+type json_field = Num of float | Int of int | Str of string
 
 let json_entries : (string * (string * json_field) list) list ref = ref []
-let record name fields = json_entries := (name, fields) :: !json_entries
+
+(* every row carries the VM backend that produced its headline number
+   ("none" for rows that never run the VM, "all" for cross-backend
+   comparisons) and the bytes allocated by that measurement *)
+let record ?(backend = "compiled") ?(alloc = Float.nan) name fields =
+  let fields = if Float.is_nan alloc then fields else ("alloc_bytes", Num alloc) :: fields in
+  json_entries := (name, ("backend", Str backend) :: fields) :: !json_entries
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -103,6 +110,7 @@ let json_escape s =
 
 let json_value = function
   | Int i -> string_of_int i
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
   | Num x ->
       if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
       else Printf.sprintf "%.6g" x
@@ -145,14 +153,15 @@ let table1 () =
      (paper, IBM 3090 CPU seconds, opt ON: LOOPS 0.05/0.06/0.08, SIMPLE \
      3.8/4.2/4.4)\n\
      (ours: simulated cycles on the cost-model VM; wall seconds in parens;\n\
-     last column: wall-clock speedup of the compiled backend over the tree\n\
-     walker on the uninstrumented run)";
+     last columns: wall-clock speedup of the compiled backend over the tree\n\
+     walker, and of the bytecode backend over the compiled one, on the\n\
+     uninstrumented run)";
   let programs =
     [ ("LOOPS", S89_workloads.Livermore.source);
       ("SIMPLE", S89_workloads.Simple_code.source ()) ]
   in
-  Fmt.pr "@.%-8s %-8s %20s %28s %28s %10s@." "Program" "Compiler" "Original"
-    "Smart profiling" "Naive profiling" "vs tree";
+  Fmt.pr "@.%-8s %-8s %20s %28s %28s %10s %10s@." "Program" "Compiler"
+    "Original" "Smart profiling" "Naive profiling" "vs tree" "bc/comp";
   List.iter
     (fun (name, src) ->
       let base = Program.of_source src in
@@ -177,11 +186,46 @@ let table1 () =
           let c1 = Interp.cycles vm1 in
           let vm2, w2, _ = run Interp.Compiled (Naive.probes naive) in
           let c2 = Interp.cycles vm2 in
+          (* bytecode backend: interleaved against compiled so the
+             headline ratio samples the same load profile *)
+          let (_, w0c, _), (vmb, wb, ab) =
+            timed_pair ~reps:5
+              (fun () ->
+                run_vm ~backend:Interp.Compiled ~cm ~instr:S89_vm.Probe.empty
+                  prog)
+              (fun () ->
+                run_vm ~backend:Interp.Bytecode ~cm ~instr:S89_vm.Probe.empty
+                  prog)
+          in
+          (* smart-probe overhead is ~1-2%, far below run-to-run wall
+             noise, so it too must come from an interleaved pair — and a
+             deep one: bytecode runs are milliseconds, so best-of-9 is
+             needed before a 1% delta is distinguishable from jitter *)
+          let (_, wbp, _), (vm1b, w1b, _) =
+            timed_pair ~reps:9
+              (fun () ->
+                run_vm ~backend:Interp.Bytecode ~cm ~instr:S89_vm.Probe.empty
+                  prog)
+              (fun () ->
+                run_vm ~backend:Interp.Bytecode ~cm
+                  ~instr:(Placement.probes smart) prog)
+          in
           if Interp.cycles vmt <> c0 then
             Fmt.pr "!! backend cycle mismatch on %s/%s: tree %d vs compiled %d@."
               name mode (Interp.cycles vmt) c0;
+          if Interp.cycles vmb <> c0 then
+            Fmt.pr
+              "!! backend cycle mismatch on %s/%s: bytecode %d vs compiled %d@."
+              name mode (Interp.cycles vmb) c0;
+          if Interp.cycles vm1b <> c1 then
+            Fmt.pr
+              "!! smart-profiling cycle mismatch on %s/%s: bytecode %d vs \
+               compiled %d@."
+              name mode (Interp.cycles vm1b) c1;
           let speedup = wt /. w0 in
-          record
+          let speedup_bc = w0c /. wb in
+          let probe_overhead_bc = (w1b -. wbp) /. wbp in
+          record ~backend:"all" ~alloc:a0
             (Printf.sprintf "table1/%s/%s" name mode)
             [
               ("cycles_original", Int c0);
@@ -191,14 +235,19 @@ let table1 () =
               ("wall_s_smart", Num w1);
               ("wall_s_naive", Num w2);
               ("wall_s_tree", Num wt);
+              ("wall_s_bytecode", Num wb);
+              ("wall_s_smart_bytecode", Num w1b);
               ("alloc_bytes_compiled", Num a0);
               ("alloc_bytes_tree", Num at);
+              ("alloc_bytes_bytecode", Num ab);
               ("speedup_vs_tree", Num speedup);
+              ("speedup_bytecode_vs_compiled", Num speedup_bc);
+              ("probe_overhead_bytecode", Num probe_overhead_bc);
             ];
           let pct a = 100.0 *. float_of_int (a - c0) /. float_of_int c0 in
           Fmt.pr
-            "%-8s %-8s %12d (%4.1fs) %14d +%4.1f%% (%4.1fs) %14d +%4.1f%% (%4.1fs) %8.1fx@."
-            name mode c0 w0 c1 (pct c1) w1 c2 (pct c2) w2 speedup)
+            "%-8s %-8s %12d (%4.1fs) %14d +%4.1f%% (%4.1fs) %14d +%4.1f%% (%4.1fs) %8.1fx %9.1fx@."
+            name mode c0 w0 c1 (pct c1) w1 c2 (pct c2) w2 speedup speedup_bc)
         [ ("opt-ON", opt, CM.optimized); ("opt-OFF", base, CM.unoptimized) ])
     programs;
   Fmt.pr
@@ -510,8 +559,8 @@ let scaling () =
   Fmt.pr "@.host cores (Domain.recommended_domain_count): %d%s@." host
     (if host = 1 then "  [single core: parallel rows measure pure overhead]"
      else "");
-  let row name d w_seq w_par same =
-    record
+  let row ?backend ?alloc name d w_seq w_par same =
+    record ?backend ?alloc
       (Printf.sprintf "scaling/%s/d%d" name d)
       [
         ("domains", Int d);
@@ -534,20 +583,21 @@ let scaling () =
     S89_sched.Parsim.run_avg ?map ~seeds ~n ~p ~h ~dist
       S89_sched.Chunk.Kruskal_weiss
   in
-  let st0, w_seq, _ = timed_best ~reps:3 (fun () -> run_avg ()) in
+  let st0, w_seq, a_seq = timed_best ~reps:3 (fun () -> run_avg ()) in
   List.iter
     (fun d ->
       let pool = Pool.create ~force_parallel:(d > 1) ~domains:d () in
       let st, w_par, _ =
         timed_best ~reps:3 (fun () -> run_avg ~map:(Pool.map_list pool) ())
       in
-      row "parsim.run_avg" d w_seq w_par (stats_equal st0 st))
+      row ~backend:"none" ~alloc:a_seq "parsim.run_avg" d w_seq w_par
+        (stats_equal st0 st))
     [ 1; 2; 4 ];
   (* -- 2: batch VM measurement runs via Chunked.map (KW self-chunking) -- *)
   let t = Pipeline.of_source (W.chunky ()) in
   let seeds_arr = Array.init 32 (fun s -> 1001 + s) in
   let one_run s = Interp.cycles (Pipeline.run_once ~seed:s t) in
-  let c0, w_seq, _ =
+  let c0, w_seq, a_seq =
     timed_best ~reps:3 (fun () -> Array.map one_run seeds_arr)
   in
   List.iter
@@ -556,7 +606,7 @@ let scaling () =
       let c, w_par, _ =
         timed_best ~reps:3 (fun () -> Chunked.map pool one_run seeds_arr)
       in
-      row "vm.batch-runs" d w_seq w_par (c = c0))
+      row ~alloc:a_seq "vm.batch-runs" d w_seq w_par (c = c0))
     [ 1; 2; 4 ];
   (* -- 3: per-procedure analysis pipelines (LOOPS + SIMPLE) -- *)
   let progs =
@@ -580,12 +630,13 @@ let scaling () =
              ta true)
       a b
   in
-  let a0, w_seq, _ = timed_best ~reps:3 (fun () -> analyze None) in
+  let a0, w_seq, a_seq = timed_best ~reps:3 (fun () -> analyze None) in
   List.iter
     (fun d ->
       let pool = Pool.create ~force_parallel:(d > 1) ~domains:d () in
       let a, w_par, _ = timed_best ~reps:3 (fun () -> analyze (Some pool)) in
-      row "analysis.pipeline" d w_seq w_par (same_analyses a0 a))
+      row ~backend:"none" ~alloc:a_seq "analysis.pipeline" d w_seq w_par
+        (same_analyses a0 a))
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
@@ -635,7 +686,7 @@ let guards () =
          and take the ratio of the two SUMS — drift and spikes then hit
          numerator and denominator alike and cancel in the ratio *)
       let vm0 = run_def () and vm1 = run_lim () in
-      let _, t_once, _ = timed run_def in
+      let _, t_once, a_def = timed run_def in
       let pairs = max 16 (int_of_float (Float.ceil (4.0 /. t_once))) in
       (* keep the pair count even so the two orders are balanced *)
       let pairs = pairs + (pairs land 1) in
@@ -673,7 +724,7 @@ let guards () =
         Fmt.pr "!! cycle mismatch on %s: default %d vs limited %d@." name
           (Interp.cycles vm0) (Interp.cycles vm1);
       let overhead = ratio -. 1.0 in
-      record
+      record ~alloc:a_def
         (Printf.sprintf "guards/%s" name)
         [
           ("wall_s_default", Num w_def);
@@ -750,7 +801,7 @@ let wal_bench () =
   let n = 20_000 in
   let payload i = Printf.sprintf "run %d\ntotal MAIN 1 T %d\ntotal MAIN 4 F %d" i i (i * 7) in
   let path = Filename.concat dir "bench.log" in
-  let _, w_append, _ =
+  let _, w_append, a_append =
     timed (fun () ->
         let w, _ = Wal.open_ ~fsync:false path in
         for i = 0 to n - 1 do
@@ -758,7 +809,7 @@ let wal_bench () =
         done;
         Wal.close w)
   in
-  let r, w_recover, _ = timed (fun () -> Wal.recover path) in
+  let r, w_recover, a_recover = timed (fun () -> Wal.recover path) in
   Fmt.pr "@.%-34s %10d records@." "log size" n;
   Fmt.pr "%-34s %10.0f records/s  (%.2f us/record)@." "append (no fsync)"
     (float_of_int n /. w_append)
@@ -766,10 +817,10 @@ let wal_bench () =
   Fmt.pr "%-34s %10.0f records/s  (%.3f s total)@." "recovery scan"
     (float_of_int (List.length r.Wal.payloads) /. w_recover)
     w_recover;
-  record "wal/append"
+  record ~backend:"none" ~alloc:a_append "wal/append"
     [ ("records", Int n); ("wall_s", Num w_append);
       ("records_per_s", Num (float_of_int n /. w_append)) ];
-  record "wal/recover"
+  record ~backend:"none" ~alloc:a_recover "wal/recover"
     [ ("records", Int (List.length r.Wal.payloads)); ("wall_s", Num w_recover);
       ("records_per_s", Num (float_of_int (List.length r.Wal.payloads) /. w_recover)) ];
   Sys.remove path;
@@ -785,15 +836,15 @@ let wal_bench () =
   let sdir = Filename.concat dir "store" in
   let runs = 4_096 in
   let s = Store.open_ ~fsync:false ~compact_threshold:256 ~dir:sdir () in
-  let _, w_store, _ =
+  let _, w_store, a_store =
     timed (fun () ->
         for i = 0 to runs - 1 do
           Store.append_run s ~seed:i totals
         done)
   in
-  let _, w_compact, _ = timed (fun () -> Store.compact s) in
+  let _, w_compact, a_compact = timed (fun () -> Store.compact s) in
   Store.close s;
-  let _, w_reopen, _ =
+  let _, w_reopen, a_reopen =
     timed (fun () -> Store.close (Store.open_ ~fsync:false ~dir:sdir ()))
   in
   Array.iter
@@ -805,11 +856,13 @@ let wal_bench () =
     runs;
   Fmt.pr "%-34s %10.4f s@." "final compaction" w_compact;
   Fmt.pr "%-34s %10.4f s@." "recovery (open after close)" w_reopen;
-  record "wal/store_append"
+  record ~backend:"none" ~alloc:a_store "wal/store_append"
     [ ("runs", Int runs); ("wall_s", Num w_store);
       ("runs_per_s", Num (float_of_int runs /. w_store)) ];
-  record "wal/compact" [ ("wall_s", Num w_compact) ];
-  record "wal/reopen" [ ("wall_s", Num w_reopen) ]
+  record ~backend:"none" ~alloc:a_compact "wal/compact"
+    [ ("wall_s", Num w_compact) ];
+  record ~backend:"none" ~alloc:a_reopen "wal/reopen"
+    [ ("wall_s", Num w_reopen) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                          *)

@@ -119,6 +119,45 @@ let runs_arg =
 let opt_arg =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Apply the scalar optimizer first")
 
+(* Backend selection: --backend beats S89_BACKEND beats the library
+   default.  Parsed by hand (not Arg.enum) so an unknown name leaves
+   through the usual diagnostic path with a stable code (CLI002). *)
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "tree" -> Some Interp.Tree
+  | "compiled" -> Some Interp.Compiled
+  | "bytecode" -> Some Interp.Bytecode
+  | _ -> None
+
+let backend_name = function
+  | Interp.Tree -> "tree"
+  | Interp.Compiled -> "compiled"
+  | Interp.Bytecode -> "bytecode"
+
+let backend_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "backend" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: tree, compiled or bytecode (default: compiled, \
+           or the $(b,S89_BACKEND) environment variable when set)")
+
+let resolve_backend arg =
+  let parse ~source s =
+    match backend_of_string s with
+    | Some b -> b
+    | None ->
+        fail_diag
+          (Diag.errorf ~code:"CLI002" ~hint:"valid backends: tree, compiled, bytecode"
+             "unknown backend %S (from %s)" s source)
+  in
+  match arg with
+  | Some s -> parse ~source:"--backend" s
+  | None -> (
+      match Sys.getenv_opt "S89_BACKEND" with
+      | Some s -> parse ~source:"S89_BACKEND" s
+      | None -> Interp.default_config.Interp.backend)
+
 let cost_model_of_opt opt = if opt then CM.optimized else CM.unoptimized
 
 let pick_proc prog = function
@@ -213,8 +252,9 @@ let run_cmd =
       & opt (enum [ ("none", `None); ("smart", `Smart); ("naive", `Naive) ]) `None
       & info [ "instrument" ] ~docv:"KIND" ~doc:"Instrumentation: none, smart or naive")
   in
-  let run file seed optimize instr =
+  let run file seed optimize instr backend =
     guard @@ fun () ->
+    let backend = resolve_backend backend in
     let prog = maybe_optimize optimize (load_program file) in
     let cm = cost_model_of_opt optimize in
     let instr_probes, describe =
@@ -228,17 +268,19 @@ let run_cmd =
           (Naive.probes plan, Fmt.str "naive (%d counters)" (Naive.n_counters plan))
     in
     let config =
-      { Interp.default_config with cost_model = cm; seed; instr = instr_probes }
+      { Interp.default_config with cost_model = cm; seed; instr = instr_probes;
+        backend }
     in
     let vm = Interp.create ~config prog in
     let outcome = Interp.run vm in
     print_string (Interp.output vm);
-    Fmt.pr "[%s, %s, %s] cycles=%d statements=%d@."
+    Fmt.pr "[%s, %s, %s, %s] cycles=%d statements=%d@."
       (match outcome with Interp.Normal_stop -> "STOP" | Fell_off_end -> "END")
-      cm.CM.name describe (Interp.cycles vm) (Interp.steps vm)
+      cm.CM.name describe (backend_name backend) (Interp.cycles vm)
+      (Interp.steps vm)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a program on the cost-model VM")
-    Term.(const run $ file_arg $ seed_arg $ opt_arg $ instr_arg)
+    Term.(const run $ file_arg $ seed_arg $ opt_arg $ instr_arg $ backend_arg)
 
 let db_arg =
   Arg.(
@@ -246,11 +288,12 @@ let db_arg =
     & info [ "db" ] ~docv:"PATH" ~doc:"Profile database path")
 
 let profile_cmd =
-  let run file runs seed db =
+  let run file runs seed db backend =
     guard @@ fun () ->
+    let backend = resolve_backend backend in
     let prog = load_program file in
     let t = Pipeline.create prog in
-    let profile = Pipeline.profile_smart ~runs ~seed t in
+    let profile = Pipeline.profile_smart ~runs ~seed ~backend t in
     Database.save profile.Pipeline.database db;
     Fmt.pr "profiled %d runs with %d counters; database written to %s@." runs
       (Placement.n_counters profile.Pipeline.plan)
@@ -260,7 +303,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run N times with smart counters and write the accumulated database")
-    Term.(const run $ file_arg $ runs_arg $ seed_arg $ db_arg)
+    Term.(const run $ file_arg $ runs_arg $ seed_arg $ db_arg $ backend_arg)
 
 let estimate_cmd =
   let from_db_arg =
@@ -281,8 +324,9 @@ let estimate_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"PATH" ~doc:"Also write per-node estimates as CSV")
   in
-  let run file runs seed optimize from_db flat hot csv =
+  let run file runs seed optimize from_db flat hot csv backend =
     guard @@ fun () ->
+    let backend = resolve_backend backend in
     let prog = maybe_optimize optimize (load_program file) in
     let cm = cost_model_of_opt optimize in
     let t = Pipeline.create prog in
@@ -292,7 +336,7 @@ let estimate_cmd =
           let db = Database.load path in
           Pipeline.estimate_totals ~cost_model:cm t ~totals:(Database.proc_totals db)
       | None ->
-          let profile = Pipeline.profile_smart ~runs ~seed t in
+          let profile = Pipeline.profile_smart ~runs ~seed ~backend t in
           Pipeline.estimate_profiled ~cost_model:cm t profile
     in
     (match hot with
@@ -313,7 +357,7 @@ let estimate_cmd =
        ~doc:"Estimate TIME and VAR for every node, Figure-3 style")
     Term.(
       const run $ file_arg $ runs_arg $ seed_arg $ opt_arg $ from_db_arg $ flat_arg
-      $ hot_arg $ csv_arg)
+      $ hot_arg $ csv_arg $ backend_arg)
 
 let static_cmd =
   let run file optimize =

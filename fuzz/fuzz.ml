@@ -126,13 +126,30 @@ let check mode src : verdict =
           failf "analysis diagnostic on a valid program: %s" d.Diag.code
       | d :: _ -> Rejected d.Diag.code
       | [] -> (
-          (* both backends, bounded: exact agreement or same rejection *)
+          (* all three backends, bounded: exact agreement or same
+             rejection *)
           let run backend =
             let vm = Interp.create ~config:(bounded backend) prog in
             match Interp.run_result vm with
             | Ok _ -> Ok (Interp.cycles vm, Interp.steps vm, Interp.output vm)
             | Error d -> Error d.Diag.code
           in
+          (match (run Interp.Compiled, run Interp.Bytecode) with
+          | Ok (c1, s1, o1), Ok (c3, s3, o3) ->
+              if c1 <> c3 || s1 <> s3 then
+                failf
+                  "backend divergence: compiled %d cycles/%d steps, bytecode %d/%d"
+                  c1 s1 c3 s3;
+              if o1 <> o3 then
+                failf "backend divergence: bytecode PRINT output differs"
+          | Error d1, Error d3 ->
+              if d1 <> d3 then
+                failf "backend divergence: compiled rejects %s, bytecode rejects %s"
+                  d1 d3
+          | Ok _, Error d ->
+              failf "backend divergence: bytecode rejects %s, compiled runs" d
+          | Error d, Ok _ ->
+              failf "backend divergence: compiled rejects %s, bytecode runs" d);
           match (run Interp.Compiled, run Interp.Tree) with
           | Ok (c1, s1, o1), Ok (c2, s2, o2) ->
               if c1 <> c2 || s1 <> s2 then

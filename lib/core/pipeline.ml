@@ -127,8 +127,9 @@ let of_source_result ?strict ?pool ?supervisor ?journal src : (t, Diag.t) result
 (* ---------------- running ---------------- *)
 
 (* one uninstrumented run; oracle counts serve as exact totals *)
-let run_once ?(cost_model = Cost_model.optimized) ?(seed = 42) t : Interp.t =
-  let config = { Interp.default_config with cost_model; seed } in
+let run_once ?(cost_model = Cost_model.optimized) ?(seed = 42)
+    ?(backend = Interp.default_config.Interp.backend) t : Interp.t =
+  let config = { Interp.default_config with cost_model; seed; backend } in
   let vm = Interp.create ~config t.prog in
   ignore (Interp.run vm);
   vm
@@ -144,14 +145,15 @@ type profile = {
 
 (* profile with smart instrumentation over [runs] runs (seeds vary) *)
 let profile_smart ?(cost_model = Cost_model.optimized) ?(runs = 1) ?(seed = 1)
-    ?(second_moments = true) t : profile =
+    ?(second_moments = true) ?(backend = Interp.default_config.Interp.backend) t
+    : profile =
   let plan = Placement.plan ~second_moments t.analyses in
   let sums = Array.make (Placement.n_counters plan) 0 in
   let cycles = ref 0 in
   for r = 0 to runs - 1 do
     let config =
       { Interp.default_config with cost_model; instr = Placement.probes plan;
-        seed = seed + r }
+        seed = seed + r; backend }
     in
     let vm = Interp.create ~config t.prog in
     ignore (Interp.run vm);
@@ -185,10 +187,12 @@ let profile_smart ?(cost_model = Cost_model.optimized) ?(runs = 1) ?(seed = 1)
    the batch service journals each run's totals to its WAL, so the unit
    of persistence is a single run, not a whole profile.  Summing the
    per-run totals equals profiling all runs at once (linearity). *)
-let profile_run ?(cost_model = Cost_model.optimized) ~plan ~seed t :
+let profile_run ?(cost_model = Cost_model.optimized)
+    ?(backend = Interp.default_config.Interp.backend) ~plan ~seed t :
     (string, (Analysis.cond, int) Hashtbl.t) Hashtbl.t =
   let config =
-    { Interp.default_config with cost_model; instr = Placement.probes plan; seed }
+    { Interp.default_config with cost_model; instr = Placement.probes plan;
+      seed; backend }
   in
   let vm = Interp.create ~config t.prog in
   ignore (Interp.run vm);

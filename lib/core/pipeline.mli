@@ -67,8 +67,16 @@ val of_source_result :
   string ->
   (t, Diag.t) result
 
-(** One uninstrumented VM run (its oracle counts serve as exact totals). *)
-val run_once : ?cost_model:Cost_model.t -> ?seed:int -> t -> Interp.t
+(** One uninstrumented VM run (its oracle counts serve as exact totals).
+    [backend] selects the execution engine (default {!Interp.Compiled});
+    all backends are observationally identical, so results never depend
+    on the choice. *)
+val run_once :
+  ?cost_model:Cost_model.t ->
+  ?seed:int ->
+  ?backend:Interp.backend ->
+  t ->
+  Interp.t
 
 (** The result of profiling with optimized counters. *)
 type profile = {
@@ -90,6 +98,7 @@ val profile_smart :
   ?runs:int ->
   ?seed:int ->
   ?second_moments:bool ->
+  ?backend:Interp.backend ->
   t ->
   profile
 
@@ -99,6 +108,7 @@ val profile_smart :
     [profile_smart ~runs:n ~seed:s]. *)
 val profile_run :
   ?cost_model:Cost_model.t ->
+  ?backend:Interp.backend ->
   plan:Placement.t ->
   seed:int ->
   t ->

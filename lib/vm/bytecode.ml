@@ -1,0 +1,761 @@
+(* Flat register-bytecode backend: the execution engine.
+
+   Each procedure is compiled (by Emit) to one contiguous [int array] of
+   int-coded instructions plus a float constant pool.  Execution is a
+   single tail-recursive dispatch loop over the pre-resolved code array:
+   no closure calls on the hot path, no Value boxing for statically-typed
+   scalar traffic (promoted scalars live in unboxed int/float register
+   files), fused compare-and-branch superinstructions, and dedicated
+   probe opcodes that update an instrumentation counter with one array
+   bump instead of a closure wrapper.
+
+   Anything the emitter cannot prove statically falls back, per node, to
+   the closure compiled by {!Compile.compile_node} (the [FALLBACK]
+   opcode), so observational parity with the Tree and Compiled backends
+   is preserved exactly: same evaluation order, same coercions, same
+   runtime-error points and messages, same PRNG consumption, same cycle
+   and step accounting, same probe charges and same guard-trip points.
+   The differential tests in test/test_vm.ml and fuzz/fuzz.ml enforce
+   this three ways. *)
+
+module Ast = S89_frontend.Ast
+module Program = S89_frontend.Program
+open S89_cfg
+
+(* Guard exceptions live here (the lowest layer that raises them); Interp
+   re-exports them under the historical names. *)
+exception Out_of_fuel
+exception Out_of_cycles
+exception Call_depth_exceeded of int
+exception Stopped (* STOP statement unwinding *)
+
+(* ---- shared run accounting ----
+
+   One [acct] per VM instance, shared by every frame and every backend:
+   cycle/step totals, the sampling clock, and the instrumentation
+   counters with their saturation bookkeeping.  Keeping it a flat record
+   of mutable ints lets the dispatch loop update it without indirection
+   and lets nested procedure calls (including closure fallbacks that
+   re-enter the VM) see a single consistent clock. *)
+
+type acct = {
+  mutable cycles : int;
+  mutable steps : int;
+  mutable next_sample : int;
+  sample_interval : int; (* max_int = sampling off *)
+  max_steps : int;
+  max_cycles : int;
+  c_counter : int; (* cycle charge per counter update *)
+  counters : int array;
+  mutable overflowed : int list; (* saturated counters (ascending, distinct) *)
+}
+
+let make_acct ~max_steps ~max_cycles ~sample_interval ~c_counter ~n_counters =
+  let interval = match sample_interval with Some s -> s | None -> max_int in
+  {
+    cycles = 0;
+    steps = 0;
+    next_sample = interval;
+    sample_interval = interval;
+    max_steps;
+    max_cycles;
+    c_counter;
+    counters = Array.make (max n_counters 1) 0;
+    overflowed = [];
+  }
+
+(* a counter hit max_int: saturate and remember — never silent wraparound *)
+let record_overflow a c =
+  if not (List.mem c a.overflowed) then
+    a.overflowed <- List.sort compare (c :: a.overflowed)
+
+let counter_incr a c =
+  let old = a.counters.(c) in
+  if old = max_int then record_overflow a c else a.counters.(c) <- old + 1
+
+let counter_add a c v =
+  let old = a.counters.(c) in
+  let s = old + v in
+  if v > 0 && s < old then begin
+    record_overflow a c;
+    a.counters.(c) <- max_int
+  end
+  else a.counters.(c) <- s
+
+(* ---- compiled procedure representation ---- *)
+
+(* promoted-register <-> frame-cell transfer lists, split by register
+   class; parallel arrays (slot, register) to avoid tuple loads *)
+type sync = {
+  si_slot : int array;
+  si_reg : int array;
+  sf_slot : int array;
+  sf_reg : int array;
+}
+
+let empty_sync = { si_slot = [||]; si_reg = [||]; sf_slot = [||]; sf_reg = [||] }
+
+(* a node the emitter could not lower: the Compile closure, plus the
+   promoted slots it may touch and the edge-sequence pc per successor *)
+type fallback = {
+  fb_step : Env.slots -> int;
+  fb_sync : sync;
+  mutable fb_edges : int array; (* successor index -> pc of its EDGE op *)
+}
+
+(* a Bulk_add probe: charge, sync the expression's promoted reads, add *)
+type bulk = {
+  bk_counter : int;
+  bk_charge : int; (* c_counter + precomputed expression cost *)
+  bk_expr : Compile.cexpr;
+  bk_sync : sync; (* sync-in only: bulk expressions never write locals *)
+}
+
+(* an edge-probe group entry: plain increment or bulk-table reference *)
+type pact = PIncr of int | PBulk of int
+
+type proc = {
+  bp_proc : Program.proc;
+  layout : Env.layout;
+  code : int array;
+  fpool : float array;
+  entry_pc : int;
+  n_iregs : int;
+  n_fregs : int;
+  all_promoted : sync; (* every promoted slot: frame init and RET sync *)
+  names : string array; (* slot -> name, for runtime error messages *)
+  fallbacks : fallback array;
+  bulks : bulk array;
+  groups : pact array array; (* edge-probe groups *)
+  (* oracle meta, indexed by CFG node id (execs/samples) or flat edge
+     index (edge_base.(nid) + successor position) *)
+  execs : int array;
+  samples : int array;
+  edge_counts : int array;
+  edge_base : int array;
+  succ_labels : Label.t array array;
+  mutable invocations : int;
+}
+
+(* ---- opcode map (operands follow the opcode word) ----
+
+   The dispatch loop below matches on these literal values; keep the two
+   in lockstep.  Documented in docs/../DESIGN.md (bytecode format). *)
+
+let op_acct = 0 (* nid cost *)
+(* 1 and 2 were standalone EDGE/EDGEP; every edge now uses the fused
+   EDGEA/EDGEPA superinstructions below, so those slots are reserved *)
+let op_jmp = 3 (* dst *)
+let op_ret = 4
+let op_stop = 5
+let op_fallback = 6 (* fi *)
+let op_probe = 7 (* counter *)
+let op_probe_bulk = 8 (* bi *)
+let op_ldki = 9 (* rd k *)
+let op_movi = 10 (* rd ra *)
+let op_iadd = 11 (* rd ra rb *)
+let op_isub = 12 (* rd ra rb *)
+let op_imul = 13 (* rd ra rb *)
+let op_idiv = 14 (* rd ra rb *)
+let op_ineg = 15 (* rd ra *)
+let op_iaddk = 16 (* rd ra k *)
+let op_imulk = 17 (* rd ra k *)
+let op_irsubk = 18 (* rd ra k : rd <- k - ra *)
+let op_ldkf = 19 (* fd k(pool) *)
+let op_movf = 20 (* fd fa *)
+let op_fadd = 21 (* fd fa fb *)
+let op_fsub = 22 (* fd fa fb *)
+let op_fmul = 23 (* fd fa fb *)
+let op_fdiv = 24 (* fd fa fb *)
+let op_fneg = 25 (* fd fa *)
+let op_faddk = 26 (* fd fa k(pool) *)
+let op_fsubk = 27 (* fd fa k(pool) *)
+let op_fmulk = 28 (* fd fa k(pool) *)
+let op_frsubk = 29 (* fd fa k(pool) : fd <- k - fa *)
+let op_itof = 30 (* fd ra *)
+let op_ftoi = 31 (* rd fa *)
+let op_ldci = 32 (* rd slot *)
+let op_ldcf = 33 (* fd slot *)
+let op_stci = 34 (* slot ra *)
+let op_stcf = 35 (* slot fa *)
+(* array accesses carry a constant displacement per subscript register
+   (A(I+1) folds to ka = 1), applied before the bounds check; int adds
+   are exact, so this is identical to materializing the sum in a temp *)
+let op_lda1i = 36 (* rd slot d0 ra ka *)
+let op_lda1f = 37 (* fd slot d0 ra ka *)
+let op_lda2i = 38 (* rd slot d0 d1 ra rb ka kb *)
+let op_lda2f = 39 (* fd slot d0 d1 ra rb ka kb *)
+let op_aoff1 = 40 (* rd slot d0 ra ka *)
+let op_aoff2 = 41 (* rd slot d0 d1 ra rb ka kb *)
+let op_stai = 42 (* slot ro ra *)
+let op_staf = 43 (* slot ro fa *)
+
+(* fused compare-and-branch superinstructions: ra rb pcT pcF (II/FF) or
+   ra k pcT pcF (IK; k immediate) / fa k pcT pcF (FK; k is a pool index).
+   Float forms follow [Float.compare] semantics (NaN below everything,
+   NaN = NaN), exactly like the generic Value.rel path. *)
+let op_jlt_ii = 44
+let op_jle_ii = 45
+let op_jgt_ii = 46
+let op_jge_ii = 47
+let op_jeq_ii = 48
+let op_jne_ii = 49
+let op_jlt_ik = 50
+let op_jle_ik = 51
+let op_jgt_ik = 52
+let op_jge_ik = 53
+let op_jeq_ik = 54
+let op_jne_ik = 55
+let op_jlt_ff = 56
+let op_jle_ff = 57
+let op_jgt_ff = 58
+let op_jge_ff = 59
+let op_jeq_ff = 60
+let op_jne_ff = 61
+let op_jlt_fk = 62
+let op_jle_fk = 63
+let op_jgt_fk = 64
+let op_jge_fk = 65
+let op_jeq_fk = 66
+let op_jne_fk = 67
+let op_jtrip = 68 (* fa pcT pcF : DO header, int_of_float fa > 0 *)
+let op_select = 69 (* ra n pc1..pcn pcF *)
+
+(* edge-accounting superinstructions: fuse the edge bump with the
+   destination node's ACCT, since every traversal performs both
+   back-to-back.  EDGEA/EDGEPA jump to the destination's probes+body;
+   only the procedure entry still executes a standalone ACCT. *)
+let op_edgea = 70 (* eidx nid cost dst *)
+let op_edgepa = 71 (* eidx gid nid cost dst *)
+
+let num_opcodes = 72
+
+(* ---- runtime helpers (cold paths of the dispatch loop) ---- *)
+
+let read_cell_int (names : string array) s (venv : Env.slots) =
+  match venv.(s) with
+  | Env.Cell c -> Value.to_int c.v
+  | Env.Elem (a, off) -> Env.get_int a off
+  | Env.Arr _ -> Value.err "array %s used as a scalar" names.(s)
+  | Env.Poison m -> Value.err "%s" m
+
+let read_cell_float (names : string array) s (venv : Env.slots) =
+  match venv.(s) with
+  | Env.Cell c -> Value.to_float c.v
+  | Env.Elem (a, off) -> Env.get_float a off
+  | Env.Arr _ -> Value.err "array %s used as a scalar" names.(s)
+  | Env.Poison m -> Value.err "%s" m
+
+let get_arr (names : string array) s (venv : Env.slots) =
+  match venv.(s) with
+  | Env.Arr a -> a
+  | Env.Cell _ | Env.Elem _ -> Value.err "%s is not an array" names.(s)
+  | Env.Poison m -> Value.err "%s" m
+
+let check_dim name k d i =
+  if i < 1 || i > d then
+    Value.err "%s: subscript %d of dimension %d out of bounds [1,%d]" name i (k + 1) d
+
+(* the generic scalar store (Compile.write_scalar), for STCI/STCF slots
+   whose binding turned out not to be a plain Cell (e.g. Poison) *)
+let write_scalar_generic (names : string array) s v (venv : Env.slots) =
+  match venv.(s) with
+  | Env.Cell c -> c.v <- Value.coerce c.ty v
+  | Env.Elem (a, off) -> Env.set a off v
+  | Env.Arr _ -> Value.err "assignment to whole array %s" names.(s)
+  | Env.Poison m -> Value.err "%s" m
+
+(* promoted registers -> frame cells (before running a closure that may
+   read them, and at RET so the caller can read a FUNCTION result) *)
+let store_regs (s : sync) (venv : Env.slots) (ireg : int array)
+    (freg : float array) =
+  let n = Array.length s.si_slot in
+  for i = 0 to n - 1 do
+    match venv.(s.si_slot.(i)) with
+    | Env.Cell c -> c.v <- Value.Int ireg.(s.si_reg.(i))
+    | _ -> () (* promoted slots are always Cells, by construction *)
+  done;
+  let n = Array.length s.sf_slot in
+  for i = 0 to n - 1 do
+    match venv.(s.sf_slot.(i)) with
+    | Env.Cell c -> c.v <- Value.Real freg.(s.sf_reg.(i))
+    | _ -> ()
+  done
+
+(* frame cells -> promoted registers (at frame entry and after a closure
+   that may have written them) *)
+let load_regs (s : sync) (venv : Env.slots) (ireg : int array)
+    (freg : float array) =
+  let n = Array.length s.si_slot in
+  for i = 0 to n - 1 do
+    match venv.(s.si_slot.(i)) with
+    | Env.Cell c -> ireg.(s.si_reg.(i)) <- Value.to_int c.v
+    | _ -> ()
+  done;
+  let n = Array.length s.sf_slot in
+  for i = 0 to n - 1 do
+    match venv.(s.sf_slot.(i)) with
+    | Env.Cell c -> freg.(s.sf_reg.(i)) <- Value.to_float c.v
+    | _ -> ()
+  done
+
+let take_samples (a : acct) (samples : int array) nid =
+  while a.cycles >= a.next_sample do
+    samples.(nid) <- samples.(nid) + 1;
+    a.next_sample <- a.next_sample + a.sample_interval
+  done
+
+(* [Float.compare]-faithful three-way comparison with a native fast path:
+   when either operand is NaN all three native tests fail and we defer to
+   Float.compare (NaN = NaN, NaN < non-NaN) — bit-identical to the
+   generic backend's Value.rel on REAL operands. *)
+let[@inline] fcmp3 (x : float) (y : float) =
+  if x < y then -1 else if x > y then 1 else if x = y then 0 else Float.compare x y
+
+(* fire one probe-group entry (edge probes); bulk entries go through the
+   shared bulk table *)
+let fire_pact (a : acct) (p : proc) (venv : Env.slots) (ireg : int array)
+    (freg : float array) = function
+  | PIncr c ->
+      a.cycles <- a.cycles + a.c_counter;
+      counter_incr a c
+  | PBulk bi ->
+      let b = p.bulks.(bi) in
+      a.cycles <- a.cycles + b.bk_charge;
+      store_regs b.bk_sync venv ireg freg;
+      counter_add a b.bk_counter (Value.to_int (b.bk_expr venv))
+
+(* ---- the dispatch loop ---- *)
+
+let exec (a : acct) (p : proc) (venv : Env.slots) : unit =
+  let code = p.code in
+  let fpool = p.fpool in
+  let names = p.names in
+  let ireg = Array.make (max p.n_iregs 1) 0 in
+  let freg = Array.make (max p.n_fregs 1) 0.0 in
+  load_regs p.all_promoted venv ireg freg;
+  let max_steps = a.max_steps in
+  let max_cycles = a.max_cycles in
+  let execs = p.execs in
+  let edge_counts = p.edge_counts in
+  let counters = a.counters in
+  let rec loop pc =
+    match Array.unsafe_get code pc with
+    | 0 (* ACCT nid cost *) ->
+        let nid = Array.unsafe_get code (pc + 1) in
+        let steps = a.steps + 1 in
+        a.steps <- steps;
+        let cycles = a.cycles + Array.unsafe_get code (pc + 2) in
+        a.cycles <- cycles;
+        (* both budget checks share one branch, as in the compiled
+           backend: remaining budgets are both non-negative iff neither
+           limit is exceeded *)
+        if (max_steps - steps) lor (max_cycles - cycles) < 0 then
+          if steps > max_steps then raise Out_of_fuel else raise Out_of_cycles;
+        Array.unsafe_set execs nid (Array.unsafe_get execs nid + 1);
+        if cycles >= a.next_sample then take_samples a p.samples nid;
+        loop (pc + 3)
+    | 3 (* JMP dst *) -> loop (Array.unsafe_get code (pc + 1))
+    | 4 (* RET *) -> store_regs p.all_promoted venv ireg freg
+    | 5 (* STOP *) -> raise Stopped
+    | 6 (* FALLBACK fi *) ->
+        let fb = p.fallbacks.(Array.unsafe_get code (pc + 1)) in
+        store_regs fb.fb_sync venv ireg freg;
+        let k = fb.fb_step venv in
+        load_regs fb.fb_sync venv ireg freg;
+        if k >= 0 then loop fb.fb_edges.(k)
+        else if k = Compile.ret_code then store_regs p.all_promoted venv ireg freg
+        else raise Stopped
+    | 7 (* PROBE counter *) ->
+        a.cycles <- a.cycles + a.c_counter;
+        let c = Array.unsafe_get code (pc + 1) in
+        let old = counters.(c) in
+        if old = max_int then record_overflow a c
+        else Array.unsafe_set counters c (old + 1);
+        loop (pc + 2)
+    | 8 (* PROBE_BULK bi *) ->
+        let b = p.bulks.(Array.unsafe_get code (pc + 1)) in
+        a.cycles <- a.cycles + b.bk_charge;
+        store_regs b.bk_sync venv ireg freg;
+        counter_add a b.bk_counter (Value.to_int (b.bk_expr venv));
+        loop (pc + 2)
+    | 9 (* LDKI rd k *) ->
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (Array.unsafe_get code (pc + 2));
+        loop (pc + 3)
+    | 10 (* MOVI rd ra *) ->
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)));
+        loop (pc + 3)
+    | 11 (* IADD rd ra rb *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 3)) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1)) (x + y);
+        loop (pc + 4)
+    | 12 (* ISUB rd ra rb *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 3)) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1)) (x - y);
+        loop (pc + 4)
+    | 13 (* IMUL rd ra rb *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 3)) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1)) (x * y);
+        loop (pc + 4)
+    | 14 (* IDIV rd ra rb *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 3)) in
+        if y = 0 then Value.err "INTEGER division by zero";
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1)) (x / y);
+        loop (pc + 4)
+    | 15 (* INEG rd ra *) ->
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (-Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)));
+        loop (pc + 3)
+    | 16 (* IADDK rd ra k *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (x + Array.unsafe_get code (pc + 3));
+        loop (pc + 4)
+    | 17 (* IMULK rd ra k *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (x * Array.unsafe_get code (pc + 3));
+        loop (pc + 4)
+    | 18 (* IRSUBK rd ra k *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (Array.unsafe_get code (pc + 3) - x);
+        loop (pc + 4)
+    | 19 (* LDKF fd k *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)));
+        loop (pc + 3)
+    | 20 (* MOVF fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (Array.unsafe_get freg (Array.unsafe_get code (pc + 2)));
+        loop (pc + 3)
+    | 21 (* FADD fd fa fb *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 3)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1)) (x +. y);
+        loop (pc + 4)
+    | 22 (* FSUB fd fa fb *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 3)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1)) (x -. y);
+        loop (pc + 4)
+    | 23 (* FMUL fd fa fb *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 3)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1)) (x *. y);
+        loop (pc + 4)
+    | 24 (* FDIV fd fa fb *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 3)) in
+        if y = 0.0 then Value.err "REAL division by zero";
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1)) (x /. y);
+        loop (pc + 4)
+    | 25 (* FNEG fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (-.Array.unsafe_get freg (Array.unsafe_get code (pc + 2)));
+        loop (pc + 3)
+    | 26 (* FADDK fd fa k *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (x +. Array.unsafe_get fpool (Array.unsafe_get code (pc + 3)));
+        loop (pc + 4)
+    | 27 (* FSUBK fd fa k *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (x -. Array.unsafe_get fpool (Array.unsafe_get code (pc + 3)));
+        loop (pc + 4)
+    | 28 (* FMULK fd fa k *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (x *. Array.unsafe_get fpool (Array.unsafe_get code (pc + 3)));
+        loop (pc + 4)
+    | 29 (* FRSUBK fd fa k *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (Array.unsafe_get fpool (Array.unsafe_get code (pc + 3)) -. x);
+        loop (pc + 4)
+    | 30 (* ITOF fd ra *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (float_of_int (Array.unsafe_get ireg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 31 (* FTOI rd fa *) ->
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (int_of_float (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 32 (* LDCI rd slot *) ->
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (read_cell_int names (Array.unsafe_get code (pc + 2)) venv);
+        loop (pc + 3)
+    | 33 (* LDCF fd slot *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (read_cell_float names (Array.unsafe_get code (pc + 2)) venv);
+        loop (pc + 3)
+    | 34 (* STCI slot ra *) ->
+        let s = Array.unsafe_get code (pc + 1) in
+        let x = Value.Int (Array.unsafe_get ireg (Array.unsafe_get code (pc + 2))) in
+        (match venv.(s) with
+        | Env.Cell c -> c.v <- x
+        | _ -> write_scalar_generic names s x venv);
+        loop (pc + 3)
+    | 35 (* STCF slot fa *) ->
+        let s = Array.unsafe_get code (pc + 1) in
+        let x = Value.Real (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))) in
+        (match venv.(s) with
+        | Env.Cell c -> c.v <- x
+        | _ -> write_scalar_generic names s x venv);
+        loop (pc + 3)
+    | 36 (* LDA1I rd slot d0 ra ka *) ->
+        let s = Array.unsafe_get code (pc + 2) in
+        let arr = get_arr names s venv in
+        let i =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 4))
+          + Array.unsafe_get code (pc + 5)
+        in
+        check_dim (Array.unsafe_get names s) 0 (Array.unsafe_get code (pc + 3)) i;
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (match arr.Env.data with
+          | Env.Ints d -> Array.unsafe_get d (i - 1)
+          | _ -> Env.get_int arr (i - 1));
+        loop (pc + 6)
+    | 37 (* LDA1F fd slot d0 ra ka *) ->
+        let s = Array.unsafe_get code (pc + 2) in
+        let arr = get_arr names s venv in
+        let i =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 4))
+          + Array.unsafe_get code (pc + 5)
+        in
+        check_dim (Array.unsafe_get names s) 0 (Array.unsafe_get code (pc + 3)) i;
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (match arr.Env.data with
+          | Env.Reals d -> Array.unsafe_get d (i - 1)
+          | _ -> Env.get_float arr (i - 1));
+        loop (pc + 6)
+    | 38 (* LDA2I rd slot d0 d1 ra rb ka kb *) ->
+        let s = Array.unsafe_get code (pc + 2) in
+        let arr = get_arr names s venv in
+        let d0 = Array.unsafe_get code (pc + 3) in
+        let i0 =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 5))
+          + Array.unsafe_get code (pc + 7)
+        in
+        let i1 =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 6))
+          + Array.unsafe_get code (pc + 8)
+        in
+        let name = Array.unsafe_get names s in
+        check_dim name 0 d0 i0;
+        check_dim name 1 (Array.unsafe_get code (pc + 4)) i1;
+        let off = i0 - 1 + ((i1 - 1) * d0) in
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (match arr.Env.data with
+          | Env.Ints d -> Array.unsafe_get d off
+          | _ -> Env.get_int arr off);
+        loop (pc + 9)
+    | 39 (* LDA2F fd slot d0 d1 ra rb ka kb *) ->
+        let s = Array.unsafe_get code (pc + 2) in
+        let arr = get_arr names s venv in
+        let d0 = Array.unsafe_get code (pc + 3) in
+        let i0 =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 5))
+          + Array.unsafe_get code (pc + 7)
+        in
+        let i1 =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 6))
+          + Array.unsafe_get code (pc + 8)
+        in
+        let name = Array.unsafe_get names s in
+        check_dim name 0 d0 i0;
+        check_dim name 1 (Array.unsafe_get code (pc + 4)) i1;
+        let off = i0 - 1 + ((i1 - 1) * d0) in
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (match arr.Env.data with
+          | Env.Reals d -> Array.unsafe_get d off
+          | _ -> Env.get_float arr off);
+        loop (pc + 9)
+    | 40 (* AOFF1 rd slot d0 ra ka *) ->
+        let s = Array.unsafe_get code (pc + 2) in
+        let _arr = get_arr names s venv in
+        let i =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 4))
+          + Array.unsafe_get code (pc + 5)
+        in
+        check_dim (Array.unsafe_get names s) 0 (Array.unsafe_get code (pc + 3)) i;
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1)) (i - 1);
+        loop (pc + 6)
+    | 41 (* AOFF2 rd slot d0 d1 ra rb ka kb *) ->
+        let s = Array.unsafe_get code (pc + 2) in
+        let _arr = get_arr names s venv in
+        let d0 = Array.unsafe_get code (pc + 3) in
+        let i0 =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 5))
+          + Array.unsafe_get code (pc + 7)
+        in
+        let i1 =
+          Array.unsafe_get ireg (Array.unsafe_get code (pc + 6))
+          + Array.unsafe_get code (pc + 8)
+        in
+        let name = Array.unsafe_get names s in
+        check_dim name 0 d0 i0;
+        check_dim name 1 (Array.unsafe_get code (pc + 4)) i1;
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (i0 - 1 + ((i1 - 1) * d0));
+        loop (pc + 9)
+    | 42 (* STAI slot ro ra *) ->
+        let arr = get_arr names (Array.unsafe_get code (pc + 1)) venv in
+        let off = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 3)) in
+        (match arr.Env.data with
+        | Env.Ints d -> d.(off) <- x
+        | _ -> Env.set arr off (Value.Int x));
+        loop (pc + 4)
+    | 43 (* STAF slot ro fa *) ->
+        let arr = get_arr names (Array.unsafe_get code (pc + 1)) venv in
+        let off = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 3)) in
+        (match arr.Env.data with
+        | Env.Reals d -> d.(off) <- x
+        | _ -> Env.set arr off (Value.Real x));
+        loop (pc + 4)
+    | 44 (* JLT_II ra rb pcT pcF *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if x < y then pc + 3 else pc + 4))
+    | 45 (* JLE_II *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if x <= y then pc + 3 else pc + 4))
+    | 46 (* JGT_II *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if x > y then pc + 3 else pc + 4))
+    | 47 (* JGE_II *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if x >= y then pc + 3 else pc + 4))
+    | 48 (* JEQ_II *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if x = y then pc + 3 else pc + 4))
+    | 49 (* JNE_II *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if x <> y then pc + 3 else pc + 4))
+    | 50 (* JLT_IK ra k pcT pcF *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get code (pc + 2) in
+        loop (Array.unsafe_get code (if x < k then pc + 3 else pc + 4))
+    | 51 (* JLE_IK *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get code (pc + 2) in
+        loop (Array.unsafe_get code (if x <= k then pc + 3 else pc + 4))
+    | 52 (* JGT_IK *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get code (pc + 2) in
+        loop (Array.unsafe_get code (if x > k then pc + 3 else pc + 4))
+    | 53 (* JGE_IK *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get code (pc + 2) in
+        loop (Array.unsafe_get code (if x >= k then pc + 3 else pc + 4))
+    | 54 (* JEQ_IK *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get code (pc + 2) in
+        loop (Array.unsafe_get code (if x = k then pc + 3 else pc + 4))
+    | 55 (* JNE_IK *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get code (pc + 2) in
+        loop (Array.unsafe_get code (if x <> k then pc + 3 else pc + 4))
+    | 56 (* JLT_FF fa fb pcT pcF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x y < 0 then pc + 3 else pc + 4))
+    | 57 (* JLE_FF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x y <= 0 then pc + 3 else pc + 4))
+    | 58 (* JGT_FF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x y > 0 then pc + 3 else pc + 4))
+    | 59 (* JGE_FF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x y >= 0 then pc + 3 else pc + 4))
+    | 60 (* JEQ_FF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x y = 0 then pc + 3 else pc + 4))
+    | 61 (* JNE_FF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let y = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x y <> 0 then pc + 3 else pc + 4))
+    | 62 (* JLT_FK fa k pcT pcF *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x k < 0 then pc + 3 else pc + 4))
+    | 63 (* JLE_FK *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x k <= 0 then pc + 3 else pc + 4))
+    | 64 (* JGT_FK *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x k > 0 then pc + 3 else pc + 4))
+    | 65 (* JGE_FK *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x k >= 0 then pc + 3 else pc + 4))
+    | 66 (* JEQ_FK *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x k = 0 then pc + 3 else pc + 4))
+    | 67 (* JNE_FK *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        let k = Array.unsafe_get fpool (Array.unsafe_get code (pc + 2)) in
+        loop (Array.unsafe_get code (if fcmp3 x k <> 0 then pc + 3 else pc + 4))
+    | 68 (* JTRIP fa pcT pcF *) ->
+        let t = Array.unsafe_get freg (Array.unsafe_get code (pc + 1)) in
+        loop (Array.unsafe_get code (if int_of_float t > 0 then pc + 2 else pc + 3))
+    | 69 (* SELECT ra n pc1..pcn pcF *) ->
+        let i = Array.unsafe_get ireg (Array.unsafe_get code (pc + 1)) in
+        let n = Array.unsafe_get code (pc + 2) in
+        if i >= 1 && i <= n then loop (Array.unsafe_get code (pc + 2 + i))
+        else loop (Array.unsafe_get code (pc + 3 + n))
+    | 70 (* EDGEA eidx nid cost dst *) ->
+        let e = Array.unsafe_get code (pc + 1) in
+        Array.unsafe_set edge_counts e (Array.unsafe_get edge_counts e + 1);
+        let nid = Array.unsafe_get code (pc + 2) in
+        let steps = a.steps + 1 in
+        a.steps <- steps;
+        let cycles = a.cycles + Array.unsafe_get code (pc + 3) in
+        a.cycles <- cycles;
+        if (max_steps - steps) lor (max_cycles - cycles) < 0 then
+          if steps > max_steps then raise Out_of_fuel else raise Out_of_cycles;
+        Array.unsafe_set execs nid (Array.unsafe_get execs nid + 1);
+        if cycles >= a.next_sample then take_samples a p.samples nid;
+        loop (Array.unsafe_get code (pc + 4))
+    | 71 (* EDGEPA eidx gid nid cost dst *) ->
+        let e = Array.unsafe_get code (pc + 1) in
+        Array.unsafe_set edge_counts e (Array.unsafe_get edge_counts e + 1);
+        let g = p.groups.(Array.unsafe_get code (pc + 2)) in
+        for i = 0 to Array.length g - 1 do
+          fire_pact a p venv ireg freg g.(i)
+        done;
+        let nid = Array.unsafe_get code (pc + 3) in
+        let steps = a.steps + 1 in
+        a.steps <- steps;
+        let cycles = a.cycles + Array.unsafe_get code (pc + 4) in
+        a.cycles <- cycles;
+        if (max_steps - steps) lor (max_cycles - cycles) < 0 then
+          if steps > max_steps then raise Out_of_fuel else raise Out_of_cycles;
+        Array.unsafe_set execs nid (Array.unsafe_get execs nid + 1);
+        if cycles >= a.next_sample then take_samples a p.samples nid;
+        loop (Array.unsafe_get code (pc + 5))
+    | op -> Value.err "corrupt bytecode: opcode %d at pc %d" op pc
+  in
+  loop p.entry_pc

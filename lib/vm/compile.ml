@@ -59,7 +59,7 @@ let read_slot name s : cexpr =
  fun venv ->
   match venv.(s) with
   | Env.Cell c -> c.v
-  | Env.Elem (a, off) -> a.data.(off)
+  | Env.Elem (a, off) -> Env.get a off
   | Env.Arr _ -> Value.err "array %s used as a scalar" name
   | Env.Poison m -> Value.err "%s" m
 
@@ -141,7 +141,7 @@ let rec compile rt prog (lay : Env.layout) (e : Ast.expr) : c =
   | Ast.Bool b -> K (Value.Bool b)
   | Ast.Var v -> D (read_slot v (Env.slot lay v))
   | Ast.Index (name, idx) ->
-      D (compile_element rt prog lay name idx (fun _ a off -> a.data.(off)))
+      D (compile_element rt prog lay name idx (fun _ a off -> Env.get a off))
   | Ast.Call (f, args) -> compile_call rt prog lay f args
   | Ast.Unop (Ast.Neg, e1) -> (
       match compile rt prog lay e1 with
@@ -274,13 +274,13 @@ and compile_int rt prog lay (e : Ast.expr) : (Env.slots -> int) option =
         (fun venv ->
           match venv.(s) with
           | Env.Cell c -> Value.to_int c.v
-          | Env.Elem (a, off) -> Value.to_int a.data.(off)
+          | Env.Elem (a, off) -> Env.get_int a off
           | Env.Arr _ -> Value.err "array %s used as a scalar" v
           | Env.Poison m -> Value.err "%s" m)
   | Ast.Index (name, idx) ->
       Some
         (compile_element rt prog lay name idx (fun _ a off ->
-             Value.to_int a.data.(off)))
+             Env.get_int a off))
   | Ast.Unop (Ast.Neg, e1) when static_int lay e1 -> (
       match compile_int rt prog lay e1 with
       | Some f -> Some (fun venv -> -f venv)
@@ -326,13 +326,13 @@ and compile_float rt prog lay (e : Ast.expr) : (Env.slots -> float) option =
         (fun venv ->
           match venv.(s) with
           | Env.Cell c -> Value.to_float c.v
-          | Env.Elem (a, off) -> Value.to_float a.data.(off)
+          | Env.Elem (a, off) -> Env.get_float a off
           | Env.Arr _ -> Value.err "array %s used as a scalar" v
           | Env.Poison m -> Value.err "%s" m)
   | Ast.Index (name, idx) ->
       Some
         (compile_element rt prog lay name idx (fun _ a off ->
-             Value.to_float a.data.(off)))
+             Env.get_float a off))
   | Ast.Unop (Ast.Neg, e1) -> (
       match compile_num rt prog lay e1 with
       | Some f -> Some (fun venv -> -.f venv)
@@ -536,7 +536,7 @@ let compile_node rt prog (lay : Env.layout) ~node_id ~(succ : Label.t array)
   let write_scalar name s v venv =
     match venv.(s) with
     | Env.Cell c -> c.v <- Value.coerce c.ty v
-    | Env.Elem (a, off) -> a.data.(off) <- Value.coerce a.elt v
+    | Env.Elem (a, off) -> Env.set a off v
     | Env.Arr _ -> Value.err "assignment to whole array %s" name
     | Env.Poison m -> Value.err "%s" m
   in
@@ -587,11 +587,11 @@ let compile_node rt prog (lay : Env.layout) ~node_id ~(succ : Label.t array)
             (* indices are evaluated before the RHS, as in the generic
                path; the element ty matches [frhs]'s pre-coercion *)
             compile_element rt prog lay name idx (fun venv a off ->
-                a.data.(off) <- frhs venv)
+                Env.set a off (frhs venv))
         | None ->
             let frhs = compile_expr rt prog lay e in
             compile_element rt prog lay name idx (fun venv a off ->
-                a.data.(off) <- Value.coerce a.elt (frhs venv))
+                Env.set a off (frhs venv))
       in
       fun venv ->
         store venv;

@@ -25,6 +25,26 @@ val make_rt : rng:Prng.t -> out:Buffer.t -> rt
 (** A compiled expression: evaluate against a frame. *)
 type cexpr = Env.slots -> Value.t
 
+(** Static typing facts, shared with the bytecode emitter so both
+    backends agree exactly on what is statically typed (and therefore on
+    which unboxed fast paths are sound).  All return [None]/[false] for
+    dummy arguments, whose bindings the caller controls. *)
+
+val static_dims : Env.layout -> int -> int list option
+(** Declared dimensions of a non-dummy array slot, when none is [-1]. *)
+
+val static_scalar_ty : Env.layout -> int -> Ast.typ option
+(** Value type of a non-dummy scalar or PARAMETER slot. *)
+
+val static_elt_ty : Env.layout -> int -> Ast.typ option
+(** Element type of a non-dummy array slot. *)
+
+val static_num : Env.layout -> Ast.expr -> Ast.typ option
+(** The numeric type generic evaluation of the expression is guaranteed
+    to yield, or [None] when unknown/LOGICAL/call-dependent. *)
+
+val static_int : Env.layout -> Ast.expr -> bool
+
 val compile_expr : rt -> Program.t -> Env.layout -> Ast.expr -> cexpr
 
 (** Compiled argument: Fortran calling conventions (variables and array

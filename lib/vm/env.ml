@@ -7,7 +7,16 @@ module Sema = S89_frontend.Sema
 module Program = S89_frontend.Program
 open S89_cfg
 
-type array_obj = { data : Value.t array; dims : int array; elt : Ast.typ }
+(* Array storage is monomorphized by element type: INTEGER and REAL
+   arrays hold unboxed machine values (OCaml specializes [float array]),
+   so numeric element access never allocates.  Only LOGICAL arrays fall
+   back to boxed values. *)
+type adata =
+  | Ints of int array
+  | Reals of float array
+  | Values of Value.t array
+
+type array_obj = { data : adata; dims : int array; elt : Ast.typ }
 
 type binding =
   | Cell of { mutable v : Value.t; ty : Ast.typ }
@@ -19,7 +28,53 @@ type slots = binding array
 
 let alloc_array (elt : Ast.typ) (dims : int list) =
   let size = List.fold_left ( * ) 1 dims in
-  { data = Array.make size (Value.zero_of elt); dims = Array.of_list dims; elt }
+  let data =
+    match elt with
+    | Ast.Tint -> Ints (Array.make size 0)
+    | Ast.Treal -> Reals (Array.make size 0.0)
+    | Ast.Tlogical -> Values (Array.make size (Value.Bool false))
+  in
+  { data; dims = Array.of_list dims; elt }
+
+let size (a : array_obj) =
+  match a.data with
+  | Ints d -> Array.length d
+  | Reals d -> Array.length d
+  | Values d -> Array.length d
+
+(* element accessors, mirroring scalar semantics exactly: [get]/[set]
+   behave like reading/[Value.coerce]-then-writing a boxed element *)
+let get (a : array_obj) off =
+  match a.data with
+  | Ints d -> Value.Int d.(off)
+  | Reals d -> Value.Real d.(off)
+  | Values d -> d.(off)
+
+let get_int (a : array_obj) off =
+  match a.data with
+  | Ints d -> d.(off)
+  | Reals d -> int_of_float d.(off)
+  | Values d -> Value.to_int d.(off)
+
+let get_float (a : array_obj) off =
+  match a.data with
+  | Ints d -> float_of_int d.(off)
+  | Reals d -> d.(off)
+  | Values d -> Value.to_float d.(off)
+
+let set (a : array_obj) off v =
+  match a.data with
+  | Ints d -> (
+      match v with
+      | Value.Int i -> d.(off) <- i
+      | Value.Real r -> d.(off) <- int_of_float r
+      | Value.Bool _ -> Value.err "cannot store LOGICAL in arithmetic variable")
+  | Reals d -> (
+      match v with
+      | Value.Real r -> d.(off) <- r
+      | Value.Int i -> d.(off) <- float_of_int i
+      | Value.Bool _ -> Value.err "cannot store LOGICAL in arithmetic variable")
+  | Values d -> d.(off) <- Value.coerce a.elt v
 
 let binding_of_kind name (k : Sema.var_kind) =
   match k with
@@ -41,8 +96,8 @@ let offset name (a : array_obj) (idx : int list) =
   if Array.length a.dims = 1 && a.dims.(0) = -1 then begin
     match idx with
     | [ i ] ->
-        if i < 1 || i > Array.length a.data then
-          Value.err "%s(%d): out of bounds (size %d)" name i (Array.length a.data)
+        if i < 1 || i > size a then
+          Value.err "%s(%d): out of bounds (size %d)" name i (size a)
         else i - 1
     | _ -> Value.err "%s: assumed-size arrays are 1-dimensional" name
   end

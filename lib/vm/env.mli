@@ -11,7 +11,15 @@ module Ast = S89_frontend.Ast
 module Sema = S89_frontend.Sema
 module Program = S89_frontend.Program
 
-type array_obj = { data : Value.t array; dims : int array; elt : Ast.typ }
+(** Array storage, monomorphized by element type: INTEGER and REAL
+    arrays hold unboxed machine values, so numeric element access never
+    allocates; LOGICAL arrays fall back to boxed values. *)
+type adata =
+  | Ints of int array
+  | Reals of float array
+  | Values of Value.t array
+
+type array_obj = { data : adata; dims : int array; elt : Ast.typ }
 
 type binding =
   | Cell of { mutable v : Value.t; ty : Ast.typ }  (** scalar storage *)
@@ -26,6 +34,22 @@ type slots = binding array
 
 (** Allocate a zero-initialized array; column-major, 1-based. *)
 val alloc_array : Ast.typ -> int list -> array_obj
+
+(** Number of elements. *)
+val size : array_obj -> int
+
+(** Read element [off] (0-based flat offset) as a boxed value. *)
+val get : array_obj -> int -> Value.t
+
+(** [get] composed with {!Value.to_int} / {!Value.to_float}, without the
+    intermediate box. *)
+val get_int : array_obj -> int -> int
+
+val get_float : array_obj -> int -> float
+
+(** Store at flat offset [off], coercing to the element type exactly as
+    {!Value.coerce} would. *)
+val set : array_obj -> int -> Value.t -> unit
 
 (** Fresh local storage for a declared or implicitly-typed variable. *)
 val binding_of_kind : string -> Sema.var_kind -> binding

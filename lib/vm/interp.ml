@@ -30,10 +30,12 @@ module Program = S89_frontend.Program
 module Prng = S89_util.Prng
 open S89_cfg
 
-exception Out_of_fuel
-exception Out_of_cycles
-exception Call_depth_exceeded of int
-exception Stopped (* internal: STOP statement unwinding *)
+(* The guard exceptions are defined in Bytecode — the lowest layer that
+   raises them — and re-exported here under their historical names. *)
+exception Out_of_fuel = Bytecode.Out_of_fuel
+exception Out_of_cycles = Bytecode.Out_of_cycles
+exception Call_depth_exceeded = Bytecode.Call_depth_exceeded
+exception Stopped = Bytecode.Stopped (* internal: STOP statement unwinding *)
 
 type binding = Env.binding =
   | Cell of { mutable v : Value.t; ty : Ast.typ }
@@ -81,7 +83,7 @@ type cproc = {
   mutable invocations : int;
 }
 
-type backend = Tree | Compiled
+type backend = Tree | Compiled | Bytecode
 
 type config = {
   cost_model : Cost_model.t;
@@ -109,37 +111,21 @@ let default_config =
 type t = {
   config : config;
   prog : Program.t;
-  cprocs : (string, cproc) Hashtbl.t;
-  counters : int array;
-  mutable cycles : int;
-  mutable steps : int;
-  mutable next_sample : int;
+  cprocs : (string, cproc) Hashtbl.t; (* Tree/Compiled backends *)
+  bprocs : (string, Bytecode.proc) Hashtbl.t; (* Bytecode backend *)
+  acct : Bytecode.acct;
+      (* cycles, steps, sampling clock and instrumentation counters,
+         shared by all three backends *)
   rng : Prng.t;
   out : Buffer.t;
   mutable call_depth : int;
-  mutable overflowed : int list; (* counters that saturated (ascending, distinct) *)
   rt : Compile.rt; (* hooks captured by the compiled closures *)
 }
 
-(* a counter hit max_int: saturate and remember — never silent wraparound *)
-let record_overflow st c =
-  if not (List.mem c st.overflowed) then
-    st.overflowed <- List.sort compare (c :: st.overflowed)
-
 (* checked counter arithmetic: saturate at max_int with a diagnostic,
    never wrap around (the reconstruction laws assume exact sums) *)
-let counter_incr st c =
-  let old = st.counters.(c) in
-  if old = max_int then record_overflow st c else st.counters.(c) <- old + 1
-
-let counter_add st c v =
-  let old = st.counters.(c) in
-  let s = old + v in
-  if v > 0 && s < old then begin
-    record_overflow st c;
-    st.counters.(c) <- max_int
-  end
-  else st.counters.(c) <- s
+let counter_incr st c = Bytecode.counter_incr st.acct c
+let counter_add st c v = Bytecode.counter_add st.acct c v
 
 let compile_proc config rt (prog : Program.t) (p : Program.proc) : cproc =
   let cfg = p.Program.cfg in
@@ -230,14 +216,14 @@ let lookup frame name =
 let read_scalar frame name =
   match lookup frame name with
   | Cell c -> c.v
-  | Elem (a, off) -> a.data.(off)
+  | Elem (a, off) -> Env.get a off
   | Arr _ -> Value.err "array %s used as a scalar" name
   | Poison m -> Value.err "%s" m
 
 let write_scalar frame name v =
   match lookup frame name with
   | Cell c -> c.v <- Value.coerce c.ty v
-  | Elem (a, off) -> a.data.(off) <- Value.coerce a.elt v
+  | Elem (a, off) -> Env.set a off v
   | Arr _ -> Value.err "assignment to whole array %s" name
   | Poison m -> Value.err "%s" m
 
@@ -251,7 +237,9 @@ let get_array frame name =
 
 (* ---- shared bookkeeping ---- *)
 
-let charge st c = st.cycles <- st.cycles + c
+let charge st c =
+  let a = st.acct in
+  a.Bytecode.cycles <- a.Bytecode.cycles + c
 
 let find_cproc st name =
   match Hashtbl.find_opt st.cprocs name with
@@ -267,26 +255,23 @@ let enter_call st (cp : cproc) =
 (* sampling slow path: attribute hits to the executing node (taken only
    when the cycle counter crossed the sampling boundary) *)
 let take_samples st (n : cnode) =
-  while st.cycles >= st.next_sample do
+  let a = st.acct in
+  while a.Bytecode.cycles >= a.Bytecode.next_sample do
     n.samples <- n.samples + 1;
-    st.next_sample <-
-      st.next_sample
-      + (match st.config.sample_interval with Some s -> s | None -> max_int)
+    a.Bytecode.next_sample <- a.Bytecode.next_sample + a.Bytecode.sample_interval
   done
 
 (* charge node cost, count the execution, attribute PC samples *)
 let account st (n : cnode) =
-  st.steps <- st.steps + 1;
-  if st.steps > st.config.max_steps then raise Out_of_fuel;
+  let a = st.acct in
+  a.Bytecode.steps <- a.Bytecode.steps + 1;
   charge st n.cost;
-  if st.cycles > st.config.max_cycles then raise Out_of_cycles;
+  (* charge before checking, and fuel before cycles, so every backend
+     trips the same guard at the same (steps, cycles) point *)
+  if a.Bytecode.steps > st.config.max_steps then raise Out_of_fuel;
+  if a.Bytecode.cycles > st.config.max_cycles then raise Out_of_cycles;
   n.execs <- n.execs + 1;
-  while st.cycles >= st.next_sample do
-    n.samples <- n.samples + 1;
-    st.next_sample <-
-      st.next_sample
-      + (match st.config.sample_interval with Some s -> s | None -> max_int)
-  done
+  take_samples st n
 
 (* ---- tree-walking backend (the semantic reference) ---- *)
 
@@ -299,7 +284,7 @@ let rec eval st frame (e : Ast.expr) : Value.t =
   | Index (name, idx) ->
       let a = get_array frame name in
       let idx = List.map (fun i -> Value.to_int (eval st frame i)) idx in
-      a.data.(offset name a idx)
+      Env.get a (offset name a idx)
   | Call (f, args) -> (
       match Hashtbl.find_opt st.prog.Program.by_name f with
       | Some callee -> (
@@ -388,7 +373,7 @@ and run_frame st (cp : cproc) frame : unit =
           let a = get_array frame name in
           let idx = List.map (fun i -> Value.to_int (eval st frame i)) idx in
           let off = offset name a idx in
-          a.data.(off) <- Value.coerce a.elt (eval st frame e);
+          Env.set a off (eval st frame e);
           Some Label.U
       | Ir.Branch e ->
           if Value.to_bool (eval st frame e) then Some Label.T else Some Label.F
@@ -489,13 +474,14 @@ let rec call_proc_compiled st (callee : Program.proc) (args : binding list) :
   | Some s -> (
       match venv.(s) with
       | Cell c -> Some c.v
-      | Elem (a, off) -> Some a.data.(off)
+      | Elem (a, off) -> Some (Env.get a off)
       | Arr _ -> Value.err "array %s used as a scalar" lay.Env.names.(s)
       | Poison m -> Value.err "%s" m)
   | None -> None
 
 and run_frame_compiled st (cp : cproc) (venv : Env.slots) : unit =
   let code = cp.code in
+  let a = st.acct in
   let max_steps = st.config.max_steps in
   let max_cycles = st.config.max_cycles in
   let pc = ref cp.centry in
@@ -506,14 +492,14 @@ and run_frame_compiled st (cp : cproc) (venv : Env.slots) : unit =
        checks share one branch: the remaining-budget differences are both
        non-negative iff neither limit is exceeded, so [lor]-ing them and
        testing the sign bit keeps the loop at a single guard branch *)
-    let steps = st.steps + 1 in
-    st.steps <- steps;
-    let cycles = st.cycles + n.cost in
-    st.cycles <- cycles;
+    let steps = a.Bytecode.steps + 1 in
+    a.Bytecode.steps <- steps;
+    let cycles = a.Bytecode.cycles + n.cost in
+    a.Bytecode.cycles <- cycles;
     if (max_steps - steps) lor (max_cycles - cycles) < 0 then
       if steps > max_steps then raise Out_of_fuel else raise Out_of_cycles;
     n.execs <- n.execs + 1;
-    if st.cycles >= st.next_sample then take_samples st n;
+    if cycles >= a.Bytecode.next_sample then take_samples st n;
     if Array.length n.cnode_probes > 0 then fire_cactions st venv n.cnode_probes;
     let k = n.step venv in
     if k >= 0 then begin
@@ -527,6 +513,55 @@ and run_frame_compiled st (cp : cproc) (venv : Env.slots) : unit =
     else raise Stopped
   done
 
+(* ---- bytecode backend ---- *)
+
+let find_bproc st name =
+  match Hashtbl.find_opt st.bprocs name with
+  | Some bp -> bp
+  | None -> Value.err "uncompiled procedure %s" name
+
+(* mirrors [call_proc_compiled]: same invocation counting, depth guard,
+   parameter binding and result read; only the frame execution differs *)
+let call_proc_bytecode st (callee : Program.proc) (args : binding list) :
+    Value.t option =
+  let bp = find_bproc st callee.Program.name in
+  bp.Bytecode.invocations <- bp.Bytecode.invocations + 1;
+  st.call_depth <- st.call_depth + 1;
+  if st.call_depth > st.config.max_call_depth then
+    raise (Call_depth_exceeded st.call_depth);
+  let lay = bp.Bytecode.layout in
+  let venv = Env.make_frame lay in
+  (try
+     let n_params = lay.Env.n_params in
+     let rec bind i = function
+       | [] -> if i <> n_params then raise (Invalid_argument "arity")
+       | b :: rest ->
+           if i >= n_params then raise (Invalid_argument "arity");
+           let b =
+             match (b, lay.Env.param_tys.(i)) with
+             | Cell c, Some ty when c.ty <> ty -> Cell { v = Value.coerce ty c.v; ty }
+             | _ -> b
+           in
+           venv.(i) <- b;
+           bind (i + 1) rest
+     in
+     bind 0 args
+   with Invalid_argument _ ->
+     Value.err "arity mismatch calling %s" callee.Program.name);
+  (try Bytecode.exec st.acct bp venv
+   with e ->
+     st.call_depth <- st.call_depth - 1;
+     raise e);
+  st.call_depth <- st.call_depth - 1;
+  match lay.Env.result_slot with
+  | Some s -> (
+      match venv.(s) with
+      | Cell c -> Some c.v
+      | Elem (a, off) -> Some (Env.get a off)
+      | Arr _ -> Value.err "array %s used as a scalar" lay.Env.names.(s)
+      | Poison m -> Value.err "%s" m)
+  | None -> None
+
 (* ---- construction ---- *)
 
 let create ?(config = default_config) (prog : Program.t) : t =
@@ -534,26 +569,31 @@ let create ?(config = default_config) (prog : Program.t) : t =
   let out = Buffer.create 256 in
   let rt = Compile.make_rt ~rng ~out in
   let cprocs = Hashtbl.create 8 in
-  List.iter
-    (fun p -> Hashtbl.replace cprocs p.Program.name (compile_proc config rt prog p))
-    (Program.procs prog);
-  let st =
-    {
-      config;
-      prog;
-      cprocs;
-      counters = Array.make (max config.instr.Probe.n_counters 1) 0;
-      cycles = 0;
-      steps = 0;
-      next_sample = (match config.sample_interval with Some s -> s | None -> max_int);
-      rng;
-      out;
-      call_depth = 0;
-      overflowed = [];
-      rt;
-    }
+  let bprocs = Hashtbl.create 8 in
+  (match config.backend with
+  | Bytecode ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace bprocs p.Program.name
+            (Emit.emit_proc ~cost_model:config.cost_model ~instr:config.instr
+               rt prog p))
+        (Program.procs prog)
+  | Tree | Compiled ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace cprocs p.Program.name (compile_proc config rt prog p))
+        (Program.procs prog));
+  let acct =
+    Bytecode.make_acct ~max_steps:config.max_steps ~max_cycles:config.max_cycles
+      ~sample_interval:config.sample_interval
+      ~c_counter:config.cost_model.Cost_model.c_counter
+      ~n_counters:config.instr.Probe.n_counters
   in
-  rt.Compile.call <- (fun callee args -> call_proc_compiled st callee args);
+  let st = { config; prog; cprocs; bprocs; acct; rng; out; call_depth = 0; rt } in
+  (rt.Compile.call <-
+     (match config.backend with
+     | Bytecode -> fun callee args -> call_proc_bytecode st callee args
+     | Tree | Compiled -> fun callee args -> call_proc_compiled st callee args));
   st
 
 (* ---- entry points and results ---- *)
@@ -563,42 +603,72 @@ type outcome = Normal_stop | Fell_off_end
 let run (st : t) : outcome =
   let main = Program.main_proc st.prog in
   let call =
-    match st.config.backend with Tree -> call_proc | Compiled -> call_proc_compiled
+    match st.config.backend with
+    | Tree -> call_proc
+    | Compiled -> call_proc_compiled
+    | Bytecode -> call_proc_bytecode
   in
   match call st main [] with
   | exception Stopped -> Normal_stop
   | _ -> Fell_off_end
 
-let cycles st = st.cycles
-let steps st = st.steps
+let cycles st = st.acct.Bytecode.cycles
+let steps st = st.acct.Bytecode.steps
 let output st = Buffer.contents st.out
-let counters st = Array.copy st.counters
+let counters st = Array.copy st.acct.Bytecode.counters
 
 let cproc st name =
   match Hashtbl.find_opt st.cprocs name with
   | Some cp -> cp
   | None -> invalid_arg (Printf.sprintf "Interp.cproc: unknown procedure %s" name)
 
-let invocations st name = (cproc st name).invocations
+let bproc st name =
+  match Hashtbl.find_opt st.bprocs name with
+  | Some bp -> bp
+  | None -> invalid_arg (Printf.sprintf "Interp.bproc: unknown procedure %s" name)
+
+let invocations st name =
+  match st.config.backend with
+  | Bytecode -> (bproc st name).Bytecode.invocations
+  | Tree | Compiled -> (cproc st name).invocations
 
 (* oracle: executions of a node *)
-let node_execs st name node = (cproc st name).code.(node).execs
+let node_execs st name node =
+  match st.config.backend with
+  | Bytecode -> (bproc st name).Bytecode.execs.(node)
+  | Tree | Compiled -> (cproc st name).code.(node).execs
 
 (* oracle: traversals of the CFG edge (node, label) *)
 let edge_count st name node label =
-  let cn = (cproc st name).code.(node) in
-  let total = ref 0 in
-  Array.iteri
-    (fun k l -> if Label.equal l label then total := !total + cn.edge_counts.(k))
-    cn.succ_labels;
-  !total
+  match st.config.backend with
+  | Bytecode ->
+      let bp = bproc st name in
+      let labels = bp.Bytecode.succ_labels.(node) in
+      let base = bp.Bytecode.edge_base.(node) in
+      let total = ref 0 in
+      Array.iteri
+        (fun k l ->
+          if Label.equal l label then
+            total := !total + bp.Bytecode.edge_counts.(base + k))
+        labels;
+      !total
+  | Tree | Compiled ->
+      let cn = (cproc st name).code.(node) in
+      let total = ref 0 in
+      Array.iteri
+        (fun k l -> if Label.equal l label then total := !total + cn.edge_counts.(k))
+        cn.succ_labels;
+      !total
 
 (* PC-sampling hits of a node *)
-let node_samples st name node = (cproc st name).code.(node).samples
+let node_samples st name node =
+  match st.config.backend with
+  | Bytecode -> (bproc st name).Bytecode.samples.(node)
+  | Tree | Compiled -> (cproc st name).code.(node).samples
 
 (* ---- guarded execution: structured results ---- *)
 
-let counter_overflowed st = st.overflowed
+let counter_overflowed st = st.acct.Bytecode.overflowed
 
 module Diag = S89_diag.Diag
 
@@ -609,7 +679,7 @@ let diagnostics st =
         ~hint:"the reconstruction laws assume exact sums; rerun with fewer \
                iterations or split the profile across runs"
         "counter %d saturated at max_int" c)
-    st.overflowed
+    st.acct.Bytecode.overflowed
 
 let run_result (st : t) : (outcome, Diag.t) result =
   match run st with
@@ -619,12 +689,12 @@ let run_result (st : t) : (outcome, Diag.t) result =
       Error
         (Diag.errorf ~code:"RUN002"
            ~hint:"raise [max_steps] if the program is expected to run this long"
-           "out of fuel after %d statements" st.steps)
+           "out of fuel after %d statements" st.acct.Bytecode.steps)
   | exception Out_of_cycles ->
       Error
         (Diag.errorf ~code:"RUN003"
            ~hint:"raise [max_cycles] if the program is expected to run this long"
-           "cycle budget exhausted after %d cycles" st.cycles)
+           "cycle budget exhausted after %d cycles" st.acct.Bytecode.cycles)
   | exception Call_depth_exceeded d ->
       Error
         (Diag.errorf ~code:"RUN004"

@@ -22,11 +22,13 @@ exception Call_depth_exceeded of int
 
 (** Execution backend.  [Compiled] (the default) runs closures compiled
     once per procedure over slot-resolved frames ({!Env}, {!Compile});
-    [Tree] is the original AST-walking evaluator over hashed frames, kept
-    as the semantic reference for differential testing.  Both backends
-    share all accounting (cycles, oracle counts, probes, sampling) and
-    must be observationally identical. *)
-type backend = Tree | Compiled
+    [Bytecode] compiles each procedure further, to a flat register
+    bytecode with a single dispatch loop ({!Bytecode}, {!Emit}) — the
+    fastest engine; [Tree] is the original AST-walking evaluator over
+    hashed frames, kept as the semantic reference for differential
+    testing.  All backends share all accounting (cycles, oracle counts,
+    probes, sampling) and must be observationally identical. *)
+type backend = Tree | Compiled | Bytecode
 
 type config = {
   cost_model : Cost_model.t;

@@ -13,6 +13,14 @@ Additionally, any ``guards/*`` entry in the current file (the PR-4
 ``--guard-threshold`` (default 2%): guarded execution is required to be
 free on the hot path.
 
+The PR-6 bytecode backend adds two more gates on ``table1/*`` entries of
+the current file: ``speedup_bytecode_vs_compiled`` must stay at or above
+``--bytecode-floor`` (default 1.2x — CI-lenient; the committed
+BENCH_PR6.json records ~2x on dev hardware), and
+``probe_overhead_bytecode`` must stay at or below
+``--probe-threshold`` (default 3%).  Both fields are optional per entry
+so older bench JSONs still pass.
+
 Malformed input (missing file, invalid JSON, a bench entry whose field is
 not numeric) is reported as a one-line error with exit status 2 — never a
 traceback — so CI logs point at the broken file, not at this script.
@@ -68,6 +76,14 @@ def load_guard_overheads(path):
     return load_field(path, "guards/", "guard_overhead")
 
 
+def load_bytecode_speedups(path):
+    return load_field(path, "table1/", "speedup_bytecode_vs_compiled")
+
+
+def load_bytecode_probe_overheads(path):
+    return load_field(path, "table1/", "probe_overhead_bytecode")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
@@ -76,12 +92,20 @@ def main():
                     help="allowed fractional drop vs baseline (default 0.2)")
     ap.add_argument("--guard-threshold", type=float, default=0.02,
                     help="max allowed guards/* guard_overhead (default 0.02)")
+    ap.add_argument("--bytecode-floor", type=float, default=1.2,
+                    help="min allowed table1/* speedup_bytecode_vs_compiled "
+                         "(default 1.2)")
+    ap.add_argument("--probe-threshold", type=float, default=0.03,
+                    help="max allowed table1/* probe_overhead_bytecode "
+                         "(default 0.03)")
     args = ap.parse_args()
 
     try:
         current = load_speedups(args.current)
         baseline = load_speedups(args.baseline)
         guard_overheads = load_guard_overheads(args.current)
+        bc_speedups = load_bytecode_speedups(args.current)
+        bc_probe_overheads = load_bytecode_probe_overheads(args.current)
     except BenchInputError as e:
         print(f"error: {e}")
         return 2
@@ -116,6 +140,23 @@ def main():
         status = "ok" if ok else "REGRESSION"
         print(f"{status:10s} {name}: guard overhead {overhead * 100:+.2f}% "
               f"(threshold {args.guard_threshold * 100:.2f}%)")
+        if not ok:
+            failed = True
+
+    for name, speedup in sorted(bc_speedups.items()):
+        ok = speedup >= args.bytecode_floor
+        status = "ok" if ok else "REGRESSION"
+        print(f"{status:10s} {name}: bytecode vs compiled {speedup:.3f}x "
+              f"(floor {args.bytecode_floor:.2f}x)")
+        if not ok:
+            failed = True
+
+    for name, overhead in sorted(bc_probe_overheads.items()):
+        ok = overhead <= args.probe_threshold
+        status = "ok" if ok else "REGRESSION"
+        print(f"{status:10s} {name}: bytecode smart-probe overhead "
+              f"{overhead * 100:+.2f}% "
+              f"(threshold {args.probe_threshold * 100:.2f}%)")
         if not ok:
             failed = True
 

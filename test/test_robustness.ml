@@ -297,38 +297,77 @@ let looping_src =
 let recursive_src =
   "PROGRAM M\n  CALL R(1.0)\nEND\nSUBROUTINE R(X)\n  CALL R(X)\nEND\n"
 
+let all_backends = [ Interp.Tree; Interp.Compiled; Interp.Bytecode ]
+
+(* Run [prog] under [config] on every backend; each must trip the same
+   guard at exactly the same step and cycle count. *)
+let check_guard_trips_identically what config prog expected_code =
+  let results =
+    List.map
+      (fun backend ->
+        let vm = Interp.create ~config:{ config with Interp.backend } prog in
+        match Interp.run_result vm with
+        | Error d ->
+            check Alcotest.string (what ^ ": code") expected_code d.Diag.code;
+            (Interp.steps vm, Interp.cycles vm)
+        | Ok _ -> Alcotest.failf "%s: expected %s guard" what expected_code)
+      all_backends
+  in
+  match results with
+  | ref :: rest ->
+      List.iter
+        (fun (s, c) ->
+          check ci (what ^ ": trip steps agree") (fst ref) s;
+          check ci (what ^ ": trip cycles agree") (snd ref) c)
+        rest
+  | [] -> ()
+
 let guard_out_of_fuel () =
   let prog = Program.of_source looping_src in
-  let vm =
-    Interp.create ~config:{ Interp.default_config with max_steps = 100 } prog
-  in
-  match Interp.run_result vm with
-  | Error d -> check Alcotest.string "code" "RUN002" d.Diag.code
-  | Ok _ -> Alcotest.fail "expected out-of-fuel"
+  check_guard_trips_identically "fuel"
+    { Interp.default_config with max_steps = 100 }
+    prog "RUN002"
 
 let guard_out_of_cycles () =
   let prog = Program.of_source looping_src in
-  let run backend =
-    let vm =
-      Interp.create
-        ~config:{ Interp.default_config with max_cycles = 1000; backend }
-        prog
-    in
-    match Interp.run_result vm with
-    | Error d -> check Alcotest.string "code" "RUN003" d.Diag.code
-    | Ok _ -> Alcotest.fail "expected out-of-cycles"
-  in
-  run Interp.Tree;
-  run Interp.Compiled
+  check_guard_trips_identically "cycles"
+    { Interp.default_config with max_cycles = 1000 }
+    prog "RUN003"
 
 let guard_call_depth () =
   let prog = Program.of_source recursive_src in
-  let vm =
-    Interp.create ~config:{ Interp.default_config with max_call_depth = 32 } prog
-  in
-  match Interp.run_result vm with
-  | Error d -> check Alcotest.string "code" "RUN004" d.Diag.code
-  | Ok _ -> Alcotest.fail "expected call-depth guard"
+  check_guard_trips_identically "depth"
+    { Interp.default_config with max_call_depth = 32 }
+    prog "RUN004"
+
+(* Counter saturation (RUN005): a bulk probe that adds [max_int] twice
+   must saturate the counter at [max_int] — not wrap — and report the
+   same overflowed-counter set and diagnostics on every backend. *)
+let guard_saturation_identical () =
+  let prog = Program.of_source looping_src in
+  let p = S89_frontend.Program.find prog "SPIN" in
+  let num_nodes = S89_cfg.Cfg.num_nodes p.S89_frontend.Program.cfg in
+  let instr = S89_vm.Probe.make ~n_counters:1 in
+  S89_vm.Probe.add_node_action instr ~proc:"SPIN" ~num_nodes ~node:0
+    (S89_vm.Probe.Bulk_add (0, S89_frontend.Ast.Int max_int));
+  S89_vm.Probe.add_node_action instr ~proc:"SPIN" ~num_nodes ~node:0
+    (S89_vm.Probe.Bulk_add (0, S89_frontend.Ast.Int max_int));
+  List.iter
+    (fun backend ->
+      let vm =
+        Interp.create ~config:{ Interp.default_config with instr; backend } prog
+      in
+      (match Interp.run_result vm with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "unexpected %s" d.Diag.code);
+      check ci "counter saturates at max_int" max_int (Interp.counters vm).(0);
+      check cb "counter 0 reported overflowed" true
+        (Interp.counter_overflowed vm = [ 0 ]);
+      check cb "one RUN005 diagnostic" true
+        (match Interp.diagnostics vm with
+        | [ d ] -> d.Diag.code = "RUN005"
+        | _ -> false))
+    all_backends
 
 let guard_clean_run_no_diags () =
   let prog = Program.of_source (S89_workloads.Demos.fig1 ()) in
@@ -486,7 +525,9 @@ let suite =
     Alcotest.test_case "faults: fully degraded pipeline" `Quick
       fully_degraded_pipeline;
     Alcotest.test_case "guard: out of fuel" `Quick guard_out_of_fuel;
-    Alcotest.test_case "guard: out of cycles (both backends)" `Quick
+    Alcotest.test_case "guard: counter saturation identical across backends"
+      `Quick guard_saturation_identical;
+    Alcotest.test_case "guard: out of cycles (all backends)" `Quick
       guard_out_of_cycles;
     Alcotest.test_case "guard: call depth" `Quick guard_call_depth;
     Alcotest.test_case "guard: clean run has no diagnostics" `Quick

@@ -520,34 +520,40 @@ let run_backend ~instr ~seed backend prog =
 
 let check_backends_agree ?(instr = Probe.empty) ?(seed = 42) what prog =
   let t, ot = run_backend ~instr ~seed Interp.Tree prog in
-  let c, oc = run_backend ~instr ~seed Interp.Compiled prog in
-  check cb (what ^ ": outcome") true (ot = oc);
-  check ci (what ^ ": cycles") (Interp.cycles t) (Interp.cycles c);
-  check ci (what ^ ": steps") (Interp.steps t) (Interp.steps c);
-  check Alcotest.string (what ^ ": output") (Interp.output t) (Interp.output c);
-  check (Alcotest.array ci) (what ^ ": counters") (Interp.counters t)
-    (Interp.counters c);
-  List.iter
-    (fun (p : Program.proc) ->
-      let name = p.Program.name in
-      check ci (what ^ ": invocations " ^ name) (Interp.invocations t name)
-        (Interp.invocations c name);
-      let cfg = p.Program.cfg in
-      for node = 0 to Cfg.num_nodes cfg - 1 do
-        check ci
-          (Printf.sprintf "%s: execs %s/%d" what name node)
-          (Interp.node_execs t name node)
-          (Interp.node_execs c name node);
-        List.iter
-          (fun l ->
-            check ci
-              (Printf.sprintf "%s: edge %s/%d/%s" what name node
-                 (Label.to_string l))
-              (Interp.edge_count t name node l)
-              (Interp.edge_count c name node l))
-          (S89_cfg.Cfg.out_labels cfg node)
-      done)
-    (Program.procs prog)
+  let against tag backend =
+    let what = Printf.sprintf "%s [%s]" what tag in
+    let c, oc = run_backend ~instr ~seed backend prog in
+    check cb (what ^ ": outcome") true (ot = oc);
+    check ci (what ^ ": cycles") (Interp.cycles t) (Interp.cycles c);
+    check ci (what ^ ": steps") (Interp.steps t) (Interp.steps c);
+    check Alcotest.string (what ^ ": output") (Interp.output t)
+      (Interp.output c);
+    check (Alcotest.array ci) (what ^ ": counters") (Interp.counters t)
+      (Interp.counters c);
+    List.iter
+      (fun (p : Program.proc) ->
+        let name = p.Program.name in
+        check ci (what ^ ": invocations " ^ name) (Interp.invocations t name)
+          (Interp.invocations c name);
+        let cfg = p.Program.cfg in
+        for node = 0 to Cfg.num_nodes cfg - 1 do
+          check ci
+            (Printf.sprintf "%s: execs %s/%d" what name node)
+            (Interp.node_execs t name node)
+            (Interp.node_execs c name node);
+          List.iter
+            (fun l ->
+              check ci
+                (Printf.sprintf "%s: edge %s/%d/%s" what name node
+                   (Label.to_string l))
+                (Interp.edge_count t name node l)
+                (Interp.edge_count c name node l))
+            (S89_cfg.Cfg.out_labels cfg node)
+        done)
+      (Program.procs prog)
+  in
+  against "compiled" Interp.Compiled;
+  against "bytecode" Interp.Bytecode
 
 let diff_generated () =
   for seed = 0 to 59 do
@@ -600,12 +606,17 @@ let select_edge_bookkeeping () =
     labels;
   let t, _ = run_backend ~instr ~seed:7 Interp.Tree prog in
   let c, _ = run_backend ~instr ~seed:7 Interp.Compiled prog in
+  let b, _ = run_backend ~instr ~seed:7 Interp.Bytecode prog in
   let total = ref 0 in
   List.iteri
     (fun k l ->
       let et = Interp.edge_count t "CGOTO" sel l in
       let ec = Interp.edge_count c "CGOTO" sel l in
+      let eb = Interp.edge_count b "CGOTO" sel l in
       check ci (Printf.sprintf "oracle agrees on %s" (Label.to_string l)) et ec;
+      check ci
+        (Printf.sprintf "bytecode oracle agrees on %s" (Label.to_string l))
+        et eb;
       check ci
         (Printf.sprintf "tree probe matches oracle on %s" (Label.to_string l))
         et
@@ -614,6 +625,10 @@ let select_edge_bookkeeping () =
         (Printf.sprintf "compiled probe matches oracle on %s" (Label.to_string l))
         ec
         (Interp.counters c).(k);
+      check ci
+        (Printf.sprintf "bytecode probe matches oracle on %s" (Label.to_string l))
+        eb
+        (Interp.counters b).(k);
       total := !total + ec)
     labels;
   check ci "case counts sum to trips" n !total;
