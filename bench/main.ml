@@ -135,13 +135,32 @@ let write_json file =
   Fmt.pr "@.wrote %d benchmark entries to %s@." (List.length !json_entries) file
 
 let run_vm ?(instr = S89_vm.Probe.empty) ?(seed = 42) ?(backend = Interp.Compiled)
-    ~cm prog =
+    ?plan ~cm prog =
   let config =
-    { Interp.default_config with cost_model = cm; instr; seed; backend }
+    { Interp.default_config with cost_model = cm; instr; seed; backend;
+      emit_plan = plan }
   in
   let vm = Interp.create ~config prog in
   ignore (Interp.run vm);
   vm
+
+(* Sub-2% deltas (the probe overhead) sit below what even a best-of-9
+   interleaved pair resolves: BENCH_PR6.json recorded *negative*
+   overheads when background load happened to land on the instrumented
+   side of the single pair.  Taking the median over several independent
+   interleaved pairs discards those one-sided outliers; the first pair's
+   results are returned for the cycle-parity checks. *)
+let median_pair_delta ~pairs ~reps f g =
+  let deltas = ref [] in
+  let first = ref None in
+  for _ = 1 to pairs do
+    let ((_, wf, _), (_, wg, _)) as p = timed_pair ~reps f g in
+    if !first = None then first := Some p;
+    deltas := ((wg -. wf) /. wf) :: !deltas
+  done;
+  let a = Array.of_list !deltas in
+  Array.sort compare a;
+  (Option.get !first, a.(Array.length a / 2))
 
 (* ------------------------------------------------------------------ *)
 (* T1: Table 1 — profiling overhead                                    *)
@@ -198,11 +217,11 @@ let table1 () =
                   prog)
           in
           (* smart-probe overhead is ~1-2%, far below run-to-run wall
-             noise, so it too must come from an interleaved pair — and a
-             deep one: bytecode runs are milliseconds, so best-of-9 is
-             needed before a 1% delta is distinguishable from jitter *)
-          let (_, wbp, _), (vm1b, w1b, _) =
-            timed_pair ~reps:9
+             noise, so it comes from interleaved best-of-9 pairs — and
+             the median over 5 independent pairs, which is what keeps a
+             single load spike from producing a negative overhead *)
+          let ((_, _wbp, _), (vm1b, w1b, _)), probe_overhead_bc =
+            median_pair_delta ~pairs:5 ~reps:9
               (fun () ->
                 run_vm ~backend:Interp.Bytecode ~cm ~instr:S89_vm.Probe.empty
                   prog)
@@ -210,6 +229,30 @@ let table1 () =
                 run_vm ~backend:Interp.Bytecode ~cm
                   ~instr:(Placement.probes smart) prog)
           in
+          (* the PGO loop: plan + reoptimize from one profiled run.  The
+             plan alone (inlining, layout, intrinsics) is observationally
+             invisible, so running it on the *same* program isolates the
+             wall-clock win over the PR6-era conservative emission; the
+             reoptimized program carries the predicted/measured cycle
+             delta (the estimator predicting its own speedup) *)
+          let t = Pipeline.create prog in
+          let pr = Pipeline.pgo ~cost_model:cm ~seed:42 t in
+          let (vmb6, wb6, _), (vmbp, wbpgo, _) =
+            timed_pair ~reps:5
+              (fun () ->
+                run_vm ~backend:Interp.Bytecode ~cm
+                  ~plan:S89_vm.Emit.conservative_plan prog)
+              (fun () ->
+                run_vm ~backend:Interp.Bytecode ~cm ~plan:pr.Pipeline.pgo_plan
+                  prog)
+          in
+          let fallback_pr6 = Interp.fallback_execs vmb6 in
+          let fallback_pgo = Interp.fallback_execs vmbp in
+          if Interp.cycles vmb6 <> c0 || Interp.cycles vmbp <> c0 then
+            Fmt.pr
+              "!! emission-plan cycle mismatch on %s/%s: conservative %d / pgo \
+               %d vs %d@."
+              name mode (Interp.cycles vmb6) (Interp.cycles vmbp) c0;
           if Interp.cycles vmt <> c0 then
             Fmt.pr "!! backend cycle mismatch on %s/%s: tree %d vs compiled %d@."
               name mode (Interp.cycles vmt) c0;
@@ -224,7 +267,7 @@ let table1 () =
               name mode (Interp.cycles vm1b) c1;
           let speedup = wt /. w0 in
           let speedup_bc = w0c /. wb in
-          let probe_overhead_bc = (w1b -. wbp) /. wbp in
+          let speedup_pgo = wb6 /. wbpgo in
           record ~backend:"all" ~alloc:a0
             (Printf.sprintf "table1/%s/%s" name mode)
             [
@@ -243,11 +286,25 @@ let table1 () =
               ("speedup_vs_tree", Num speedup);
               ("speedup_bytecode_vs_compiled", Num speedup_bc);
               ("probe_overhead_bytecode", Num probe_overhead_bc);
+              ("wall_s_bytecode_pr6", Num wb6);
+              ("wall_s_bytecode_pgo", Num wbpgo);
+              ("speedup_pgo_vs_pr6", Num speedup_pgo);
+              ("fallback_execs", Int fallback_pr6);
+              ("fallback_execs_pgo", Int fallback_pgo);
+              ("cycles_pgo", Int pr.Pipeline.pgo_cycles_after);
+              ("pgo_predicted_delta", Int pr.Pipeline.pgo_predicted_delta);
+              ("pgo_measured_delta", Int pr.Pipeline.pgo_measured_delta);
+              ("pgo_prediction_error", Num (Pipeline.pgo_accuracy pr));
             ];
           let pct a = 100.0 *. float_of_int (a - c0) /. float_of_int c0 in
           Fmt.pr
             "%-8s %-8s %12d (%4.1fs) %14d +%4.1f%% (%4.1fs) %14d +%4.1f%% (%4.1fs) %8.1fx %9.1fx@."
-            name mode c0 w0 c1 (pct c1) w1 c2 (pct c2) w2 speedup speedup_bc)
+            name mode c0 w0 c1 (pct c1) w1 c2 (pct c2) w2 speedup speedup_bc;
+          Fmt.pr
+            "         pgo: %5.2fx vs PR6 emission, fallbacks %d -> %d, \
+             predicted/measured delta %d/%d@."
+            speedup_pgo fallback_pr6 fallback_pgo pr.Pipeline.pgo_predicted_delta
+            pr.Pipeline.pgo_measured_delta)
         [ ("opt-ON", opt, CM.optimized); ("opt-OFF", base, CM.unoptimized) ])
     programs;
   Fmt.pr

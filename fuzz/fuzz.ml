@@ -169,7 +169,43 @@ let check mode src : verdict =
                    failf "reconstruction inexact: measured %.3f, predicted %.3f"
                      measured predicted;
                  let profile = Pipeline.profile_smart ~runs:2 t in
-                 ignore (Pipeline.estimate_profiled t profile)
+                 ignore (Pipeline.estimate_profiled t profile);
+                 (* the PGO leg: profile -> plan -> reoptimize.  The plan
+                    is observationally invisible and reoptimization
+                    preserves control flow, so all three backends must
+                    agree on the PGO'd program, reproduce the original
+                    output and step count, and never cost more cycles *)
+                 let pr = Pipeline.pgo t in
+                 let run_pgo backend =
+                   let config =
+                     { (bounded backend) with
+                       Interp.emit_plan = Some pr.Pipeline.pgo_plan }
+                   in
+                   let vm = Interp.create ~config pr.Pipeline.pgo_prog in
+                   match Interp.run_result vm with
+                   | Ok _ -> Ok (Interp.cycles vm, Interp.steps vm, Interp.output vm)
+                   | Error d -> Error d.Diag.code
+                 in
+                 match
+                   (run_pgo Interp.Tree, run_pgo Interp.Compiled,
+                    run_pgo Interp.Bytecode)
+                 with
+                 | Ok (ct, st, ot), Ok (cc, sc, oc), Ok (cb, sb, ob) ->
+                     if ct <> cc || ct <> cb || st <> sc || st <> sb then
+                       failf
+                         "pgo divergence: tree %d/%d, compiled %d/%d, bytecode %d/%d"
+                         ct st cc sc cb sb;
+                     if ot <> oc || ot <> ob then
+                       failf "pgo divergence: PRINT output differs";
+                     if ot <> o1 then failf "pgo changed program output";
+                     if st <> s1 then
+                       failf "pgo changed step count: %d vs %d" st s1;
+                     if ct > c1 then
+                       failf "pgo increased cycles: %d vs %d" ct c1
+                 | Error d1, Error d2, Error d3 ->
+                     if d1 <> d2 || d1 <> d3 then
+                       failf "pgo divergence: rejects %s / %s / %s" d1 d2 d3
+                 | _ -> failf "pgo divergence: backends disagree on acceptance"
                with
               | () -> ()
               | exception e -> (

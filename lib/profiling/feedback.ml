@@ -1,0 +1,140 @@
+(* Feedback profiles: the PGO loop's on-disk interchange format.
+
+   A feedback file carries the per-procedure node frequencies of one
+   profiled run, keyed by an FNV-1a fingerprint of the exact source text
+   it was collected from.  Frequencies index CFG nodes positionally, so
+   feeding a profile of program A into a reoptimization of program B
+   would silently misattribute every count — the fingerprint check makes
+   that a structured PGO001 error instead (same identity discipline as
+   the batch store's DB004 check).
+
+   Format (line-oriented, checksummed like the profile database):
+
+     s89-feedback 1
+     source-fnv <16 hex digits>
+     seed <int>
+     proc <name> <n> <e0> ... <e(n-1)>
+     ...
+     checksum <16 hex digits>
+*)
+
+module Diag = S89_diag.Diag
+
+type t = {
+  fingerprint : string;  (* FNV-1a/64 of the source text, 16 hex digits *)
+  seed : int;
+  freq : (string * int array) list;
+}
+
+exception Load_error of { line : int; msg : string }
+
+let magic = "s89-feedback"
+let format_version = 1
+let fingerprint_of_source source = Printf.sprintf "%016Lx" (Database.fnv64 source)
+
+let make ~source ~seed freq = { fingerprint = fingerprint_of_source source; seed; freq }
+
+let check t ~source : (unit, Diag.t) result =
+  let got = fingerprint_of_source source in
+  if String.equal t.fingerprint got then Ok ()
+  else
+    Error
+      (Diag.errorf ~code:"PGO001"
+         ~hint:"re-profile with 'ptranc pgo --profile-out' on this exact source"
+         "feedback profile fingerprint %s does not match program %s: node \
+          frequencies index CFG nodes positionally and cannot be applied \
+          across source changes"
+         t.fingerprint got)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%s %d\n" magic format_version;
+  Printf.bprintf buf "source-fnv %s\n" t.fingerprint;
+  Printf.bprintf buf "seed %d\n" t.seed;
+  List.iter
+    (fun (name, execs) ->
+      Printf.bprintf buf "proc %s %d" name (Array.length execs);
+      Array.iter (fun e -> Printf.bprintf buf " %d" e) execs;
+      Buffer.add_char buf '\n')
+    t.freq;
+  let body = Buffer.contents buf in
+  body ^ Printf.sprintf "checksum %016Lx\n" (Database.fnv64 body)
+
+let save t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let of_string (s : string) : t =
+  let err line msg = raise (Load_error { line; msg }) in
+  let lines = String.split_on_char '\n' s in
+  let fingerprint = ref "" and seed = ref 0 and freq = ref [] in
+  let body = Buffer.create 256 in
+  let seen_checksum = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let row = String.trim line in
+      if !seen_checksum then begin
+        if row <> "" then err lineno "content after the checksum line"
+      end
+      else
+        match String.split_on_char ' ' row with
+        | [ m; v ] when m = magic ->
+            if int_of_string_opt v <> Some format_version then
+              err lineno ("unsupported feedback format version: " ^ v);
+            Buffer.add_string body line;
+            Buffer.add_char body '\n'
+        | [ "source-fnv"; hex ] ->
+            fingerprint := String.lowercase_ascii hex;
+            Buffer.add_string body line;
+            Buffer.add_char body '\n'
+        | [ "seed"; n ] -> (
+            match int_of_string_opt n with
+            | Some n ->
+                seed := n;
+                Buffer.add_string body line;
+                Buffer.add_char body '\n'
+            | None -> err lineno ("bad seed: " ^ n))
+        | "proc" :: name :: n :: counts -> (
+            match int_of_string_opt n with
+            | Some n when n >= 0 && List.length counts = n ->
+                let execs =
+                  Array.of_list
+                    (List.map
+                       (fun c ->
+                         match int_of_string_opt c with
+                         | Some v when v >= 0 -> v
+                         | _ -> err lineno ("bad count: " ^ c))
+                       counts)
+                in
+                freq := (name, execs) :: !freq;
+                Buffer.add_string body line;
+                Buffer.add_char body '\n'
+            | _ -> err lineno ("bad proc row: " ^ row))
+        | [ "checksum"; hex ] ->
+            seen_checksum := true;
+            let expect =
+              Printf.sprintf "%016Lx" (Database.fnv64 (Buffer.contents body))
+            in
+            if String.lowercase_ascii hex <> expect then
+              err lineno "checksum mismatch (corrupt feedback file?)"
+        | [] | [ "" ] -> ()
+        | _ -> err lineno ("unrecognized line: " ^ row))
+    lines;
+  if not !seen_checksum then
+    err (List.length lines) "missing checksum (truncated file?)";
+  if !fingerprint = "" then err 0 "missing source-fnv line";
+  { fingerprint = !fingerprint; seed = !seed; freq = List.rev !freq }
+
+let load path =
+  let ic =
+    try open_in path with Sys_error msg -> raise (Load_error { line = 0; msg })
+  in
+  let len = in_channel_length ic in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic len)
+  in
+  of_string s

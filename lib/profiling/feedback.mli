@@ -1,0 +1,38 @@
+(** Feedback profiles: the PGO loop's on-disk interchange format —
+    per-procedure node frequencies of one profiled run, fingerprinted
+    against the exact source text they were collected from (frequencies
+    index CFG nodes positionally, so cross-program application must be a
+    structured error, not silent misattribution). *)
+
+module Diag = S89_diag.Diag
+
+type t = {
+  fingerprint : string;  (** FNV-1a/64 of the source text, 16 hex digits *)
+  seed : int;  (** seed of the profiled run *)
+  freq : (string * int array) list;  (** node frequencies per procedure *)
+}
+
+(** A feedback file that cannot be parsed (bad row, bad checksum,
+    truncation, unreadable path). *)
+exception Load_error of { line : int; msg : string }
+
+(** The fingerprint [save]/[check] key profiles by. *)
+val fingerprint_of_source : string -> string
+
+(** Package a run's frequencies for [source] profiled under [seed]. *)
+val make : source:string -> seed:int -> (string * int array) list -> t
+
+(** [Error PGO001] when the profile was collected from different source
+    text than the program it is being applied to. *)
+val check : t -> source:string -> (unit, Diag.t) result
+
+(** The full checksummed file image ([save] writes exactly this). *)
+val to_string : t -> string
+
+val save : t -> string -> unit
+
+(** Parse a file image.  @raise Load_error on any malformation. *)
+val of_string : string -> t
+
+(** Load from a path.  @raise Load_error as {!of_string}. *)
+val load : string -> t

@@ -48,9 +48,12 @@ type acct = {
   c_counter : int; (* cycle charge per counter update *)
   counters : int array;
   mutable overflowed : int list; (* saturated counters (ascending, distinct) *)
+  mutable depth : int; (* current call depth, shared by all backends *)
+  max_depth : int;
 }
 
-let make_acct ~max_steps ~max_cycles ~sample_interval ~c_counter ~n_counters =
+let make_acct ~max_steps ~max_cycles ~max_call_depth ~sample_interval ~c_counter
+    ~n_counters =
   let interval = match sample_interval with Some s -> s | None -> max_int in
   {
     cycles = 0;
@@ -62,6 +65,8 @@ let make_acct ~max_steps ~max_cycles ~sample_interval ~c_counter ~n_counters =
     c_counter;
     counters = Array.make (max n_counters 1) 0;
     overflowed = [];
+    depth = 0;
+    max_depth = max_call_depth;
   }
 
 (* a counter hit max_int: saturate and remember — never silent wraparound *)
@@ -114,6 +119,19 @@ type bulk = {
 (* an edge-probe group entry: plain increment or bulk-table reference *)
 type pact = PIncr of int | PBulk of int
 
+(* An inlined-callee region: a leaf procedure's body spliced into this
+   procedure's code by the PGO emitter.  The callee's oracle counts live
+   in the host's [execs]/[samples]/[edge_counts] arrays at the region's
+   base offsets, so inlining never loses a node execution or an edge
+   traversal — the interpreter's read-side accessors sum them back into
+   the callee's totals. *)
+type region = {
+  rg_callee : string;
+  rg_node_base : int; (* offset of callee node 0 in host execs/samples *)
+  rg_edge_base : int; (* offset of callee flat edge 0 in host edge_counts *)
+  mutable rg_invocations : int;
+}
+
 type proc = {
   bp_proc : Program.proc;
   layout : Env.layout;
@@ -124,17 +142,21 @@ type proc = {
   n_fregs : int;
   all_promoted : sync; (* every promoted slot: frame init and RET sync *)
   names : string array; (* slot -> name, for runtime error messages *)
+  rng : S89_util.Prng.t; (* RAND/IRAND opcodes draw from the VM's stream *)
   fallbacks : fallback array;
   bulks : bulk array;
   groups : pact array array; (* edge-probe groups *)
+  regions : region array; (* inlined callee regions, in IENTER order *)
   (* oracle meta, indexed by CFG node id (execs/samples) or flat edge
-     index (edge_base.(nid) + successor position) *)
+     index (edge_base.(nid) + successor position); inlined regions extend
+     both past the procedure's own nodes/edges *)
   execs : int array;
   samples : int array;
   edge_counts : int array;
   edge_base : int array;
   succ_labels : Label.t array array;
   mutable invocations : int;
+  mutable fb_execs : int; (* FALLBACK escapes executed (perf telemetry) *)
 }
 
 (* ---- opcode map (operands follow the opcode word) ----
@@ -228,7 +250,31 @@ let op_select = 69 (* ra n pc1..pcn pcF *)
 let op_edgea = 70 (* eidx nid cost dst *)
 let op_edgepa = 71 (* eidx gid nid cost dst *)
 
-let num_opcodes = 72
+(* native intrinsics: unary float transcendentals (error semantics match
+   Builtins exactly), ABS/IABS/MOD, and the PRNG intrinsics (drawing from
+   [proc.rng], the same stream Builtins.apply consumes).  These eliminate
+   the FALLBACK escape for statically-typed expressions that call
+   intrinsics — the dominant escape source on the Livermore kernels. *)
+let op_fsqrt = 72 (* fd fa *)
+let op_fexp = 73 (* fd fa *)
+let op_flog = 74 (* fd fa *)
+let op_fsin = 75 (* fd fa *)
+let op_fcos = 76 (* fd fa *)
+let op_ftan = 77 (* fd fa *)
+let op_fatan = 78 (* fd fa *)
+let op_fabs = 79 (* fd fa *)
+let op_iabs = 80 (* rd ra *)
+let op_rand = 81 (* fd *)
+let op_irand = 82 (* rd ra *)
+let op_imod = 83 (* rd ra rb *)
+
+(* inlined-call bookkeeping: IENTER counts the region invocation and
+   checks the depth guard (invocation is counted before the guard can
+   trip, matching call_proc's enter order); IEXIT pops the depth *)
+let op_ienter = 84 (* ri *)
+let op_iexit = 85
+
+let num_opcodes = 86
 
 (* ---- runtime helpers (cold paths of the dispatch loop) ---- *)
 
@@ -359,6 +405,7 @@ let exec (a : acct) (p : proc) (venv : Env.slots) : unit =
     | 4 (* RET *) -> store_regs p.all_promoted venv ireg freg
     | 5 (* STOP *) -> raise Stopped
     | 6 (* FALLBACK fi *) ->
+        p.fb_execs <- p.fb_execs + 1;
         let fb = p.fallbacks.(Array.unsafe_get code (pc + 1)) in
         store_regs fb.fb_sync venv ireg freg;
         let k = fb.fb_step venv in
@@ -756,6 +803,69 @@ let exec (a : acct) (p : proc) (venv : Env.slots) : unit =
         Array.unsafe_set execs nid (Array.unsafe_get execs nid + 1);
         if cycles >= a.next_sample then take_samples a p.samples nid;
         loop (Array.unsafe_get code (pc + 5))
+    | 72 (* FSQRT fd fa *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        if x < 0.0 then Value.err "SQRT of negative value %g" x;
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1)) (sqrt x);
+        loop (pc + 3)
+    | 73 (* FEXP fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (exp (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 74 (* FLOG fd fa *) ->
+        let x = Array.unsafe_get freg (Array.unsafe_get code (pc + 2)) in
+        if x <= 0.0 then Value.err "LOG of non-positive value %g" x;
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1)) (log x);
+        loop (pc + 3)
+    | 75 (* FSIN fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (sin (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 76 (* FCOS fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (cos (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 77 (* FTAN fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (tan (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 78 (* FATAN fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (atan (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 79 (* FABS fd fa *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (Float.abs (Array.unsafe_get freg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 80 (* IABS rd ra *) ->
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (abs (Array.unsafe_get ireg (Array.unsafe_get code (pc + 2))));
+        loop (pc + 3)
+    | 81 (* RAND fd *) ->
+        Array.unsafe_set freg (Array.unsafe_get code (pc + 1))
+          (S89_util.Prng.float p.rng);
+        loop (pc + 2)
+    | 82 (* IRAND rd ra *) ->
+        let n = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        if n <= 0 then Value.err "IRAND bound must be positive";
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1))
+          (1 + S89_util.Prng.int p.rng n);
+        loop (pc + 3)
+    | 83 (* IMOD rd ra rb *) ->
+        let x = Array.unsafe_get ireg (Array.unsafe_get code (pc + 2)) in
+        let y = Array.unsafe_get ireg (Array.unsafe_get code (pc + 3)) in
+        if y = 0 then Value.err "MOD by zero";
+        Array.unsafe_set ireg (Array.unsafe_get code (pc + 1)) (x mod y);
+        loop (pc + 4)
+    | 84 (* IENTER ri *) ->
+        let r = p.regions.(Array.unsafe_get code (pc + 1)) in
+        r.rg_invocations <- r.rg_invocations + 1;
+        a.depth <- a.depth + 1;
+        if a.depth > a.max_depth then raise (Call_depth_exceeded a.depth);
+        loop (pc + 2)
+    | 85 (* IEXIT *) ->
+        a.depth <- a.depth - 1;
+        loop (pc + 1)
     | op -> Value.err "corrupt bytecode: opcode %d at pc %d" op pc
   in
   loop p.entry_pc

@@ -35,6 +35,7 @@
 
 module Ast = S89_frontend.Ast
 module Ir = S89_frontend.Ir
+module Sema = S89_frontend.Sema
 module Program = S89_frontend.Program
 module B = Bytecode
 open S89_cfg
@@ -115,13 +116,55 @@ let flip_rel = function
   | Ast.Ge -> Ast.Le
   | op -> op (* Eq/Ne symmetric *)
 
+(* ---- emission plan (profile-guided) ----
+
+   The plan steers code generation without changing semantics:
+   - [native_intrinsics]: lower statically-typed intrinsic calls (SQRT,
+     EXP, RAND, INT, ...) to dedicated opcodes instead of escaping the
+     whole node to FALLBACK;
+   - [inline_sites]: CALL statement nodes (per procedure) where a hot
+     leaf callee should be spliced into the caller's frame — attempted,
+     with full rollback to FALLBACK when any legality condition fails;
+   - [layout]: per-procedure node emission order (hot-first), legal for
+     any permutation because every control transfer carries an explicit
+     destination pc;
+   - [inline_budget]: maximum callee CFG size considered for splicing.
+
+   All observable accounting (cycles, steps, oracle counts, probes, PRNG
+   stream, error points) is preserved exactly under any plan; the
+   differential suites enforce this. *)
+type plan = {
+  native_intrinsics : bool;
+  inline_sites : (string, int list) Hashtbl.t;
+  layout : (string, int array) Hashtbl.t;
+  inline_budget : int;
+}
+
+let default_plan =
+  {
+    native_intrinsics = true;
+    inline_sites = Hashtbl.create 1;
+    layout = Hashtbl.create 1;
+    inline_budget = 16;
+  }
+
+(* PR6-compatible plan: intrinsic calls escape to FALLBACK (used by the
+   bench to measure what intrinsic lowering and inlining buy) *)
+let conservative_plan = { default_plan with native_intrinsics = false }
+
 let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
-    (rt : Compile.rt) (prog : Program.t) (p : Program.proc) : B.proc =
+    ?(plan = default_plan) (rt : Compile.rt) (prog : Program.t)
+    (p : Program.proc) : B.proc =
   let cfg = p.Program.cfg in
   let n = Cfg.num_nodes cfg in
   let pi = Probe.find_proc instr p.Program.name in
   let lay = Env.layout p in
   let nslots = Env.n_slots lay in
+  let inline_sites =
+    match Hashtbl.find_opt plan.inline_sites p.Program.name with
+    | Some l -> l
+    | None -> []
+  in
 
   (* ---- promotion analysis ---- *)
   let by_ref = Array.make nslots false in
@@ -152,7 +195,11 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
     let ir = (Cfg.info cfg i).Ir.ir in
     (match ir with
     | Ir.Call (f, args) when Hashtbl.mem prog.Program.by_name f ->
-        List.iter mark_by_ref args
+        (* at a planned inline site the bare-variable args bind to the
+           caller's own registers (exact by-reference aliasing), so they
+           may stay promoted; if the splice is rejected the node falls
+           back and fb_sync covers those names anyway *)
+        if not (List.mem i inline_sites) then List.iter mark_by_ref args
     | _ -> ());
     List.iter scan_refs (Ir.exprs_of ir)
   done;
@@ -306,9 +353,825 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
   for i = 0 to n - 1 do
     edge_base.(i + 1) <- edge_base.(i) + Array.length succ_labels.(i)
   done;
-  let edge_counts = Array.make (max edge_base.(n) 1) 0 in
   let node_cost =
     Array.init n (fun i -> Cost_model.node_cost cost_model (Cfg.info cfg i).Ir.ir)
+  in
+
+  (* inlined-callee regions extend the exec/sample and edge-count arrays
+     past the caller's own nodes/edges; the tops track the next free
+     index and size the arrays at the end *)
+  let exec_top = ref n in
+  let edge_top = ref edge_base.(n) in
+  let regions = ref [] and n_regions = ref 0 in
+
+  (* ---- expression context ----
+
+     The emitters below resolve variables through these three functions
+     so the same code serves the caller's frame (promoted slots, cell
+     loads allowed) and an inlined callee body (virtual registers only).
+     [cx_slots] gates every frame-cell/array access: inside a splice the
+     callee has no frame, so anything unpromotable bails out. *)
+  let caller_ty v =
+    match Compile.static_scalar_ty lay (Env.slot lay v) with
+    | Some (Ast.Tint | Ast.Treal) as t -> t
+    | _ -> None
+  in
+  let caller_ireg v = slot_ireg.(Env.slot lay v) in
+  let caller_freg v = slot_freg.(Env.slot lay v) in
+  let cx_ty = ref caller_ty in
+  let cx_ireg = ref caller_ireg in
+  let cx_freg = ref caller_freg in
+  let cx_slots = ref true in
+  let reset_cx () =
+    cx_ty := caller_ty;
+    cx_ireg := caller_ireg;
+    cx_freg := caller_freg;
+    cx_slots := true
+  in
+
+  (* Static numeric typing: mirrors [Compile.static_num] case for case
+     (same judgments => both backends specialize the same expressions),
+     extended — when the plan enables it — with intrinsic calls whose
+     native lowering below is exact.  A user procedure shadowing an
+     intrinsic name keeps the dynamic path. *)
+  let is_native_intrinsic f =
+    plan.native_intrinsics && not (Hashtbl.mem prog.Program.by_name f)
+  in
+  let rec xstatic_num (e : Ast.expr) : Ast.typ option =
+    match e with
+    | Ast.Int _ -> Some Ast.Tint
+    | Ast.Real _ -> Some Ast.Treal
+    | Ast.Var v -> !cx_ty v
+    | Ast.Index (name, _) ->
+        if !cx_slots then
+          match Compile.static_elt_ty lay (Env.slot lay name) with
+          | Some (Ast.Tint | Ast.Treal) as t -> t
+          | _ -> None
+        else None
+    | Ast.Unop (Ast.Neg, e1) -> xstatic_num e1
+    | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, b) -> (
+        match (xstatic_num a, xstatic_num b) with
+        | Some Ast.Tint, Some Ast.Tint -> Some Ast.Tint
+        | Some (Ast.Tint | Ast.Treal), Some (Ast.Tint | Ast.Treal) ->
+            Some Ast.Treal
+        | _ -> None)
+    | Ast.Call (f, args) when is_native_intrinsic f -> (
+        let num1 t =
+          match args with
+          | [ a ] -> ( match xstatic_num a with Some _ -> Some t | None -> None)
+          | _ -> None
+        in
+        match f with
+        | "SQRT" | "EXP" | "LOG" | "ALOG" | "SIN" | "COS" | "TAN" | "ATAN"
+        | "REAL" | "FLOAT" ->
+            num1 Ast.Treal
+        | "INT" | "IFIX" | "IABS" | "IRAND" -> num1 Ast.Tint
+        | "ABS" -> ( match args with [ a ] -> xstatic_num a | _ -> None)
+        | "MOD" -> (
+            match args with
+            | [ a; b ]
+              when xstatic_num a = Some Ast.Tint && xstatic_num b = Some Ast.Tint
+              ->
+                Some Ast.Tint
+            | _ -> None)
+        | "RAND" -> ( match args with [] -> Some Ast.Treal | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  let xstatic_int e = xstatic_num e = Some Ast.Tint in
+
+  (* array subscript: split off a constant displacement (A(I+1),
+     A(I-2)) so it folds into the access opcode's ka/kb immediate.
+     Int adds are exact, so evaluating [reg + k] at the access is
+     observationally identical to materializing the sum in a temp; the
+     static-int guard keeps non-integer subscripts on the fallback
+     path, where a REAL subscript truncates after the addition. *)
+  let index_parts (e : Ast.expr) : Ast.expr * int =
+    match e with
+    | Ast.Binop (Ast.Add, e1, Ast.Int k) when xstatic_int e1 -> (e1, k)
+    | Ast.Binop (Ast.Add, Ast.Int k, e1) when xstatic_int e1 -> (e1, k)
+    | Ast.Binop (Ast.Sub, e1, Ast.Int k) when xstatic_int e1 -> (e1, -k)
+    | _ -> (e, 0)
+  in
+
+  (* expression emitters, mirroring compile_int/compile_float/
+     compile_num case for case.  Results go to [dst] when given (safe:
+     every op reads its sources before writing its destination), else
+     to a fresh temp — or, for a promoted variable leaf, its own
+     register. *)
+  let rec emit_int ?dst (e : Ast.expr) : int =
+    let into k =
+      match dst with
+      | Some d ->
+          k d;
+          d
+      | None ->
+          let d = itemp () in
+          k d;
+          d
+    in
+    match e with
+    | Ast.Int i ->
+        into (fun d ->
+            emit B.op_ldki;
+            emit d;
+            emit i)
+    | Ast.Real r ->
+        let i = int_of_float r in
+        into (fun d ->
+            emit B.op_ldki;
+            emit d;
+            emit i)
+    | Ast.Var v -> (
+        let ri = !cx_ireg v in
+        if ri >= 0 then
+          match dst with
+          | None -> ri
+          | Some d ->
+              if d <> ri then begin
+                emit B.op_movi;
+                emit d;
+                emit ri
+              end;
+              d
+        else
+          let rf = !cx_freg v in
+          if rf >= 0 then
+            into (fun d ->
+                emit B.op_ftoi;
+                emit d;
+                emit rf)
+          else if !cx_slots then
+            into (fun d ->
+                emit B.op_ldci;
+                emit d;
+                emit (Env.slot lay v))
+          else raise Unsupported)
+    | Ast.Index (name, idx) -> (
+        if not !cx_slots then raise Unsupported;
+        let s = Env.slot lay name in
+        match (Compile.static_dims lay s, idx) with
+        | Some [ d0 ], [ e0 ] ->
+            let e0, k0 = index_parts e0 in
+            let r0 = emit_int e0 in
+            into (fun d ->
+                emit B.op_lda1i;
+                emit d;
+                emit s;
+                emit d0;
+                emit r0;
+                emit k0)
+        | Some [ d0; d1 ], [ e0; e1 ] ->
+            let e0, k0 = index_parts e0 in
+            let e1, k1 = index_parts e1 in
+            let r0 = emit_int e0 in
+            let r1 = emit_int e1 in
+            into (fun d ->
+                emit B.op_lda2i;
+                emit d;
+                emit s;
+                emit d0;
+                emit d1;
+                emit r0;
+                emit r1;
+                emit k0;
+                emit k1)
+        | _ -> raise Unsupported)
+    | Ast.Unop (Ast.Neg, e1) when xstatic_int e1 ->
+        let r = emit_int e1 in
+        into (fun d ->
+            emit B.op_ineg;
+            emit d;
+            emit r)
+    | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b)
+      when xstatic_int a && xstatic_int b -> (
+        match (op, a, b) with
+        (* constant-fused forms; int ops are exact, so commuting a
+           constant to the immediate slot is observationally identical *)
+        | Ast.Add, _, Ast.Int k ->
+            let r = emit_int a in
+            into (fun d ->
+                emit B.op_iaddk;
+                emit d;
+                emit r;
+                emit k)
+        | Ast.Add, Ast.Int k, _ ->
+            let r = emit_int b in
+            into (fun d ->
+                emit B.op_iaddk;
+                emit d;
+                emit r;
+                emit k)
+        | Ast.Sub, _, Ast.Int k ->
+            let r = emit_int a in
+            into (fun d ->
+                emit B.op_iaddk;
+                emit d;
+                emit r;
+                emit (-k))
+        | Ast.Sub, Ast.Int k, _ ->
+            let r = emit_int b in
+            into (fun d ->
+                emit B.op_irsubk;
+                emit d;
+                emit r;
+                emit k)
+        | Ast.Mul, _, Ast.Int k ->
+            let r = emit_int a in
+            into (fun d ->
+                emit B.op_imulk;
+                emit d;
+                emit r;
+                emit k)
+        | Ast.Mul, Ast.Int k, _ ->
+            let r = emit_int b in
+            into (fun d ->
+                emit B.op_imulk;
+                emit d;
+                emit r;
+                emit k)
+        | _ ->
+            let ra = emit_int a in
+            let rb = emit_int b in
+            let opc =
+              match op with
+              | Ast.Add -> B.op_iadd
+              | Ast.Sub -> B.op_isub
+              | Ast.Mul -> B.op_imul
+              | _ -> B.op_idiv
+            in
+            into (fun d ->
+                emit opc;
+                emit d;
+                emit ra;
+                emit rb))
+    | Ast.Call (f, args) when is_native_intrinsic f -> (
+        (* exact counterparts of the Builtins closures: same coercions,
+           same error points/messages, same PRNG draws *)
+        match (f, args) with
+        | ("INT" | "IFIX"), [ a ] -> (
+            match xstatic_num a with
+            | Some Ast.Tint -> emit_int ?dst a (* to_int on Int = identity *)
+            | Some Ast.Treal ->
+                let r = emit_float a in
+                into (fun d ->
+                    emit B.op_ftoi;
+                    emit d;
+                    emit r)
+            | _ -> raise Unsupported)
+        | "IABS", [ a ] ->
+            let r = emit_as_int a in
+            into (fun d ->
+                emit B.op_iabs;
+                emit d;
+                emit r)
+        | "ABS", [ a ] when xstatic_num a = Some Ast.Tint ->
+            let r = emit_int a in
+            into (fun d ->
+                emit B.op_iabs;
+                emit d;
+                emit r)
+        | "IRAND", [ a ] ->
+            let r = emit_as_int a in
+            into (fun d ->
+                emit B.op_irand;
+                emit d;
+                emit r)
+        | "MOD", [ a; b ]
+          when xstatic_num a = Some Ast.Tint && xstatic_num b = Some Ast.Tint
+          ->
+            let ra = emit_int a in
+            let rb = emit_int b in
+            into (fun d ->
+                emit B.op_imod;
+                emit d;
+                emit ra;
+                emit rb)
+        | _ -> raise Unsupported)
+    | _ -> raise Unsupported
+  and emit_float ?dst (e : Ast.expr) : int =
+    let into k =
+      match dst with
+      | Some d ->
+          k d;
+          d
+      | None ->
+          let d = ftemp () in
+          k d;
+          d
+    in
+    let lit = function
+      | Ast.Real r -> Some r
+      | Ast.Int i -> Some (float_of_int i)
+      | _ -> None
+    in
+    match e with
+    | Ast.Real r ->
+        let k = fconst r in
+        into (fun d ->
+            emit B.op_ldkf;
+            emit d;
+            emit k)
+    | Ast.Var v -> (
+        let rf = !cx_freg v in
+        if rf >= 0 then
+          match dst with
+          | None -> rf
+          | Some d ->
+              if d <> rf then begin
+                emit B.op_movf;
+                emit d;
+                emit rf
+              end;
+              d
+        else
+          let ri = !cx_ireg v in
+          if ri >= 0 then
+            into (fun d ->
+                emit B.op_itof;
+                emit d;
+                emit ri)
+          else if !cx_slots then
+            into (fun d ->
+                emit B.op_ldcf;
+                emit d;
+                emit (Env.slot lay v))
+          else raise Unsupported)
+    | Ast.Index (name, idx) -> (
+        if not !cx_slots then raise Unsupported;
+        let s = Env.slot lay name in
+        match (Compile.static_dims lay s, idx) with
+        | Some [ d0 ], [ e0 ] ->
+            let e0, k0 = index_parts e0 in
+            let r0 = emit_int e0 in
+            into (fun d ->
+                emit B.op_lda1f;
+                emit d;
+                emit s;
+                emit d0;
+                emit r0;
+                emit k0)
+        | Some [ d0; d1 ], [ e0; e1 ] ->
+            let e0, k0 = index_parts e0 in
+            let e1, k1 = index_parts e1 in
+            let r0 = emit_int e0 in
+            let r1 = emit_int e1 in
+            into (fun d ->
+                emit B.op_lda2f;
+                emit d;
+                emit s;
+                emit d0;
+                emit d1;
+                emit r0;
+                emit r1;
+                emit k0;
+                emit k1)
+        | _ -> raise Unsupported)
+    | Ast.Unop (Ast.Neg, e1) ->
+        let r = emit_num e1 in
+        into (fun d ->
+            emit B.op_fneg;
+            emit d;
+            emit r)
+    | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b) -> (
+        match (op, lit a, lit b) with
+        (* right-hand constants fuse; a left-hand constant only fuses
+           for Sub (FRSUBK) — Add/Mul would swap NaN operand order *)
+        | Ast.Add, _, Some k ->
+            let r = emit_num a in
+            let kk = fconst k in
+            into (fun d ->
+                emit B.op_faddk;
+                emit d;
+                emit r;
+                emit kk)
+        | Ast.Sub, _, Some k ->
+            let r = emit_num a in
+            let kk = fconst k in
+            into (fun d ->
+                emit B.op_fsubk;
+                emit d;
+                emit r;
+                emit kk)
+        | Ast.Mul, _, Some k ->
+            let r = emit_num a in
+            let kk = fconst k in
+            into (fun d ->
+                emit B.op_fmulk;
+                emit d;
+                emit r;
+                emit kk)
+        | Ast.Sub, Some k, _ ->
+            let r = emit_num b in
+            let kk = fconst k in
+            into (fun d ->
+                emit B.op_frsubk;
+                emit d;
+                emit r;
+                emit kk)
+        | _ ->
+            let ra = emit_num a in
+            let rb = emit_num b in
+            let opc =
+              match op with
+              | Ast.Add -> B.op_fadd
+              | Ast.Sub -> B.op_fsub
+              | Ast.Mul -> B.op_fmul
+              | _ -> B.op_fdiv
+            in
+            into (fun d ->
+                emit opc;
+                emit d;
+                emit ra;
+                emit rb))
+    | Ast.Call (f, args) when is_native_intrinsic f -> (
+        (* unary real intrinsics take to_float of their argument, which
+           is exactly emit_num's promotion *)
+        let un opc a =
+          let r = emit_num a in
+          into (fun d ->
+              emit opc;
+              emit d;
+              emit r)
+        in
+        match (f, args) with
+        | "SQRT", [ a ] -> un B.op_fsqrt a
+        | "EXP", [ a ] -> un B.op_fexp a
+        | ("LOG" | "ALOG"), [ a ] -> un B.op_flog a
+        | "SIN", [ a ] -> un B.op_fsin a
+        | "COS", [ a ] -> un B.op_fcos a
+        | "TAN", [ a ] -> un B.op_ftan a
+        | "ATAN", [ a ] -> un B.op_fatan a
+        | "ABS", [ a ] when xstatic_num a = Some Ast.Treal ->
+            let r = emit_float a in
+            into (fun d ->
+                emit B.op_fabs;
+                emit d;
+                emit r)
+        | ("REAL" | "FLOAT"), [ a ] -> (
+            match xstatic_num a with
+            | Some Ast.Treal -> emit_float ?dst a (* to_float on Real = id *)
+            | Some Ast.Tint ->
+                let r = emit_int a in
+                into (fun d ->
+                    emit B.op_itof;
+                    emit d;
+                    emit r)
+            | _ -> raise Unsupported)
+        | "RAND", [] -> into (fun d -> emit B.op_rand; emit d)
+        | _ -> raise Unsupported)
+    | _ -> raise Unsupported
+  and emit_num ?dst (e : Ast.expr) : int =
+    match xstatic_num e with
+    | Some Ast.Treal -> emit_float ?dst e
+    | Some Ast.Tint -> (
+        let r = emit_int e in
+        match dst with
+        | Some d ->
+            emit B.op_itof;
+            emit d;
+            emit r;
+            d
+        | None ->
+            let d = ftemp () in
+            emit B.op_itof;
+            emit d;
+            emit r;
+            d)
+    | _ -> raise Unsupported
+  and emit_as_int (e : Ast.expr) : int =
+    (* Value.to_int of a statically-typed operand *)
+    match xstatic_num e with
+    | Some Ast.Tint -> emit_int e
+    | Some Ast.Treal ->
+        let r = emit_float e in
+        let t = itemp () in
+        emit B.op_ftoi;
+        emit t;
+        emit r;
+        t
+    | _ -> raise Unsupported
+  in
+  (* fused compare-and-branch; returns the (pcT, pcF) operand positions
+     to patch once the edge sequences exist *)
+  let rec emit_cond_jump ~neg (e : Ast.expr) : int * int =
+    match e with
+    | Ast.Unop (Ast.Not, e1) -> emit_cond_jump ~neg:(not neg) e1
+    | Ast.Binop
+        (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op), a, b)
+      -> (
+        let finish () =
+          let pt = pos () in
+          emit 0;
+          let pf = pos () in
+          emit 0;
+          if neg then (pf, pt) else (pt, pf)
+        in
+        match (xstatic_num a, xstatic_num b) with
+        | Some Ast.Tint, Some Ast.Tint -> (
+            match (a, b) with
+            | _, Ast.Int k ->
+                let ra = emit_int a in
+                emit (jop_ik op);
+                emit ra;
+                emit k;
+                finish ()
+            | Ast.Int k, _ ->
+                let rb = emit_int b in
+                emit (jop_ik (flip_rel op));
+                emit rb;
+                emit k;
+                finish ()
+            | _ ->
+                let ra = emit_int a in
+                let rb = emit_int b in
+                emit (jop_ii op);
+                emit ra;
+                emit rb;
+                finish ())
+        | Some _, Some _ -> (
+            let lit = function
+              | Ast.Real r -> Some r
+              | Ast.Int i -> Some (float_of_int i)
+              | _ -> None
+            in
+            match (lit a, lit b) with
+            | _, Some k ->
+                let ra = emit_num a in
+                emit (jop_fk op);
+                emit ra;
+                emit (fconst k);
+                finish ()
+            | Some k, _ ->
+                let rb = emit_num b in
+                emit (jop_fk (flip_rel op));
+                emit rb;
+                emit (fconst k);
+                finish ()
+            | _ ->
+                let ra = emit_num a in
+                let rb = emit_num b in
+                emit (jop_ff op);
+                emit ra;
+                emit rb;
+                finish ())
+        | _ -> raise Unsupported)
+    | _ -> raise Unsupported
+  in
+
+  (* ---- hot leaf-call inlining ----
+
+     Splices a straight-line leaf callee (Entry -> scalar assigns ->
+     Return, no branches/arrays/calls/PRINT, <= inline_budget nodes)
+     into the caller's frame.  All accounting is preserved exactly:
+     the callee's nodes and flat edges get a fresh block of the host's
+     exec/sample/edge-count arrays (a [region] records the bases and
+     the per-site invocation count, bumped by IENTER together with the
+     call-depth guard), every transition charges the same node costs
+     through EDGEA/EDGEPA, and Incr probes fire in compiled order.
+     Argument binding reproduces [Compile.eval_bindings]: a bare
+     promoted variable of the declared type aliases the caller's own
+     register (true by-reference semantics, including CALL FOO(M,M));
+     a promoted variable of the other numeric type, or any statically
+     typed expression, is copied into a fresh register with the exact
+     [Value.coerce] conversion; anything else rejects the splice. *)
+  let emit_inline f (args : Ast.expr list) =
+    let callee =
+      match Hashtbl.find_opt prog.Program.by_name f with
+      | Some c -> c
+      | None -> raise Unsupported
+    in
+    let ccfg = callee.Program.cfg in
+    let cn = Cfg.num_nodes ccfg in
+    if cn > plan.inline_budget then raise Unsupported;
+    let clay = Env.layout callee in
+    let cnp = clay.Env.n_params in
+    if List.length args <> cnp then raise Unsupported;
+    let cnslots = Env.n_slots clay in
+    (* the callee must be a straight-line leaf chain ending in RETURN *)
+    let chain = ref [] and steps = ref 0 in
+    let rec walk u =
+      incr steps;
+      if !steps > cn then raise Unsupported;
+      chain := u :: !chain;
+      match (Cfg.info ccfg u).Ir.ir with
+      | Ir.Return -> (
+          match Cfg.succ_edges ccfg u with
+          | [] -> ()
+          | _ -> raise Unsupported)
+      | Ir.Entry | Ir.Nop _ | Ir.Assign (Ast.Lvar _, _) -> (
+          match Cfg.succ_edges ccfg u with
+          | [ (e : Label.t S89_graph.Digraph.edge) ]
+            when Label.equal e.label Label.U ->
+              walk e.dst
+          | _ -> raise Unsupported)
+      | _ -> raise Unsupported
+    in
+    walk (Cfg.entry ccfg);
+    let chain = List.rev !chain in
+    let cpi = Probe.find_proc instr callee.Program.name in
+    let cnode_probes u =
+      match cpi with Some q -> q.Probe.on_node.(u) | None -> []
+    in
+    let cedge_probes u =
+      match cpi with
+      | Some q -> (
+          match
+            List.find_opt
+              (fun (l, _) -> Label.equal l Label.U)
+              q.Probe.on_edge.(u)
+          with
+          | Some (_, acts) -> acts
+          | None -> [])
+      | None -> []
+    in
+    (* flat edge indexing identical to the callee's standalone emission,
+       so the interpreter can sum host and standalone counters *)
+    let cedge_base = Array.make (cn + 1) 0 in
+    for u = 0 to cn - 1 do
+      cedge_base.(u + 1) <- cedge_base.(u) + List.length (Cfg.succ_edges ccfg u)
+    done;
+    let ccost u = Cost_model.node_cost cost_model (Cfg.info ccfg u).Ir.ir in
+    let ri = !n_regions in
+    incr n_regions;
+    let rg =
+      {
+        B.rg_callee = callee.Program.name;
+        rg_node_base = !exec_top;
+        rg_edge_base = !edge_top;
+        rg_invocations = 0;
+      }
+    in
+    regions := rg :: !regions;
+    exec_top := !exec_top + cn;
+    edge_top := !edge_top + cedge_base.(cn);
+    (* virtual callee registers, indexed by callee slot *)
+    let creg_i = Array.make (max cnslots 1) (-1) in
+    let creg_f = Array.make (max cnslots 1) (-1) in
+    (* bind arguments left-to-right in the caller context (argument
+       evaluation precedes the invocation count / depth guard, exactly
+       like eval_bindings before enter_call) *)
+    List.iteri
+      (fun j arg ->
+        let ty =
+          match clay.Env.param_tys.(j) with
+          | Some ((Ast.Tint | Ast.Treal) as t) -> t
+          | _ -> raise Unsupported
+        in
+        match arg with
+        | Ast.Var v -> (
+            let ri0 = !cx_ireg v and rf0 = !cx_freg v in
+            match ty with
+            | Ast.Tint ->
+                if ri0 >= 0 then creg_i.(j) <- ri0 (* by-ref alias *)
+                else if rf0 >= 0 then begin
+                  let t = itemp () in
+                  emit B.op_ftoi;
+                  emit t;
+                  emit rf0;
+                  creg_i.(j) <- t
+                end
+                else raise Unsupported
+            | Ast.Treal ->
+                if rf0 >= 0 then creg_f.(j) <- rf0 (* by-ref alias *)
+                else if ri0 >= 0 then begin
+                  let t = ftemp () in
+                  emit B.op_itof;
+                  emit t;
+                  emit ri0;
+                  creg_f.(j) <- t
+                end
+                else raise Unsupported
+            | _ -> raise Unsupported)
+        | Ast.Index _ ->
+            (* array-element by-reference binding: not modeled *)
+            raise Unsupported
+        | e -> (
+            match (ty, xstatic_num e) with
+            | Ast.Tint, Some Ast.Tint ->
+                let t = itemp () in
+                ignore (emit_int ~dst:t e);
+                creg_i.(j) <- t
+            | Ast.Tint, Some Ast.Treal ->
+                let r = emit_float e in
+                let t = itemp () in
+                emit B.op_ftoi;
+                emit t;
+                emit r;
+                creg_i.(j) <- t
+            | Ast.Treal, Some _ ->
+                let t = ftemp () in
+                ignore (emit_num ~dst:t e);
+                creg_f.(j) <- t
+            | _ -> raise Unsupported))
+      args;
+    (* count the invocation and check the call-depth guard *)
+    emit B.op_ienter;
+    emit ri;
+    (* fresh locals per invocation, exactly as make_frame initializes
+       them: scalars to zero, literal PARAMETERs to their value *)
+    for s = cnp to cnslots - 1 do
+      match Compile.static_scalar_ty clay s with
+      | Some Ast.Tint ->
+          let t = itemp () in
+          creg_i.(s) <- t;
+          let k =
+            match clay.Env.kinds.(s) with
+            | Sema.Const (Ast.Int k) -> k
+            | _ -> 0
+          in
+          emit B.op_ldki;
+          emit t;
+          emit k
+      | Some Ast.Treal ->
+          let t = ftemp () in
+          creg_f.(s) <- t;
+          let r =
+            match clay.Env.kinds.(s) with
+            | Sema.Const (Ast.Real r) -> r
+            | _ -> 0.0
+          in
+          emit B.op_ldkf;
+          emit t;
+          emit (fconst r)
+      | _ -> () (* arrays/LOGICALs: any use below rejects the splice *)
+    done;
+    (* switch the expression context to the callee's virtual frame *)
+    cx_ty :=
+      (fun v ->
+        let s = Env.slot clay v in
+        if s < cnp then
+          match clay.Env.param_tys.(s) with
+          | Some ((Ast.Tint | Ast.Treal) as t) -> Some t
+          | _ -> None
+        else
+          match Compile.static_scalar_ty clay s with
+          | Some ((Ast.Tint | Ast.Treal) as t) -> Some t
+          | _ -> None);
+    cx_ireg := (fun v -> creg_i.(Env.slot clay v));
+    cx_freg := (fun v -> creg_f.(Env.slot clay v));
+    cx_slots := false;
+    (* callee entry accounting, like the standalone proc prologue *)
+    let centry = List.hd chain in
+    emit B.op_acct;
+    emit (rg.B.rg_node_base + centry);
+    emit (ccost centry);
+    List.iter
+      (fun u ->
+        let ir = (Cfg.info ccfg u).Ir.ir in
+        (* node probes fire right after the node's accounting *)
+        List.iter
+          (function
+            | Probe.Incr c ->
+                emit B.op_probe;
+                emit c
+            | Probe.Bulk_add _ -> raise Unsupported)
+          (cnode_probes u);
+        (match ir with
+        | Ir.Entry | Ir.Nop _ -> ()
+        | Ir.Assign (Ast.Lvar v, e) -> (
+            let s = Env.slot clay v in
+            match (!cx_ty v, xstatic_num e) with
+            | Some Ast.Tint, Some Ast.Tint ->
+                ignore (emit_int ~dst:creg_i.(s) e)
+            | Some Ast.Tint, Some Ast.Treal ->
+                let r = emit_float e in
+                emit B.op_ftoi;
+                emit creg_i.(s);
+                emit r
+            | Some Ast.Treal, Some _ -> ignore (emit_num ~dst:creg_f.(s) e)
+            | _ -> raise Unsupported)
+        | Ir.Return -> emit B.op_iexit
+        | _ -> raise Unsupported);
+        match ir with
+        | Ir.Return -> () (* falls through to the caller's edge sequence *)
+        | _ -> (
+            match Cfg.succ_edges ccfg u with
+            | [ (e : Label.t S89_graph.Digraph.edge) ] -> (
+                let d = e.dst in
+                match cedge_probes u with
+                | [] ->
+                    emit B.op_edgea;
+                    emit (rg.B.rg_edge_base + cedge_base.(u));
+                    emit (rg.B.rg_node_base + d);
+                    emit (ccost d);
+                    emit (pos () + 1) (* next chain node follows *)
+                | acts ->
+                    List.iter
+                      (function
+                        | Probe.Incr _ -> ()
+                        | Probe.Bulk_add _ -> raise Unsupported)
+                      acts;
+                    let gid = add_group acts in
+                    emit B.op_edgepa;
+                    emit (rg.B.rg_edge_base + cedge_base.(u));
+                    emit gid;
+                    emit (rg.B.rg_node_base + d);
+                    emit (ccost d);
+                    emit (pos () + 1))
+            | _ -> raise Unsupported))
+      chain;
+    reset_cx ()
   in
 
   (* Node accounting is fused into the incoming edge (EDGEA/EDGEPA), so
@@ -322,8 +1185,27 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
   emit B.op_jmp;
   emit_node_ref entry;
 
-  (* ---- per-node emission ---- *)
-  for i = 0 to n - 1 do
+  (* ---- per-node emission ----
+
+     [order] is the emission (memory-layout) order; any permutation is
+     legal because every control transfer goes through an explicit
+     destination operand, so only instruction-cache locality changes.
+     A malformed plan entry silently degrades to the natural order. *)
+  let order =
+    match Hashtbl.find_opt plan.layout p.Program.name with
+    | Some o when Array.length o = n ->
+        let seen = Array.make n false in
+        let ok = ref true in
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= n || seen.(i) then ok := false
+            else seen.(i) <- true)
+          o;
+        if !ok then o else Array.init n (fun i -> i)
+    | _ -> Array.init n (fun i -> i)
+  in
+  for oi = 0 to n - 1 do
+    let i = order.(oi) in
     node_start.(i) <- pos ();
     reset_temps ();
     let ir = (Cfg.info cfg i).Ir.ir in
@@ -383,390 +1265,6 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
     let f_idx = find_idx succ Label.F in
     let require b = if not b then raise Unsupported in
 
-    (* array subscript: split off a constant displacement (A(I+1),
-       A(I-2)) so it folds into the access opcode's ka/kb immediate.
-       Int adds are exact, so evaluating [reg + k] at the access is
-       observationally identical to materializing the sum in a temp; the
-       static-int guard keeps non-integer subscripts on the fallback
-       path, where a REAL subscript truncates after the addition. *)
-    let index_parts (e : Ast.expr) : Ast.expr * int =
-      match e with
-      | Ast.Binop (Ast.Add, e1, Ast.Int k) when Compile.static_int lay e1 ->
-          (e1, k)
-      | Ast.Binop (Ast.Add, Ast.Int k, e1) when Compile.static_int lay e1 ->
-          (e1, k)
-      | Ast.Binop (Ast.Sub, e1, Ast.Int k) when Compile.static_int lay e1 ->
-          (e1, -k)
-      | _ -> (e, 0)
-    in
-
-    (* expression emitters, mirroring compile_int/compile_float/
-       compile_num case for case.  Results go to [dst] when given (safe:
-       every op reads its sources before writing its destination), else
-       to a fresh temp — or, for a promoted variable leaf, its own
-       register. *)
-    let rec emit_int ?dst (e : Ast.expr) : int =
-      let into k =
-        match dst with
-        | Some d ->
-            k d;
-            d
-        | None ->
-            let d = itemp () in
-            k d;
-            d
-      in
-      match e with
-      | Ast.Int i ->
-          into (fun d ->
-              emit B.op_ldki;
-              emit d;
-              emit i)
-      | Ast.Real r ->
-          let i = int_of_float r in
-          into (fun d ->
-              emit B.op_ldki;
-              emit d;
-              emit i)
-      | Ast.Var v -> (
-          let s = Env.slot lay v in
-          if slot_ireg.(s) >= 0 then
-            match dst with
-            | None -> slot_ireg.(s)
-            | Some d ->
-                if d <> slot_ireg.(s) then begin
-                  emit B.op_movi;
-                  emit d;
-                  emit slot_ireg.(s)
-                end;
-                d
-          else if slot_freg.(s) >= 0 then
-            into (fun d ->
-                emit B.op_ftoi;
-                emit d;
-                emit slot_freg.(s))
-          else
-            into (fun d ->
-                emit B.op_ldci;
-                emit d;
-                emit s))
-      | Ast.Index (name, idx) -> (
-          let s = Env.slot lay name in
-          match (Compile.static_dims lay s, idx) with
-          | Some [ d0 ], [ e0 ] ->
-              let e0, k0 = index_parts e0 in
-              let r0 = emit_int e0 in
-              into (fun d ->
-                  emit B.op_lda1i;
-                  emit d;
-                  emit s;
-                  emit d0;
-                  emit r0;
-                  emit k0)
-          | Some [ d0; d1 ], [ e0; e1 ] ->
-              let e0, k0 = index_parts e0 in
-              let e1, k1 = index_parts e1 in
-              let r0 = emit_int e0 in
-              let r1 = emit_int e1 in
-              into (fun d ->
-                  emit B.op_lda2i;
-                  emit d;
-                  emit s;
-                  emit d0;
-                  emit d1;
-                  emit r0;
-                  emit r1;
-                  emit k0;
-                  emit k1)
-          | _ -> raise Unsupported)
-      | Ast.Unop (Ast.Neg, e1) when Compile.static_int lay e1 ->
-          let r = emit_int e1 in
-          into (fun d ->
-              emit B.op_ineg;
-              emit d;
-              emit r)
-      | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b)
-        when Compile.static_int lay a && Compile.static_int lay b -> (
-          match (op, a, b) with
-          (* constant-fused forms; int ops are exact, so commuting a
-             constant to the immediate slot is observationally identical *)
-          | Ast.Add, _, Ast.Int k ->
-              let r = emit_int a in
-              into (fun d ->
-                  emit B.op_iaddk;
-                  emit d;
-                  emit r;
-                  emit k)
-          | Ast.Add, Ast.Int k, _ ->
-              let r = emit_int b in
-              into (fun d ->
-                  emit B.op_iaddk;
-                  emit d;
-                  emit r;
-                  emit k)
-          | Ast.Sub, _, Ast.Int k ->
-              let r = emit_int a in
-              into (fun d ->
-                  emit B.op_iaddk;
-                  emit d;
-                  emit r;
-                  emit (-k))
-          | Ast.Sub, Ast.Int k, _ ->
-              let r = emit_int b in
-              into (fun d ->
-                  emit B.op_irsubk;
-                  emit d;
-                  emit r;
-                  emit k)
-          | Ast.Mul, _, Ast.Int k ->
-              let r = emit_int a in
-              into (fun d ->
-                  emit B.op_imulk;
-                  emit d;
-                  emit r;
-                  emit k)
-          | Ast.Mul, Ast.Int k, _ ->
-              let r = emit_int b in
-              into (fun d ->
-                  emit B.op_imulk;
-                  emit d;
-                  emit r;
-                  emit k)
-          | _ ->
-              let ra = emit_int a in
-              let rb = emit_int b in
-              let opc =
-                match op with
-                | Ast.Add -> B.op_iadd
-                | Ast.Sub -> B.op_isub
-                | Ast.Mul -> B.op_imul
-                | _ -> B.op_idiv
-              in
-              into (fun d ->
-                  emit opc;
-                  emit d;
-                  emit ra;
-                  emit rb))
-      | _ -> raise Unsupported
-    in
-    let rec emit_float ?dst (e : Ast.expr) : int =
-      let into k =
-        match dst with
-        | Some d ->
-            k d;
-            d
-        | None ->
-            let d = ftemp () in
-            k d;
-            d
-      in
-      let lit = function
-        | Ast.Real r -> Some r
-        | Ast.Int i -> Some (float_of_int i)
-        | _ -> None
-      in
-      match e with
-      | Ast.Real r ->
-          let k = fconst r in
-          into (fun d ->
-              emit B.op_ldkf;
-              emit d;
-              emit k)
-      | Ast.Var v -> (
-          let s = Env.slot lay v in
-          if slot_freg.(s) >= 0 then
-            match dst with
-            | None -> slot_freg.(s)
-            | Some d ->
-                if d <> slot_freg.(s) then begin
-                  emit B.op_movf;
-                  emit d;
-                  emit slot_freg.(s)
-                end;
-                d
-          else if slot_ireg.(s) >= 0 then
-            into (fun d ->
-                emit B.op_itof;
-                emit d;
-                emit slot_ireg.(s))
-          else
-            into (fun d ->
-                emit B.op_ldcf;
-                emit d;
-                emit s))
-      | Ast.Index (name, idx) -> (
-          let s = Env.slot lay name in
-          match (Compile.static_dims lay s, idx) with
-          | Some [ d0 ], [ e0 ] ->
-              let e0, k0 = index_parts e0 in
-              let r0 = emit_int e0 in
-              into (fun d ->
-                  emit B.op_lda1f;
-                  emit d;
-                  emit s;
-                  emit d0;
-                  emit r0;
-                  emit k0)
-          | Some [ d0; d1 ], [ e0; e1 ] ->
-              let e0, k0 = index_parts e0 in
-              let e1, k1 = index_parts e1 in
-              let r0 = emit_int e0 in
-              let r1 = emit_int e1 in
-              into (fun d ->
-                  emit B.op_lda2f;
-                  emit d;
-                  emit s;
-                  emit d0;
-                  emit d1;
-                  emit r0;
-                  emit r1;
-                  emit k0;
-                  emit k1)
-          | _ -> raise Unsupported)
-      | Ast.Unop (Ast.Neg, e1) ->
-          let r = emit_num e1 in
-          into (fun d ->
-              emit B.op_fneg;
-              emit d;
-              emit r)
-      | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b) -> (
-          match (op, lit a, lit b) with
-          (* right-hand constants fuse; a left-hand constant only fuses
-             for Sub (FRSUBK) — Add/Mul would swap NaN operand order *)
-          | Ast.Add, _, Some k ->
-              let r = emit_num a in
-              let kk = fconst k in
-              into (fun d ->
-                  emit B.op_faddk;
-                  emit d;
-                  emit r;
-                  emit kk)
-          | Ast.Sub, _, Some k ->
-              let r = emit_num a in
-              let kk = fconst k in
-              into (fun d ->
-                  emit B.op_fsubk;
-                  emit d;
-                  emit r;
-                  emit kk)
-          | Ast.Mul, _, Some k ->
-              let r = emit_num a in
-              let kk = fconst k in
-              into (fun d ->
-                  emit B.op_fmulk;
-                  emit d;
-                  emit r;
-                  emit kk)
-          | Ast.Sub, Some k, _ ->
-              let r = emit_num b in
-              let kk = fconst k in
-              into (fun d ->
-                  emit B.op_frsubk;
-                  emit d;
-                  emit r;
-                  emit kk)
-          | _ ->
-              let ra = emit_num a in
-              let rb = emit_num b in
-              let opc =
-                match op with
-                | Ast.Add -> B.op_fadd
-                | Ast.Sub -> B.op_fsub
-                | Ast.Mul -> B.op_fmul
-                | _ -> B.op_fdiv
-              in
-              into (fun d ->
-                  emit opc;
-                  emit d;
-                  emit ra;
-                  emit rb))
-      | _ -> raise Unsupported
-    and emit_num ?dst (e : Ast.expr) : int =
-      match Compile.static_num lay e with
-      | Some Ast.Treal -> emit_float ?dst e
-      | Some Ast.Tint -> (
-          let r = emit_int e in
-          match dst with
-          | Some d ->
-              emit B.op_itof;
-              emit d;
-              emit r;
-              d
-          | None ->
-              let d = ftemp () in
-              emit B.op_itof;
-              emit d;
-              emit r;
-              d)
-      | _ -> raise Unsupported
-    in
-    (* fused compare-and-branch; returns the (pcT, pcF) operand positions
-       to patch once the edge sequences exist *)
-    let rec emit_cond_jump ~neg (e : Ast.expr) : int * int =
-      match e with
-      | Ast.Unop (Ast.Not, e1) -> emit_cond_jump ~neg:(not neg) e1
-      | Ast.Binop
-          (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op), a, b)
-        -> (
-          let finish () =
-            let pt = pos () in
-            emit 0;
-            let pf = pos () in
-            emit 0;
-            if neg then (pf, pt) else (pt, pf)
-          in
-          match (Compile.static_num lay a, Compile.static_num lay b) with
-          | Some Ast.Tint, Some Ast.Tint -> (
-              match (a, b) with
-              | _, Ast.Int k ->
-                  let ra = emit_int a in
-                  emit (jop_ik op);
-                  emit ra;
-                  emit k;
-                  finish ()
-              | Ast.Int k, _ ->
-                  let rb = emit_int b in
-                  emit (jop_ik (flip_rel op));
-                  emit rb;
-                  emit k;
-                  finish ()
-              | _ ->
-                  let ra = emit_int a in
-                  let rb = emit_int b in
-                  emit (jop_ii op);
-                  emit ra;
-                  emit rb;
-                  finish ())
-          | Some _, Some _ -> (
-              let lit = function
-                | Ast.Real r -> Some r
-                | Ast.Int i -> Some (float_of_int i)
-                | _ -> None
-              in
-              match (lit a, lit b) with
-              | _, Some k ->
-                  let ra = emit_num a in
-                  emit (jop_fk op);
-                  emit ra;
-                  emit (fconst k);
-                  finish ()
-              | Some k, _ ->
-                  let rb = emit_num b in
-                  emit (jop_fk (flip_rel op));
-                  emit rb;
-                  emit (fconst k);
-                  finish ()
-              | _ ->
-                  let ra = emit_num a in
-                  let rb = emit_num b in
-                  emit (jop_ff op);
-                  emit ra;
-                  emit rb;
-                  finish ())
-          | _ -> raise Unsupported)
-      | _ -> raise Unsupported
-    in
-
     let emit_native () =
       match ir with
       | Ir.Entry | Ir.Nop _ ->
@@ -775,8 +1273,7 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
       | Ir.Assign (Ast.Lvar v, e) ->
           require (u >= 0);
           let s = Env.slot lay v in
-          (match (Compile.static_scalar_ty lay s, Compile.static_num lay e)
-           with
+          (match (Compile.static_scalar_ty lay s, xstatic_num e) with
           | Some Ast.Tint, Some Ast.Tint ->
               if slot_ireg.(s) >= 0 then ignore (emit_int ~dst:slot_ireg.(s) e)
               else begin
@@ -848,7 +1345,7 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
                 t
             | _ -> raise Unsupported
           in
-          (match (Compile.static_elt_ty lay s, Compile.static_num lay e) with
+          (match (Compile.static_elt_ty lay s, xstatic_num e) with
           | Some Ast.Tint, Some Ast.Tint ->
               let r = emit_int e in
               emit B.op_stai;
@@ -945,6 +1442,10 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
           patch (tbl_pos + narms) (get_seq f_idx)
       | Ir.Return -> emit B.op_ret
       | Ir.Stop -> emit B.op_stop
+      | Ir.Call (f, args) when List.mem i inline_sites ->
+          require (u >= 0);
+          emit_inline f args;
+          ignore (emit_edge_seq u)
       | Ir.Call _ | Ir.Print _ -> raise Unsupported
     in
 
@@ -968,10 +1469,19 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
     in
 
     let mark = pos () and saved_fixups = !fixups in
+    let saved_exec = !exec_top and saved_edge = !edge_top in
+    let saved_regions = !regions and saved_nregions = !n_regions in
     try emit_native ()
     with Unsupported ->
+      (* roll back everything a partial lowering (or aborted inline
+         splice) may have touched, then take the exact fallback path *)
       len := mark;
       fixups := saved_fixups;
+      exec_top := saved_exec;
+      edge_top := saved_edge;
+      regions := saved_regions;
+      n_regions := saved_nregions;
+      reset_cx ();
       reset_temps ();
       emit_fallback ()
   done;
@@ -988,13 +1498,16 @@ let emit_proc ~(cost_model : Cost_model.t) ~(instr : Probe.t)
     n_fregs = !max_tf;
     all_promoted;
     names = lay.Env.names;
+    rng = rt.Compile.rng;
     fallbacks = Array.of_list (List.rev !fallbacks);
     bulks = Array.of_list (List.rev !bulks);
     groups = Array.of_list (List.rev !groups);
-    execs = Array.make (max n 1) 0;
-    samples = Array.make (max n 1) 0;
-    edge_counts;
+    regions = Array.of_list (List.rev !regions);
+    execs = Array.make (max !exec_top 1) 0;
+    samples = Array.make (max !exec_top 1) 0;
+    edge_counts = Array.make (max !edge_top 1) 0;
     edge_base;
     succ_labels;
     invocations = 0;
+    fb_execs = 0;
   }

@@ -94,6 +94,8 @@ type config = {
   max_call_depth : int; (* guards runaway recursion from blowing the stack *)
   sample_interval : int option;
   backend : backend;
+  emit_plan : Emit.plan option;
+      (* bytecode emission plan (PGO); None = Emit.default_plan *)
 }
 
 let default_config =
@@ -106,6 +108,7 @@ let default_config =
     max_call_depth = 10_000;
     sample_interval = None;
     backend = Compiled;
+    emit_plan = None;
   }
 
 type t = {
@@ -118,9 +121,12 @@ type t = {
          shared by all three backends *)
   rng : Prng.t;
   out : Buffer.t;
-  mutable call_depth : int;
   rt : Compile.rt; (* hooks captured by the compiled closures *)
 }
+
+(* the call depth lives in the shared acct ([acct.depth]) so the IENTER/
+   IEXIT opcodes of inlined bytecode regions and the closure backends
+   guard the same counter *)
 
 (* checked counter arithmetic: saturate at max_int with a diagnostic,
    never wrap around (the reconstruction laws assume exact sums) *)
@@ -248,9 +254,10 @@ let find_cproc st name =
 
 let enter_call st (cp : cproc) =
   cp.invocations <- cp.invocations + 1;
-  st.call_depth <- st.call_depth + 1;
-  if st.call_depth > st.config.max_call_depth then
-    raise (Call_depth_exceeded st.call_depth)
+  let a = st.acct in
+  a.Bytecode.depth <- a.Bytecode.depth + 1;
+  if a.Bytecode.depth > a.Bytecode.max_depth then
+    raise (Call_depth_exceeded a.Bytecode.depth)
 
 (* sampling slow path: attribute hits to the executing node (taken only
    when the cycle counter crossed the sampling boundary) *)
@@ -349,9 +356,9 @@ and call_proc st (callee : Program.proc) (args : binding list) : Value.t option 
      Value.err "arity mismatch calling %s" callee.Program.name);
   (try run_frame st cp frame
    with e ->
-     st.call_depth <- st.call_depth - 1;
+     st.acct.Bytecode.depth <- st.acct.Bytecode.depth - 1;
      raise e);
-  st.call_depth <- st.call_depth - 1;
+  st.acct.Bytecode.depth <- st.acct.Bytecode.depth - 1;
   match callee.Program.env.Sema.result_var with
   | Some rv -> Some (read_scalar frame rv)
   | None -> None
@@ -467,9 +474,9 @@ let rec call_proc_compiled st (callee : Program.proc) (args : binding list) :
      Value.err "arity mismatch calling %s" callee.Program.name);
   (try run_frame_compiled st cp venv
    with e ->
-     st.call_depth <- st.call_depth - 1;
+     st.acct.Bytecode.depth <- st.acct.Bytecode.depth - 1;
      raise e);
-  st.call_depth <- st.call_depth - 1;
+  st.acct.Bytecode.depth <- st.acct.Bytecode.depth - 1;
   match lay.Env.result_slot with
   | Some s -> (
       match venv.(s) with
@@ -526,9 +533,10 @@ let call_proc_bytecode st (callee : Program.proc) (args : binding list) :
     Value.t option =
   let bp = find_bproc st callee.Program.name in
   bp.Bytecode.invocations <- bp.Bytecode.invocations + 1;
-  st.call_depth <- st.call_depth + 1;
-  if st.call_depth > st.config.max_call_depth then
-    raise (Call_depth_exceeded st.call_depth);
+  let a = st.acct in
+  a.Bytecode.depth <- a.Bytecode.depth + 1;
+  if a.Bytecode.depth > a.Bytecode.max_depth then
+    raise (Call_depth_exceeded a.Bytecode.depth);
   let lay = bp.Bytecode.layout in
   let venv = Env.make_frame lay in
   (try
@@ -550,9 +558,9 @@ let call_proc_bytecode st (callee : Program.proc) (args : binding list) :
      Value.err "arity mismatch calling %s" callee.Program.name);
   (try Bytecode.exec st.acct bp venv
    with e ->
-     st.call_depth <- st.call_depth - 1;
+     st.acct.Bytecode.depth <- st.acct.Bytecode.depth - 1;
      raise e);
-  st.call_depth <- st.call_depth - 1;
+  st.acct.Bytecode.depth <- st.acct.Bytecode.depth - 1;
   match lay.Env.result_slot with
   | Some s -> (
       match venv.(s) with
@@ -576,7 +584,7 @@ let create ?(config = default_config) (prog : Program.t) : t =
         (fun p ->
           Hashtbl.replace bprocs p.Program.name
             (Emit.emit_proc ~cost_model:config.cost_model ~instr:config.instr
-               rt prog p))
+               ?plan:config.emit_plan rt prog p))
         (Program.procs prog)
   | Tree | Compiled ->
       List.iter
@@ -585,11 +593,12 @@ let create ?(config = default_config) (prog : Program.t) : t =
         (Program.procs prog));
   let acct =
     Bytecode.make_acct ~max_steps:config.max_steps ~max_cycles:config.max_cycles
+      ~max_call_depth:config.max_call_depth
       ~sample_interval:config.sample_interval
       ~c_counter:config.cost_model.Cost_model.c_counter
       ~n_counters:config.instr.Probe.n_counters
   in
-  let st = { config; prog; cprocs; bprocs; acct; rng; out; call_depth = 0; rt } in
+  let st = { config; prog; cprocs; bprocs; acct; rng; out; rt } in
   (rt.Compile.call <-
      (match config.backend with
      | Bytecode -> fun callee args -> call_proc_bytecode st callee args
@@ -627,15 +636,35 @@ let bproc st name =
   | Some bp -> bp
   | None -> invalid_arg (Printf.sprintf "Interp.bproc: unknown procedure %s" name)
 
+(* Sum a per-region quantity over every inlined copy of [name] across
+   all host procedures.  Inlined callees (Emit's leaf-call splicing)
+   keep their counters in a dedicated block of the host's arrays, at
+   the offsets recorded in the region; the oracle accessors below add
+   those blocks to the callee's standalone counters so inlining is
+   invisible to every reader (Analysis.oracle_totals in particular). *)
+let region_sum st name (f : Bytecode.proc -> Bytecode.region -> int) =
+  Hashtbl.fold
+    (fun _ (host : Bytecode.proc) acc ->
+      Array.fold_left
+        (fun acc (r : Bytecode.region) ->
+          if String.equal r.Bytecode.rg_callee name then acc + f host r else acc)
+        acc host.Bytecode.regions)
+    st.bprocs 0
+
 let invocations st name =
   match st.config.backend with
-  | Bytecode -> (bproc st name).Bytecode.invocations
+  | Bytecode ->
+      (bproc st name).Bytecode.invocations
+      + region_sum st name (fun _ r -> r.Bytecode.rg_invocations)
   | Tree | Compiled -> (cproc st name).invocations
 
 (* oracle: executions of a node *)
 let node_execs st name node =
   match st.config.backend with
-  | Bytecode -> (bproc st name).Bytecode.execs.(node)
+  | Bytecode ->
+      (bproc st name).Bytecode.execs.(node)
+      + region_sum st name (fun host r ->
+            host.Bytecode.execs.(r.Bytecode.rg_node_base + node))
   | Tree | Compiled -> (cproc st name).code.(node).execs
 
 (* oracle: traversals of the CFG edge (node, label) *)
@@ -649,7 +678,11 @@ let edge_count st name node label =
       Array.iteri
         (fun k l ->
           if Label.equal l label then
-            total := !total + bp.Bytecode.edge_counts.(base + k))
+            total :=
+              !total
+              + bp.Bytecode.edge_counts.(base + k)
+              + region_sum st name (fun host r ->
+                    host.Bytecode.edge_counts.(r.Bytecode.rg_edge_base + base + k)))
         labels;
       !total
   | Tree | Compiled ->
@@ -663,8 +696,18 @@ let edge_count st name node label =
 (* PC-sampling hits of a node *)
 let node_samples st name node =
   match st.config.backend with
-  | Bytecode -> (bproc st name).Bytecode.samples.(node)
+  | Bytecode ->
+      (bproc st name).Bytecode.samples.(node)
+      + region_sum st name (fun host r ->
+            host.Bytecode.samples.(r.Bytecode.rg_node_base + node))
   | Tree | Compiled -> (cproc st name).code.(node).samples
+
+(* FALLBACK escapes executed across all bytecode procs (perf telemetry;
+   0 under the closure backends, which have no fallback path) *)
+let fallback_execs st =
+  Hashtbl.fold
+    (fun _ (bp : Bytecode.proc) acc -> acc + bp.Bytecode.fb_execs)
+    st.bprocs 0
 
 (* ---- guarded execution: structured results ---- *)
 

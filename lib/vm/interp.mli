@@ -39,6 +39,11 @@ type config = {
   max_call_depth : int;  (** recursion guard ({!Call_depth_exceeded}) *)
   sample_interval : int option;  (** simulated PC sampling every N cycles *)
   backend : backend;  (** execution engine (default [Compiled]) *)
+  emit_plan : Emit.plan option;
+      (** bytecode emission plan — profile-guided inlining/layout/
+          intrinsic budgets ([None] = {!Emit.default_plan}).  Any plan
+          is observationally invisible: cycles, counters and oracle
+          counts are identical, only wall-clock speed changes. *)
 }
 
 val default_config : config
@@ -80,6 +85,12 @@ val edge_count : t -> string -> int -> Label.t -> int
 
 (** PC-sampling hits attributed to a node (0 unless sampling is on). *)
 val node_samples : t -> string -> int -> int
+
+(** FALLBACK escapes executed across all bytecode procedures (0 under
+    the closure backends).  Perf telemetry: each escape syncs promoted
+    registers around a compiled-closure call, so the PGO pass targets
+    the sites that dominate this count. *)
+val fallback_execs : t -> int
 
 (** Instrumentation counters that saturated at [max_int] during the run
     (ascending, no duplicates).  A saturated counter holds [max_int]

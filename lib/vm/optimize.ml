@@ -406,20 +406,59 @@ let optimize_cfg ?program (proc : Program.proc) : Ir.info Cfg.t =
   done;
   !cfg
 
+(* passes mutate payloads in place, so whole-program drivers copy first *)
+let copy_cfg (p : Program.proc) =
+  let cfg = p.Program.cfg in
+  let out = Cfg.create ~dummy:Lower.dummy_info in
+  Cfg.iter_nodes
+    (fun u -> ignore (Cfg.add_node ~ty:(Cfg.node_type cfg u) out (Cfg.info cfg u)))
+    cfg;
+  Cfg.iter_edges (fun e -> Cfg.add_edge out ~src:e.src ~dst:e.dst ~label:e.label) cfg;
+  Cfg.set_entry out (Cfg.entry cfg);
+  Cfg.set_exits out (Cfg.exits cfg);
+  out
+
 (* Whole-program optimization; CFGs are rebuilt, the original Program.t is
    untouched. *)
 let program (prog : Program.t) : Program.t =
-  (* copy CFGs first: passes mutate payloads in place *)
-  let copy_cfg (p : Program.proc) =
-    let cfg = p.Program.cfg in
-    let out = Cfg.create ~dummy:Lower.dummy_info in
-    Cfg.iter_nodes
-      (fun u -> ignore (Cfg.add_node ~ty:(Cfg.node_type cfg u) out (Cfg.info cfg u)))
-      cfg;
-    Cfg.iter_edges (fun e -> Cfg.add_edge out ~src:e.src ~dst:e.dst ~label:e.label) cfg;
-    Cfg.set_entry out (Cfg.entry cfg);
-    Cfg.set_exits out (Cfg.exits cfg);
-    out
-  in
   let prog' = Program.map_cfgs prog copy_cfg in
   Program.map_cfgs prog' (fun p -> optimize_cfg ~program:prog p)
+
+(* ---- profile-guided reoptimization ----
+
+   Like {!program} but node-id-preserving: dead assignments are rewritten
+   to [Nop "DEAD"] and never elided, and control flow is untouched, so a
+   frequency profile collected on the input program indexes the output
+   node-for-node.  The estimator can then predict the cycle delta of the
+   pass exactly:
+
+     delta = sum over (proc, node u) of execs(u) * (cost_old(u) - cost_new(u))
+
+   Frequencies are invariant under the rewrite because RAND/IRAND are
+   treated as impure (never folded: the random stream is undisturbed) and
+   no edge is added or removed.  [hot] gates effort per procedure —
+   profile-hot procedures get the full 3-round fold/propagate/dead-code
+   pipeline, cold ones a single folding pass — which is where the PGO
+   driver spends its frequency information. *)
+
+let reoptimize ?(hot = fun _ -> true) (prog : Program.t) : Program.t =
+  let prog' = Program.map_cfgs prog copy_cfg in
+  Program.map_cfgs prog' (fun p ->
+      let cfg = p.Program.cfg in
+      let fold_pass () =
+        Cfg.iter_nodes
+          (fun u ->
+            let info = Cfg.info cfg u in
+            Cfg.set_info cfg u
+              { info with Ir.ir = fold_node (Some prog') info.Ir.ir })
+          cfg
+      in
+      if hot p.Program.name then
+        for _round = 1 to 3 do
+          fold_pass ();
+          ignore (propagate (Some prog') p cfg);
+          refine_do_metadata cfg;
+          ignore (kill_dead_assigns (Some prog') p cfg)
+        done
+      else fold_pass ();
+      cfg)

@@ -15,11 +15,27 @@ free on the hot path.
 
 The PR-6 bytecode backend adds two more gates on ``table1/*`` entries of
 the current file: ``speedup_bytecode_vs_compiled`` must stay at or above
-``--bytecode-floor`` (default 1.2x — CI-lenient; the committed
-BENCH_PR6.json records ~2x on dev hardware), and
-``probe_overhead_bytecode`` must stay at or below
-``--probe-threshold`` (default 3%).  Both fields are optional per entry
-so older bench JSONs still pass.
+``--bytecode-floor`` (default 1.25x, raised from the PR-6 floor of 1.2x
+by the PR-7 PGO work; the committed BENCH_PR7.json records 1.8-2.1x on
+dev hardware), and ``probe_overhead_bytecode`` must stay at or below
+``--probe-threshold`` (default 5%).  The probe overhead is measured as
+the median of interleaved best-of-N timing pairs, which removes drift
+bias but still carries a few percent of residual jitter either way
+(BENCH_PR6.json recorded *negative* overheads on some rows); the
+threshold is therefore deliberately wider than the true ~1% effect, and
+only the positive direction is gated — probes measuring faster than the
+uninstrumented run is noise, not a cost.  All fields are optional per
+entry so older bench JSONs still pass.
+
+The PR-7 PGO loop adds three more optional gates on ``table1/*`` entries:
+``fallback_execs / max(1, fallback_execs_pgo)`` must reach
+``--fallback-reduction-floor`` (default 10x — PGO inlining must eliminate
+at least 10x of the bytecode's FALLBACK escapes to the tree walker),
+``pgo_prediction_error`` must stay at or below ``--pgo-error-threshold``
+(default 0.15 — the estimator's closed-form prediction of its own
+reoptimization delta; the node-id-preserving reoptimizer makes this
+exactly 0 in practice), and ``cycles_pgo`` must never exceed
+``cycles_original`` (reoptimization must not regress simulated cycles).
 
 Malformed input (missing file, invalid JSON, a bench entry whose field is
 not numeric) is reported as a one-line error with exit status 2 — never a
@@ -84,6 +100,22 @@ def load_bytecode_probe_overheads(path):
     return load_field(path, "table1/", "probe_overhead_bytecode")
 
 
+def load_pgo_rows(path):
+    """table1 rows carrying the PR-7 PGO fields, keyed by name."""
+    fields = ("fallback_execs", "fallback_execs_pgo", "cycles_original",
+              "cycles_pgo", "pgo_prediction_error")
+    per_field = {f: load_field(path, "table1/", f) for f in fields}
+    names = set(per_field["fallback_execs_pgo"])
+    out = {}
+    for name in names:
+        row = {}
+        for f in fields:
+            if name in per_field[f]:
+                row[f] = per_field[f][name]
+        out[name] = row
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
@@ -92,12 +124,19 @@ def main():
                     help="allowed fractional drop vs baseline (default 0.2)")
     ap.add_argument("--guard-threshold", type=float, default=0.02,
                     help="max allowed guards/* guard_overhead (default 0.02)")
-    ap.add_argument("--bytecode-floor", type=float, default=1.2,
+    ap.add_argument("--bytecode-floor", type=float, default=1.25,
                     help="min allowed table1/* speedup_bytecode_vs_compiled "
-                         "(default 1.2)")
-    ap.add_argument("--probe-threshold", type=float, default=0.03,
+                         "(default 1.25)")
+    ap.add_argument("--probe-threshold", type=float, default=0.05,
                     help="max allowed table1/* probe_overhead_bytecode "
-                         "(default 0.03)")
+                         "(default 0.05; median-of-pairs measurement still "
+                         "jitters a few percent either way)")
+    ap.add_argument("--fallback-reduction-floor", type=float, default=10.0,
+                    help="min allowed table1/* fallback_execs / "
+                         "max(1, fallback_execs_pgo) (default 10)")
+    ap.add_argument("--pgo-error-threshold", type=float, default=0.15,
+                    help="max allowed table1/* pgo_prediction_error "
+                         "(default 0.15)")
     args = ap.parse_args()
 
     try:
@@ -106,6 +145,7 @@ def main():
         guard_overheads = load_guard_overheads(args.current)
         bc_speedups = load_bytecode_speedups(args.current)
         bc_probe_overheads = load_bytecode_probe_overheads(args.current)
+        pgo_rows = load_pgo_rows(args.current)
     except BenchInputError as e:
         print(f"error: {e}")
         return 2
@@ -159,6 +199,34 @@ def main():
               f"(threshold {args.probe_threshold * 100:.2f}%)")
         if not ok:
             failed = True
+
+    for name, row in sorted(pgo_rows.items()):
+        if "fallback_execs" in row:
+            before = row["fallback_execs"]
+            after = row["fallback_execs_pgo"]
+            reduction = before / max(1.0, after)
+            ok = reduction >= args.fallback_reduction_floor
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: pgo fallback execs {before:.0f} -> "
+                  f"{after:.0f} ({reduction:.1f}x, floor "
+                  f"{args.fallback_reduction_floor:.0f}x)")
+            if not ok:
+                failed = True
+        if "pgo_prediction_error" in row:
+            err = row["pgo_prediction_error"]
+            ok = err <= args.pgo_error_threshold
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: pgo prediction error {err * 100:.2f}% "
+                  f"(threshold {args.pgo_error_threshold * 100:.0f}%)")
+            if not ok:
+                failed = True
+        if "cycles_pgo" in row and "cycles_original" in row:
+            ok = row["cycles_pgo"] <= row["cycles_original"]
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: pgo cycles {row['cycles_pgo']:.0f} "
+                  f"vs original {row['cycles_original']:.0f}")
+            if not ok:
+                failed = True
 
     return 1 if failed else 0
 

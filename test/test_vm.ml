@@ -649,3 +649,135 @@ let suite =
       Alcotest.test_case "backends: Select edge bookkeeping" `Quick
         select_edge_bookkeeping;
     ]
+
+(* ---------------- PGO: reoptimization and emission plans ----------------
+
+   Two invariants behind the PGO loop.  (1) Idempotence: optimizing an
+   already-optimized program is the identity (folding, propagation and
+   dead-code reach a fixpoint on the first application) — both for the
+   structural [Optimize.program] and the node-id-preserving
+   [Optimize.reoptimize].  (2) Plan invisibility: an emission plan
+   (hot leaf-call inlining, hot-first layout, native intrinsics) changes
+   wall-clock speed only, so the analysis report estimated from a
+   PGO-planned bytecode run is byte-identical to the non-PGO one. *)
+
+module Pipeline = S89_core.Pipeline
+module Report = S89_core.Report
+module Optimize = S89_vm.Optimize
+
+let cfg_equal (c1 : Ir.info Cfg.t) (c2 : Ir.info Cfg.t) =
+  Cfg.num_nodes c1 = Cfg.num_nodes c2
+  && Cfg.entry c1 = Cfg.entry c2
+  && Cfg.exits c1 = Cfg.exits c2
+  &&
+  let ok = ref true in
+  for u = 0 to Cfg.num_nodes c1 - 1 do
+    if
+      (Cfg.info c1 u).Ir.ir <> (Cfg.info c2 u).Ir.ir
+      || Cfg.node_type c1 u <> Cfg.node_type c2 u
+      || Cfg.succ_edges c1 u <> Cfg.succ_edges c2 u
+    then ok := false
+  done;
+  !ok
+
+let progs_equal p1 p2 =
+  List.for_all2
+    (fun (a : Program.proc) (b : Program.proc) ->
+      String.equal a.Program.name b.Program.name
+      && cfg_equal a.Program.cfg b.Program.cfg)
+    (Program.procs p1) (Program.procs p2)
+
+let optimize_twice_idempotent () =
+  for seed = 0 to 29 do
+    let prog = Gen_prog.gen_program seed in
+    let once = Optimize.program prog in
+    let twice = Optimize.program once in
+    check cb
+      (Printf.sprintf "Optimize.program idempotent on gen %d" seed)
+      true (progs_equal once twice);
+    let r1 = Optimize.reoptimize prog in
+    let r2 = Optimize.reoptimize r1 in
+    check cb
+      (Printf.sprintf "Optimize.reoptimize idempotent on gen %d" seed)
+      true (progs_equal r1 r2);
+    (* node-id preservation: same node count per procedure as the input *)
+    List.iter2
+      (fun (a : Program.proc) (b : Program.proc) ->
+        check ci
+          (Printf.sprintf "reoptimize preserves nodes of %s (gen %d)"
+             a.Program.name seed)
+          (Cfg.num_nodes a.Program.cfg)
+          (Cfg.num_nodes b.Program.cfg))
+      (Program.procs prog) (Program.procs r1)
+  done
+
+(* One uninstrumented bytecode run collects exact node frequencies; the
+   derived plan re-runs the *same* IR.  Oracle totals (via the inlined
+   regions' read-side summation) and hence the full estimated report
+   must match byte for byte. *)
+let pgo_plan_reports_identical () =
+  for seed = 0 to 59 do
+    let prog = Gen_prog.gen_program seed in
+    let t = Pipeline.create prog in
+    let vm0 = Pipeline.run_once ~backend:Interp.Bytecode t in
+    let freq =
+      List.map
+        (fun (p : Program.proc) ->
+          let name = p.Program.name in
+          ( name,
+            Array.init
+              (Cfg.num_nodes p.Program.cfg)
+              (Interp.node_execs vm0 name) ))
+        (Program.procs prog)
+    in
+    let plan = Pipeline.plan_of_freq prog freq in
+    let config =
+      {
+        Interp.default_config with
+        Interp.cost_model = CM.optimized;
+        backend = Interp.Bytecode;
+        emit_plan = Some plan;
+      }
+    in
+    let vm1 = Interp.create ~config prog in
+    ignore (Interp.run vm1);
+    check ci
+      (Printf.sprintf "pgo plan cycles agree on gen %d" seed)
+      (Interp.cycles vm0) (Interp.cycles vm1);
+    let r0 = Fmt.str "%a" Report.pp (Pipeline.estimate_oracle t vm0) in
+    let r1 = Fmt.str "%a" Report.pp (Pipeline.estimate_oracle t vm1) in
+    check cb
+      (Printf.sprintf "pgo plan report byte-identical on gen %d" seed)
+      true (String.equal r0 r1)
+  done
+
+let pgo_loop_exact_prediction () =
+  List.iter
+    (fun (name, src) ->
+      let t = Pipeline.of_source src in
+      let pr = Pipeline.pgo ~seed:7 t in
+      (* reoptimize preserves frequencies, so the closed-form prediction
+         is exact, and a reoptimized fixpoint costs no more than before *)
+      check ci
+        (Printf.sprintf "pgo predicted = measured on %s" name)
+        pr.Pipeline.pgo_measured_delta pr.Pipeline.pgo_predicted_delta;
+      check cb
+        (Printf.sprintf "pgo never regresses cycles on %s" name)
+        true
+        (pr.Pipeline.pgo_cycles_after <= pr.Pipeline.pgo_cycles_before))
+    [
+      ("branchy", S89_workloads.Demos.branchy ());
+      ("chunky", S89_workloads.Demos.chunky ());
+      ("sort", S89_workloads.Demos.sort ());
+    ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pgo: optimize twice is identity" `Quick
+        optimize_twice_idempotent;
+      Alcotest.test_case "pgo: plan-only reports byte-identical" `Quick
+        pgo_plan_reports_identical;
+      Alcotest.test_case "pgo: prediction exact on demos" `Quick
+        pgo_loop_exact_prediction;
+    ]
