@@ -922,6 +922,151 @@ let wal_bench () =
     [ ("wall_s", Num w_reopen) ]
 
 (* ------------------------------------------------------------------ *)
+(* P8: incremental memoized analysis + strong control dependence      *)
+(* ------------------------------------------------------------------ *)
+
+module Memo = S89_core.Memo
+module Static_freq = S89_core.Static_freq
+module Gen = S89_testgen.Gen_prog
+module Ecfg = S89_cfg.Ecfg
+module Control_dep = S89_cdg.Control_dep
+module Postdom = S89_graph.Postdom
+module Digraph = S89_graph.Digraph
+
+(* the pre-PR8 control-dependence construction, kept as the reference
+   side of the comparison: a strict-postdominance filter per edge (each
+   query an ancestor walk) and a hashtable probe per emitted (x, y, l)
+   triple *)
+let old_cdg_walk ecfg =
+  let graph = S89_cfg.Cfg.graph (Ecfg.cfg ecfg) in
+  let pdom = Postdom.compute graph ~exit_:(Ecfg.stop ecfg) in
+  let cdg = Digraph.create () in
+  ignore (Digraph.add_nodes cdg (Digraph.num_nodes graph));
+  let seen = Hashtbl.create 64 in
+  Digraph.iter_edges
+    (fun (e : S89_cfg.Label.t Digraph.edge) ->
+      let x = e.src and s = e.dst in
+      if not (Postdom.strictly_postdominates pdom s x) then begin
+        let limit = Postdom.ipostdom pdom x in
+        let rec walk t =
+          if Some t <> limit then begin
+            if not (Hashtbl.mem seen (x, t, e.label)) then begin
+              Hashtbl.replace seen (x, t, e.label) ();
+              ignore (Digraph.add_edge cdg ~src:x ~dst:t ~label:e.label)
+            end;
+            match Postdom.ipostdom pdom t with Some t' -> walk t' | None -> ()
+          end
+        in
+        walk s
+      end)
+    graph;
+  cdg
+
+let incremental () =
+  section
+    "P8. Incremental memoized analysis (edit-stream replay) + CDG construction";
+  (* ---- edit-stream replay: cold vs. warm re-analysis.  Parsing is
+     outside the timed region on both sides — the paper's machinery
+     (and the memo) starts at analysis, so "cold" is a full per-edit
+     re-analysis and "warm" the memoized dirty-cone one. *)
+  let streams =
+    [ ("simple-sized", 48, 8, 12, 10); (* ~2k lines of SIMPLE-ish bodies *)
+      ("testgen", 96, 4, 24, 12) (* wider call DAG of gen_ast-style bodies *) ]
+  in
+  Fmt.pr "@.%-14s %10s %10s %9s %9s %11s@." "edit stream" "cold ms" "warm ms"
+    "speedup" "hit rate" "dirty cone";
+  List.iter
+    (fun (label, procs, size, fan, edits) ->
+      let consts = Array.make procs 1 in
+      let parse () =
+        Program.of_source (Gen.gen_incremental_source ~size ~fan ~consts 77)
+      in
+      let analyze ?memo prog =
+        let t = Pipeline.create ?memo prog in
+        Pipeline.estimate_totals ?memo t
+          ~totals:(Pipeline.static_totals ?memo t)
+      in
+      let rng = S89_util.Prng.create ~seed:0xed17 in
+      let stream = Array.init edits (fun _ -> S89_util.Prng.int rng procs) in
+      let replay phase_analyze =
+        Array.fill consts 0 procs 1;
+        let total = ref 0.0 in
+        Array.iter
+          (fun j ->
+            consts.(j) <- consts.(j) + 1;
+            let prog = parse () in
+            let _, w, _ = timed (fun () -> ignore (phase_analyze prog)) in
+            total := !total +. w)
+          stream;
+        !total
+      in
+      (* cold: from-scratch analysis + estimation after every edit *)
+      let cold_s = replay (fun prog -> analyze prog) in
+      (* warm: one persistent memo, primed on the base program *)
+      Array.fill consts 0 procs 1;
+      let memo = Memo.create () in
+      ignore (analyze ~memo (parse ()));
+      Memo.reset_stats memo;
+      let warm_s = replay (fun prog -> analyze ~memo prog) in
+      let st = Memo.stats memo in
+      let hit_rate =
+        float_of_int st.Memo.hits /. float_of_int (st.Memo.hits + st.Memo.misses)
+      in
+      let dirty_cone = float_of_int st.Memo.misses /. float_of_int edits in
+      (* the memoized result must be byte-identical to a fresh one on
+         the stream's final program *)
+      Array.fill consts 0 procs 1;
+      Array.iter (fun j -> consts.(j) <- consts.(j) + 1) stream;
+      let final = parse () in
+      let identical =
+        Fmt.str "%a" Report.pp (analyze ~memo final)
+        = Fmt.str "%a" Report.pp (analyze final)
+      in
+      let cold_ms = 1e3 *. cold_s /. float_of_int edits
+      and warm_ms = 1e3 *. warm_s /. float_of_int edits in
+      Fmt.pr "%-14s %10.2f %10.2f %8.1fx %8.0f%% %11.1f%s@." label cold_ms
+        warm_ms (cold_s /. warm_s) (100.0 *. hit_rate) dirty_cone
+        (if identical then "" else "  [MISMATCH]");
+      record ~backend:"none" ("incremental/" ^ label)
+        [ ("procs", Int procs); ("edits", Int edits); ("cold_ms", Num cold_ms);
+          ("warm_ms", Num warm_ms); ("warm_speedup", Num (cold_s /. warm_s));
+          ("hit_rate", Num hit_rate); ("dirty_cone", Num dirty_cone);
+          ("byte_identical", Str (if identical then "yes" else "no")) ])
+    streams;
+  (* ---- the strong-control-dependence swap, on a ~1e5-node CFG ---- *)
+  let src = Gen.gen_wide_cfg_source ~nodes:100_000 () in
+  let prog = Program.of_source src in
+  let p = Program.main_proc prog in
+  let ecfg =
+    Ecfg.extend
+      ~empty:{ S89_frontend.Ir.ir = S89_frontend.Ir.Nop "SYNTH"; src_label = None }
+      p.Program.cfg
+  in
+  let n = Digraph.num_nodes (S89_cfg.Cfg.graph (Ecfg.cfg ecfg)) in
+  let cdg_new, w_new, a_new =
+    timed_best ~reps:3 (fun () -> Control_dep.compute ecfg)
+  in
+  let cdg_old, w_old, a_old = timed_best ~reps:3 (fun () -> old_cdg_walk ecfg) in
+  let edges g = Digraph.num_edges g in
+  let same = edges (Control_dep.graph cdg_new) = edges cdg_old in
+  Fmt.pr "@.%-34s %10d nodes@." "generated ECFG" n;
+  Fmt.pr "%-34s %10.1f ms  (%d edges)@." "CDG, ancestor-walk reference"
+    (1e3 *. w_old) (edges cdg_old);
+  Fmt.pr "%-34s %10.1f ms  (%d edges)%s@." "CDG, interval-numbered (PR8)"
+    (1e3 *. w_new)
+    (edges (Control_dep.graph cdg_new))
+    (if same then "" else "  [EDGE-COUNT MISMATCH]");
+  Fmt.pr "%-34s %10.2fx@." "construction speedup" (w_old /. w_new);
+  record ~backend:"none" ~alloc:a_new "incremental/cdg_new"
+    [ ("nodes", Int n); ("edges", Int (edges (Control_dep.graph cdg_new)));
+      ("wall_ms", Num (1e3 *. w_new)) ];
+  record ~backend:"none" ~alloc:a_old "incremental/cdg_old"
+    [ ("nodes", Int n); ("edges", Int (edges cdg_old));
+      ("wall_ms", Num (1e3 *. w_old));
+      ("speedup_new_over_old", Num (w_old /. w_new));
+      ("edge_sets_agree", Str (if same then "yes" else "no")) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -980,7 +1125,8 @@ let all_targets =
     ("x2", sampling); ("accuracy", accuracy); ("x3", accuracy); ("chunks", chunks);
     ("x4", chunks); ("static", static_analysis); ("x5", static_analysis);
     ("scaling", scaling); ("p3", scaling); ("guards", guards); ("p4", guards);
-    ("wal", wal_bench); ("p5", wal_bench); ("wall", wall) ]
+    ("wal", wal_bench); ("p5", wal_bench); ("incremental", incremental);
+    ("p8", incremental); ("wall", wall) ]
 
 let default_order =
   [ figure1; figure2; figure3; table1; counters; sampling; accuracy; chunks;

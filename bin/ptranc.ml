@@ -10,6 +10,7 @@
      run         execute a program on the VM (optionally instrumented)
      profile     run N times with smart counters, write a profile database
      estimate    estimate TIME/VAR from a database or from fresh runs
+     analyze     like estimate, memoizing per-procedure results in a store
      chunks      variance-driven chunk sizes for each loop
      pgo         close the PGO loop: profile, reoptimize, re-run, compare
      batch       checkpointed profiling batch over a crash-safe store
@@ -29,6 +30,7 @@ module Pipeline = S89_core.Pipeline
 module Interproc = S89_core.Interproc
 module Report = S89_core.Report
 module Service = S89_core.Service
+module Memo = S89_core.Memo
 module Store = S89_store.Store
 
 module Diag = S89_diag.Diag
@@ -536,6 +538,49 @@ let no_fsync_arg =
     & info [ "no-fsync" ]
         ~doc:"Skip fsync on WAL appends (faster, loses crash durability)")
 
+let analyze_cmd =
+  let memo_dir_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "memo" ] ~docv:"DIR"
+          ~doc:
+            "Memo store directory (created if missing).  Per-procedure \
+             analysis summaries persist here across invocations")
+  in
+  let run file runs seed optimize memo_dir no_fsync backend =
+    guard @@ fun () ->
+    let backend = resolve_backend backend in
+    let prog = maybe_optimize optimize (load_program file) in
+    let cm = cost_model_of_opt optimize in
+    let store = Store.open_ ~fsync:(not no_fsync) ~dir:memo_dir () in
+    List.iter (fun d -> Fmt.epr "ptranc: %a@." Diag.pp d) (Store.recovery_diags store);
+    let memo = Memo.create () in
+    List.iter
+      (fun (fp, name, time, var) -> Memo.load_summary memo ~fp ~name ~time ~var)
+      (Store.memos store);
+    let t = Pipeline.create ~memo prog in
+    let profile = Pipeline.profile_smart ~cost_model:cm ~runs ~seed ~backend t in
+    let est =
+      Pipeline.estimate_totals ~cost_model:cm ~memo t
+        ~totals:(Database.proc_totals profile.Pipeline.database)
+    in
+    Fmt.pr "%a@." Report.pp est;
+    (* persist whatever this run added or changed, then close cleanly *)
+    List.iter
+      (fun (fp, name, time, var) -> Store.append_memo store ~fp ~name ~time ~var)
+      (Memo.drain_summaries memo);
+    Store.close store;
+    Fmt.epr "ptranc: %a@." Memo.pp_stats memo
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Estimate TIME/VAR with a persistent memo: unchanged procedures reuse \
+          their cached analysis, only the dirty cone recomputes")
+    Term.(
+      const run $ file_arg $ runs_arg $ seed_arg $ opt_arg $ memo_dir_arg
+      $ no_fsync_arg $ backend_arg)
+
 let batch_cmd =
   let dir_arg =
     Arg.(
@@ -553,15 +598,24 @@ let batch_cmd =
       & info [ "export" ] ~docv:"PATH"
           ~doc:"Also write the final database in the profile-db v2 format")
   in
-  let run file runs seed optimize dir resume export no_fsync =
+  let memo_flag_arg =
+    Arg.(
+      value & flag
+      & info [ "memo" ]
+          ~doc:
+            "Memoize per-procedure analysis; summaries persist as memo records \
+             in the store and warm the next run of the same batch")
+  in
+  let run file runs seed optimize dir resume export no_fsync use_memo =
     guard @@ fun () ->
     install_signal_handlers ();
     let source = read_file file in
     let cm = cost_model_of_opt optimize in
+    let memo = if use_memo then Some (Memo.create ()) else None in
     match
       Service.batch ~fsync:(not no_fsync) ~cost_model:cm
         ~should_stop:(fun () -> !stop_requested)
-        ?export ~resume ~runs ~seed ~dir source
+        ?export ?memo ~resume ~runs ~seed ~dir source
     with
     | Error d -> fail_diag ~path:file d
     | Ok (Service.Completed { runs; report }) ->
@@ -581,7 +635,7 @@ let batch_cmd =
        ~doc:"Profile N runs into a crash-safe store, checkpointing each run")
     Term.(
       const run $ file_arg $ runs_arg $ seed_arg $ opt_arg $ dir_arg $ resume_arg
-      $ export_arg $ no_fsync_arg)
+      $ export_arg $ no_fsync_arg $ memo_flag_arg)
 
 let serve_cmd =
   let spool_arg =
@@ -685,8 +739,8 @@ let () =
     Cmd.eval
       (Cmd.group info
          [ parse_cmd; cfg_cmd; ecfg_cmd; fcdg_cmd; plan_cmd; run_cmd; profile_cmd;
-           estimate_cmd; static_cmd; chunks_cmd; pgo_cmd; batch_cmd; serve_cmd;
-           demo_cmd ])
+           estimate_cmd; analyze_cmd; static_cmd; chunks_cmd; pgo_cmd; batch_cmd;
+           serve_cmd; demo_cmd ])
   in
   (* usage errors land in the same exit-code family as IO errors (2) *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

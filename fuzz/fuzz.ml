@@ -17,6 +17,15 @@
                 (append + compact + reopen), or reject with the
                 structured [Store.Corrupt].
 
+   A fifth class per seed exercises the incremental analysis memo:
+   - memo-consistency: replay a seeded edit stream (constant tweaks on
+                generated programs) against one persistent memo,
+                rotating the VM backend per version; every memoized
+                estimate must be byte-identical to a from-scratch
+                analysis of the same version (report, diagnostics,
+                program totals) and no MEMO002 determinism violation
+                may fire.
+
    The invariants checked for every input:
    - no uncaught exception anywhere in parse → analyze → plan → profile →
      estimate: inputs are either accepted or rejected with a structured
@@ -38,13 +47,14 @@ module Diag = S89_diag.Diag
 module Prng = S89_util.Prng
 module Gen = S89_testgen.Gen_prog
 
-type mode = Valid | Mutated | Corrupted | Store_recovery
+type mode = Valid | Mutated | Corrupted | Store_recovery | Memo_consistency
 
 let mode_name = function
   | Valid -> "valid"
   | Mutated -> "mutated"
   | Corrupted -> "corrupted"
   | Store_recovery -> "store-recovery"
+  | Memo_consistency -> "memo-consistency"
 
 (* ---------------- input generation ---------------- *)
 
@@ -93,6 +103,7 @@ let gen_input mode seed =
   | Mutated -> mutate seed src
   | Corrupted -> corrupt seed src
   | Store_recovery -> invalid_arg "store-recovery takes no source input"
+  | Memo_consistency -> invalid_arg "memo-consistency generates its own edit stream"
 
 (* ---------------- the oracle ---------------- *)
 
@@ -319,6 +330,98 @@ let check_store seed : verdict =
       Store.close s3;
       Accepted
 
+(* ---------------- memo consistency fuzzing ---------------- *)
+
+module Memo = S89_core.Memo
+module Report = S89_core.Report
+module Database = S89_profiling.Database
+
+(* a procedure-local edit that keeps the program valid: bump one numeric
+   literal to the right of an '=' (assignment RHS or DO bound) — labels
+   and keywords in the statement field are never touched *)
+let tweak rng src =
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let cands =
+    Array.to_list lines
+    |> List.mapi (fun i l -> (i, l))
+    |> List.filter (fun (_, l) ->
+           match String.index_opt l '=' with
+           | Some k ->
+               String.exists
+                 (fun c -> c >= '0' && c <= '9')
+                 (String.sub l (k + 1) (String.length l - k - 1))
+           | None -> false)
+  in
+  match cands with
+  | [] -> src
+  | _ ->
+      let i, l = List.nth cands (Prng.int rng (List.length cands)) in
+      let k = Option.get (String.index_opt l '=') in
+      let pos = ref (-1) in
+      String.iteri (fun j c -> if j > k && c >= '0' && c <= '9' then pos := j) l;
+      let b = Bytes.of_string l in
+      Bytes.set b !pos (Char.chr (Char.code '1' + Prng.int rng 8));
+      lines.(i) <- Bytes.to_string b;
+      String.concat "\n" (Array.to_list lines)
+
+let backend_name = function
+  | Interp.Tree -> "tree"
+  | Interp.Compiled -> "compiled"
+  | Interp.Bytecode -> "bytecode"
+
+(* one persistent memo over a seeded edit stream: every memoized
+   analysis must be byte-identical to a from-scratch one *)
+let check_memo_consistency seed : verdict =
+  let rng = Prng.create ~seed:(seed lxor 0x3e30) in
+  let memo_diag_codes = ref [] in
+  let memo =
+    Memo.create ~on_diag:(fun d -> memo_diag_codes := d.Diag.code :: !memo_diag_codes) ()
+  in
+  let backends = [| Interp.Tree; Interp.Compiled; Interp.Bytecode |] in
+  let src = ref (Gen.gen_source seed) in
+  let rejected = ref None in
+  for v = 0 to 2 do
+    if v > 0 then src := tweak rng !src;
+    match Program.of_source_result !src with
+    | Error d -> rejected := Some d.Diag.code (* a tweak broke the program *)
+    | Ok _ -> (
+        let backend = backends.((seed + v) mod 3) in
+        try
+          let fresh_t = Pipeline.of_source !src in
+          let memo_t = Pipeline.of_source ~memo !src in
+          let codes t = List.map (fun d -> d.Diag.code) (Pipeline.diagnostics t) in
+          if codes fresh_t <> codes memo_t then
+            failf "memo changed analysis diagnostics: [%s] vs [%s]"
+              (String.concat ";" (codes fresh_t))
+              (String.concat ";" (codes memo_t));
+          if codes fresh_t = [] then begin
+            let profile = Pipeline.profile_smart ~runs:1 ~backend fresh_t in
+            let totals = Database.proc_totals profile.Pipeline.database in
+            let fresh = Pipeline.estimate_totals fresh_t ~totals in
+            let memod = Pipeline.estimate_totals ~memo memo_t ~totals in
+            if Interproc.program_time fresh <> Interproc.program_time memod then
+              failf "memoized TIME differs at version %d (%s backend)" v
+                (backend_name backend);
+            if Interproc.program_var fresh <> Interproc.program_var memod
+            then
+              failf "memoized VAR differs at version %d (%s backend)" v
+                (backend_name backend);
+            let rf = Fmt.str "%a" Report.pp fresh
+            and rm = Fmt.str "%a" Report.pp memod in
+            if rf <> rm then
+              failf "memoized report not byte-identical at version %d (%s backend)"
+                v (backend_name backend);
+            match !memo_diag_codes with
+            | [] -> ()
+            | c :: _ -> failf "memo raised %s on a deterministic edit stream" c
+          end
+        with e -> (
+          match runtime_reject e with
+          | Some code -> rejected := Some code
+          | None -> raise e))
+  done;
+  match !rejected with Some code -> Rejected code | None -> Accepted
+
 (* ---------------- driver ---------------- *)
 
 type failure = { mode : mode; seed : int; what : string; src : string }
@@ -396,11 +499,26 @@ let () =
            failures :=
              { mode = Store_recovery; seed; what; src = "(no source: store-recovery mangles on-disk store files)" }
              :: !failures);
+       (match check_memo_consistency seed with
+       | Accepted -> incr accepted
+       | Rejected code ->
+           Hashtbl.replace rejected code
+             (1 + Option.value ~default:0 (Hashtbl.find_opt rejected code))
+       | exception e ->
+           let what =
+             match e with
+             | Fuzz_failure m -> m
+             | e -> "uncaught exception: " ^ Printexc.to_string e
+           in
+           failures :=
+             { mode = Memo_consistency; seed; what;
+               src = Gen.gen_source seed (* the edit stream's base version *) }
+             :: !failures);
        incr completed
      done
    with Exit -> ());
   let elapsed = Unix.gettimeofday () -. t0 in
-  Printf.printf "fuzz: %d seeds x 4 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
+  Printf.printf "fuzz: %d seeds x 5 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
     !completed elapsed !accepted
     (Hashtbl.fold (fun _ n acc -> acc + n) rejected 0)
     (List.length !failures);

@@ -27,35 +27,94 @@ let compute (ecfg : 'a Ecfg.t) =
   let graph = Cfg.graph cfg in
   let stop = Ecfg.stop ecfg in
   let pdom = Postdom.compute graph ~exit_:stop in
+  let n = Digraph.num_nodes graph in
   let stuck = ref [] in
-  for v = Digraph.num_nodes graph - 1 downto 0 do
+  for v = n - 1 downto 0 do
     if not (Postdom.reachable pdom v) then stuck := v :: !stuck
   done;
   if !stuck <> [] then raise (Cannot_reach_stop !stuck);
+  (* Strong-control-dependence formulation (Chalupa et al., arXiv
+     2011.01564): flatten the postdominator tree once into an [ipdom]
+     array plus a tin/tout interval numbering, so the per-edge strict
+     postdominance test and every ancestor-walk step are O(1) array reads
+     instead of depth-lifting walks with per-step option and tuple-key
+     allocations.  Node and out-edge order below replicates
+     [Digraph.iter_edges] exactly, so the CDG edge sequence — and
+     everything ordered downstream of it (FCDG labels, children,
+     topological order, golden reports) — is unchanged. *)
+  let ipdom = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    match Postdom.ipostdom pdom v with
+    | Some p -> ipdom.(v) <- p
+    | None -> ()
+  done;
+  let tin = Array.make n 0 and tout = Array.make n 0 in
+  let clock = ref 0 in
+  let stack = Stack.create () in
+  Stack.push (stop, false) stack;
+  while not (Stack.is_empty stack) do
+    let v, exiting = Stack.pop stack in
+    if exiting then begin
+      tout.(v) <- !clock;
+      incr clock
+    end
+    else begin
+      tin.(v) <- !clock;
+      incr clock;
+      Stack.push (v, true) stack;
+      List.iter (fun c -> Stack.push (c, false) stack) (Postdom.children pdom v)
+    end
+  done;
+  (* [s] is an ancestor of [x] in the postdominator tree iff its DFS
+     interval contains [x]'s; strict postdominance additionally needs
+     [s <> x]. *)
+  let not_strictly_postdominates s x =
+    s = x || not (tin.(s) <= tin.(x) && tout.(x) <= tout.(s))
+  in
   let cdg = Digraph.create () in
-  ignore (Digraph.add_nodes cdg (Digraph.num_nodes graph));
-  (* dedupe (x, y, l) triples arising from parallel edges *)
-  let seen = Hashtbl.create 64 in
-  Digraph.iter_edges
-    (fun (e : Label.t Digraph.edge) ->
-      let x = e.src and s = e.dst in
-      if not (Postdom.strictly_postdominates pdom s x) then begin
-        let limit = Postdom.ipostdom pdom x in
-        let rec walk t =
-          if Some t <> limit then begin
-            if not (Hashtbl.mem seen (x, t, e.label)) then begin
-              Hashtbl.replace seen (x, t, e.label) ();
-              ignore (Digraph.add_edge cdg ~src:x ~dst:t ~label:e.label)
-            end;
-            match Postdom.ipostdom pdom t with
-            | Some t' -> walk t'
-            | None -> ()
-            (* reached STOP; limit must have been above it *)
-          end
+  ignore (Digraph.add_nodes cdg n);
+  (* The walk for edge (x,s,l) emits the postdominator-tree ancestors of
+     [s] (inclusive) strictly below ipdom(x).  A single walk never
+     revisits a node (strict ascent), so (x,t,l) duplicates can only
+     arise when [x] has two out-edges sharing a label — rare enough that
+     the common case skips dedup bookkeeping entirely.  When dedup is
+     needed, a walk reaching a node already emitted for (x,l) stops
+     early: the earlier walk continued from there to the same limit, so
+     everything above is already present.  Total work is linear in the
+     size of the CDG. *)
+  let seen = Hashtbl.create 16 in
+  for x = 0 to n - 1 do
+    match Digraph.succ_edges graph x with
+    | [] -> ()
+    | edges ->
+        let limit = ipdom.(x) in
+        let rec has_dup_label = function
+          | [] | [ _ ] -> false
+          | (e : Label.t Digraph.edge) :: rest ->
+              List.exists
+                (fun (e' : Label.t Digraph.edge) -> Label.equal e.label e'.label)
+                rest
+              || has_dup_label rest
         in
-        walk s
-      end)
-    graph;
+        let dedup = has_dup_label edges in
+        if dedup then Hashtbl.reset seen;
+        List.iter
+          (fun (e : Label.t Digraph.edge) ->
+            let s = e.dst in
+            if not_strictly_postdominates s x then begin
+              let t = ref s and walking = ref true in
+              while !walking && !t <> limit do
+                if dedup && Hashtbl.mem seen (!t, e.label) then walking := false
+                else begin
+                  if dedup then Hashtbl.replace seen (!t, e.label) ();
+                  ignore (Digraph.add_edge cdg ~src:x ~dst:!t ~label:e.label);
+                  let t' = ipdom.(!t) in
+                  if t' < 0 then walking := false else t := t'
+                end
+              done
+            end)
+          edges
+  done;
   { g = cdg; pdom }
 
 let graph t = t.g

@@ -44,6 +44,21 @@ type t = {
   main : string;
 }
 
+(* The memo layer (see [Memo]) is below this module in the dependency
+   order, so it plugs in through a hook record: fingerprint primitives
+   plus the cache itself.  [fp_body] must not depend on the procedure's
+   name (renaming-only edits keep fingerprints); [fp_mix] folds a salt
+   and an ordered fingerprint list into one key. *)
+type memo_hooks = {
+  fp_body : Program.proc -> int64;
+  fp_totals : string -> (Analysis.cond, int) Hashtbl.t -> int64;
+      (* the procedure name keys a physical-identity cache: a memoized
+         totals source returns the same table value across re-analyses *)
+  fp_mix : string -> int64 list -> int64;
+  find : int64 -> proc_est option;
+  add : int64 -> proc_est -> unit;
+}
+
 let freq_var_model (spec : freq_var_spec) (proc : string) : Variance.freq_var_model =
   match spec with
   | Zero -> Variance.Zero
@@ -52,9 +67,34 @@ let freq_var_model (spec : freq_var_spec) (proc : string) : Variance.freq_var_mo
   | Uniform -> Variance.Uniform
   | Profiled f -> Variance.Profiled (f proc)
 
+(* everything a result depends on besides body/callees/totals, folded
+   into the fingerprint salt so one memo serves mixed option sets *)
+let options_salt cost_model freq_var iteration_model call_variance =
+  let fv =
+    match freq_var with
+    | Zero -> "zero"
+    | Geometric -> "geometric"
+    | Poisson -> "poisson"
+    | Uniform -> "uniform"
+    | Profiled _ -> "profiled"
+  in
+  let im =
+    match iteration_model with
+    | Variance.Paper_correlated -> "corr"
+    | Variance.Independent -> "indep"
+  in
+  let c = cost_model in
+  Printf.sprintf "%s|%s|%b|%s:%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d"
+    fv im call_variance c.Cost_model.name c.Cost_model.c_const c.Cost_model.c_var
+    c.Cost_model.c_assign c.Cost_model.c_index c.Cost_model.c_elem c.Cost_model.c_add
+    c.Cost_model.c_mul c.Cost_model.c_div c.Cost_model.c_pow c.Cost_model.c_rel
+    c.Cost_model.c_logic c.Cost_model.c_neg c.Cost_model.c_branch c.Cost_model.c_goto
+    c.Cost_model.c_call c.Cost_model.c_intrinsic_cheap c.Cost_model.c_intrinsic_moderate
+    c.Cost_model.c_intrinsic_expensive c.Cost_model.c_print
+
 let estimate ?(cost_model = Cost_model.optimized) ?(freq_var = Zero)
     ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
-    ?(recursion = Reject) ?cost_override
+    ?(recursion = Reject) ?cost_override ?memo
     ?(on_diag = fun d -> Log.warn (fun m -> m "%a" Diag.pp d))
     (prog : Program.t) (analyses : (string, Analysis.t) Hashtbl.t)
     ~(totals : string -> (Analysis.cond, int) Hashtbl.t) : t =
@@ -79,6 +119,38 @@ let estimate ?(cost_model = Cost_model.optimized) ?(freq_var = Zero)
       (Analysis.Unanalyzable
          { proc = prog.Program.main;
            reason = "main program has no analysis; nothing to estimate" });
+  (* [totals] may compute (oracle reconstruction); the fingerprint and
+     the frequency pass both consume it, so cache per procedure *)
+  let totals_cache = Hashtbl.create 8 in
+  let totals name =
+    match Hashtbl.find_opt totals_cache name with
+    | Some t -> t
+    | None ->
+        let t = totals name in
+        Hashtbl.replace totals_cache name t;
+        t
+  in
+  (* a [Profiled] freq-var spec and a cost override are closures the
+     fingerprint cannot see, so those paths stay unmemoized *)
+  let memo =
+    match (memo, freq_var, cost_override) with
+    | (Some _ as m), (Zero | Geometric | Poisson | Uniform), None -> m
+    | _ -> None
+  in
+  let salt = options_salt cost_model freq_var iteration_model call_variance in
+  let fp_of = Hashtbl.create 8 in
+  (* an unanalyzed callee degrades to an opaque call; its sentinel
+     fingerprint still keys callers, and flips when it becomes analyzable *)
+  let callee_fp h name =
+    match Hashtbl.find_opt fp_of name with
+    | Some fp -> fp
+    | None -> h.fp_mix ("opaque:" ^ name) []
+  in
+  let proc_key h (p : Program.proc) =
+    let name = p.Program.name in
+    let callees = List.map (callee_fp h) (Program.callees prog p) in
+    h.fp_mix salt (h.fp_body p :: h.fp_totals name (totals name) :: callees)
+  in
   let time_of = Hashtbl.create 8 and var_of = Hashtbl.create 8 in
   let callee_time name =
     match Hashtbl.find_opt time_of name with Some t -> t | None -> 0.0
@@ -147,9 +219,55 @@ let estimate ?(cost_model = Cost_model.optimized) ?(freq_var = Zero)
       if not recursive then
         match scc with
         | [] -> ()
-        | [ p ] -> commit p (estimate_proc p)
+        | [ p ] -> (
+            match memo with
+            | None -> commit p (estimate_proc p)
+            | Some h -> (
+                let key = proc_key h p in
+                Hashtbl.replace fp_of p.Program.name key;
+                match h.find key with
+                | Some est ->
+                    (* re-bind the entry to this program's procedure:
+                       fingerprints ignore names, so the hit may come
+                       from a renamed (or identically-bodied) procedure,
+                       and reports print [analysis.proc.name] *)
+                    commit p
+                      { est with analysis = { est.analysis with Analysis.proc = p } }
+                | None ->
+                    let est = estimate_proc p in
+                    h.add key est;
+                    commit p est))
         | _ -> assert false
       else begin
+        (* recursive SCCs are estimated by fixpoint, never memoized, but
+           their members still need fingerprints so callers above them
+           can key their own entries: any change to any member body,
+           member totals or external callee invalidates the whole cone *)
+        (match memo with
+        | None -> ()
+        | Some h ->
+            let parts =
+              List.concat_map
+                (fun (p : Program.proc) ->
+                  [ h.fp_body p; h.fp_totals p.Program.name (totals p.Program.name) ])
+                scc
+            in
+            let in_scc c = List.exists (fun (q : Program.proc) -> q.Program.name = c) scc in
+            let ext =
+              List.concat_map
+                (fun p ->
+                  List.filter_map
+                    (fun c -> if in_scc c then None else Some (callee_fp h c))
+                    (Program.callees prog p))
+                scc
+            in
+            let scc_fp = h.fp_mix ("scc|" ^ salt) (parts @ ext) in
+            List.iter
+              (fun (p : Program.proc) ->
+                Hashtbl.replace fp_of p.Program.name
+                  (h.fp_mix "scc-member"
+                     [ h.fp_body p; h.fp_totals p.Program.name (totals p.Program.name); scc_fp ]))
+              scc);
         let names = List.map (fun p -> p.Program.name) scc in
         match recursion with
         | Reject -> raise (Recursion_unsupported names)

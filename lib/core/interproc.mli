@@ -44,6 +44,23 @@ type t = {
   main : string;
 }
 
+(** How a memo layer (see {!Memo}, which sits above this module) plugs
+    into the bottom-up traversal: fingerprint primitives plus the cache.
+    A procedure's key is [fp_mix salt [fp_body p; fp_totals tot;
+    callee-keys…]] with callees in first-appearance order, so a change
+    invalidates exactly its callers' cone.  [fp_body] must not depend on
+    the procedure's own name (renaming-only edits keep fingerprints).
+    [fp_totals] also receives the procedure name so the implementation
+    can cache by physical identity of the table (a memoized totals
+    source returns the same value across re-analyses). *)
+type memo_hooks = {
+  fp_body : Program.proc -> int64;
+  fp_totals : string -> (Analysis.cond, int) Hashtbl.t -> int64;
+  fp_mix : string -> int64 list -> int64;
+  find : int64 -> proc_est option;
+  add : int64 -> proc_est -> unit;
+}
+
 (** Estimate every procedure of a program, callees first.
 
     @param cost_model architectural costs (default {!Cost_model.optimized})
@@ -54,6 +71,13 @@ type t = {
     @param recursion what to do on call-graph cycles (default [Reject])
     @param cost_override replace the model-derived local COST of original
       nodes ([proc name -> node -> cost]); used by the worked example
+    @param memo demand-driven recomputation: each non-recursive procedure
+      first consults the memo under its content fingerprint and commits
+      the cached result on a hit — only the dirty cone of the call graph
+      is recomputed.  Ignored (full recomputation) when [freq_var] is
+      [Profiled] or [cost_override] is given, whose closures a
+      fingerprint cannot see.  Recursive SCCs are always recomputed but
+      still fingerprinted, so their callers memoize soundly.
     @param on_diag called with a warning for every procedure missing from
       [analyses] (skipped from the estimate, its calls treated as opaque
       zero-cost calls); defaults to logging
@@ -66,6 +90,7 @@ val estimate :
   ?call_variance:bool ->
   ?recursion:recursion_policy ->
   ?cost_override:(string -> int -> float) ->
+  ?memo:memo_hooks ->
   ?on_diag:(S89_diag.Diag.t -> unit) ->
   Program.t ->
   (string, Analysis.t) Hashtbl.t ->

@@ -1,0 +1,83 @@
+(** Memoized interprocedural analysis: per-procedure results keyed by
+    content fingerprints (FNV-1a/64 of the lowered body chained with the
+    ordered fingerprints of the callee summaries, the TOTAL_FREQ table
+    and an option salt), so re-analysis of an edited program recomputes
+    exactly the dirty cone of the call graph.  Thread-safe: the analysis
+    layer may be probed from several pool domains. *)
+
+module Program = S89_frontend.Program
+module Analysis = S89_profiling.Analysis
+module Diag = S89_diag.Diag
+
+type t
+
+type stats = {
+  mutable hits : int;  (** full per-procedure results reused *)
+  mutable misses : int;  (** dirty-cone recomputations *)
+  mutable analysis_hits : int;  (** ECFG/CDG/FCDG builds skipped *)
+  mutable analysis_misses : int;
+  mutable warm_confirmed : int;
+      (** recomputations that matched a persisted summary *)
+  mutable warm_mismatches : int;  (** [MEMO002] determinism violations *)
+}
+
+(** [on_diag] receives [MEMO001] when two persisted stores disagree on
+    one fingerprint and [MEMO002] when a recomputed result disagrees
+    with a persisted summary (default: logs a warning). *)
+val create : ?on_diag:(Diag.t -> unit) -> unit -> t
+
+(** {1 Fingerprints} *)
+
+(** FNV-1a/64 of the lowered body: unit kind, parameters and the
+    marshaled CFG (lowering is deterministic, so equal sources give
+    equal bytes).  Excludes the procedure's name — renaming-only edits
+    keep fingerprints. *)
+val body_fp : Program.proc -> int64
+
+(** [body_fp] through a per-memo physical-identity cache: the second
+    consumer of the same program version (the interprocedural pass,
+    after {!Pipeline.create}) gets its fingerprints for free. *)
+val body_fp_cached : t -> Program.proc -> int64
+
+(** Fingerprint of a [TOTAL_FREQ] table (sorted; zero entries ignored). *)
+val totals_fp : (Analysis.cond, int) Hashtbl.t -> int64
+
+(** Chain a salt and an ordered fingerprint list into one key. *)
+val mix : string -> int64 list -> int64
+
+(** {1 Cache layers} *)
+
+(** The full-result layer, as {!Interproc.estimate}'s [?memo] argument. *)
+val hooks : t -> Interproc.memo_hooks
+
+(** The analysis layer, keyed by {!body_fp} ({!Pipeline.create} uses it
+    to skip the ECFG/CDG/FCDG build for unchanged bodies). *)
+val find_analysis : t -> int64 -> Analysis.t option
+
+val add_analysis : t -> int64 -> Analysis.t -> unit
+
+(** Derived synthetic TOTAL_FREQ tables ({!Pipeline.static_totals} keys
+    them by {!body_fp} mixed with a heuristics salt).  The cached table
+    is returned as-is: consumers must treat it as read-only. *)
+val find_static_totals : t -> int64 -> (Analysis.cond, int) Hashtbl.t option
+
+val add_static_totals : t -> int64 -> (Analysis.cond, int) Hashtbl.t -> unit
+
+(** {1 Persistence} *)
+
+(** Install one persisted summary (from a store's memo records). *)
+val load_summary : t -> fp:int64 -> name:string -> time:float -> var:float -> unit
+
+(** Summaries created or changed since the last drain, oldest first, as
+    [(fingerprint, name, TIME, VAR)] — what a service appends to its
+    store. *)
+val drain_summaries : t -> (int64 * string * float * float) list
+
+(** Number of summaries currently held (persisted + fresh). *)
+val summaries_loaded : t -> int
+
+(** {1 Accounting} *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> t -> unit

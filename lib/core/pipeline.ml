@@ -65,28 +65,58 @@ let analysis_diag (name : string) : exn -> Diag.t = function
    ["ana <proc> ok"] or ["ana <proc> failed <CODE>"] — the batch
    checkpoint appends these to its WAL so a resumed batch knows which
    procedures already completed or failed. *)
-let create ?(strict = false) ?pool ?supervisor ?journal (prog : Program.t) : t =
+(* [?memo] consults the memo's analysis layer under the body fingerprint
+   before building anything: a hit reuses the cached ECFG/CDG/FCDG —
+   re-bound to this program's procedure, since fingerprints ignore names
+   — and only procedures with changed bodies are (re)built.  A procedure
+   whose circuit breaker is open skips the memo so it degrades with
+   [SRV002] exactly like an unmemoized run. *)
+let create ?(strict = false) ?pool ?supervisor ?journal ?memo (prog : Program.t) :
+    t =
   let procs = Array.of_list (Program.procs prog) in
-  let attempt (p : Program.proc) : (Analysis.t, Diag.t) result =
-    let work () =
-      match supervisor with
-      | None -> Analysis.of_proc p
-      | Some s ->
-          S89_exec.Supervise.protect s ~key:p.Program.name (fun () ->
-              Analysis.of_proc p)
-    in
-    match work () with
-    | a -> Ok a
-    (* a malformed S89_FAULTS is a configuration error, not a
-       per-procedure failure: degrading it would repeat the same
-       message for every procedure and fake a partially-green run *)
-    | exception (Fault.Bad_spec _ as e) -> raise e
-    | exception e when not strict -> Error (analysis_diag p.Program.name e)
+  let memo_ok (p : Program.proc) =
+    match supervisor with
+    | Some s -> not (S89_exec.Supervise.breaker_open s ~key:p.Program.name)
+    | None -> true
   in
+  let fps =
+    match memo with
+    | None -> [||]
+    | Some m -> Array.map (Memo.body_fp_cached m) procs
+  in
+  let attempt ((i, p) : int * Program.proc) : (Analysis.t, Diag.t) result =
+    let cached =
+      match memo with
+      | Some m when memo_ok p -> Memo.find_analysis m fps.(i)
+      | _ -> None
+    in
+    match cached with
+    | Some a -> Ok { a with Analysis.proc = p }
+    | None -> (
+        let work () =
+          match supervisor with
+          | None -> Analysis.of_proc p
+          | Some s ->
+              S89_exec.Supervise.protect s ~key:p.Program.name (fun () ->
+                  Analysis.of_proc p)
+        in
+        match work () with
+        | a ->
+            (match memo with
+            | Some m when memo_ok p -> Memo.add_analysis m fps.(i) a
+            | _ -> ());
+            Ok a
+        (* a malformed S89_FAULTS is a configuration error, not a
+           per-procedure failure: degrading it would repeat the same
+           message for every procedure and fake a partially-green run *)
+        | exception (Fault.Bad_spec _ as e) -> raise e
+        | exception e when not strict -> Error (analysis_diag p.Program.name e))
+  in
+  let indexed = Array.mapi (fun i p -> (i, p)) procs in
   let results =
     match pool with
-    | Some pool -> S89_exec.Pool.map pool attempt procs
-    | None -> Array.map attempt procs
+    | Some pool -> S89_exec.Pool.map pool attempt indexed
+    | None -> Array.map attempt indexed
   in
   let analyses = Hashtbl.create 8 in
   let diags = ref [] in
@@ -109,16 +139,17 @@ let create ?(strict = false) ?pool ?supervisor ?journal (prog : Program.t) : t =
 
 let diagnostics t = t.diags
 
-let of_source ?strict ?pool ?supervisor ?journal src =
-  create ?strict ?pool ?supervisor ?journal (Program.of_source src)
+let of_source ?strict ?pool ?supervisor ?journal ?memo src =
+  create ?strict ?pool ?supervisor ?journal ?memo (Program.of_source src)
 
 (* frontend + analysis under one Result: a frontend failure is the single
    error; analysis failures degrade per procedure as in [create] *)
-let of_source_result ?strict ?pool ?supervisor ?journal src : (t, Diag.t) result =
+let of_source_result ?strict ?pool ?supervisor ?journal ?memo src :
+    (t, Diag.t) result =
   match Program.of_source_result src with
   | Error d -> Error d
   | Ok prog -> (
-      match create ?strict ?pool ?supervisor ?journal prog with
+      match create ?strict ?pool ?supervisor ?journal ?memo prog with
       | t -> Ok t
       | exception e ->
           (* only reachable under [~strict:true] *)
@@ -237,12 +268,53 @@ let estimate_oracle ?(cost_model = Cost_model.optimized) ?(freq_var = Interproc.
   Interproc.estimate ~cost_model ~freq_var ~iteration_model ~call_variance ~recursion
     ?cost_override t.prog t.analyses ~totals
 
-(* estimate from explicit per-procedure totals (e.g. a loaded database) *)
+(* Static-frequency totals ready for [estimate_totals].  With [?memo],
+   each procedure's synthetic TOTAL_FREQ table is cached under its body
+   fingerprint (salted with the heuristics): on re-analysis only the
+   procedures whose bodies changed recompute their tables.  Sound
+   because [Static_freq.totals] is a deterministic function of the
+   analysis, which the memo's analysis layer keys by the same
+   fingerprint. *)
+let static_totals ?heuristics ?memo t : string -> (Analysis.cond, int) Hashtbl.t =
+  match memo with
+  | None -> Static_freq.program_totals ?heuristics t.analyses
+  | Some m ->
+      let h =
+        match heuristics with
+        | None -> Static_freq.default_heuristics
+        | Some h -> h
+      in
+      let salt =
+        Printf.sprintf "static_totals %h %h %h" h.Static_freq.loop_freq
+          h.Static_freq.branch_taken h.Static_freq.exit_taken
+      in
+      let keys = Hashtbl.create 8 in
+      List.iter
+        (fun (p : Program.proc) ->
+          Hashtbl.replace keys p.Program.name
+            (Memo.mix salt [ Memo.body_fp_cached m p ]))
+        (Program.procs t.prog);
+      fun name ->
+        match (Hashtbl.find_opt t.analyses name, Hashtbl.find_opt keys name) with
+        | Some a, Some key -> (
+            match Memo.find_static_totals m key with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Static_freq.totals ?heuristics a in
+                Memo.add_static_totals m key tbl;
+                tbl)
+        | Some a, None -> Static_freq.totals ?heuristics a
+        | None, _ -> Hashtbl.create 1
+
+(* estimate from explicit per-procedure totals (e.g. a loaded database);
+   [?memo] makes the bottom-up traversal demand-driven — only the dirty
+   cone of the call graph is recomputed *)
 let estimate_totals ?(cost_model = Cost_model.optimized) ?(freq_var = Interproc.Zero)
     ?(iteration_model = Variance.Paper_correlated) ?(call_variance = false)
-    ?(recursion = Interproc.Reject) ?cost_override t ~totals : Interproc.t =
+    ?(recursion = Interproc.Reject) ?cost_override ?memo t ~totals : Interproc.t =
+  let memo = Option.map Memo.hooks memo in
   Interproc.estimate ~cost_model ~freq_var ~iteration_model ~call_variance ~recursion
-    ?cost_override t.prog t.analyses ~totals
+    ?cost_override ?memo t.prog t.analyses ~totals
 
 (* ---------------- the PGO loop ---------------- *)
 

@@ -35,12 +35,18 @@ type t = {
     is suppressed with an [SRV002] diagnostic and degrades like any
     other analysis failure.  [?journal] is invoked once per procedure on
     the calling domain, in procedure order, with ["ana <proc> ok"] or
-    ["ana <proc> failed <CODE>"]. *)
+    ["ana <proc> failed <CODE>"].
+
+    [?memo] consults the memo's analysis layer under each procedure's
+    body fingerprint: a hit reuses the cached ECFG/CDG/FCDG and only
+    changed bodies are rebuilt.  Procedures whose circuit breaker is
+    open skip the memo and degrade with [SRV002] as usual. *)
 val create :
   ?strict:bool ->
   ?pool:S89_exec.Pool.t ->
   ?supervisor:S89_exec.Supervise.t ->
   ?journal:(string -> unit) ->
+  ?memo:Memo.t ->
   Program.t ->
   t
 
@@ -53,6 +59,7 @@ val of_source :
   ?pool:S89_exec.Pool.t ->
   ?supervisor:S89_exec.Supervise.t ->
   ?journal:(string -> unit) ->
+  ?memo:Memo.t ->
   string ->
   t
 
@@ -64,6 +71,7 @@ val of_source_result :
   ?pool:S89_exec.Pool.t ->
   ?supervisor:S89_exec.Supervise.t ->
   ?journal:(string -> unit) ->
+  ?memo:Memo.t ->
   string ->
   (t, Diag.t) result
 
@@ -139,8 +147,22 @@ val estimate_oracle :
   Interp.t ->
   Interproc.t
 
+(** Static-frequency totals for {!estimate_totals}, no execution
+    required.  With [?memo], each procedure's synthetic TOTAL_FREQ table
+    is cached under its body fingerprint (salted with the heuristics):
+    re-analysis recomputes tables only for changed bodies. *)
+val static_totals :
+  ?heuristics:Static_freq.heuristics ->
+  ?memo:Memo.t ->
+  t ->
+  string ->
+  (Analysis.cond, int) Hashtbl.t
+
 (** Estimate from explicit per-procedure totals (e.g. a loaded database
-    or hand-written profiles like the paper's worked example). *)
+    or hand-written profiles like the paper's worked example).  [?memo]
+    makes the bottom-up traversal demand-driven: each procedure first
+    consults the memo under its content fingerprint and only the dirty
+    cone of the call graph is recomputed. *)
 val estimate_totals :
   ?cost_model:Cost_model.t ->
   ?freq_var:Interproc.freq_var_spec ->
@@ -148,6 +170,7 @@ val estimate_totals :
   ?call_variance:bool ->
   ?recursion:Interproc.recursion_policy ->
   ?cost_override:(string -> int -> float) ->
+  ?memo:Memo.t ->
   t ->
   totals:(string -> (Analysis.cond, int) Hashtbl.t) ->
   Interproc.t

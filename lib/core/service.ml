@@ -102,16 +102,23 @@ let log_event = function
       Log.warn (fun m ->
           m "[SRV003] item %d ran %.2fs past its heartbeat deadline" index seconds)
 
-let render_report ~cost_model pipe db =
+let render_report ?memo ~cost_model pipe db =
   let est =
-    Pipeline.estimate_totals ~cost_model pipe ~totals:(Database.proc_totals db)
+    Pipeline.estimate_totals ?memo ~cost_model pipe
+      ~totals:(Database.proc_totals db)
   in
   Fmt.str "%a" Report.pp est
+
+(* durably record the memo's fresh summaries as memo-%06d records *)
+let persist_memo store memo =
+  List.iter
+    (fun (fp, name, time, var) -> Store.append_memo store ~fp ~name ~time ~var)
+    (Memo.drain_summaries memo)
 
 let batch ?(policy = Supervise.default_policy) ?(on_event = log_event)
     ?(fsync = true) ?(compact_threshold = 64)
     ?(cost_model = Cost_model.optimized) ?(should_stop = fun () -> false)
-    ?export ~resume ~runs ~seed ~dir source : (outcome, Diag.t) result =
+    ?export ?memo ~resume ~runs ~seed ~dir source : (outcome, Diag.t) result =
   if runs <= 0 then Error (Diag.error ~code:"CLI001" "runs must be positive")
   else
     let store = Store.open_ ~fsync ~compact_threshold ~dir () in
@@ -120,13 +127,22 @@ let batch ?(policy = Supervise.default_policy) ?(on_event = log_event)
     match check_meta store ~resume ~source ~seed ~runs with
     | Error d -> Error d
     | Ok () -> (
+        (* a warm start: persisted memo summaries validate this batch's
+           recomputations (MEMO002 on mismatch) and feed hit accounting *)
+        Option.iter
+          (fun m ->
+            List.iter
+              (fun (fp, name, time, var) ->
+                Memo.load_summary m ~fp ~name ~time ~var)
+              (Store.memos store))
+          memo;
         let supervisor = Supervise.create ~policy ~on_event () in
         List.iter
           (fun proc -> Supervise.trip supervisor ~key:proc)
           (journaled_failures store);
         match
           Pipeline.of_source_result ~supervisor
-            ~journal:(Store.append_event store) source
+            ~journal:(Store.append_event store) ?memo source
         with
         | Error d -> Error d
         | Ok pipe ->
@@ -155,8 +171,13 @@ let batch ?(policy = Supervise.default_policy) ?(on_event = log_event)
               Store.compact store;
               Option.iter (Store.export store) export;
               let report =
-                render_report ~cost_model pipe (Store.database store)
+                render_report ?memo ~cost_model pipe (Store.database store)
               in
+              Option.iter
+                (fun m ->
+                  persist_memo store m;
+                  Log.info (fun m' -> m' "%a" Memo.pp_stats m))
+                memo;
               Ok (Completed { runs = Store.runs store; report })
             end)
 
@@ -202,8 +223,11 @@ let spool_jobs spool =
 
 let serve ?policy ?(fsync = true) ?(cost_model = Cost_model.optimized)
     ?(poll_interval = 0.2) ?max_jobs ?(idle_exit = false)
-    ?(should_stop = fun () -> false) ~runs ~seed ~spool ~store_root () :
+    ?(should_stop = fun () -> false) ?memo ~runs ~seed ~spool ~store_root () :
     serve_stats =
+  (* one memo shared across every job the daemon processes: resubmitted
+     or lightly-edited programs only recompute their dirty cone *)
+  let memo = match memo with Some m -> m | None -> Memo.create () in
   mkdir_p spool;
   mkdir_p (Filename.concat spool "done");
   mkdir_p (Filename.concat spool "failed");
@@ -223,8 +247,8 @@ let serve ?policy ?(fsync = true) ?(cost_model = Cost_model.optimized)
     let dir = Filename.concat store_root name in
     Log.info (fun m -> m "job %s: profiling %d runs into %s" name runs dir);
     match
-      batch ?policy ~fsync ~cost_model ~should_stop ~resume:true ~runs ~seed
-        ~dir
+      batch ?policy ~fsync ~cost_model ~should_stop ~memo ~resume:true ~runs
+        ~seed ~dir
         (read_file (Filename.concat spool file))
     with
     | Ok (Completed { runs; report }) ->

@@ -32,7 +32,13 @@ type outcome =
     identically instead of being retried into a different result.
 
     [should_stop] is polled between runs — graceful shutdown returns
-    [Interrupted] with everything already durable. *)
+    [Interrupted] with everything already durable.
+
+    [?memo] memoizes analysis and estimation (see {!Memo}): persisted
+    [memo-%06d] summaries are loaded from the store on open (validating
+    recomputations across restarts, [MEMO002] on mismatch) and fresh
+    summaries are appended durably on completion.  Output is
+    byte-identical with or without it. *)
 val batch :
   ?policy:Supervise.policy ->
   ?on_event:(Supervise.event -> unit) ->
@@ -41,6 +47,7 @@ val batch :
   ?cost_model:Cost_model.t ->
   ?should_stop:(unit -> bool) ->
   ?export:string ->
+  ?memo:Memo.t ->
   resume:bool ->
   runs:int ->
   seed:int ->
@@ -58,7 +65,11 @@ type serve_stats = { jobs_done : int; jobs_failed : int }
     failed jobs move to [spool/failed/] with a [.err].  Polls every
     [poll_interval] seconds until [should_stop] fires, [max_jobs] jobs
     are processed, or — with [~idle_exit:true] (tests) — the spool is
-    empty. *)
+    empty.
+
+    One {!Memo.t} (created internally unless [?memo] is given) is shared
+    across every job, so resubmitted or lightly-edited programs only
+    recompute their dirty cone of the call graph. *)
 val serve :
   ?policy:Supervise.policy ->
   ?fsync:bool ->
@@ -67,6 +78,7 @@ val serve :
   ?max_jobs:int ->
   ?idle_exit:bool ->
   ?should_stop:(unit -> bool) ->
+  ?memo:Memo.t ->
   runs:int ->
   seed:int ->
   spool:string ->

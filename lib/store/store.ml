@@ -14,6 +14,13 @@
                                    one completed profiling run's totals
        event <text>                a journal line (e.g. per-procedure
                                    analysis completions)
+       memo-<id> <fp> <time> <var> <proc>
+                                   one memoized per-procedure analysis
+                                   summary: the content fingerprint and
+                                   its TIME/VAR totals ([%h] floats, so
+                                   the round-trip is lossless); ids are
+                                   monotonic per store, last write per
+                                   fingerprint wins
 
    Crash-safety invariants:
 
@@ -42,6 +49,8 @@ exception Corrupt of string
 
 let corruptf fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
 
+type memo_rec = { m_id : int; m_name : string; m_time : float; m_var : float }
+
 type t = {
   dir : string;
   fsync : bool;
@@ -52,6 +61,8 @@ type t = {
   mutable wal_runs : int; (* run records in the current WAL *)
   mutable meta : (string * string) list;
   mutable events : string list; (* journal, oldest first, deduplicated *)
+  mutable memos : (int64, memo_rec) Hashtbl.t; (* fingerprint -> summary *)
+  mutable memo_seq : int; (* next memo record id *)
   mutable diags : Diag.t list; (* recovery diagnostics, oldest first *)
 }
 
@@ -84,6 +95,12 @@ let meta_payload kvs =
   Buffer.contents buf
 
 let event_payload text = "event " ^ text
+
+(* the memo-%06d record family: one numbered, checksummed (by the WAL
+   framing) summary of a memoized per-procedure analysis — [%h] floats
+   round-trip losslessly *)
+let memo_payload ~id ~fp ~name ~time ~var =
+  Printf.sprintf "memo-%06d %016Lx %h %h %s" id fp time var name
 
 (* parse one checksum-valid record into the store state; a record that
    passes its checksum but does not parse indicates a format mismatch,
@@ -135,6 +152,20 @@ let replay t payload =
   | [ line ] when String.length line >= 6 && String.sub line 0 6 = "event " ->
       let text = String.sub line 6 (String.length line - 6) in
       if not (List.mem text t.events) then t.events <- t.events @ [ text ]
+  | [ line ] when String.length line >= 5 && String.sub line 0 5 = "memo-" -> (
+      match String.split_on_char ' ' line with
+      | [ header; fp; time; var; name ] -> (
+          match
+            ( int_of_string_opt (String.sub header 5 (String.length header - 5)),
+              Int64.of_string_opt ("0x" ^ fp),
+              float_of_string_opt time,
+              float_of_string_opt var )
+          with
+          | Some id, Some fp, Some time, Some var ->
+              Hashtbl.replace t.memos fp { m_id = id; m_name = name; m_time = time; m_var = var };
+              t.memo_seq <- max t.memo_seq (id + 1)
+          | _ -> corruptf "bad memo record: %s" line)
+      | _ -> corruptf "bad memo record: %s" line)
   | _ -> corruptf "unrecognized record: %s" (String.escaped payload)
 
 (* ---------------- opening / recovery ---------------- *)
@@ -211,7 +242,7 @@ let open_ ?(fsync = true) ?(compact_threshold = 64) ~dir () =
       :: !diags;
   let t =
     { dir; fsync; compact_threshold; db; epoch; wal; wal_runs = 0; meta = [];
-      events = []; diags = [] }
+      events = []; memos = Hashtbl.create 16; memo_seq = 0; diags = [] }
   in
   List.iter (replay t) recovery.Wal.payloads;
   (* stale files from other epochs (interrupted compactions), plus any
@@ -237,6 +268,12 @@ let recovery_diags t = t.diags
 let epoch t = t.epoch
 let wal_records t = Wal.records t.wal
 
+(* memo summaries, oldest first (ascending record id) *)
+let memos t =
+  Hashtbl.fold (fun fp r acc -> (fp, r) :: acc) t.memos []
+  |> List.sort (fun (_, a) (_, b) -> compare a.m_id b.m_id)
+  |> List.map (fun (fp, r) -> (fp, r.m_name, r.m_time, r.m_var))
+
 (* ---------------- appending ---------------- *)
 
 let append_event t text =
@@ -255,6 +292,21 @@ let set_meta t kvs =
     kvs;
   Wal.append t.wal (meta_payload kvs);
   List.iter (fun (k, v) -> t.meta <- (k, v) :: List.remove_assoc k t.meta) kvs
+
+let append_memo t ~fp ~name ~time ~var =
+  if String.contains name ' ' || String.contains name '\n' then
+    invalid_arg "Store.append_memo: name with space/newline";
+  let changed =
+    match Hashtbl.find_opt t.memos fp with
+    | Some r -> not (r.m_name = name && r.m_time = time && r.m_var = var)
+    | None -> true
+  in
+  if changed then begin
+    let id = t.memo_seq in
+    t.memo_seq <- id + 1;
+    Wal.append t.wal (memo_payload ~id ~fp ~name ~time ~var);
+    Hashtbl.replace t.memos fp { m_id = id; m_name = name; m_time = time; m_var = var }
+  end
 
 (* ---------------- compaction ---------------- *)
 
@@ -287,6 +339,13 @@ let compact t =
   let new_wal, _ = Wal.open_ ~fsync:t.fsync (wal_path t.dir next) in
   if t.meta <> [] then Wal.append new_wal (meta_payload t.meta);
   List.iter (fun ev -> Wal.append new_wal (event_payload ev)) t.events;
+  (* the memo table rides compaction like the journal: re-appended to the
+     new epoch's WAL in id order, keeping ids stable across epochs *)
+  Hashtbl.fold (fun fp r acc -> (fp, r) :: acc) t.memos []
+  |> List.sort (fun (_, a) (_, b) -> compare a.m_id b.m_id)
+  |> List.iter (fun (fp, r) ->
+         Wal.append new_wal
+           (memo_payload ~id:r.m_id ~fp ~name:r.m_name ~time:r.m_time ~var:r.m_var));
   (* commit point: atomic rename of the snapshot *)
   write_atomic ~fsync:t.fsync (snapshot_path t.dir next) (Database.to_string t.db);
   (* the old epoch's files are now stale *)

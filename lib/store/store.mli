@@ -44,6 +44,15 @@ val events : t -> string list
 (** Append one journal line (durable; no-op if already present). *)
 val append_event : t -> string -> unit
 
+(** Memoized analysis summaries (the [memo-%06d] record family), oldest
+    first, as [(fingerprint, proc, TIME, VAR)].  Last write per
+    fingerprint wins; carried across compactions. *)
+val memos : t -> (int64 * string * float * float) list
+
+(** Append (or overwrite) one memo summary, durable before returning.
+    A no-op when the fingerprint already holds identical values. *)
+val append_memo : t -> fp:int64 -> name:string -> time:float -> var:float -> unit
+
 (** What recovery had to report: [DB002] (torn WAL tail dropped),
     [DB003] (corrupt snapshot skipped). *)
 val recovery_diags : t -> Diag.t list

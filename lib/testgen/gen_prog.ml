@@ -176,33 +176,33 @@ let helper_unit : Ast.program_unit =
   }
 
 (* generate a full program AST from a seed *)
+(* initialize everything the generator may read *)
+let prelude () =
+  List.map
+    (fun v -> { Ast.label = None; stmt = Ast.Assign (Ast.Lvar v, Ast.Int 1) })
+    ints
+  @ List.map
+      (fun v ->
+        { Ast.label = None; stmt = Ast.Assign (Ast.Lvar v, Ast.Call ("RAND", [])) })
+      scalars
+  @ [ { Ast.label = None;
+        stmt =
+          Ast.Do
+            { do_var = "I"; do_lo = Ast.Int 1; do_hi = Ast.Int array_size;
+              do_step = None;
+              do_body =
+                [ { Ast.label = None;
+                    stmt =
+                      Ast.Assign
+                        (Ast.Larr (array_name, [ Ast.Var "I" ]), Ast.Call ("RAND", []))
+                  } ] } } ]
+
 let gen_ast ?(size = 14) seed : Ast.program =
   let ctx =
     { rng = Prng.create ~seed; next_label = 100; depth = 0; stmts_left = size;
       exit_labels = [] }
   in
-  let init =
-    (* initialize everything the generator may read *)
-    List.map
-      (fun v -> { Ast.label = None; stmt = Ast.Assign (Ast.Lvar v, Ast.Int 1) })
-      ints
-    @ List.map
-        (fun v ->
-          { Ast.label = None; stmt = Ast.Assign (Ast.Lvar v, Ast.Call ("RAND", [])) })
-        scalars
-    @ [ { Ast.label = None;
-          stmt =
-            Ast.Do
-              { do_var = "I"; do_lo = Ast.Int 1; do_hi = Ast.Int array_size;
-                do_step = None;
-                do_body =
-                  [ { Ast.label = None;
-                      stmt =
-                        Ast.Assign
-                          (Ast.Larr (array_name, [ Ast.Var "I" ]), Ast.Call ("RAND", []))
-                    } ] } } ]
-  in
-  let body = init @ gen_block ctx (3 + Prng.int ctx.rng 4) in
+  let body = prelude () @ gen_block ctx (3 + Prng.int ctx.rng 4) in
   let main =
     {
       Ast.kind = Ast.Program;
@@ -218,3 +218,91 @@ let gen_source ?size seed : string = Ast.to_source (gen_ast ?size seed)
 
 let gen_program ?size seed : S89_frontend.Program.t =
   S89_frontend.Program.of_source (gen_source ?size seed)
+
+(* ---------------- scale generators (incremental benchmarks) -------- *)
+
+let proc_name i = Printf.sprintf "P%d" i
+
+(* One randomly-generated subroutine: the shared prelude, a random body
+   with the [gen_ast] statement distribution, then an editable constant
+   update and (optionally) a call to [call] — the call-DAG edges the
+   incremental-analysis benchmarks rely on.  The body depends only on
+   [seed] and [const], so bumping one procedure's constant regenerates a
+   program identical everywhere else. *)
+let gen_unit ?(size = 3) ~seed ~name ?call ~const () : Ast.program_unit =
+  let ctx =
+    { rng = Prng.create ~seed; next_label = 100; depth = 0; stmts_left = 12 * size;
+      exit_labels = [] }
+  in
+  let tail =
+    { Ast.label = None;
+      stmt =
+        Ast.Assign
+          (Ast.Lvar "X", Ast.Binop (Ast.Add, Ast.Var "X", Ast.Real (float_of_int const)))
+    }
+    ::
+    (match call with
+    | None -> []
+    | Some callee ->
+        [ { Ast.label = None; stmt = Ast.Call_stmt (callee, [ Ast.Var "X" ]) } ])
+  in
+  { Ast.kind = Ast.Subroutine; name; params = [ "X" ];
+    decls = [ Ast.Dvar (Ast.Treal, [ (array_name, [ array_size ]) ]) ];
+    body = prelude () @ gen_block ctx (size + Prng.int ctx.rng 3) @ tail }
+
+(* A multi-procedure program for incremental-analysis benchmarks: MAIN
+   calls [P0..P<k-1>]; each [P<i>] additionally calls [P<i+fan>], so the
+   dirty cone of an edit to [P<j>] is its caller chain
+   [{P<j>, P<j-fan>, ..., MAIN}].  [consts.(i)] is [P<i>]'s editable
+   constant: bump one slot and regenerate to model a procedure-local
+   edit. *)
+let gen_incremental_ast ?size ?(fan = 3) ~consts seed : Ast.program =
+  let k = Array.length consts in
+  let main =
+    { Ast.kind = Ast.Program; name = "DRIVER"; params = []; decls = [];
+      body =
+        { Ast.label = None; stmt = Ast.Assign (Ast.Lvar "X", Ast.Real 0.0) }
+        :: List.init k (fun i ->
+               { Ast.label = None;
+                 stmt = Ast.Call_stmt (proc_name i, [ Ast.Var "X" ]) }) }
+  in
+  let units =
+    List.init k (fun i ->
+        gen_unit ?size
+          ~seed:(seed lxor ((i + 1) * 0x9e3779))
+          ~name:(proc_name i)
+          ?call:(if i + fan < k then Some (proc_name (i + fan)) else None)
+          ~const:consts.(i) ())
+  in
+  (main :: units) @ [ helper_unit ]
+
+let gen_incremental_source ?size ?fan ~consts seed : string =
+  Ast.to_source (gen_incremental_ast ?size ?fan ~consts seed)
+
+(* A single-procedure program whose statement-level CFG has roughly
+   [nodes] nodes: repeated DO loops of branch diamonds with conditional
+   exits — long postdominator chains crossed by loop-exit edges, the
+   shape that punishes ancestor-walk control-dependence construction. *)
+let gen_wide_cfg_source ?(nodes = 100_000) () : string =
+  let diamonds = 40 in
+  (* statements per block: loop header/footer + exit + 4 per diamond *)
+  let per_block = (4 * diamonds) + 5 in
+  let blocks = max 1 ((nodes + per_block - 1) / per_block) in
+  let b = Buffer.create (nodes * 32) in
+  Buffer.add_string b "      PROGRAM WIDE\n      X = RAND()\n";
+  for blk = 0 to blocks - 1 do
+    let l = 100 + (10 * blk) in
+    Printf.bprintf b "      DO %d I = 1, 3\n" l;
+    for _ = 1 to diamonds do
+      Buffer.add_string b "      IF (X .GT. 0.5) THEN\n";
+      Buffer.add_string b "      X = X * 0.5\n";
+      Buffer.add_string b "      ELSE\n";
+      Buffer.add_string b "      X = X + 0.25\n";
+      Buffer.add_string b "      ENDIF\n"
+    done;
+    Printf.bprintf b "      IF (X .GT. 0.9) GOTO %d\n" (l + 5);
+    Printf.bprintf b "%d    CONTINUE\n" l;
+    Printf.bprintf b "%d    CONTINUE\n" (l + 5)
+  done;
+  Buffer.add_string b "      END\n";
+  Buffer.contents b

@@ -37,6 +37,19 @@ reoptimization delta; the node-id-preserving reoptimizer makes this
 exactly 0 in practice), and ``cycles_pgo`` must never exceed
 ``cycles_original`` (reoptimization must not regress simulated cycles).
 
+The PR-8 incremental-memo work adds gates on ``incremental/*`` entries of
+the current file: ``warm_speedup`` (cold / warm re-analysis latency over
+the edit-stream replay) must reach ``--warm-speedup-floor`` (default 5x,
+CI-lenient; dev hardware records 14-16x in BENCH_PR8.json),
+``hit_rate`` must reach ``--hit-rate-floor`` (default 0.75), and a
+``byte_identical`` field, when present, must be ``"yes"`` — a memoized
+re-analysis that is fast but wrong is worse than no memo at all.
+
+Rows present in both files are also compared field-by-field: a field
+recorded in the baseline row but missing from the current row prints a
+``note:`` warning (fields feed gates, so one silently vanishing would
+disable its gate without failing anything).
+
 Malformed input (missing file, invalid JSON, a bench entry whose field is
 not numeric) is reported as a one-line error with exit status 2 — never a
 traceback — so CI logs point at the broken file, not at this script.
@@ -100,6 +113,38 @@ def load_bytecode_probe_overheads(path):
     return load_field(path, "table1/", "probe_overhead_bytecode")
 
 
+def load_rows_by_name(path):
+    """All rows keyed by name (for field-presence comparison)."""
+    out = {}
+    for row in load_entries(path):
+        if not isinstance(row, dict):
+            raise BenchInputError(f"{path}: non-object entry in 'benchmarks'")
+        name = row.get("name", "")
+        if name:
+            out[name] = row
+    return out
+
+
+def load_incremental_rows(path):
+    """incremental/* rows carrying the PR-8 memo fields, keyed by name."""
+    out = {}
+    for name, row in load_rows_by_name(path).items():
+        if name.startswith("incremental/") and "warm_speedup" in row:
+            checked = {}
+            for f in ("warm_speedup", "hit_rate"):
+                if f in row:
+                    try:
+                        checked[f] = float(row[f])
+                    except (TypeError, ValueError):
+                        raise BenchInputError(
+                            f"{path}: entry {name!r} has non-numeric {f}: "
+                            f"{row[f]!r}")
+            if "byte_identical" in row:
+                checked["byte_identical"] = row["byte_identical"]
+            out[name] = checked
+    return out
+
+
 def load_pgo_rows(path):
     """table1 rows carrying the PR-7 PGO fields, keyed by name."""
     fields = ("fallback_execs", "fallback_execs_pgo", "cycles_original",
@@ -137,6 +182,11 @@ def main():
     ap.add_argument("--pgo-error-threshold", type=float, default=0.15,
                     help="max allowed table1/* pgo_prediction_error "
                          "(default 0.15)")
+    ap.add_argument("--warm-speedup-floor", type=float, default=5.0,
+                    help="min allowed incremental/* warm_speedup "
+                         "(default 5; dev hardware records 14-16x)")
+    ap.add_argument("--hit-rate-floor", type=float, default=0.75,
+                    help="min allowed incremental/* hit_rate (default 0.75)")
     args = ap.parse_args()
 
     try:
@@ -146,6 +196,9 @@ def main():
         bc_speedups = load_bytecode_speedups(args.current)
         bc_probe_overheads = load_bytecode_probe_overheads(args.current)
         pgo_rows = load_pgo_rows(args.current)
+        inc_rows = load_incremental_rows(args.current)
+        current_rows = load_rows_by_name(args.current)
+        baseline_rows = load_rows_by_name(args.baseline)
     except BenchInputError as e:
         print(f"error: {e}")
         return 2
@@ -227,6 +280,39 @@ def main():
                   f"vs original {row['cycles_original']:.0f}")
             if not ok:
                 failed = True
+
+    for name, row in sorted(inc_rows.items()):
+        if "warm_speedup" in row:
+            speedup = row["warm_speedup"]
+            ok = speedup >= args.warm_speedup_floor
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: warm re-analysis speedup "
+                  f"{speedup:.1f}x (floor {args.warm_speedup_floor:.0f}x)")
+            if not ok:
+                failed = True
+        if "hit_rate" in row:
+            rate = row["hit_rate"]
+            ok = rate >= args.hit_rate_floor
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: memo hit rate {rate * 100:.1f}% "
+                  f"(floor {args.hit_rate_floor * 100:.0f}%)")
+            if not ok:
+                failed = True
+        if "byte_identical" in row:
+            ok = row["byte_identical"] == "yes"
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: memoized output byte-identical: "
+                  f"{row['byte_identical']}")
+            if not ok:
+                failed = True
+
+    # fields feed gates above, so a field that silently vanishes from a
+    # row would disable its gate without failing anything — surface it
+    for name in sorted(set(current_rows) & set(baseline_rows)):
+        gone = sorted(set(baseline_rows[name]) - set(current_rows[name]))
+        if gone:
+            print(f"note: {name} lost field(s) vs {args.baseline}: "
+                  f"{', '.join(gone)}")
 
     return 1 if failed else 0
 

@@ -15,5 +15,6 @@ let () =
       ("sched", Test_sched.suite);
       ("robustness", Test_robustness.suite);
       ("store", Test_store.suite);
+      ("memo", Test_memo.suite);
       ("workloads", Test_workloads.suite);
     ]
