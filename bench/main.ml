@@ -922,6 +922,173 @@ let wal_bench () =
     [ ("wall_s", Num w_reopen) ]
 
 (* ------------------------------------------------------------------ *)
+(* P9: TCP service latency + overload shedding                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  section
+    "P9: multi-tenant TCP service\n\
+     steady-state job latency (p50/p99 from the server histogram) and\n\
+     overload behaviour (NET001 shedding once the tenant queue fills)";
+  let module Server = S89_net.Server in
+  let module Proto = S89_net.Proto in
+  let with_tmp_root f =
+    let dir = Filename.temp_file "s89serve" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let rec rm_rf p =
+      if Sys.is_directory p then (
+        Array.iter (fun x -> rm_rf (Filename.concat p x)) (Sys.readdir p);
+        Unix.rmdir p)
+      else Sys.remove p
+    in
+    Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+  in
+  let rpc port req =
+    let fd = Server.Client.connect ~port () in
+    Fun.protect ~finally:(fun () -> Server.Client.close fd) (fun () ->
+        match Server.Client.rpc fd req with
+        | Ok resp -> resp
+        | Error msg -> failwith ("serve bench rpc: " ^ msg))
+  in
+  (* scrape one value out of the /metrics text document *)
+  let metric text name =
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           if String.length line > String.length name
+              && String.sub line 0 (String.length name) = name
+              && line.[String.length name] = ' '
+           then
+             float_of_string_opt
+               (String.sub line
+                  (String.length name + 1)
+                  (String.length line - String.length name - 1))
+           else None)
+    |> Option.value ~default:Float.nan
+  in
+  let source = W.fig1 () in
+  let tenants = [| "acme"; "bravo"; "corp" |] in
+  (* -------- steady state: every job admitted, latency histogram ---- *)
+  with_tmp_root (fun root ->
+      let server =
+        Server.start
+          ~config:{ Server.default_config with workers = 2; fsync = false }
+          ~store_root:(Filename.concat root "steady") ()
+      in
+      let port = Server.port server in
+      let jobs = 48 in
+      let _, wall, _ =
+        timed (fun () ->
+            for i = 0 to jobs - 1 do
+              let tenant = tenants.(i mod Array.length tenants) in
+              match
+                rpc port
+                  (Proto.Submit
+                     { tenant; job = Printf.sprintf "job%02d" i; runs = 10;
+                       seed = 7 + i; deadline = 0.0; source })
+              with
+              | Proto.Accepted _ -> ()
+              | _ -> failwith "serve bench: steady submit rejected"
+            done;
+            (* poll until the whole batch drained *)
+            let rec wait_done tries =
+              if tries = 0 then failwith "serve bench: steady jobs never drained";
+              let text =
+                match rpc port Proto.Metrics with
+                | Proto.Metrics_text t -> t
+                | _ -> failwith "serve bench: metrics rpc failed"
+              in
+              if int_of_float (metric text "s89_jobs_done") < jobs then (
+                Thread.delay 0.01;
+                wait_done (tries - 1))
+            in
+            wait_done 6_000)
+      in
+      let text = Server.metrics_text server in
+      let p50 = metric text "s89_job_latency_seconds{quantile=\"0.5\"}" in
+      let p99 = metric text "s89_job_latency_seconds{quantile=\"0.99\"}" in
+      let rejected = int_of_float (metric text "s89_jobs_rejected") in
+      Server.stop server;
+      Fmt.pr "@.%-34s %10d jobs over %d tenants@." "steady-state batch" jobs
+        (Array.length tenants);
+      Fmt.pr "%-34s %10.1f jobs/s@." "throughput" (float_of_int jobs /. wall);
+      Fmt.pr "%-34s %10.4f s (p50)   %.4f s (p99)@." "job latency" p50 p99;
+      Fmt.pr "%-34s %10d@." "rejections" rejected;
+      record ~backend:"compiled" "serve/steady"
+        [ ("jobs", Int jobs); ("rejected", Int rejected);
+          ("rejection_rate", Num (float_of_int rejected /. float_of_int jobs));
+          ("p50_latency_s", Num p50); ("p99_latency_s", Num p99);
+          ("throughput_jobs_s", Num (float_of_int jobs /. wall));
+          ("saturated", Str "no") ]);
+  (* -------- overload: 1 worker, queue of 1, burst must shed -------- *)
+  with_tmp_root (fun root ->
+      let server =
+        Server.start
+          ~config:
+            { Server.default_config with workers = 1; queue_capacity = 1;
+              fsync = false }
+          ~store_root:(Filename.concat root "overload") ()
+      in
+      let port = Server.port server in
+      (* a long job pins the single worker... *)
+      (match
+         rpc port
+           (Proto.Submit
+              { tenant = "busy"; job = "long"; runs = 2_000_000; seed = 1;
+                deadline = 0.0; source })
+       with
+      | Proto.Accepted _ -> ()
+      | _ -> failwith "serve bench: long job rejected");
+      let rec wait_running tries =
+        if tries = 0 then failwith "serve bench: long job never started";
+        match rpc port (Proto.Status { tenant = "busy"; job = "long" }) with
+        | Proto.Job_status { state = "running"; _ } -> ()
+        | _ ->
+            Thread.delay 0.005;
+            wait_running (tries - 1)
+      in
+      wait_running 2_000;
+      (* ...so a burst overfills the 1-slot queue and the rest shed *)
+      let burst = 20 in
+      let rejected = ref 0 in
+      let _, wall, _ =
+        timed (fun () ->
+            for i = 0 to burst - 1 do
+              match
+                rpc port
+                  (Proto.Submit
+                     { tenant = "busy"; job = Printf.sprintf "burst%02d" i;
+                       runs = 5; seed = 100 + i; deadline = 0.0; source })
+              with
+              | Proto.Accepted _ -> ()
+              | Proto.Rejected { retry_after; _ } ->
+                  assert (retry_after > 0.0);
+                  incr rejected
+              | _ -> failwith "serve bench: unexpected burst answer"
+            done)
+      in
+      let text = Server.metrics_text server in
+      let p50 = metric text "s89_job_latency_seconds{quantile=\"0.5\"}" in
+      let p99 = metric text "s89_job_latency_seconds{quantile=\"0.99\"}" in
+      Server.stop server;
+      let submitted = burst + 1 in
+      let rate = float_of_int !rejected /. float_of_int submitted in
+      Fmt.pr "@.%-34s %10d submissions (1 worker, queue 1)@." "overload burst"
+        submitted;
+      Fmt.pr "%-34s %10d shed with NET001 (%.0f%%)@." "rejections" !rejected
+        (100.0 *. rate);
+      Fmt.pr "%-34s %10.0f submissions/s@." "admission decisions"
+        (float_of_int burst /. wall);
+      if !rejected = 0 then
+        Fmt.pr "[WARN] overload run shed nothing — queue never saturated@.";
+      record ~backend:"compiled" "serve/overload"
+        [ ("jobs", Int submitted); ("rejected", Int !rejected);
+          ("rejection_rate", Num rate); ("p50_latency_s", Num p50);
+          ("p99_latency_s", Num p99);
+          ("throughput_jobs_s", Num (float_of_int burst /. wall));
+          ("saturated", Str "yes") ])
+
+(* ------------------------------------------------------------------ *)
 (* P8: incremental memoized analysis + strong control dependence      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1126,7 +1293,8 @@ let all_targets =
     ("x4", chunks); ("static", static_analysis); ("x5", static_analysis);
     ("scaling", scaling); ("p3", scaling); ("guards", guards); ("p4", guards);
     ("wal", wal_bench); ("p5", wal_bench); ("incremental", incremental);
-    ("p8", incremental); ("wall", wall) ]
+    ("p8", incremental); ("serve", serve_bench); ("p9", serve_bench);
+    ("wall", wall) ]
 
 let default_order =
   [ figure1; figure2; figure3; table1; counters; sampling; accuracy; chunks;

@@ -14,7 +14,8 @@
      chunks      variance-driven chunk sizes for each loop
      pgo         close the PGO loop: profile, reoptimize, re-run, compare
      batch       checkpointed profiling batch over a crash-safe store
-     serve       spool-directory daemon running batches as jobs arrive
+     serve       spool-directory daemon, or (--tcp) multi-tenant TCP service
+     client      submit/query jobs against a --tcp server
      demo        print one of the built-in demo programs *)
 
 open Cmdliner
@@ -32,6 +33,8 @@ module Report = S89_core.Report
 module Service = S89_core.Service
 module Memo = S89_core.Memo
 module Store = S89_store.Store
+module Server = S89_net.Server
+module Proto = S89_net.Proto
 
 module Diag = S89_diag.Diag
 
@@ -621,7 +624,7 @@ let batch_cmd =
     | Ok (Service.Completed { runs; report }) ->
         print_string report;
         Fmt.pr "@.batch complete: %d runs accumulated in %s@." runs dir
-    | Ok (Service.Interrupted { completed; total }) ->
+    | Ok (Service.Interrupted { completed; total; _ }) ->
         (* graceful shutdown is still an incomplete batch: flag it with
            the SRV family exit code so scripts resume before consuming *)
         fail_diag
@@ -640,8 +643,34 @@ let batch_cmd =
 let serve_cmd =
   let spool_arg =
     Arg.(
-      required & opt (some string) None
-      & info [ "spool" ] ~docv:"DIR" ~doc:"Spool directory watched for job files")
+      value & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:"Spool directory watched for job files (spool mode)")
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Serve the multi-tenant TCP protocol on PORT (0 = ephemeral) \
+             instead of watching a spool directory")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (TCP mode)")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Max queued jobs per tenant before NET001 rejection (TCP mode)")
+  in
+  let weight_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant-weight" ] ~docv:"TENANT=W"
+          ~doc:"Weighted-fair dequeue weight for a tenant; repeatable (TCP mode)")
   in
   let store_root_arg =
     Arg.(
@@ -664,27 +693,186 @@ let serve_cmd =
       value & flag
       & info [ "idle-exit" ] ~doc:"Exit when the spool is empty instead of polling")
   in
-  let run runs seed spool store_root poll max_jobs idle_exit no_fsync =
+  let parse_weights specs =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i -> (
+            let tenant = String.sub spec 0 i in
+            let w = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt w with
+            | Some w when w > 0 && Proto.name_ok tenant -> (tenant, w)
+            | _ ->
+                fail_diag
+                  (Diag.errorf ~code:"CLI001" "bad --tenant-weight %S" spec))
+        | None ->
+            fail_diag (Diag.errorf ~code:"CLI001" "bad --tenant-weight %S" spec))
+      specs
+  in
+  let run runs seed tcp workers capacity weights spool store_root poll max_jobs
+      idle_exit no_fsync =
     guard @@ fun () ->
     install_signal_handlers ();
-    let stats =
-      Service.serve ~fsync:(not no_fsync) ~poll_interval:poll ?max_jobs ~idle_exit
-        ~should_stop:(fun () -> !stop_requested)
-        ~runs ~seed ~spool ~store_root ()
-    in
-    Fmt.pr "serve: %d jobs completed, %d failed@." stats.Service.jobs_done
-      stats.Service.jobs_failed;
-    if !stop_requested then
-      Fmt.epr "ptranc: %a@." Diag.pp
-        (Diag.v ~severity:Diag.Info ~code:"SRV001"
-           "shutdown requested; in-flight work is checkpointed")
+    match tcp with
+    | Some port ->
+        let config =
+          { Server.default_config with
+            Server.port; workers; queue_capacity = capacity;
+            tenant_weights = parse_weights weights; fsync = not no_fsync }
+        in
+        let srv = Server.start ~config ~store_root () in
+        Fmt.pr "serving on 127.0.0.1:%d@." (Server.port srv);
+        while not !stop_requested do
+          try Unix.sleepf 0.1
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        Server.stop srv;
+        print_string (Server.metrics_text srv);
+        Fmt.epr "ptranc: %a@." Diag.pp
+          (Diag.v ~severity:Diag.Info ~code:"SRV001"
+             "shutdown requested; in-flight work is checkpointed")
+    | None -> (
+        match spool with
+        | None ->
+            fail_diag
+              (Diag.error ~code:"CLI001"
+                 ~hint:"pass --spool DIR for spool mode or --tcp PORT for TCP mode"
+                 "serve needs either --spool or --tcp")
+        | Some spool ->
+            let stats =
+              Service.serve ~fsync:(not no_fsync) ~poll_interval:poll ?max_jobs
+                ~idle_exit
+                ~should_stop:(fun () -> !stop_requested)
+                ~runs ~seed ~spool ~store_root ()
+            in
+            Fmt.pr "serve: %d jobs completed, %d failed@." stats.Service.jobs_done
+              stats.Service.jobs_failed;
+            if !stop_requested then
+              Fmt.epr "ptranc: %a@." Diag.pp
+                (Diag.v ~severity:Diag.Info ~code:"SRV001"
+                   "shutdown requested; in-flight work is checkpointed"))
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Watch a spool directory and run each job as a checkpointed batch")
+       ~doc:
+         "Run batches as jobs arrive: from a spool directory (--spool) or as \
+          a multi-tenant TCP service (--tcp)")
     Term.(
-      const run $ runs_arg $ seed_arg $ spool_arg $ store_root_arg $ poll_arg
-      $ max_jobs_arg $ idle_exit_arg $ no_fsync_arg)
+      const run $ runs_arg $ seed_arg $ tcp_arg $ workers_arg $ capacity_arg
+      $ weight_arg $ spool_arg $ store_root_arg $ poll_arg $ max_jobs_arg
+      $ idle_exit_arg $ no_fsync_arg)
+
+let client_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("submit", `Submit); ("status", `Status); ("result", `Result);
+                  ("metrics", `Metrics) ]))
+          None
+      & info [] ~docv:"ACTION" ~doc:"submit, status, result or metrics")
+  in
+  let connect_arg =
+    Arg.(
+      value & opt string "127.0.0.1:7089"
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Server address")
+  in
+  let tenant_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant name")
+  in
+  let job_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "job" ] ~docv:"NAME" ~doc:"Job name (defaults to the file's basename)")
+  in
+  let file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"MF77 source to submit")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Relative job deadline; 0 = none (SRV004 + partial results on expiry)")
+  in
+  let run action connect tenant job file runs seed deadline =
+    guard @@ fun () ->
+    let host, port =
+      match String.rindex_opt connect ':' with
+      | Some i -> (
+          let h = String.sub connect 0 i in
+          let p = String.sub connect (i + 1) (String.length connect - i - 1) in
+          match int_of_string_opt p with
+          | Some p when p >= 0 -> ((if h = "" then "127.0.0.1" else h), p)
+          | _ -> fail_diag (Diag.errorf ~code:"CLI001" "bad --connect %S" connect))
+      | None -> fail_diag (Diag.errorf ~code:"CLI001" "bad --connect %S" connect)
+    in
+    let job_name file =
+      match job with
+      | Some j -> j
+      | None -> Filename.remove_extension (Filename.basename file)
+    in
+    let req =
+      match action with
+      | `Submit -> (
+          match file with
+          | None ->
+              fail_diag
+                (Diag.error ~code:"CLI001" "client submit needs --file FILE")
+          | Some f ->
+              Proto.Submit
+                { tenant; job = job_name f; runs; seed; deadline;
+                  source = read_file f })
+      | `Status | `Result -> (
+          let mk j =
+            if action = `Status then Proto.Status { tenant; job = j }
+            else Proto.Result { tenant; job = j }
+          in
+          match (job, file) with
+          | Some j, _ -> mk j
+          | None, Some f -> mk (job_name f)
+          | None, None ->
+              fail_diag (Diag.error ~code:"CLI001" "client needs --job NAME"))
+      | `Metrics -> Proto.Metrics
+    in
+    let fd =
+      try Server.Client.connect ~host ~port ()
+      with Unix.Unix_error (e, _, _) ->
+        fail_diag
+          (Diag.errorf ~code:"NET003" ~hint:"is the server running?"
+             "cannot connect to %s:%d: %s" host port (Unix.error_message e))
+    in
+    Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+    match Server.Client.rpc fd req with
+    | Error msg -> fail_diag (Diag.errorf ~code:"NET002" "bad server response: %s" msg)
+    | Ok (Proto.Accepted { job }) -> Fmt.pr "accepted %s@." job
+    | Ok (Proto.Rejected { retry_after; reason }) ->
+        fail_diag
+          (Diag.errorf ~code:"NET001"
+             ~hint:(Fmt.str "retry after %.3gs" retry_after)
+             "%s" reason)
+    | Ok (Proto.Job_status { state; completed; total }) ->
+        Fmt.pr "%s %d/%d@." state completed total
+    | Ok (Proto.Job_result { state; body }) ->
+        print_string body;
+        if state <> "done" && state <> "expired" then
+          fail_diag
+            (Diag.errorf ~code:"SRV001" "job is %s; no final result" state)
+    | Ok (Proto.Metrics_text text) -> print_string text
+    | Ok (Proto.Error_resp { code; message }) ->
+        fail_diag (Diag.error ~code message)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Submit and query jobs against a ptranc serve --tcp server")
+    Term.(
+      const run $ action_arg $ connect_arg $ tenant_arg $ job_arg $ file_arg
+      $ runs_arg $ seed_arg $ deadline_arg)
 
 let demo_cmd =
   let which =
@@ -740,7 +928,7 @@ let () =
       (Cmd.group info
          [ parse_cmd; cfg_cmd; ecfg_cmd; fcdg_cmd; plan_cmd; run_cmd; profile_cmd;
            estimate_cmd; analyze_cmd; static_cmd; chunks_cmd; pgo_cmd; batch_cmd;
-           serve_cmd; demo_cmd ])
+           serve_cmd; client_cmd; demo_cmd ])
   in
   (* usage errors land in the same exit-code family as IO errors (2) *)
   exit (if code = Cmd.Exit.cli_error then 2 else code)

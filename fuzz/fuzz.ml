@@ -47,7 +47,13 @@ module Diag = S89_diag.Diag
 module Prng = S89_util.Prng
 module Gen = S89_testgen.Gen_prog
 
-type mode = Valid | Mutated | Corrupted | Store_recovery | Memo_consistency
+type mode =
+  | Valid
+  | Mutated
+  | Corrupted
+  | Store_recovery
+  | Memo_consistency
+  | Net_proto
 
 let mode_name = function
   | Valid -> "valid"
@@ -55,6 +61,7 @@ let mode_name = function
   | Corrupted -> "corrupted"
   | Store_recovery -> "store-recovery"
   | Memo_consistency -> "memo-consistency"
+  | Net_proto -> "net-proto"
 
 (* ---------------- input generation ---------------- *)
 
@@ -104,6 +111,7 @@ let gen_input mode seed =
   | Corrupted -> corrupt seed src
   | Store_recovery -> invalid_arg "store-recovery takes no source input"
   | Memo_consistency -> invalid_arg "memo-consistency generates its own edit stream"
+  | Net_proto -> invalid_arg "net-proto generates wire frames, not source"
 
 (* ---------------- the oracle ---------------- *)
 
@@ -422,6 +430,70 @@ let check_memo_consistency seed : verdict =
   done;
   match !rejected with Some code -> Rejected code | None -> Accepted
 
+(* ---------------- net-proto mode ---------------- *)
+
+module Proto = S89_net.Proto
+
+(* the wire codecs are documented total: arbitrary bytes must come back
+   as [Error] (NET002 material), never as an exception; well-formed
+   frames and requests must roundtrip exactly *)
+let check_net_proto seed : verdict =
+  let rng = Prng.create ~seed:(seed lxor 0x9e70) in
+  let total what f =
+    try ignore (f ()) with e -> failf "%s raised: %s" what (Printexc.to_string e)
+  in
+  (* 1. garbage in: total, no exceptions *)
+  for _ = 1 to 8 do
+    let len = Prng.int rng 256 in
+    let s = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+    total "unframe" (fun () -> Proto.unframe s);
+    total "decode_request" (fun () -> Proto.decode_request s);
+    total "decode_response" (fun () -> Proto.decode_response s)
+  done;
+  (* 2. well-formed requests roundtrip through encode/frame exactly *)
+  let name () =
+    let alphabet = "abcwXYZ019_.-" in
+    String.init
+      (1 + Prng.int rng 12)
+      (fun _ -> alphabet.[Prng.int rng (String.length alphabet)])
+  in
+  let request () =
+    match Prng.int rng 4 with
+    | 0 ->
+        let source =
+          String.concat "\n"
+            (List.init
+               (1 + Prng.int rng 5)
+               (fun i -> Printf.sprintf "      X%d = %d" i (Prng.int rng 1000)))
+        in
+        Proto.Submit
+          { tenant = name (); job = name (); runs = 1 + Prng.int rng 1000;
+            seed = Prng.int rng 100_000;
+            deadline = float_of_int (Prng.int rng 6400) /. 64.0; source }
+    | 1 -> Proto.Status { tenant = name (); job = name () }
+    | 2 -> Proto.Result { tenant = name (); job = name () }
+    | _ -> Proto.Metrics
+  in
+  for _ = 1 to 8 do
+    let req = request () in
+    let payload = Proto.encode_request req in
+    (match Proto.unframe (Proto.frame payload) with
+    | Ok p when p = payload -> ()
+    | Ok _ -> failf "frame/unframe changed the payload"
+    | Error e -> failf "unframe rejected its own frame: %s" e);
+    (match Proto.decode_request payload with
+    | Ok r when r = req -> ()
+    | Ok _ -> failf "request roundtrip changed the request"
+    | Error e -> failf "decode_request rejected its own encoding: %s" e);
+    (* 3. a flipped byte anywhere in the frame: Ok or Error, no raise *)
+    let frame = Bytes.of_string (Proto.frame payload) in
+    Bytes.set frame
+      (Prng.int rng (Bytes.length frame))
+      (Char.chr (Prng.int rng 256));
+    total "unframe(corrupted)" (fun () -> Proto.unframe (Bytes.to_string frame))
+  done;
+  Accepted
+
 (* ---------------- driver ---------------- *)
 
 type failure = { mode : mode; seed : int; what : string; src : string }
@@ -514,11 +586,26 @@ let () =
              { mode = Memo_consistency; seed; what;
                src = Gen.gen_source seed (* the edit stream's base version *) }
              :: !failures);
+       (match check_net_proto seed with
+       | Accepted -> incr accepted
+       | Rejected code ->
+           Hashtbl.replace rejected code
+             (1 + Option.value ~default:0 (Hashtbl.find_opt rejected code))
+       | exception e ->
+           let what =
+             match e with
+             | Fuzz_failure m -> m
+             | e -> "uncaught exception: " ^ Printexc.to_string e
+           in
+           failures :=
+             { mode = Net_proto; seed; what;
+               src = "(no source: net-proto fuzzes wire frames)" }
+             :: !failures);
        incr completed
      done
    with Exit -> ());
   let elapsed = Unix.gettimeofday () -. t0 in
-  Printf.printf "fuzz: %d seeds x 5 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
+  Printf.printf "fuzz: %d seeds x 6 modes in %.1fs — %d accepted, %d rejected, %d failures\n"
     !completed elapsed !accepted
     (Hashtbl.fold (fun _ n acc -> acc + n) rejected 0)
     (List.length !failures);

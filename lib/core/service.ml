@@ -36,7 +36,7 @@ type progress = { completed : int; total : int }
 
 type outcome =
   | Completed of { runs : int; report : string }
-  | Interrupted of progress
+  | Interrupted of { completed : int; total : int; partial : string option }
 
 (* ---------------- batch ---------------- *)
 
@@ -90,7 +90,7 @@ let journaled_failures store =
 let log_event = function
   | Supervise.Restarted { key; attempt; delay; error } ->
       Log.warn (fun m ->
-          m "[SRV004] restarting %s (attempt %d) in %.4fs after: %s" key attempt
+          m "[SRV006] restarting %s (attempt %d) in %.4fs after: %s" key attempt
             delay error)
   | Supervise.Tripped { key; failures } ->
       Log.warn (fun m ->
@@ -98,6 +98,10 @@ let log_event = function
             failures)
   | Supervise.Rejected_open { key } ->
       Log.info (fun m -> m "[SRV002] %s rejected: circuit open" key)
+  | Supervise.Half_opened { key } ->
+      Log.info (fun m -> m "[SRV002] %s half-open: admitting recovery probe" key)
+  | Supervise.Closed { key } ->
+      Log.info (fun m -> m "[SRV002] %s circuit closed: probe succeeded" key)
   | Supervise.Wedged { index; seconds } ->
       Log.warn (fun m ->
           m "[SRV003] item %d ran %.2fs past its heartbeat deadline" index seconds)
@@ -161,11 +165,20 @@ let batch ?(policy = Supervise.default_policy) ?(on_event = log_event)
                done
              with Exit -> ());
             if !stopped then begin
-              (* the WAL is already durable; just report where we are *)
+              (* the WAL is already durable; report where we are, plus a
+                 partial estimate over the runs that DID complete so a
+                 deadline-expired job degrades gracefully instead of
+                 discarding everything it computed *)
               Log.info (fun m ->
                   m "[SRV001] interrupted after %d/%d runs; WAL flushed"
                     (Store.runs store) runs);
-              Ok (Interrupted { completed = Store.runs store; total = runs })
+              let partial =
+                if Store.runs store > 0 then
+                  Some
+                    (render_report ?memo ~cost_model pipe (Store.database store))
+                else None
+              in
+              Ok (Interrupted { completed = Store.runs store; total = runs; partial })
             end
             else begin
               Store.compact store;
@@ -213,18 +226,24 @@ let write_file path content =
   close_out oc
 
 let spool_jobs spool =
-  let files = try Sys.readdir spool with Sys_error _ -> [||] in
-  Array.to_list files
-  |> List.filter (fun f ->
-         String.length f > 0
-         && f.[0] <> '.'
-         && not (Sys.is_directory (Filename.concat spool f)))
-  |> List.sort compare
+  match Sys.readdir spool with
+  | exception Sys_error msg -> Error msg
+  | files ->
+      Ok
+        (Array.to_list files
+        |> List.filter (fun f ->
+               String.length f > 0
+               && f.[0] <> '.'
+               (* a file may vanish between readdir and stat; skip it *)
+               && (try not (Sys.is_directory (Filename.concat spool f))
+                   with Sys_error _ -> false))
+        |> List.sort compare)
 
 let serve ?policy ?(fsync = true) ?(cost_model = Cost_model.optimized)
     ?(poll_interval = 0.2) ?max_jobs ?(idle_exit = false)
-    ?(should_stop = fun () -> false) ?memo ~runs ~seed ~spool ~store_root () :
-    serve_stats =
+    ?(should_stop = fun () -> false) ?memo
+    ?(on_diag = fun d -> Log.warn (fun m -> m "%a" Diag.pp d)) ~runs ~seed
+    ~spool ~store_root () : serve_stats =
   (* one memo shared across every job the daemon processes: resubmitted
      or lightly-edited programs only recompute their dirty cone *)
   let memo = match memo with Some m -> m | None -> Memo.create () in
@@ -256,7 +275,7 @@ let serve ?policy ?(fsync = true) ?(cost_model = Cost_model.optimized)
         finish file ~ok:true;
         stats := { !stats with jobs_done = !stats.jobs_done + 1 };
         Log.info (fun m -> m "job %s: completed (%d runs)" name runs)
-    | Ok (Interrupted { completed; total }) ->
+    | Ok (Interrupted { completed; total; _ }) ->
         (* graceful shutdown mid-job: leave the job spooled; the next
            serve resumes it from the checkpoint *)
         Log.info (fun m ->
@@ -279,24 +298,39 @@ let serve ?policy ?(fsync = true) ?(cost_model = Cost_model.optimized)
         Log.err (fun m -> m "job %s: %s" name (Printexc.to_string e))
   in
   let running = ref true in
+  (* one-shot: a failing spool scan warns once (SRV005), not once per
+     poll tick; a successful scan re-arms the warning *)
+  let spool_warned = ref false in
+  let nap () =
+    (* sleep in short slices so a signal is honoured promptly *)
+    let slice = Float.min poll_interval 0.05 in
+    let rec go left =
+      if left > 0.0 && not (should_stop ()) then begin
+        (try Unix.sleepf (Float.min slice left)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go (left -. slice)
+      end
+    in
+    go poll_interval
+  in
   while !running do
     if should_stop () || not (budget_left ()) then running := false
     else
       match spool_jobs spool with
-      | [] ->
-          if idle_exit then running := false
-          else
-            (* sleep in short slices so a signal is honoured promptly *)
-            let slice = Float.min poll_interval 0.05 in
-            let rec nap left =
-              if left > 0.0 && not (should_stop ()) then begin
-                (try Unix.sleepf (Float.min slice left)
-                 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-                nap (left -. slice)
-              end
-            in
-            nap poll_interval
-      | jobs ->
+      | Error msg ->
+          if not !spool_warned then begin
+            spool_warned := true;
+            on_diag
+              (Diag.warningf ~code:"SRV005"
+                 ~hint:"check that the spool directory exists and is readable"
+                 "spool scan failed: %s" msg)
+          end;
+          if idle_exit then running := false else nap ()
+      | Ok [] ->
+          spool_warned := false;
+          if idle_exit then running := false else nap ()
+      | Ok jobs ->
+          spool_warned := false;
           List.iter
             (fun file ->
               if (not (should_stop ())) && budget_left () then process file)

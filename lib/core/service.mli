@@ -14,8 +14,10 @@ type progress = { completed : int; total : int }
 type outcome =
   | Completed of { runs : int; report : string }
       (** all runs accumulated; [report] is the Figure-3 style estimate *)
-  | Interrupted of progress
-      (** [should_stop] fired; the WAL already holds every completed run *)
+  | Interrupted of { completed : int; total : int; partial : string option }
+      (** [should_stop] fired; the WAL already holds every completed run.
+          [partial] is the estimate over those runs (graceful degradation
+          for deadline-expired jobs), [None] when no run completed *)
 
 (** [batch ~resume ~runs ~seed ~dir source] profiles [source] [runs]
     times (seeds [seed..seed+runs-1]) into the store at [dir], appending
@@ -55,6 +57,12 @@ val batch :
   string ->
   (outcome, Diag.t) result
 
+(** Default [on_event] for {!batch}: logs supervision events as SRV
+    diagnostics (SRV002 breaker, SRV003 wedged, SRV006 restarts).
+    Exposed so other service frontends (the TCP server) log through the
+    same vocabulary. *)
+val log_event : Supervise.event -> unit
+
 type serve_stats = { jobs_done : int; jobs_failed : int }
 
 (** [serve ~runs ~seed ~spool ~store_root ()] — spool-directory daemon:
@@ -69,7 +77,12 @@ type serve_stats = { jobs_done : int; jobs_failed : int }
 
     One {!Memo.t} (created internally unless [?memo] is given) is shared
     across every job, so resubmitted or lightly-edited programs only
-    recompute their dirty cone of the call graph. *)
+    recompute their dirty cone of the call graph.
+
+    A failing spool scan (directory deleted, permissions revoked) is
+    surfaced through [on_diag] as a one-shot [SRV005] warning — once per
+    failure streak, re-armed by the next successful scan — instead of
+    being silently swallowed.  [on_diag] defaults to logging. *)
 val serve :
   ?policy:Supervise.policy ->
   ?fsync:bool ->
@@ -79,6 +92,7 @@ val serve :
   ?idle_exit:bool ->
   ?should_stop:(unit -> bool) ->
   ?memo:Memo.t ->
+  ?on_diag:(Diag.t -> unit) ->
   runs:int ->
   seed:int ->
   spool:string ->

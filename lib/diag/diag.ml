@@ -69,7 +69,7 @@ let exit_code d =
   | "IO" | "DB" | "CLI" | "PGO" | "MEMO" -> exit_io
   | "LEX" | "PAR" | "SEM" | "LOW" -> exit_frontend
   | "ANA" | "EST" -> exit_analysis
-  | "RUN" | "FLT" | "SRV" -> exit_runtime
+  | "RUN" | "FLT" | "SRV" | "NET" -> exit_runtime
   | _ -> exit_io
 
 (* ---------------- printing ---------------- *)

@@ -1,0 +1,92 @@
+(* Fixed-bucket latency histogram for service metrics (p50/p99 job
+   latency on the /metrics endpoint).
+
+   Buckets are geometric: [buckets_per_decade] per power of ten between
+   [lo] and [hi] seconds, plus one underflow and one overflow bucket.
+   The layout is FIXED at creation — observing never allocates, so the
+   histogram can sit on the job-completion hot path — and quantiles are
+   answered as the UPPER BOUND of the bucket holding the requested rank
+   (a conservative estimate, never an underestimate beyond bucket
+   granularity).
+
+   Thread-safe: observations arrive from worker domains and connection
+   threads concurrently; a single mutex guards the counters (an observe
+   is two integer writes, contention is irrelevant next to a job run). *)
+
+type t = {
+  bounds : float array; (* upper bound of bucket i; last = infinity *)
+  counts : int array;
+  mu : Mutex.t;
+  mutable total : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let create ?(lo = 1e-4) ?(hi = 100.0) ?(buckets_per_decade = 5) () =
+  if not (lo > 0.0 && hi > lo) then invalid_arg "Histogram.create: need 0 < lo < hi";
+  if buckets_per_decade <= 0 then
+    invalid_arg "Histogram.create: buckets_per_decade must be positive";
+  let step = 10.0 ** (1.0 /. float_of_int buckets_per_decade) in
+  let bounds = ref [ lo ] in
+  let b = ref lo in
+  while !b < hi do
+    b := !b *. step;
+    bounds := !b :: !bounds
+  done;
+  let bounds = Array.of_list (List.rev (infinity :: !bounds)) in
+  { bounds; counts = Array.make (Array.length bounds) 0; mu = Mutex.create ();
+    total = 0; sum = 0.0; max_seen = 0.0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* first bucket whose upper bound admits v (bounds are sorted) *)
+let bucket_of t v =
+  let n = Array.length t.bounds in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= t.bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe t v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  let i = bucket_of t v in
+  locked t (fun () ->
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.total <- t.total + 1;
+      t.sum <- t.sum +. v;
+      if v > t.max_seen then t.max_seen <- v)
+
+let count t = locked t (fun () -> t.total)
+let mean t = locked t (fun () -> if t.total = 0 then 0.0 else t.sum /. float_of_int t.total)
+
+(* upper bound of the bucket holding rank ceil(q * total); the overflow
+   bucket answers with the largest value ever observed instead of
+   infinity *)
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile: q outside [0,1]";
+  locked t (fun () ->
+      if t.total = 0 then 0.0
+      else begin
+        let rank =
+          Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.total)))
+        in
+        let acc = ref 0 and i = ref 0 in
+        let n = Array.length t.counts in
+        while !acc < rank && !i < n do
+          acc := !acc + t.counts.(!i);
+          incr i
+        done;
+        let b = t.bounds.(!i - 1) in
+        if b = infinity then t.max_seen else b
+      end)
+
+let reset t =
+  locked t (fun () ->
+      Array.fill t.counts 0 (Array.length t.counts) 0;
+      t.total <- 0;
+      t.sum <- 0.0;
+      t.max_seen <- 0.0)

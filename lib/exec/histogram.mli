@@ -1,0 +1,27 @@
+(** Fixed-bucket (geometric) latency histogram for service metrics.
+    Observing never allocates; quantiles answer with the upper bound of
+    the bucket holding the requested rank (conservative within one
+    bucket's width).  Thread-safe — observations may arrive from worker
+    domains and connection threads concurrently. *)
+
+type t
+
+(** [buckets_per_decade] geometric buckets per power of ten between
+    [lo] and [hi] seconds (defaults [1e-4 .. 100]), plus underflow and
+    overflow buckets.  Raises [Invalid_argument] unless
+    [0 < lo < hi] and [buckets_per_decade > 0]. *)
+val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
+
+(** Record one latency (seconds; NaN and negatives clamp to 0). *)
+val observe : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+
+(** [quantile t q] — upper bound of the bucket containing rank
+    [ceil (q * count)]; the overflow bucket answers with the largest
+    value ever observed.  [0.0] when empty.  Raises [Invalid_argument]
+    for [q] outside [0, 1]. *)
+val quantile : t -> float -> float
+
+val reset : t -> unit

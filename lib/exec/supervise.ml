@@ -1,5 +1,5 @@
 (* Supervision over the work pool: restart-with-backoff, circuit
-   breaking, and heartbeat deadlines.
+   breaking (with half-open recovery probes), and heartbeat deadlines.
 
    The pool (PR 3/4) already keeps results deterministic and absorbs its
    own injected faults; this layer adds the service-grade policies on
@@ -14,9 +14,17 @@
    - a per-key CIRCUIT BREAKER counts protect-level failures (i.e.
      failures that survived all restarts); at [breaker_threshold] the
      key's circuit opens and further work for it fails fast with
-     [Circuit_open] instead of burning retries.  The pipeline maps an
-     open circuit to its ANA003 opaque-callee degradation path, and a
-     resumed batch pre-trips the keys its journal recorded as failed;
+     [Circuit_open] instead of burning retries.  An open circuit stays
+     open for [cooldown] seconds (infinite by default — the pre-PR-9
+     behavior), after which the next [protect] call is admitted as a
+     single HALF-OPEN probe: one attempt, no restarts.  A successful
+     probe closes the circuit ([Closed] event); a failed probe re-opens
+     it for another cooldown window.  At most one probe is in flight per
+     key, so a thundering herd of tenants cannot stampede a recovering
+     resource.  The pipeline maps an open circuit to its ANA003
+     opaque-callee degradation path, a resumed batch pre-trips the keys
+     its journal recorded as failed, and the TCP service keys breakers
+     by TENANT so load-shedding is per tenant, never global;
    - [map] is a heartbeat-supervised [Pool.mapi]: every item stamps a
      heartbeat when it starts and the monitor domain reports items still
      running past [heartbeat_deadline] as wedged.  OCaml domains cannot
@@ -25,7 +33,9 @@
      than cancelled; faulted items are restarted via [protect].
 
    Events are plain variants (no diagnostics dependency); service layers
-   convert them to SRV diagnostics at their boundary. *)
+   convert them to SRV diagnostics at their boundary.  All breaker state
+   transitions are mutex-guarded: trips may arrive concurrently from
+   worker domains serving different tenants. *)
 
 module Fault = S89_util.Fault
 
@@ -35,37 +45,51 @@ type policy = {
   max_backoff : float;
   jitter : float;
   breaker_threshold : int;
+  cooldown : float;
   heartbeat_deadline : float;
   seed : int;
 }
 
 let default_policy =
   { max_restarts = 2; base_backoff = 0.001; max_backoff = 0.05; jitter = 0.1;
-    breaker_threshold = 3; heartbeat_deadline = 1.0; seed = 1 }
+    breaker_threshold = 3; cooldown = infinity; heartbeat_deadline = 1.0;
+    seed = 1 }
 
 type event =
   | Restarted of { key : string; attempt : int; delay : float; error : string }
   | Tripped of { key : string; failures : int }
   | Rejected_open of { key : string }
+  | Half_opened of { key : string }
+  | Closed of { key : string }
   | Wedged of { index : int; seconds : float }
+
+type breaker_state =
+  | Breaker_closed
+  | Breaker_open of { remaining : float }
+  | Breaker_half_open
 
 exception Circuit_open of string
 
 type t = {
   policy : policy;
   on_event : event -> unit;
+  clock : unit -> float;
   mu : Mutex.t;
   failures : (string, int) Hashtbl.t; (* consecutive protect-level failures *)
-  tripped : (string, unit) Hashtbl.t;
+  tripped : (string, float) Hashtbl.t; (* key -> opened_at (clock time) *)
+  probing : (string, unit) Hashtbl.t; (* keys with a half-open probe in flight *)
 }
 
-let create ?(policy = default_policy) ?(on_event = fun _ -> ()) () =
+let create ?(policy = default_policy) ?(on_event = fun _ -> ())
+    ?(clock = Unix.gettimeofday) () =
   if policy.max_restarts < 0 then
     invalid_arg "Supervise.create: max_restarts must be >= 0";
   if policy.breaker_threshold <= 0 then
     invalid_arg "Supervise.create: breaker_threshold must be positive";
-  { policy; on_event; mu = Mutex.create (); failures = Hashtbl.create 16;
-    tripped = Hashtbl.create 16 }
+  if not (policy.cooldown >= 0.0) then
+    invalid_arg "Supervise.create: cooldown must be non-negative";
+  { policy; on_event; clock; mu = Mutex.create (); failures = Hashtbl.create 16;
+    tripped = Hashtbl.create 16; probing = Hashtbl.create 16 }
 
 let policy t = t.policy
 
@@ -87,10 +111,19 @@ let backoff_schedule policy ~key =
 
 let breaker_open t ~key = locked t (fun () -> Hashtbl.mem t.tripped key)
 
+let breaker_state t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tripped key with
+      | None -> Breaker_closed
+      | Some opened_at ->
+          let age = t.clock () -. opened_at in
+          if age >= t.policy.cooldown then Breaker_half_open
+          else Breaker_open { remaining = t.policy.cooldown -. age })
+
 let trip t ~key =
   locked t (fun () ->
       Hashtbl.replace t.failures key t.policy.breaker_threshold;
-      Hashtbl.replace t.tripped key ())
+      Hashtbl.replace t.tripped key (t.clock ()))
 
 let failure_count t ~key =
   locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.failures key))
@@ -110,7 +143,7 @@ let record t ~key ok =
           Hashtbl.replace t.failures key n;
           if n >= t.policy.breaker_threshold && not (Hashtbl.mem t.tripped key)
           then begin
-            Hashtbl.replace t.tripped key ();
+            Hashtbl.replace t.tripped key (t.clock ());
             Some n
           end
           else None
@@ -120,33 +153,76 @@ let record t ~key ok =
   | Some n -> t.on_event (Tripped { key; failures = n })
   | None -> ()
 
+(* gate decision for one protect call, under the lock: an open circuit
+   either rejects, or — once [cooldown] has elapsed and no other probe
+   is in flight — admits exactly one half-open probe *)
+let gate t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tripped key with
+      | None -> `Run
+      | Some opened_at ->
+          if
+            t.clock () -. opened_at >= t.policy.cooldown
+            && not (Hashtbl.mem t.probing key)
+          then begin
+            Hashtbl.replace t.probing key ();
+            `Probe
+          end
+          else `Reject)
+
+let close_after_probe t ~key =
+  locked t (fun () ->
+      Hashtbl.remove t.probing key;
+      Hashtbl.remove t.failures key;
+      Hashtbl.remove t.tripped key);
+  t.on_event (Closed { key })
+
+let reopen_after_probe t ~key =
+  locked t (fun () ->
+      Hashtbl.remove t.probing key;
+      Hashtbl.replace t.failures key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.failures key));
+      Hashtbl.replace t.tripped key (t.clock ()))
+
 let protect t ~key f =
-  if breaker_open t ~key then begin
-    t.on_event (Rejected_open { key });
-    raise (Circuit_open key)
-  end;
-  let schedule = backoff_schedule t.policy ~key:(Fault.string_key key) in
-  let rec go attempt delays =
-    match f () with
-    | v ->
-        record t ~key true;
-        v
-    (* a malformed fault spec is a configuration error, never a
-       transient worker failure: restarting it would loop on the same
-       [Bad_spec] and hide the typo *)
-    | exception (Fault.Bad_spec _ as e) -> raise e
-    | exception e -> (
-        match delays with
-        | delay :: rest ->
-            t.on_event
-              (Restarted { key; attempt; delay; error = Printexc.to_string e });
-            if delay > 0.0 then Unix.sleepf delay;
-            go (attempt + 1) rest
-        | [] ->
-            record t ~key false;
-            raise e)
-  in
-  go 0 schedule
+  match gate t ~key with
+  | `Reject ->
+      t.on_event (Rejected_open { key });
+      raise (Circuit_open key)
+  | `Probe -> (
+      (* single attempt, no restarts: a failing probe must not burn the
+         full retry schedule against a resource that is still down *)
+      t.on_event (Half_opened { key });
+      match f () with
+      | v ->
+          close_after_probe t ~key;
+          v
+      | exception e ->
+          reopen_after_probe t ~key;
+          raise e)
+  | `Run ->
+      let schedule = backoff_schedule t.policy ~key:(Fault.string_key key) in
+      let rec go attempt delays =
+        match f () with
+        | v ->
+            record t ~key true;
+            v
+        (* a malformed fault spec is a configuration error, never a
+           transient worker failure: restarting it would loop on the same
+           [Bad_spec] and hide the typo *)
+        | exception (Fault.Bad_spec _ as e) -> raise e
+        | exception e -> (
+            match delays with
+            | delay :: rest ->
+                t.on_event
+                  (Restarted { key; attempt; delay; error = Printexc.to_string e });
+                if delay > 0.0 then Unix.sleepf delay;
+                go (attempt + 1) rest
+            | [] ->
+                record t ~key false;
+                raise e)
+      in
+      go 0 schedule
 
 (* ---------------- heartbeats ---------------- *)
 

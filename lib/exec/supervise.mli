@@ -1,8 +1,8 @@
 (** Supervision over the work pool: restart-with-backoff (deterministic
     jitter from the {!S89_util.Fault} decision stream), a per-key circuit
-    breaker, and heartbeat deadlines that report wedged items.  Events
-    are plain variants; service layers convert them to SRV diagnostics
-    at their boundary. *)
+    breaker with half-open recovery probes, and heartbeat deadlines that
+    report wedged items.  Events are plain variants; service layers
+    convert them to SRV diagnostics at their boundary. *)
 
 type policy = {
   max_restarts : int;  (** restarts granted beyond the first attempt *)
@@ -11,6 +11,10 @@ type policy = {
   jitter : float;  (** fractional jitter, e.g. [0.1] = up to +10% *)
   breaker_threshold : int;
       (** consecutive protect-level failures before a key's circuit opens *)
+  cooldown : float;
+      (** seconds an open circuit stays open before a single half-open
+          probe is admitted; [infinity] (the default) = open circuits
+          never recover, the pre-PR-9 behavior *)
   heartbeat_deadline : float;
       (** seconds an item may run without finishing before it is
           reported as wedged *)
@@ -18,7 +22,7 @@ type policy = {
 }
 
 (** 2 restarts, 1ms base / 50ms max backoff, 10% jitter, breaker at 3,
-    1s heartbeat deadline. *)
+    infinite cooldown, 1s heartbeat deadline. *)
 val default_policy : policy
 
 type event =
@@ -28,8 +32,20 @@ type event =
       (** the key's circuit opened (fires once per opening) *)
   | Rejected_open of { key : string }
       (** work was rejected because the key's circuit is open *)
+  | Half_opened of { key : string }
+      (** cooldown elapsed; this call runs as the key's recovery probe *)
+  | Closed of { key : string }
+      (** a half-open probe succeeded; the key's circuit closed *)
   | Wedged of { index : int; seconds : float }
       (** a {!map} item ran [seconds] past the heartbeat deadline *)
+
+(** Answer of {!breaker_state} — the submit-time view of a key's
+    circuit.  [Breaker_half_open] means cooldown has elapsed and the
+    next {!protect} call will run as the recovery probe. *)
+type breaker_state =
+  | Breaker_closed
+  | Breaker_open of { remaining : float }  (** seconds of cooldown left *)
+  | Breaker_half_open
 
 (** Raised by {!protect} (without running the work) when the key's
     circuit is open. *)
@@ -37,9 +53,16 @@ exception Circuit_open of string
 
 type t
 
-(** Raises [Invalid_argument] for a negative [max_restarts] or a
-    non-positive [breaker_threshold]. *)
-val create : ?policy:policy -> ?on_event:(event -> unit) -> unit -> t
+(** Raises [Invalid_argument] for a negative [max_restarts], a
+    non-positive [breaker_threshold], or a negative/NaN [cooldown].
+    [clock] (default [Unix.gettimeofday]) drives cooldown timing — tests
+    inject a fake clock to step breaker transitions deterministically. *)
+val create :
+  ?policy:policy ->
+  ?on_event:(event -> unit) ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
 
 val policy : t -> policy
 
@@ -54,7 +77,11 @@ val backoff_schedule : policy -> key:int -> float list
     on exceptions ([Fault.Bad_spec] excepted: configuration errors are
     never retried).  A failure that survives all restarts is recorded
     against [key]'s breaker and re-raised; a success resets the key.
-    Raises {!Circuit_open} immediately when the key's circuit is open. *)
+    Raises {!Circuit_open} immediately when the key's circuit is open.
+    Once [policy.cooldown] has elapsed on an open circuit, exactly one
+    call is admitted as a half-open probe (single attempt, no restarts):
+    success closes the circuit, failure re-opens it for another cooldown
+    window; concurrent calls during the probe are still rejected. *)
 val protect : t -> key:string -> (unit -> 'a) -> 'a
 
 (** Open [key]'s circuit without running anything — used by a resumed
@@ -62,6 +89,9 @@ val protect : t -> key:string -> (unit -> 'a) -> 'a
 val trip : t -> key:string -> unit
 
 val breaker_open : t -> key:string -> bool
+
+(** The key's circuit as of now (per the supervisor's clock). *)
+val breaker_state : t -> key:string -> breaker_state
 
 (** Consecutive recorded failures for a key (0 after a success). *)
 val failure_count : t -> key:string -> int

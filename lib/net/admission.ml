@@ -1,0 +1,128 @@
+(* Bounded per-tenant admission queues with weighted-fair dequeue.
+
+   Every tenant owns a FIFO of at most [capacity] jobs; a submit against
+   a full queue is refused IMMEDIATELY (the caller answers NET001 with a
+   retry-after) instead of blocking the connection thread — overload
+   back-pressure reaches the client, not the accept loop.
+
+   Dequeue is smooth weighted round-robin (SWRR, the nginx algorithm)
+   over the tenants with work queued: each participating tenant's credit
+   grows by its weight, the highest credit wins (ties break
+   alphabetically, so the schedule is deterministic), and the winner
+   pays back the total weight in play.  Over any window the service
+   ratio of backlogged tenants converges to their weight ratio, and a
+   burst from one tenant cannot starve the others — the per-tenant
+   bound caps how much of the queue it can own, and SWRR caps how much
+   of the worker pool it can hold.
+
+   One mutex + condition pair guards the whole structure: takers block
+   on the condition, submitters signal it.  [close] wakes every taker;
+   takers drain what is already queued, then observe [closed] and
+   return [None]. *)
+
+type 'a tenant_q = {
+  weight : int;
+  q : 'a Queue.t;
+  mutable credit : int;
+}
+
+type 'a t = {
+  capacity : int;
+  default_weight : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  tenants : (string, 'a tenant_q) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 64) ?(default_weight = 1) ~weights () =
+  if capacity <= 0 then invalid_arg "Admission.create: capacity must be positive";
+  if default_weight <= 0 then
+    invalid_arg "Admission.create: default_weight must be positive";
+  let t =
+    { capacity; default_weight; mu = Mutex.create ();
+      nonempty = Condition.create (); tenants = Hashtbl.create 8;
+      closed = false }
+  in
+  List.iter
+    (fun (name, weight) ->
+      if weight <= 0 then invalid_arg "Admission.create: weights must be positive";
+      Hashtbl.replace t.tenants name { weight; q = Queue.create (); credit = 0 })
+    weights;
+  t
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let tenant_q t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tq -> tq
+  | None ->
+      let tq = { weight = t.default_weight; q = Queue.create (); credit = 0 } in
+      Hashtbl.replace t.tenants name tq;
+      tq
+
+let submit ?(force = false) t ~tenant x =
+  locked t (fun () ->
+      if t.closed then Error `Closed
+      else
+        let tq = tenant_q t tenant in
+        let depth = Queue.length tq.q in
+        if depth >= t.capacity && not force then Error (`Full depth)
+        else begin
+          Queue.add x tq.q;
+          Condition.signal t.nonempty;
+          Ok (depth + 1)
+        end)
+
+(* the SWRR pick over tenants with work queued; assumes the lock is held
+   and at least one queue is nonempty *)
+let pick_locked t =
+  let participants =
+    Hashtbl.fold
+      (fun name tq acc -> if Queue.is_empty tq.q then acc else (name, tq) :: acc)
+      t.tenants []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let total = List.fold_left (fun s (_, tq) -> s + tq.weight) 0 participants in
+  List.iter (fun (_, tq) -> tq.credit <- tq.credit + tq.weight) participants;
+  let winner_name, winner =
+    List.fold_left
+      (fun ((_, best) as acc) ((_, tq) as cand) ->
+        if tq.credit > best.credit then cand else acc)
+      (List.hd participants) (List.tl participants)
+  in
+  winner.credit <- winner.credit - total;
+  (winner_name, Queue.pop winner.q)
+
+let take t =
+  locked t (fun () ->
+      let rec wait () =
+        let has_work =
+          Hashtbl.fold (fun _ tq b -> b || not (Queue.is_empty tq.q)) t.tenants false
+        in
+        if has_work then Some (pick_locked t)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+      in
+      wait ())
+
+let depth t ~tenant =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants tenant with
+      | None -> 0
+      | Some tq -> Queue.length tq.q)
+
+let depths t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name tq acc -> (name, Queue.length tq.q) :: acc) t.tenants []
+      |> List.sort compare)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)

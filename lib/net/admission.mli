@@ -1,0 +1,33 @@
+(** Bounded per-tenant admission queues with deterministic smooth
+    weighted round-robin (SWRR) dequeue.  Submits against a full tenant
+    queue are refused immediately (NET001 material) rather than
+    blocking; takers block until work or {!close}.  Thread/domain-safe. *)
+
+type 'a t
+
+(** [create ~weights ()] — [weights] assigns per-tenant SWRR weights;
+    tenants not listed get [default_weight] (1) on first submit.  Each
+    tenant's queue holds at most [capacity] (64) jobs.  Raises
+    [Invalid_argument] on non-positive capacity or weights. *)
+val create : ?capacity:int -> ?default_weight:int -> weights:(string * int) list -> unit -> 'a t
+
+(** [Ok depth] (the tenant's queue depth after the add), [Error (`Full
+    depth)] when the tenant's queue is at capacity, [Error `Closed]
+    after {!close}.  [~force:true] bypasses the capacity bound — used
+    only by crash recovery, which must never drop an acked job. *)
+val submit :
+  ?force:bool -> 'a t -> tenant:string -> 'a -> (int, [ `Full of int | `Closed ]) result
+
+(** Block until work is available and dequeue one job by SWRR over the
+    tenants with work queued (ties alphabetical — the schedule is a pure
+    function of the submit history).  [None] once the queue is closed
+    AND drained: pending work is still handed out after {!close}. *)
+val take : 'a t -> (string * 'a) option
+
+val depth : 'a t -> tenant:string -> int
+
+(** All known tenants' queue depths, sorted by tenant name. *)
+val depths : 'a t -> (string * int) list
+
+(** Refuse new submits and wake all blocked takers. *)
+val close : 'a t -> unit

@@ -1,0 +1,238 @@
+(* Wire protocol of the multi-tenant analysis service.
+
+   Every message — request or response — travels as one length-prefixed
+   checksummed frame:
+
+     s89 <payload-bytes> <fnv64-hex>\n<payload>
+
+   The checksum is the store's FNV-1a/64 (the WAL record checksum), so a
+   frame torn or corrupted in flight is detected the same way a torn WAL
+   record is.  Frames are bounded ([max_frame] bytes of payload): a
+   malformed or oversized header is a NET002 protocol error, never an
+   unbounded allocation driven by untrusted bytes.
+
+   The payload is line-oriented text.  Requests:
+
+     submit <tenant> <job> <runs> <seed> <deadline>\n<source...>
+     status <tenant> <job>
+     result <tenant> <job>
+     metrics
+
+   Responses:
+
+     accepted <job>
+     rejected <retry-after-seconds>\n<reason>
+     status <state> <completed> <total>
+     result <state>\n<body...>
+     metrics\n<text...>
+     error <code>\n<message>
+
+   [deadline] is a relative budget in seconds (0 = none); the server
+   turns it into an absolute wall-clock deadline at admission.  Tenant
+   and job names are restricted to [A-Za-z0-9_.-], at most 64 bytes —
+   they become path components of the sharded store, so the grammar is
+   the path-traversal defence.
+
+   The codecs are pure string functions (decode never raises on
+   arbitrary bytes — the fuzzer's net mode feeds it garbage); the
+   [read_frame]/[write_frame] pair does the blocking socket I/O with
+   EINTR retry and short-read handling. *)
+
+module Wal = S89_store.Wal
+
+let max_frame = 4 * 1024 * 1024
+let max_name = 64
+
+type request =
+  | Submit of {
+      tenant : string;
+      job : string;
+      runs : int;
+      seed : int;
+      deadline : float;
+      source : string;
+    }
+  | Status of { tenant : string; job : string }
+  | Result of { tenant : string; job : string }
+  | Metrics
+
+type response =
+  | Accepted of { job : string }
+  | Rejected of { retry_after : float; reason : string }
+  | Job_status of { state : string; completed : int; total : int }
+  | Job_result of { state : string; body : string }
+  | Metrics_text of string
+  | Error_resp of { code : string; message : string }
+
+(* ---------------- names ---------------- *)
+
+let name_ok s =
+  let n = String.length s in
+  n > 0 && n <= max_name
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+         | _ -> false)
+       s
+
+(* ---------------- framing ---------------- *)
+
+let frame payload =
+  Printf.sprintf "s89 %d %016Lx\n%s" (String.length payload)
+    (Wal.fnv64 payload) payload
+
+(* split a raw frame image back into its payload; [Error] = NET002 *)
+let unframe raw =
+  match String.index_opt raw '\n' with
+  | None -> Error "missing frame header terminator"
+  | Some nl -> (
+      let header = String.sub raw 0 nl in
+      match String.split_on_char ' ' header with
+      | [ "s89"; len; sum ] -> (
+          match (int_of_string_opt len, Int64.of_string_opt ("0x" ^ sum)) with
+          | Some len, Some sum when len >= 0 && len <= max_frame ->
+              let payload_start = nl + 1 in
+              if String.length raw - payload_start <> len then
+                Error "frame length mismatch"
+              else
+                let payload = String.sub raw payload_start len in
+                if Wal.fnv64 payload <> sum then Error "frame checksum mismatch"
+                else Ok payload
+          | _ -> Error "malformed frame header")
+      | _ -> Error "malformed frame header")
+
+(* ---------------- payload codecs ---------------- *)
+
+(* first line / rest split; a missing newline means an empty rest *)
+let split_body s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let encode_request = function
+  | Submit { tenant; job; runs; seed; deadline; source } ->
+      Printf.sprintf "submit %s %s %d %d %.17g\n%s" tenant job runs seed
+        deadline source
+  | Status { tenant; job } -> Printf.sprintf "status %s %s" tenant job
+  | Result { tenant; job } -> Printf.sprintf "result %s %s" tenant job
+  | Metrics -> "metrics"
+
+let decode_request payload =
+  let line, body = split_body payload in
+  match String.split_on_char ' ' line with
+  | [ "submit"; tenant; job; runs; seed; deadline ] -> (
+      if not (name_ok tenant) then Error "invalid tenant name"
+      else if not (name_ok job) then Error "invalid job name"
+      else
+        match
+          (int_of_string_opt runs, int_of_string_opt seed,
+           float_of_string_opt deadline)
+        with
+        | Some runs, Some seed, Some deadline
+          when runs > 0 && deadline >= 0.0 && Float.is_finite deadline ->
+            Ok (Submit { tenant; job; runs; seed; deadline; source = body })
+        | _ -> Error "malformed submit parameters")
+  | [ "status"; tenant; job ] when name_ok tenant && name_ok job ->
+      Ok (Status { tenant; job })
+  | [ "result"; tenant; job ] when name_ok tenant && name_ok job ->
+      Ok (Result { tenant; job })
+  | [ "metrics" ] -> Ok Metrics
+  | _ -> Error "unrecognized request"
+
+let encode_response = function
+  | Accepted { job } -> Printf.sprintf "accepted %s" job
+  | Rejected { retry_after; reason } ->
+      Printf.sprintf "rejected %.17g\n%s" retry_after reason
+  | Job_status { state; completed; total } ->
+      Printf.sprintf "status %s %d %d" state completed total
+  | Job_result { state; body } -> Printf.sprintf "result %s\n%s" state body
+  | Metrics_text text -> Printf.sprintf "metrics\n%s" text
+  | Error_resp { code; message } -> Printf.sprintf "error %s\n%s" code message
+
+let decode_response payload =
+  let line, body = split_body payload in
+  match String.split_on_char ' ' line with
+  | [ "accepted"; job ] when name_ok job -> Ok (Accepted { job })
+  | [ "rejected"; retry ] -> (
+      match float_of_string_opt retry with
+      | Some retry_after when retry_after >= 0.0 ->
+          Ok (Rejected { retry_after; reason = body })
+      | _ -> Error "malformed rejected response")
+  | [ "status"; state; completed; total ] -> (
+      match (int_of_string_opt completed, int_of_string_opt total) with
+      | Some completed, Some total when completed >= 0 && total >= 0 ->
+          Ok (Job_status { state; completed; total })
+      | _ -> Error "malformed status response")
+  | [ "result"; state ] -> Ok (Job_result { state; body })
+  | [ "metrics" ] -> Ok (Metrics_text body)
+  | [ "error"; code ] -> Ok (Error_resp { code; message = body })
+  | _ -> Error "unrecognized response"
+
+(* ---------------- socket I/O ---------------- *)
+
+exception Closed
+
+let rec retry_intr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    let w = retry_intr (fun () -> Unix.write_substring fd s !off (n - !off)) in
+    if w = 0 then raise Closed;
+    off := !off + w
+  done
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let r = retry_intr (fun () -> Unix.read fd buf !off (n - !off)) in
+    if r = 0 then raise Closed;
+    off := !off + r
+  done;
+  Bytes.unsafe_to_string buf
+
+(* the header is tiny ("s89 <len> <sum>\n" ≤ ~40 bytes); read it byte by
+   byte so we never consume payload bytes past the newline *)
+let read_header fd =
+  let buf = Buffer.create 32 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > 64 then Error "frame header too long"
+    else
+      let r = retry_intr (fun () -> Unix.read fd one 0 1) in
+      if r = 0 then raise Closed
+      else if Bytes.get one 0 = '\n' then Ok (Buffer.contents buf)
+      else begin
+        Buffer.add_char buf (Bytes.get one 0);
+        go ()
+      end
+  in
+  go ()
+
+(* [Ok payload] | [Error msg] (NET002 material); raises [Closed] on EOF
+   before a full frame, [Unix.Unix_error] on socket errors/timeouts *)
+let read_frame fd =
+  match read_header fd with
+  | Error _ as e -> e
+  | Ok header -> (
+      match String.split_on_char ' ' header with
+      | [ "s89"; len; sum ] -> (
+          match (int_of_string_opt len, Int64.of_string_opt ("0x" ^ sum)) with
+          | Some len, Some sum when len >= 0 && len <= max_frame ->
+              let payload = read_exact fd len in
+              if Wal.fnv64 payload <> sum then Error "frame checksum mismatch"
+              else Ok payload
+          | _ -> Error "malformed frame header")
+      | _ -> Error "malformed frame header")
+
+let write_frame fd payload = write_all fd (frame payload)
+
+let send_request fd r = write_frame fd (encode_request r)
+let send_response fd r = write_frame fd (encode_response r)
+
+let recv_response fd =
+  match read_frame fd with
+  | Error e -> Error ("bad frame: " ^ e)
+  | Ok payload -> decode_response payload

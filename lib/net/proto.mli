@@ -1,0 +1,64 @@
+(** Wire protocol of the multi-tenant analysis service: length-prefixed
+    FNV-1a/64-checksummed frames ([s89 <len> <sum-hex>\n<payload>])
+    carrying line-oriented request/response payloads.  The codecs are
+    pure ({!decode_request}/{!decode_response} never raise on arbitrary
+    bytes — the fuzzer's net mode feeds them garbage); the
+    {!read_frame}/{!write_frame} pair does the blocking socket I/O. *)
+
+(** Maximum payload bytes per frame (oversized frames are NET002). *)
+val max_frame : int
+
+(** Maximum tenant/job name length.  Names are restricted to
+    [A-Za-z0-9_.-]: they become path components of the sharded store, so
+    the grammar is the path-traversal defence. *)
+val max_name : int
+
+val name_ok : string -> bool
+
+type request =
+  | Submit of {
+      tenant : string;
+      job : string;
+      runs : int;
+      seed : int;
+      deadline : float;  (** relative budget, seconds; 0 = none *)
+      source : string;
+    }
+  | Status of { tenant : string; job : string }
+  | Result of { tenant : string; job : string }
+  | Metrics
+
+type response =
+  | Accepted of { job : string }
+  | Rejected of { retry_after : float; reason : string }
+      (** admission refused (queue full / breaker open) — NET001; retry
+          after [retry_after] seconds *)
+  | Job_status of { state : string; completed : int; total : int }
+  | Job_result of { state : string; body : string }
+  | Metrics_text of string
+  | Error_resp of { code : string; message : string }
+
+(** Wrap a payload in the on-wire frame. *)
+val frame : string -> string
+
+(** Split a raw frame image back into its payload ([Error] = NET002
+    material).  Total function — never raises. *)
+val unframe : string -> (string, string) result
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** Raised by the I/O functions on EOF mid-frame / closed peer. *)
+exception Closed
+
+(** Read one frame ([Error] on malformed header or checksum mismatch —
+    the connection should be dropped after answering NET002).  Raises
+    {!Closed} on EOF, [Unix.Unix_error] on socket errors/timeouts. *)
+val read_frame : Unix.file_descr -> (string, string) result
+
+val write_frame : Unix.file_descr -> string -> unit
+val send_request : Unix.file_descr -> request -> unit
+val send_response : Unix.file_descr -> response -> unit
+val recv_response : Unix.file_descr -> (response, string) result

@@ -1,0 +1,604 @@
+(* Multi-tenant TCP analysis service.
+
+   One listener thread accepts connections; each connection gets a
+   thread speaking the {!Proto} frame protocol.  Submitted jobs pass
+   through a bounded per-tenant {!Admission} queue (overflow is refused
+   immediately with NET001 + retry-after) and are executed by a pool of
+   worker DOMAINS, each running one checkpointed {!S89_core.Service}
+   batch at a time — threads own the blocking socket I/O, domains own
+   the compute, and the admission queue is the hand-off point.
+
+   DURABILITY.  A job is acked only after its [source.mf] and [job.meta]
+   are atomically persisted under the store root, sharded by source
+   fingerprint ([shard-%02x/] from the low byte of the source FNV-64);
+   each job's runs then stream into its own WAL-backed store.  A server
+   killed at any point therefore restarts into a consistent picture: the
+   startup scan re-registers finished jobs (report on disk), failed ones
+   ([job.err] on disk), and re-enqueues everything else, and resumed
+   batches continue from their run-count checkpoint to byte-identical
+   reports.  Completed runs are never lost or recomputed.
+
+   DEADLINES.  A submit carries a relative deadline (seconds; 0 = none)
+   made absolute at admission.  Queue wait counts against it: an expired
+   job stops at the next run boundary via the batch's [should_stop]
+   guard (the same mechanism as PR 4's fuel/wall guards), answers SRV004
+   and keeps the PARTIAL estimate over the runs that did complete — the
+   store already holds them, so degradation is graceful, not lossy.
+
+   LOAD SHEDDING.  A {!S89_exec.Supervise} breaker is keyed by TENANT:
+   a tenant whose jobs keep failing trips its own circuit and further
+   submits from it are refused (NET001 with the remaining cooldown as
+   retry-after) while other tenants continue unaffected.  After the
+   cooldown one job runs as the half-open probe and a success closes the
+   circuit.
+
+   Metrics (jobs done/failed/expired/rejected, per-tenant queue depth
+   and breaker state, p50/p99 job latency from a fixed-bucket
+   {!S89_exec.Histogram}) are served as a text document by the
+   [metrics] request. *)
+
+module Supervise = S89_exec.Supervise
+module Histogram = S89_exec.Histogram
+module Service = S89_core.Service
+module Cost_model = S89_vm.Cost_model
+module Database = S89_profiling.Database
+module Diag = S89_diag.Diag
+
+let log_src = Logs.Src.create "s89.net" ~doc:"multi-tenant TCP service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  tenant_weights : (string * int) list;
+  fsync : bool;
+  policy : Supervise.policy;
+  cost_model : Cost_model.t;
+  recv_timeout : float;
+}
+
+let default_config =
+  { port = 0; workers = 2; queue_capacity = 64; tenant_weights = [];
+    fsync = true;
+    policy =
+      { Supervise.default_policy with
+        max_restarts = 0; breaker_threshold = 5; cooldown = 2.0 };
+    cost_model = Cost_model.optimized; recv_timeout = 30.0 }
+
+type job = {
+  tenant : string;
+  name : string;
+  runs : int;
+  seed : int;
+  deadline : float; (* absolute wall-clock; 0 = none *)
+  submitted : float;
+  source : string;
+  dir : string; (* job directory under its shard *)
+}
+
+type job_state =
+  | Queued
+  | Running
+  | Done of { runs : int }
+  | Expired of { completed : int }
+  | Failed of { code : string }
+
+type entry = { job : job; mutable state : job_state }
+
+type t = {
+  config : config;
+  store_root : string;
+  sup : Supervise.t;
+  adm : job Admission.t;
+  hist : Histogram.t;
+  jmu : Mutex.t;
+  jobs : (string * string, entry) Hashtbl.t; (* (tenant, name), under jmu *)
+  tenants_seen : (string, unit) Hashtbl.t; (* under jmu *)
+  stopping : bool Atomic.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  jobs_done : int Atomic.t;
+  jobs_failed : int Atomic.t;
+  jobs_expired : int Atomic.t;
+  jobs_rejected : int Atomic.t;
+  mutable listener : Thread.t option;
+  mutable domains : unit Domain.t list;
+}
+
+(* ---------------- small file helpers ---------------- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* tmp + fsync + rename + dir fsync: the job files gate the durable-ack
+   contract, so they get the same atomic commit as the store's snapshots *)
+let write_atomic ~fsync path content =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     let n = String.length content in
+     let off = ref 0 in
+     while !off < n do
+       off := !off + Unix.write_substring fd content !off (n - !off)
+     done;
+     if fsync then Unix.fsync fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.close fd;
+  Unix.rename tmp path;
+  if fsync then
+    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | dirfd ->
+        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+        Unix.close dirfd
+
+(* ---------------- job layout ---------------- *)
+
+let shard_of_source source =
+  Printf.sprintf "shard-%02x"
+    (Int64.to_int (Int64.logand (Database.fnv64 source) 0xFFL))
+
+let job_dir t ~tenant ~name ~source =
+  Filename.concat
+    (Filename.concat t.store_root (shard_of_source source))
+    (tenant ^ "__" ^ name)
+
+let meta_of_job j =
+  String.concat "\n"
+    [ "tenant " ^ j.tenant; "job " ^ j.name; "runs " ^ string_of_int j.runs;
+      "seed " ^ string_of_int j.seed;
+      Printf.sprintf "deadline %.17g" j.deadline;
+      Printf.sprintf "submitted %.17g" j.submitted ]
+  ^ "\n"
+
+let job_of_meta ~dir ~source meta =
+  let kv =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ' ' with
+        | None -> None
+        | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) ))
+      (String.split_on_char '\n' meta)
+  in
+  let find k = List.assoc_opt k kv in
+  match (find "tenant", find "job", find "runs", find "seed") with
+  | Some tenant, Some name, Some runs, Some seed -> (
+      match (int_of_string_opt runs, int_of_string_opt seed) with
+      | Some runs, Some seed ->
+          let f k d =
+            match find k with
+            | Some v -> Option.value ~default:d (float_of_string_opt v)
+            | None -> d
+          in
+          Some
+            { tenant; name; runs; seed; deadline = f "deadline" 0.0;
+              submitted = f "submitted" 0.0; source; dir }
+      | _ -> None)
+  | _ -> None
+
+let store_dir job = Filename.concat job.dir "store"
+let report_path job = Filename.concat job.dir "report"
+let partial_path job = Filename.concat job.dir "report.partial"
+let err_path job = Filename.concat job.dir "job.err"
+
+(* ---------------- registry ---------------- *)
+
+let locked t f =
+  Mutex.lock t.jmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.jmu) f
+
+let find_entry t ~tenant ~name =
+  locked t (fun () -> Hashtbl.find_opt t.jobs (tenant, name))
+
+let register t job state =
+  locked t (fun () ->
+      Hashtbl.replace t.tenants_seen job.tenant ();
+      match Hashtbl.find_opt t.jobs (job.tenant, job.name) with
+      | Some e ->
+          e.state <- state;
+          e
+      | None ->
+          let e = { job; state } in
+          Hashtbl.replace t.jobs (job.tenant, job.name) e;
+          e)
+
+let set_state t entry state = locked t (fun () -> entry.state <- state)
+
+let state_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Expired _ -> "expired"
+  | Failed _ -> "failed"
+
+(* ---------------- workers ---------------- *)
+
+exception Job_error of Diag.t
+
+let run_job t entry =
+  let job = entry.job in
+  let now () = Unix.gettimeofday () in
+  let expired () = job.deadline > 0.0 && now () > job.deadline in
+  let finish_expired ~completed ~partial =
+    Option.iter (fun p -> write_atomic ~fsync:t.config.fsync (partial_path job) p) partial;
+    let d =
+      Diag.errorf ~code:"SRV004"
+        ~hint:"partial estimate over the completed runs is in report.partial"
+        "job %s/%s deadline expired after %d/%d runs" job.tenant job.name
+        completed job.runs
+    in
+    write_atomic ~fsync:t.config.fsync (err_path job) (Diag.to_string d ^ "\n");
+    set_state t entry (Expired { completed });
+    Atomic.incr t.jobs_expired;
+    Histogram.observe t.hist (now () -. job.submitted);
+    Log.warn (fun m -> m "%a" Diag.pp d)
+  in
+  if expired () then
+    (* expired while queued: don't burn a worker on a dead job *)
+    finish_expired ~completed:0 ~partial:None
+  else begin
+    set_state t entry Running;
+    let should_stop () = Atomic.get t.stopping || expired () in
+    match
+      Supervise.protect t.sup ~key:job.tenant (fun () ->
+          match
+            Service.batch ~fsync:t.config.fsync ~cost_model:t.config.cost_model
+              ~should_stop ~resume:true ~runs:job.runs ~seed:job.seed
+              ~dir:(store_dir job) job.source
+          with
+          | Ok o -> o
+          | Error d -> raise (Job_error d))
+    with
+    | Service.Completed { runs; report } ->
+        write_atomic ~fsync:t.config.fsync (report_path job) report;
+        set_state t entry (Done { runs });
+        Atomic.incr t.jobs_done;
+        Histogram.observe t.hist (now () -. job.submitted);
+        Log.info (fun m -> m "job %s/%s: done (%d runs)" job.tenant job.name runs)
+    | Service.Interrupted { completed; total = _; partial } ->
+        if Atomic.get t.stopping && not (expired ()) then
+          (* graceful shutdown: the WAL holds every completed run; the
+             restart scan re-enqueues and the batch resumes byte-identically *)
+          set_state t entry Queued
+        else finish_expired ~completed ~partial
+    | exception Job_error d ->
+        write_atomic ~fsync:t.config.fsync (err_path job) (Diag.to_string d ^ "\n");
+        set_state t entry (Failed { code = d.Diag.code });
+        Atomic.incr t.jobs_failed;
+        Log.warn (fun m -> m "job %s/%s: %a" job.tenant job.name Diag.pp d)
+    | exception Supervise.Circuit_open _ ->
+        let d =
+          Diag.errorf ~code:"NET001"
+            ~hint:"the tenant's circuit is open; resubmit after the cooldown"
+            "job %s/%s shed: tenant breaker open" job.tenant job.name
+        in
+        write_atomic ~fsync:t.config.fsync (err_path job) (Diag.to_string d ^ "\n");
+        set_state t entry (Failed { code = "NET001" });
+        Atomic.incr t.jobs_failed;
+        Log.warn (fun m -> m "%a" Diag.pp d)
+    | exception e ->
+        write_atomic ~fsync:t.config.fsync (err_path job)
+          (Printexc.to_string e ^ "\n");
+        set_state t entry (Failed { code = "SRV000" });
+        Atomic.incr t.jobs_failed;
+        Log.err (fun m -> m "job %s/%s: %s" job.tenant job.name (Printexc.to_string e))
+  end
+
+let rec worker_loop t =
+  match Admission.take t.adm with
+  | None -> ()
+  | Some (_tenant, job) ->
+      (match find_entry t ~tenant:job.tenant ~name:job.name with
+      | None -> () (* unregistered work is impossible; be safe *)
+      | Some entry ->
+          if Atomic.get t.stopping then
+            (* drained during shutdown: leave it for the restart scan *)
+            set_state t entry Queued
+          else run_job t entry);
+      worker_loop t
+
+(* ---------------- request handling ---------------- *)
+
+let reject t ~retry_after ~reason =
+  Atomic.incr t.jobs_rejected;
+  Proto.Rejected { retry_after; reason }
+
+let handle_submit t ~tenant ~name ~runs ~seed ~deadline ~source =
+  if Atomic.get t.stopping then
+    reject t ~retry_after:1.0 ~reason:"server stopping"
+  else
+    match Supervise.breaker_state t.sup ~key:tenant with
+    | Supervise.Breaker_open { remaining } ->
+        reject t
+          ~retry_after:(Float.max 0.1 remaining)
+          ~reason:(Printf.sprintf "NET001 tenant %s circuit open" tenant)
+    | Supervise.Breaker_closed | Supervise.Breaker_half_open -> (
+        match find_entry t ~tenant ~name with
+        | Some { state = Queued | Running | Done _; _ } ->
+            (* idempotent: resubmitting a live or finished job re-acks it *)
+            Proto.Accepted { job = name }
+        | Some ({ state = Expired _ | Failed _; _ } as entry) -> (
+            (* explicit retry of a dead job: clear its verdict, requeue *)
+            match Admission.submit t.adm ~tenant entry.job with
+            | Ok _ ->
+                List.iter
+                  (fun p -> try Sys.remove p with Sys_error _ -> ())
+                  [ err_path entry.job; partial_path entry.job ];
+                set_state t entry Queued;
+                Proto.Accepted { job = name }
+            | Error (`Full depth) ->
+                reject t ~retry_after:1.0
+                  ~reason:(Printf.sprintf "NET001 queue full (depth %d)" depth)
+            | Error `Closed ->
+                reject t ~retry_after:1.0 ~reason:"server stopping")
+        | None -> (
+            if Admission.depth t.adm ~tenant >= t.config.queue_capacity then
+              reject t ~retry_after:1.0
+                ~reason:
+                  (Printf.sprintf "NET001 queue full (depth %d)"
+                     (Admission.depth t.adm ~tenant))
+            else
+              let now = Unix.gettimeofday () in
+              let job =
+                { tenant; name; runs; seed;
+                  deadline = (if deadline > 0.0 then now +. deadline else 0.0);
+                  submitted = now; source;
+                  dir = job_dir t ~tenant ~name ~source }
+              in
+              (* durable-ack: source + meta are atomically on disk BEFORE
+                 the accept answer, so an acked job survives any crash *)
+              mkdir_p job.dir;
+              write_atomic ~fsync:t.config.fsync
+                (Filename.concat job.dir "source.mf")
+                source;
+              write_atomic ~fsync:t.config.fsync
+                (Filename.concat job.dir "job.meta")
+                (meta_of_job job);
+              let entry = register t job Queued in
+              match Admission.submit t.adm ~tenant job with
+              | Ok _ -> Proto.Accepted { job = name }
+              | Error (`Full depth) ->
+                  (* lost the race for the last slot: withdraw the meta so
+                     a restart doesn't resurrect a job we refused *)
+                  locked t (fun () -> Hashtbl.remove t.jobs (tenant, name));
+                  ignore entry;
+                  List.iter
+                    (fun p -> try Sys.remove p with Sys_error _ -> ())
+                    [ Filename.concat job.dir "job.meta";
+                      Filename.concat job.dir "source.mf" ];
+                  reject t ~retry_after:1.0
+                    ~reason:(Printf.sprintf "NET001 queue full (depth %d)" depth)
+              | Error `Closed ->
+                  locked t (fun () -> Hashtbl.remove t.jobs (tenant, name));
+                  reject t ~retry_after:1.0 ~reason:"server stopping"))
+
+let handle_status t ~tenant ~name =
+  match find_entry t ~tenant ~name with
+  | None -> Proto.Job_status { state = "unknown"; completed = 0; total = 0 }
+  | Some e ->
+      let completed =
+        match e.state with
+        | Done { runs } -> runs
+        | Expired { completed } -> completed
+        | Queued | Running | Failed _ -> 0
+      in
+      Proto.Job_status
+        { state = state_string e.state; completed; total = e.job.runs }
+
+let handle_result t ~tenant ~name =
+  match find_entry t ~tenant ~name with
+  | None -> Proto.Job_result { state = "unknown"; body = "" }
+  | Some e ->
+      let read_opt p = try read_file p with Sys_error _ -> "" in
+      let body =
+        match e.state with
+        | Done _ -> read_opt (report_path e.job)
+        | Expired _ -> read_opt (partial_path e.job)
+        | Failed _ -> read_opt (err_path e.job)
+        | Queued | Running -> ""
+      in
+      Proto.Job_result { state = state_string e.state; body }
+
+let metrics_text t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "s89_jobs_done %d" (Atomic.get t.jobs_done);
+  line "s89_jobs_failed %d" (Atomic.get t.jobs_failed);
+  line "s89_jobs_expired %d" (Atomic.get t.jobs_expired);
+  line "s89_jobs_rejected %d" (Atomic.get t.jobs_rejected);
+  List.iter
+    (fun (tenant, depth) -> line "s89_queue_depth{tenant=\"%s\"} %d" tenant depth)
+    (Admission.depths t.adm);
+  let tenants =
+    locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tenants_seen [])
+    |> List.sort compare
+  in
+  List.iter
+    (fun tenant ->
+      let v =
+        match Supervise.breaker_state t.sup ~key:tenant with
+        | Supervise.Breaker_closed -> 0
+        | Supervise.Breaker_half_open -> 1
+        | Supervise.Breaker_open _ -> 2
+      in
+      line "s89_breaker{tenant=\"%s\"} %d" tenant v)
+    tenants;
+  line "s89_job_latency_seconds_count %d" (Histogram.count t.hist);
+  line "s89_job_latency_seconds{quantile=\"0.5\"} %.6f"
+    (Histogram.quantile t.hist 0.5);
+  line "s89_job_latency_seconds{quantile=\"0.99\"} %.6f"
+    (Histogram.quantile t.hist 0.99);
+  Buffer.contents b
+
+let handle_request t = function
+  | Proto.Submit { tenant; job; runs; seed; deadline; source } ->
+      handle_submit t ~tenant ~name:job ~runs ~seed ~deadline ~source
+  | Proto.Status { tenant; job } -> handle_status t ~tenant ~name:job
+  | Proto.Result { tenant; job } -> handle_result t ~tenant ~name:job
+  | Proto.Metrics -> Proto.Metrics_text (metrics_text t)
+
+(* ---------------- connection + listener threads ---------------- *)
+
+let handle_connection t fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.recv_timeout
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let rec loop () =
+    match Proto.read_frame fd with
+    | Error msg ->
+        (* protocol desync: answer NET002 and drop the connection *)
+        Proto.send_response fd (Proto.Error_resp { code = "NET002"; message = msg })
+    | Ok payload -> (
+        match Proto.decode_request payload with
+        | Error msg ->
+            Proto.send_response fd
+              (Proto.Error_resp { code = "NET002"; message = msg })
+        | Ok req ->
+            Proto.send_response fd (handle_request t req);
+            loop ())
+  in
+  (try loop () with
+  | Proto.Closed -> ()
+  | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listener_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> () (* socket closed: stopping *)
+    | fd, _addr ->
+        if Atomic.get t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else ignore (Thread.create (fun () -> handle_connection t fd) ());
+        loop ()
+  in
+  loop ()
+
+(* ---------------- startup scan ---------------- *)
+
+let recover t =
+  let dirs p = try Sys.readdir p with Sys_error _ -> [||] in
+  Array.iter
+    (fun shard ->
+      if String.length shard >= 6 && String.sub shard 0 6 = "shard-" then
+        let shard_dir = Filename.concat t.store_root shard in
+        Array.iter
+          (fun jdir ->
+            let dir = Filename.concat shard_dir jdir in
+            let meta_p = Filename.concat dir "job.meta" in
+            let src_p = Filename.concat dir "source.mf" in
+            if Sys.file_exists meta_p && Sys.file_exists src_p then
+              match job_of_meta ~dir ~source:(read_file src_p) (read_file meta_p) with
+              | None -> Log.warn (fun m -> m "[SRV005] unreadable job meta in %s" dir)
+              | Some job ->
+                  if Sys.file_exists (report_path job) then
+                    ignore (register t job (Done { runs = job.runs }))
+                  else if Sys.file_exists (err_path job) then
+                    ignore (register t job (Failed { code = "" }))
+                  else begin
+                    ignore (register t job Queued);
+                    (* acked work outranks the admission bound: recovery
+                       must never drop a job the server promised to run *)
+                    match Admission.submit ~force:true t.adm ~tenant:job.tenant job with
+                    | Ok _ ->
+                        Log.info (fun m ->
+                            m "recovered job %s/%s: re-enqueued" job.tenant job.name)
+                    | Error _ -> ()
+                  end)
+          (dirs shard_dir))
+    (dirs t.store_root)
+
+(* ---------------- lifecycle ---------------- *)
+
+let port t = t.bound_port
+
+let start ?(config = default_config) ~store_root () =
+  mkdir_p store_root;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen listen_fd 128;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    { config; store_root;
+      sup = Supervise.create ~policy:config.policy ~on_event:Service.log_event ();
+      adm =
+        Admission.create ~capacity:config.queue_capacity
+          ~weights:config.tenant_weights ();
+      hist = Histogram.create (); jmu = Mutex.create ();
+      jobs = Hashtbl.create 64; tenants_seen = Hashtbl.create 8;
+      stopping = Atomic.make false; listen_fd; bound_port;
+      jobs_done = Atomic.make 0; jobs_failed = Atomic.make 0;
+      jobs_expired = Atomic.make 0; jobs_rejected = Atomic.make 0;
+      listener = None; domains = [] }
+  in
+  recover t;
+  t.domains <-
+    List.init (Stdlib.max 1 config.workers) (fun _ ->
+        Domain.spawn (fun () -> worker_loop t));
+  t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
+  Log.info (fun m ->
+      m "serving on 127.0.0.1:%d (%d workers, queue capacity %d)" bound_port
+        config.workers config.queue_capacity);
+  t
+
+let stop t =
+  Atomic.set t.stopping true;
+  Admission.close t.adm;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter Thread.join t.listener;
+  t.listener <- None;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let wait t =
+  Option.iter Thread.join t.listener;
+  List.iter Domain.join t.domains
+
+(* ---------------- client helpers ---------------- *)
+
+module Client = struct
+  let connect ?(host = "127.0.0.1") ~port () =
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+
+  let rpc fd req =
+    Proto.send_request fd req;
+    Proto.recv_response fd
+
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+end

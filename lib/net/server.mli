@@ -1,0 +1,68 @@
+(** Multi-tenant TCP analysis service over the {!Proto} wire protocol:
+    a listener thread accepts connections, jobs are admitted through a
+    bounded per-tenant {!Admission} queue with weighted-fair dequeue
+    into a pool of worker domains, each job runs as a checkpointed
+    {!S89_core.Service} batch in its own WAL-backed store sharded by
+    source fingerprint ([store_root/shard-%02x/<tenant>__<job>/]).
+
+    Guarantees: a job is acked only after its source and metadata are
+    atomically durable, so a server killed at any point restarts into a
+    consistent registry (startup scan) and resumed batches produce
+    byte-identical reports — completed runs are never lost.  Overflow
+    is refused immediately (NET001 + retry-after); deadlines are
+    enforced at run boundaries (SRV004, partial results kept); a
+    per-tenant circuit breaker sheds a failing tenant's load without
+    touching other tenants. *)
+
+module Supervise = S89_exec.Supervise
+module Cost_model = S89_vm.Cost_model
+
+type config = {
+  port : int;  (** 0 = ephemeral (see {!port} for the bound one) *)
+  workers : int;  (** worker domains; each runs one batch at a time *)
+  queue_capacity : int;  (** max queued jobs per tenant *)
+  tenant_weights : (string * int) list;
+      (** SWRR weights; unlisted tenants weigh 1 *)
+  fsync : bool;
+  policy : Supervise.policy;  (** per-tenant breaker (keyed by tenant) *)
+  cost_model : Cost_model.t;
+  recv_timeout : float;  (** per-connection receive timeout, seconds *)
+}
+
+(** Port 0, 2 workers, capacity 64, fsync on, breaker at 5 consecutive
+    failures with a 2s cooldown (no restarts — a deterministic job
+    failure only burns one attempt), 30s receive timeout. *)
+val default_config : config
+
+type t
+
+(** Bind, recover (re-register finished/failed jobs, re-enqueue the
+    rest), spawn the worker domains and the listener thread. *)
+val start : ?config:config -> store_root:string -> unit -> t
+
+(** The actually-bound port (differs from [config.port] when 0). *)
+val port : t -> int
+
+(** Graceful stop: refuse new work, interrupt running batches at the
+    next run boundary (their runs stay durable; the jobs re-enqueue on
+    the next start), join workers and listener. *)
+val stop : t -> unit
+
+(** Block until the server stops (listener + workers exit). *)
+val wait : t -> unit
+
+(** The [/metrics]-style text document: job counters, per-tenant queue
+    depth and breaker state, p50/p99 job latency. *)
+val metrics_text : t -> string
+
+(** Minimal blocking client for the CLI, benchmarks and soak tests. *)
+module Client : sig
+  (** Connect to [host:port] (default host 127.0.0.1).  Raises
+      [Unix.Unix_error] on refusal. *)
+  val connect : ?host:string -> port:int -> unit -> Unix.file_descr
+
+  (** One request/response exchange on the connection. *)
+  val rpc : Unix.file_descr -> Proto.request -> (Proto.response, string) result
+
+  val close : Unix.file_descr -> unit
+end

@@ -42,6 +42,7 @@
 
 module Database = S89_profiling.Database
 module Diag = S89_diag.Diag
+module Fault = S89_util.Fault
 
 type cond = Database.cond
 
@@ -310,6 +311,29 @@ let append_memo t ~fp ~name ~time ~var =
 
 (* ---------------- compaction ---------------- *)
 
+(* Directory fsync: a rename (or file creation) is only durable across
+   power loss once its DIRECTORY entry is synced — fsyncing the file
+   alone pins the bytes, not the name.  This is the durability point of
+   both the snapshot atomic-rename commit and the new-epoch WAL
+   creation, so it carries its own fault site ([dir_fsync:P]) for chaos
+   runs to prove a crash here never loses a committed record. *)
+let fsync_dir ~fsync dir =
+  if fsync then begin
+    (match Fault.active () with
+    | Some sp
+      when Fault.fires sp Fault.Dir_fsync ~key:(Fault.string_key dir) ~attempt:0
+      ->
+        raise
+          (Fault.Injected
+             (Fault.injected_msg Fault.Dir_fsync ~key:(Fault.string_key dir)))
+    | _ -> ());
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | dirfd ->
+        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+        Unix.close dirfd
+  end
+
 let write_atomic ~fsync path content =
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -322,13 +346,8 @@ let write_atomic ~fsync path content =
   if fsync then Unix.fsync fd;
   Unix.close fd;
   Sys.rename tmp path;
-  if fsync then begin
-    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
-    | exception Unix.Unix_error _ -> ()
-    | dirfd ->
-        (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
-        Unix.close dirfd
-  end
+  (* the rename itself only becomes durable with the directory entry *)
+  fsync_dir ~fsync (Filename.dirname path)
 
 let compact t =
   let next = t.epoch + 1 in
@@ -337,6 +356,10 @@ let compact t =
      and deletes this file as stale *)
   (try Sys.remove (wal_path t.dir next) with Sys_error _ -> ());
   let new_wal, _ = Wal.open_ ~fsync:t.fsync (wal_path t.dir next) in
+  (* the new WAL's directory entry must be durable BEFORE the snapshot
+     rename commits: a power cut after the commit but before this sync
+     could otherwise surface the new snapshot without its WAL *)
+  fsync_dir ~fsync:t.fsync t.dir;
   if t.meta <> [] then Wal.append new_wal (meta_payload t.meta);
   List.iter (fun ev -> Wal.append new_wal (event_payload ev)) t.events;
   (* the memo table rides compaction like the journal: re-appended to the

@@ -10,6 +10,9 @@
    - analysis_raise:P   per-procedure analysis raises [Injected] with prob. P
    - db_truncate:P      Database.save writes a truncated file with prob. P
    - wal_torn:P         Wal.append writes a torn half-record, then dies
+   - dir_fsync:P        a directory fsync (the durability point of the
+                        store's atomic-rename and WAL-epoch commits)
+                        raises [Injected] instead of syncing
    - seed:N             base seed of the decision stream (default 1)
 
    Decisions are PURE FUNCTIONS of (seed, site, key, attempt): whether
@@ -22,7 +25,14 @@
    Analysis, Database) act on the decisions (sleep, raise, truncate), so
    the module stays dependency-free. *)
 
-type site = Worker_raise | Slow_item | Analysis_raise | Db_truncate | Wal_torn | Backoff
+type site =
+  | Worker_raise
+  | Slow_item
+  | Analysis_raise
+  | Db_truncate
+  | Wal_torn
+  | Dir_fsync
+  | Backoff
 
 exception Injected of string
 exception Bad_spec of string
@@ -35,6 +45,7 @@ type spec = {
   analysis_raise : float;
   db_truncate : float;
   wal_torn : float;
+  dir_fsync : float;
 }
 
 let default_slow_seconds = 0.001
@@ -42,7 +53,7 @@ let default_slow_seconds = 0.001
 let empty =
   { seed = 1; worker_raise = 0.0; slow_item = 0.0;
     slow_seconds = default_slow_seconds; analysis_raise = 0.0; db_truncate = 0.0;
-    wal_torn = 0.0 }
+    wal_torn = 0.0; dir_fsync = 0.0 }
 
 let with_seed seed = { empty with seed }
 let seed spec = spec.seed
@@ -88,6 +99,10 @@ let parse s =
             | "wal_torn" -> (
                 match prob_of v with
                 | Ok p -> go { spec with wal_torn = p } rest
+                | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
+            | "dir_fsync" -> (
+                match prob_of v with
+                | Ok p -> go { spec with dir_fsync = p } rest
                 | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
             | "slow_item" -> (
                 (* optional @SECS suffix: slow_item:0.1@0.02 *)
@@ -157,6 +172,7 @@ let site_tag = function
   | Analysis_raise -> 0x414eL
   | Db_truncate -> 0x4442L
   | Wal_torn -> 0x574cL
+  | Dir_fsync -> 0x4446L
   | Backoff -> 0x424fL
 
 let uniform spec site ~key ~attempt =
@@ -173,6 +189,7 @@ let prob spec = function
   | Analysis_raise -> spec.analysis_raise
   | Db_truncate -> spec.db_truncate
   | Wal_torn -> spec.wal_torn
+  | Dir_fsync -> spec.dir_fsync
   (* [Backoff] never fires by itself: its decision stream is only sampled
      via [uniform] for deterministic backoff jitter *)
   | Backoff -> 0.0
@@ -204,6 +221,7 @@ let injected_msg site ~key =
     | Analysis_raise -> "analysis_raise"
     | Db_truncate -> "db_truncate"
     | Wal_torn -> "wal_torn"
+    | Dir_fsync -> "dir_fsync"
     | Backoff -> "backoff")
     key
 

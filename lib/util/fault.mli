@@ -13,6 +13,10 @@ type site =
   | Analysis_raise  (** per-procedure analysis raises {!Injected} *)
   | Db_truncate  (** [Database.save] writes a truncated file *)
   | Wal_torn  (** [Wal.append] writes a torn half-record, then dies *)
+  | Dir_fsync
+      (** a directory fsync — the durability point of the store's
+          atomic-rename snapshot and WAL-epoch commits — raises
+          {!Injected} instead of syncing *)
   | Backoff
       (** never fires; its decision stream is sampled via {!uniform} for
           deterministic supervision backoff jitter *)

@@ -45,6 +45,14 @@ CI-lenient; dev hardware records 14-16x in BENCH_PR8.json),
 ``byte_identical`` field, when present, must be ``"yes"`` — a memoized
 re-analysis that is fast but wrong is worse than no memo at all.
 
+The PR-9 TCP service adds gates on ``serve/*`` entries of the current
+file: ``p99_latency_s`` must stay at or below ``--serve-p99-threshold``
+(default 5.0s — CI-lenient; dev hardware records ~0.06s steady-state), a
+row marked ``saturated: "yes"`` (the overload burst) must report
+``rejection_rate`` above 0 — a saturated server that sheds nothing has a
+broken admission queue — and a non-saturated row's ``rejection_rate``
+must stay at or below ``--rejection-rate-max`` (default 0.05).
+
 Rows present in both files are also compared field-by-field: a field
 recorded in the baseline row but missing from the current row prints a
 ``note:`` warning (fields feed gates, so one silently vanishing would
@@ -145,6 +153,26 @@ def load_incremental_rows(path):
     return out
 
 
+def load_serve_rows(path):
+    """serve/* rows carrying the PR-9 service fields, keyed by name."""
+    out = {}
+    for name, row in load_rows_by_name(path).items():
+        if name.startswith("serve/"):
+            checked = {}
+            for f in ("p99_latency_s", "p50_latency_s", "rejection_rate"):
+                if f in row:
+                    try:
+                        checked[f] = float(row[f])
+                    except (TypeError, ValueError):
+                        raise BenchInputError(
+                            f"{path}: entry {name!r} has non-numeric {f}: "
+                            f"{row[f]!r}")
+            if "saturated" in row:
+                checked["saturated"] = row["saturated"]
+            out[name] = checked
+    return out
+
+
 def load_pgo_rows(path):
     """table1 rows carrying the PR-7 PGO fields, keyed by name."""
     fields = ("fallback_execs", "fallback_execs_pgo", "cycles_original",
@@ -187,6 +215,12 @@ def main():
                          "(default 5; dev hardware records 14-16x)")
     ap.add_argument("--hit-rate-floor", type=float, default=0.75,
                     help="min allowed incremental/* hit_rate (default 0.75)")
+    ap.add_argument("--serve-p99-threshold", type=float, default=5.0,
+                    help="max allowed serve/* p99_latency_s (default 5.0; "
+                         "dev hardware records ~0.06s steady-state)")
+    ap.add_argument("--rejection-rate-max", type=float, default=0.05,
+                    help="max allowed serve/* rejection_rate on rows not "
+                         "marked saturated (default 0.05)")
     args = ap.parse_args()
 
     try:
@@ -196,6 +230,7 @@ def main():
         bc_speedups = load_bytecode_speedups(args.current)
         bc_probe_overheads = load_bytecode_probe_overheads(args.current)
         pgo_rows = load_pgo_rows(args.current)
+        serve_rows = load_serve_rows(args.current)
         inc_rows = load_incremental_rows(args.current)
         current_rows = load_rows_by_name(args.current)
         baseline_rows = load_rows_by_name(args.baseline)
@@ -303,6 +338,33 @@ def main():
             status = "ok" if ok else "REGRESSION"
             print(f"{status:10s} {name}: memoized output byte-identical: "
                   f"{row['byte_identical']}")
+            if not ok:
+                failed = True
+
+    for name, row in sorted(serve_rows.items()):
+        saturated = row.get("saturated") == "yes"
+        if "p99_latency_s" in row:
+            p99 = row["p99_latency_s"]
+            ok = p99 <= args.serve_p99_threshold
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: p99 job latency {p99:.4f}s "
+                  f"(threshold {args.serve_p99_threshold:.1f}s)")
+            if not ok:
+                failed = True
+        if "rejection_rate" in row:
+            rate = row["rejection_rate"]
+            if saturated:
+                # an overload run that sheds nothing means admission
+                # control silently stopped bounding the queue
+                ok = rate > 0.0
+                status = "ok" if ok else "REGRESSION"
+                print(f"{status:10s} {name}: saturated rejection rate "
+                      f"{rate * 100:.0f}% (must shed under overload)")
+            else:
+                ok = rate <= args.rejection_rate_max
+                status = "ok" if ok else "REGRESSION"
+                print(f"{status:10s} {name}: rejection rate {rate * 100:.1f}% "
+                      f"(max {args.rejection_rate_max * 100:.0f}%)")
             if not ok:
                 failed = True
 

@@ -15,6 +15,17 @@
 # default 120), SEED (base VM seed, default 7), SOAK_FAULTS (S89_FAULTS
 # spec injected into the killed attempt only, default wal_torn:0.01,seed:3),
 # ARTIFACTS (default soak-artifacts).
+#
+# MODE=live runs the TCP-service soak instead: a `ptranc serve --tcp`
+# server under live concurrent load from $TENANTS parallel submitters
+# ($JOBS_PER_TENANT jobs each, every submission retried through NET001
+# rejections and server-down windows), SIGKILLed $KILLS times on a
+# seeded schedule and restarted against the same store root.  After the
+# load drains, every job must reach `done` and its report must be
+# byte-identical to an uninterrupted `ptranc batch -O` reference —
+# i.e. zero completed runs lost across any kill.  Live tunables:
+# TENANTS (default 4), JOBS_PER_TENANT (default 500), KILLS (default
+# 10), RUNS_LIVE (runs per job, default 5), PORT (default 7189).
 
 set -u
 
@@ -31,6 +42,149 @@ command -v dune >/dev/null || die "dune not on PATH"
 dune build bin/ptranc.exe || die "build failed"
 BIN="$(pwd)/_build/default/bin/ptranc.exe"
 [ -x "$BIN" ] || die "missing $BIN"
+
+# ---------------------------------------------------------------------
+# MODE=live: kill a loaded TCP server, prove no completed run is lost
+# ---------------------------------------------------------------------
+if [ "${MODE:-}" = "live" ]; then
+    TENANTS="${TENANTS:-4}"
+    JOBS_PER_TENANT="${JOBS_PER_TENANT:-500}"
+    KILLS="${KILLS:-10}"
+    RUNS_LIVE="${RUNS_LIVE:-5}"
+    PORT="${PORT:-7189}"
+    ADDR="127.0.0.1:$PORT"
+
+    WORK="$(mktemp -d "${TMPDIR:-/tmp}/crash-soak-live.XXXXXX")"
+    SERVER_PID=""
+    cleanup() {
+        [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+        wait 2>/dev/null
+        rm -rf "$WORK"
+    }
+    trap cleanup EXIT
+    STORE="$WORK/stores"
+    SRC="$WORK/fig1.f"
+    "$BIN" demo fig1 > "$SRC" || die "could not emit demo source"
+
+    # the server runs the optimized cost model; `batch -O` is the
+    # uninterrupted reference every job's report must reproduce
+    "$BIN" batch -O --dir "$WORK/ref-store" --runs "$RUNS_LIVE" \
+        --seed "$SEED" "$SRC" > "$WORK/ref.report" 2>&1 \
+        || { cat "$WORK/ref.report"; die "reference batch failed"; }
+    grep -v '^batch complete:' "$WORK/ref.report" > "$WORK/ref.estimates"
+
+    start_server() {
+        local attempt i
+        for attempt in 1 2 3 4 5; do
+            "$BIN" serve --tcp "$PORT" --store-root "$STORE" \
+                >> "$WORK/server.log" 2>&1 &
+            SERVER_PID=$!
+            for i in $(seq 1 100); do
+                if "$BIN" client metrics --connect "$ADDR" \
+                    > /dev/null 2>&1; then
+                    return 0
+                fi
+                kill -0 "$SERVER_PID" 2>/dev/null || break
+                sleep 0.1
+            done
+            kill -9 "$SERVER_PID" 2>/dev/null
+            wait "$SERVER_PID" 2>/dev/null
+            sleep 0.3
+        done
+        die "server would not come up on $ADDR"
+    }
+
+    submit_tenant() {
+        # every job is retried until accepted: through NET001 queue-full
+        # rejections AND through windows where the server is dead
+        local tenant="$1" j job
+        for j in $(seq 1 "$JOBS_PER_TENANT"); do
+            job="job$(printf '%04d' "$j")"
+            until "$BIN" client submit --connect "$ADDR" \
+                --tenant "$tenant" --job "$job" --file "$SRC" \
+                --runs "$RUNS_LIVE" --seed "$SEED" > /dev/null 2>&1; do
+                sleep 0.05
+            done
+        done
+    }
+
+    TOTAL=$((TENANTS * JOBS_PER_TENANT))
+    say "live soak: $TOTAL jobs over $TENANTS tenants, $KILLS seeded kills, port $PORT"
+    start_server
+
+    SUBMITTER_PIDS=""
+    for t in $(seq 1 "$TENANTS"); do
+        submit_tenant "tenant$t" &
+        SUBMITTER_PIDS="$SUBMITTER_PIDS $!"
+    done
+
+    # seeded kill schedule, spread over the submission window; each kill
+    # lands on a live loaded server and the restart resumes its store
+    kills_done=0
+    for k in $(seq 0 $((KILLS - 1))); do
+        delay=$(awk -v k="$k" 'BEGIN { printf "%.3f", 0.6 + (k % 5) * 0.17 }')
+        sleep "$delay"
+        kill -9 "$SERVER_PID" 2>/dev/null || break
+        wait "$SERVER_PID" 2>/dev/null
+        kills_done=$((kills_done + 1))
+        say "kill $((k + 1))/$KILLS after ${delay}s; restarting"
+        start_server
+    done
+    [ "$kills_done" -ge "$KILLS" ] || die "only $kills_done of $KILLS kills landed"
+
+    for pid in $SUBMITTER_PIDS; do
+        wait "$pid" || die "a submitter exited nonzero"
+    done
+    say "all $TOTAL submissions accepted (with retries); draining"
+
+    # drain: every job must reach `done` (counters reset on restart, so
+    # poll per-job status rather than the metrics counters)
+    deadline=$(($(date +%s) + 600))
+    for t in $(seq 1 "$TENANTS"); do
+        for j in $(seq 1 "$JOBS_PER_TENANT"); do
+            job="job$(printf '%04d' "$j")"
+            while :; do
+                state="$("$BIN" client status --connect "$ADDR" \
+                    --tenant "tenant$t" --job "$job" 2>/dev/null \
+                    | awk '{print $1}')"
+                [ "$state" = "done" ] && break
+                [ "$(date +%s)" -lt "$deadline" ] \
+                    || die "tenant$t/$job stuck in state '${state:-unreachable}'"
+                sleep 0.2
+            done
+        done
+    done
+    say "all $TOTAL jobs done; verifying reports against the reference"
+
+    failures=0
+    for t in $(seq 1 "$TENANTS"); do
+        for j in $(seq 1 "$JOBS_PER_TENANT"); do
+            job="job$(printf '%04d' "$j")"
+            "$BIN" client result --connect "$ADDR" --tenant "tenant$t" \
+                --job "$job" > "$WORK/out.report" 2>/dev/null \
+                || die "result fetch failed for tenant$t/$job"
+            # the server report has no trailing newline; normalize both
+            if ! diff -q <(printf '%s\n' "$(cat "$WORK/ref.estimates")") \
+                    <(printf '%s\n' "$(cat "$WORK/out.report")") > /dev/null; then
+                say "tenant$t/$job: report differs from reference"
+                mkdir -p "$ARTIFACTS/live-tenant$t-$job"
+                cp "$WORK/out.report" "$WORK/ref.estimates" \
+                    "$ARTIFACTS/live-tenant$t-$job/" 2>/dev/null
+                failures=$((failures + 1))
+            fi
+        done
+    done
+
+    kill -9 "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+    SERVER_PID=""
+    if [ "$failures" -ne 0 ]; then
+        cp "$WORK/server.log" "$ARTIFACTS/" 2>/dev/null
+        die "$failures of $TOTAL job reports diverged; artifacts in $ARTIFACTS/"
+    fi
+    say "live soak ok: $TOTAL jobs, $kills_done kills, zero lost completed runs"
+    exit 0
+fi
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/crash-soak.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT

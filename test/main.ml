@@ -15,6 +15,7 @@ let () =
       ("sched", Test_sched.suite);
       ("robustness", Test_robustness.suite);
       ("store", Test_store.suite);
+      ("net", Test_net.suite);
       ("memo", Test_memo.suite);
       ("workloads", Test_workloads.suite);
     ]

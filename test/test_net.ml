@@ -1,0 +1,357 @@
+(* PR-9 surface: the multi-tenant TCP service — wire protocol codecs
+   (roundtrip + garbage rejection), bounded per-tenant admission with
+   deterministic SWRR weighted-fair dequeue, the fixed-bucket latency
+   histogram, and the server end-to-end over loopback: submit/status/
+   result against a direct Service.batch reference, NET001 overflow
+   rejection at saturation, SRV004 deadline expiry with partial
+   results, and graceful stop → restart → byte-identical resume. *)
+
+module Proto = S89_net.Proto
+module Admission = S89_net.Admission
+module Server = S89_net.Server
+module Histogram = S89_exec.Histogram
+module Service = S89_core.Service
+module Diag = S89_diag.Diag
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+let csl = Alcotest.(list string)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "s89net" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let fig1 = S89_workloads.Demos.fig1 ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- wire protocol ---------------- *)
+
+let proto_roundtrip () =
+  let reqs =
+    [ Proto.Submit
+        { tenant = "acme"; job = "j-1"; runs = 40; seed = 7; deadline = 2.5;
+          source = fig1 };
+      Proto.Submit
+        { tenant = "a"; job = "b"; runs = 1; seed = 0; deadline = 0.0;
+          source = "" };
+      Proto.Status { tenant = "acme"; job = "j-1" };
+      Proto.Result { tenant = "t.x"; job = "y_2" }; Proto.Metrics ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.decode_request (Proto.encode_request r) with
+      | Ok r' -> check cb "request roundtrips" true (r = r')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    reqs;
+  let resps =
+    [ Proto.Accepted { job = "j-1" };
+      Proto.Rejected { retry_after = 1.5; reason = "NET001 queue full" };
+      Proto.Job_status { state = "running"; completed = 3; total = 10 };
+      Proto.Job_result { state = "done"; body = "line1\nline2\n" };
+      Proto.Metrics_text "s89_jobs_done 4\n";
+      Proto.Error_resp { code = "NET002"; message = "bad frame" } ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.decode_response (Proto.encode_response r) with
+      | Ok r' -> check cb "response roundtrips" true (r = r')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    resps;
+  (* framing roundtrip, including payloads that look like headers *)
+  List.iter
+    (fun p ->
+      match Proto.unframe (Proto.frame p) with
+      | Ok p' -> check cs "frame roundtrips" p p'
+      | Error e -> Alcotest.failf "unframe failed: %s" e)
+    [ ""; "x"; "s89 3 abc\nxyz"; String.make 4096 'q' ]
+
+let proto_rejects_garbage () =
+  let bad_frames =
+    [ ""; "junk"; "s89 5 zz\nhello"; "s89 -1 0000000000000000\n";
+      "s89 999999999999 0000000000000000\npayload";
+      Printf.sprintf "s89 %d 0000000000000000\n%s" (Proto.max_frame + 1) "x";
+      (* right length, wrong checksum *)
+      "s89 3 0000000000000000\nabc";
+      (* truncated payload *)
+      (let f = Proto.frame "hello world" in String.sub f 0 (String.length f - 3))
+    ]
+  in
+  List.iter
+    (fun raw ->
+      match Proto.unframe raw with
+      | Ok _ -> Alcotest.failf "accepted garbage frame %S" raw
+      | Error _ -> ())
+    bad_frames;
+  let bad_reqs =
+    [ ""; "launch x y"; "submit onlytenant"; "submit te nant job 1 2 3";
+      "submit ../evil job 5 1 0\nsrc"; "submit t j notanint 1 0\nsrc";
+      "submit t j 0 1 0\nsrc"; "submit t j 5 1 -2\nsrc";
+      "submit t j 5 1 nan\nsrc"; "status only"; "metrics extra" ]
+  in
+  List.iter
+    (fun p ->
+      match Proto.decode_request p with
+      | Ok _ -> Alcotest.failf "accepted garbage request %S" p
+      | Error _ -> ())
+    bad_reqs;
+  check cb "oversized name rejected" false (Proto.name_ok (String.make 65 'a'));
+  check cb "path traversal rejected" false (Proto.name_ok "../x");
+  check cb "slash rejected" false (Proto.name_ok "a/b")
+
+(* ---------------- admission ---------------- *)
+
+let admission_bounds () =
+  let a = Admission.create ~capacity:2 ~weights:[] () in
+  check cb "first submit ok" true (Admission.submit a ~tenant:"t" 1 = Ok 1);
+  check cb "second submit ok" true (Admission.submit a ~tenant:"t" 2 = Ok 2);
+  (match Admission.submit a ~tenant:"t" 3 with
+  | Error (`Full d) -> check ci "overflow reports depth" 2 d
+  | _ -> Alcotest.fail "third submit must overflow");
+  check cb "force bypasses the bound" true
+    (Admission.submit ~force:true a ~tenant:"t" 4 = Ok 3);
+  check ci "depth" 3 (Admission.depth a ~tenant:"t");
+  check cb "other tenants unaffected" true (Admission.submit a ~tenant:"u" 9 = Ok 1);
+  Admission.close a;
+  check cb "closed refuses" true (Admission.submit a ~tenant:"t" 5 = Error `Closed);
+  (* queued work still drains after close, then takers get None *)
+  let drained = ref [] in
+  let rec drain () =
+    match Admission.take a with
+    | Some (_, v) ->
+        drained := v :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check ci "close drains the backlog" 4 (List.length !drained)
+
+(* the SWRR golden order: A at weight 2, B and C at weight 1, all
+   backlogged — the service pattern must be A B C A A B C A *)
+let admission_swrr_golden () =
+  let a = Admission.create ~capacity:8 ~weights:[ ("A", 2); ("B", 1); ("C", 1) ] () in
+  List.iter (fun t -> ignore (Admission.submit a ~tenant:t t)) [ "A"; "A"; "A"; "A" ];
+  List.iter (fun t -> ignore (Admission.submit a ~tenant:t t)) [ "B"; "B" ];
+  List.iter (fun t -> ignore (Admission.submit a ~tenant:t t)) [ "C"; "C" ];
+  Admission.close a;
+  let rec drain acc =
+    match Admission.take a with
+    | Some (tenant, _) -> drain (tenant :: acc)
+    | None -> List.rev acc
+  in
+  check csl "weighted-fair order" [ "A"; "B"; "C"; "A"; "A"; "B"; "C"; "A" ]
+    (drain [])
+
+(* ---------------- histogram ---------------- *)
+
+let histogram_quantiles () =
+  let h = Histogram.create ~lo:0.001 ~hi:10.0 ~buckets_per_decade:1 () in
+  List.iter (Histogram.observe h) [ 0.0005; 0.005; 0.05; 0.5; 5.0 ];
+  check ci "count" 5 (Histogram.count h);
+  check (Alcotest.float 1e-9) "p50 = bucket upper bound" 0.1
+    (Histogram.quantile h 0.5);
+  check (Alcotest.float 1e-9) "p100" 10.0 (Histogram.quantile h 1.0);
+  Histogram.observe h 50.0;
+  check (Alcotest.float 1e-9) "overflow answers max observed" 50.0
+    (Histogram.quantile h 1.0);
+  check cb "mean tracks the sum" true
+    (abs_float (Histogram.mean h -. (55.5555 /. 6.0)) < 1e-3);
+  Histogram.reset h;
+  check ci "reset clears count" 0 (Histogram.count h);
+  check (Alcotest.float 1e-9) "reset clears quantiles" 0.0
+    (Histogram.quantile h 0.99)
+
+(* ---------------- server end-to-end ---------------- *)
+
+let quick_config =
+  { Server.default_config with Server.fsync = false; workers = 2 }
+
+let with_server ?(config = quick_config) f =
+  with_tmp_dir @@ fun root ->
+  let t = Server.start ~config ~store_root:(Filename.concat root "jobs") () in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f root t)
+
+let rpc t req =
+  let fd = Server.Client.connect ~port:(Server.port t) () in
+  Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+  match Server.Client.rpc fd req with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "rpc failed: %s" m
+
+let poll_state ?(tries = 2000) t ~tenant ~job pred =
+  let rec go n last =
+    if n = 0 then Alcotest.failf "timed out polling job (last state %s)" last
+    else
+      match rpc t (Proto.Status { tenant; job }) with
+      | Proto.Job_status { state; _ } when pred state -> state
+      | Proto.Job_status { state; _ } ->
+          Thread.delay 0.005;
+          go (n - 1) state
+      | _ -> Alcotest.fail "status request must answer Job_status"
+  in
+  go tries "?"
+
+let reference_report ~runs ~seed =
+  with_tmp_dir @@ fun root ->
+  match
+    Service.batch ~fsync:false ~resume:false ~runs ~seed
+      ~dir:(Filename.concat root "store") fig1
+  with
+  | Ok (Service.Completed { report; _ }) -> report
+  | Ok (Service.Interrupted _) -> Alcotest.fail "reference must complete"
+  | Error d -> Alcotest.failf "reference batch failed: %s" (Diag.to_string d)
+
+let server_end_to_end () =
+  let expected = reference_report ~runs:25 ~seed:3 in
+  with_server @@ fun _root t ->
+  (match
+     rpc t
+       (Proto.Submit
+          { tenant = "alice"; job = "j1"; runs = 25; seed = 3; deadline = 0.0;
+            source = fig1 })
+   with
+  | Proto.Accepted { job } -> check cs "acked job name" "j1" job
+  | r -> Alcotest.failf "submit rejected: %s" (Proto.encode_response r));
+  ignore (poll_state t ~tenant:"alice" ~job:"j1" (fun s -> s = "done"));
+  (match rpc t (Proto.Status { tenant = "alice"; job = "j1" }) with
+  | Proto.Job_status { state; completed; total } ->
+      check cs "done" "done" state;
+      check ci "completed" 25 completed;
+      check ci "total" 25 total
+  | _ -> Alcotest.fail "expected Job_status");
+  (match rpc t (Proto.Result { tenant = "alice"; job = "j1" }) with
+  | Proto.Job_result { state; body } ->
+      check cs "result state" "done" state;
+      check cs "TCP result = direct batch report" expected body
+  | _ -> Alcotest.fail "expected Job_result");
+  (* idempotent resubmit of a finished job re-acks *)
+  (match
+     rpc t
+       (Proto.Submit
+          { tenant = "alice"; job = "j1"; runs = 25; seed = 3; deadline = 0.0;
+            source = fig1 })
+   with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "resubmit of finished job must re-ack");
+  (match rpc t (Proto.Status { tenant = "alice"; job = "nope" }) with
+  | Proto.Job_status { state; _ } -> check cs "unknown job" "unknown" state
+  | _ -> Alcotest.fail "expected Job_status");
+  match rpc t Proto.Metrics with
+  | Proto.Metrics_text text ->
+      check cb "metrics counts the job" true (contains text "s89_jobs_done 1");
+      check cb "metrics reports latency" true
+        (contains text "s89_job_latency_seconds_count 1")
+  | _ -> Alcotest.fail "expected Metrics_text"
+
+let server_overload_rejects () =
+  let config = { quick_config with Server.workers = 1; queue_capacity = 1 } in
+  with_server ~config @@ fun _root t ->
+  let submit job runs =
+    rpc t
+      (Proto.Submit
+         { tenant = "busy"; job; runs; seed = 1; deadline = 0.0; source = fig1 })
+  in
+  (* a long job occupies the single worker... *)
+  (match submit "long" 500_000 with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "long job must be accepted");
+  ignore (poll_state t ~tenant:"busy" ~job:"long" (fun s -> s = "running"));
+  (* ...the next fills the queue (capacity 1)... *)
+  (match submit "queued" 5 with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "second job must queue");
+  (* ...and the third is shed immediately with NET001 + retry-after *)
+  (match submit "shed" 5 with
+  | Proto.Rejected { retry_after; reason } ->
+      check cb "positive retry-after" true (retry_after > 0.0);
+      check cb "reason names NET001" true
+        (String.length reason >= 6 && String.sub reason 0 6 = "NET001")
+  | r -> Alcotest.failf "third job must be rejected, got %s" (Proto.encode_response r));
+  match rpc t Proto.Metrics with
+  | Proto.Metrics_text text ->
+      check cb "rejection counted" true (contains text "s89_jobs_rejected 1");
+      check cb "queue depth visible" true
+        (contains text "s89_queue_depth{tenant=\"busy\"} 1")
+  | _ -> Alcotest.fail "expected Metrics_text"
+
+let server_deadline_expires () =
+  with_server @@ fun _root t ->
+  (match
+     rpc t
+       (Proto.Submit
+          { tenant = "dl"; job = "slow"; runs = 5_000_000; seed = 1;
+            deadline = 0.15; source = fig1 })
+   with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "submit must be accepted");
+  ignore (poll_state t ~tenant:"dl" ~job:"slow" (fun s -> s = "expired"));
+  (match rpc t (Proto.Status { tenant = "dl"; job = "slow" }) with
+  | Proto.Job_status { state; completed; total } ->
+      check cs "expired" "expired" state;
+      check cb "partial progress recorded" true (completed > 0 && completed < total)
+  | _ -> Alcotest.fail "expected Job_status");
+  match rpc t (Proto.Result { tenant = "dl"; job = "slow" }) with
+  | Proto.Job_result { state; body } ->
+      check cs "result state" "expired" state;
+      check cb "partial estimate preserved" true
+        (String.length body > 0
+        && String.sub body 0 16 = "program estimate")
+  | _ -> Alcotest.fail "expected Job_result"
+
+let server_restart_resumes () =
+  let expected = reference_report ~runs:4000 ~seed:5 in
+  with_tmp_dir @@ fun root ->
+  let store_root = Filename.concat root "jobs" in
+  let config = { quick_config with Server.workers = 1 } in
+  let t1 = Server.start ~config ~store_root () in
+  (match
+     rpc t1
+       (Proto.Submit
+          { tenant = "r"; job = "big"; runs = 4000; seed = 5; deadline = 0.0;
+            source = fig1 })
+   with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "submit must be accepted");
+  ignore (poll_state t1 ~tenant:"r" ~job:"big" (fun s -> s = "running"));
+  (* graceful stop mid-batch: completed runs are durable in the WAL *)
+  Server.stop t1;
+  let t2 = Server.start ~config ~store_root () in
+  Fun.protect ~finally:(fun () -> Server.stop t2) @@ fun () ->
+  ignore (poll_state t2 ~tenant:"r" ~job:"big" (fun s -> s = "done"));
+  match rpc t2 (Proto.Result { tenant = "r"; job = "big" }) with
+  | Proto.Job_result { body; _ } ->
+      check cs "resumed report byte-identical to uninterrupted run" expected body
+  | _ -> Alcotest.fail "expected Job_result"
+
+let suite =
+  [
+    Alcotest.test_case "proto: codecs roundtrip" `Quick proto_roundtrip;
+    Alcotest.test_case "proto: garbage rejected (NET002)" `Quick proto_rejects_garbage;
+    Alcotest.test_case "admission: bounded per tenant" `Quick admission_bounds;
+    Alcotest.test_case "admission: SWRR golden order" `Quick admission_swrr_golden;
+    Alcotest.test_case "histogram: bucketed quantiles" `Quick histogram_quantiles;
+    Alcotest.test_case "server: submit/status/result = direct batch" `Quick
+      server_end_to_end;
+    Alcotest.test_case "server: overflow shed with NET001" `Quick
+      server_overload_rejects;
+    Alcotest.test_case "server: deadline expiry keeps partial (SRV004)" `Quick
+      server_deadline_expires;
+    Alcotest.test_case "server: restart resumes byte-identically" `Quick
+      server_restart_resumes;
+  ]

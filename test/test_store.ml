@@ -414,6 +414,122 @@ let supervise_pre_trip () =
   | () -> Alcotest.fail "pre-tripped key must reject"
   | exception Supervise.Circuit_open _ -> ()
 
+(* the full breaker cycle under a fake clock: closed → tripped → open
+   (rejecting) → half-open after cooldown → failed probe re-opens →
+   successful probe closes and resets; during a probe every other call
+   is still rejected *)
+let supervise_half_open_transitions () =
+  let now = ref 0.0 in
+  let events = ref [] in
+  let policy =
+    { fast_policy with max_restarts = 0; breaker_threshold = 2; cooldown = 10.0 }
+  in
+  let t =
+    Supervise.create ~policy
+      ~on_event:(fun e -> events := e :: !events)
+      ~clock:(fun () -> !now) ()
+  in
+  let fail_once () =
+    try Supervise.protect t ~key:"T" (fun () -> failwith "down")
+    with Failure _ -> ()
+  in
+  fail_once ();
+  fail_once ();
+  check cb "tripped at threshold" true (Supervise.breaker_open t ~key:"T");
+  (match Supervise.breaker_state t ~key:"T" with
+  | Supervise.Breaker_open { remaining } ->
+      check cb "remaining cooldown reported" true
+        (remaining > 0.0 && remaining <= 10.0)
+  | _ -> Alcotest.fail "expected Breaker_open");
+  (match Supervise.protect t ~key:"T" (fun () -> ()) with
+  | () -> Alcotest.fail "open circuit must reject before cooldown"
+  | exception Supervise.Circuit_open _ -> ());
+  now := 11.0;
+  check cb "half-open once cooldown elapses" true
+    (Supervise.breaker_state t ~key:"T" = Supervise.Breaker_half_open);
+  (* failing probe re-opens for another cooldown window *)
+  fail_once ();
+  (match Supervise.breaker_state t ~key:"T" with
+  | Supervise.Breaker_open _ -> ()
+  | _ -> Alcotest.fail "failed probe must re-open");
+  now := 22.0;
+  (* successful probe closes; a second call DURING the probe rejects *)
+  Supervise.protect t ~key:"T" (fun () ->
+      match Supervise.protect t ~key:"T" (fun () -> ()) with
+      | () -> Alcotest.fail "concurrent call during probe must reject"
+      | exception Supervise.Circuit_open _ -> ());
+  check cb "closed after successful probe" true
+    (Supervise.breaker_state t ~key:"T" = Supervise.Breaker_closed);
+  check ci "failure count reset" 0 (Supervise.failure_count t ~key:"T");
+  let tags =
+    List.rev_map
+      (function
+        | Supervise.Tripped _ -> "tripped"
+        | Supervise.Rejected_open _ -> "rejected"
+        | Supervise.Half_opened _ -> "half-open"
+        | Supervise.Closed _ -> "closed"
+        | Supervise.Restarted _ -> "restarted"
+        | Supervise.Wedged _ -> "wedged")
+      !events
+  in
+  check csl "event sequence"
+    [ "tripped"; "rejected"; "half-open"; "half-open"; "rejected"; "closed" ]
+    tags
+
+(* trips arriving concurrently from worker domains serving different
+   tenants: each tenant trips exactly once, independently, and the
+   per-key backoff schedules are identical whether computed before,
+   inside the domains, or after — golden determinism under contention *)
+let supervise_concurrent_tenant_trips () =
+  let policy =
+    { fast_policy with max_restarts = 2; breaker_threshold = 3; seed = 5 }
+  in
+  let mu = Mutex.create () in
+  let tripped = ref [] in
+  let t =
+    Supervise.create ~policy
+      ~on_event:(function
+        | Supervise.Tripped { key; _ } ->
+            Mutex.lock mu;
+            tripped := key :: !tripped;
+            Mutex.unlock mu
+        | _ -> ())
+      ()
+  in
+  let tenants = [| "acme"; "bravo"; "corp"; "dyn" |] in
+  let before =
+    Array.map
+      (fun k -> Supervise.backoff_schedule policy ~key:(Fault.string_key k))
+      tenants
+  in
+  let domains =
+    Array.map
+      (fun tenant ->
+        Domain.spawn (fun () ->
+            for _ = 1 to policy.Supervise.breaker_threshold do
+              try Supervise.protect t ~key:tenant (fun () -> failwith tenant)
+              with Failure _ | Supervise.Circuit_open _ -> ()
+            done;
+            Supervise.backoff_schedule policy ~key:(Fault.string_key tenant)))
+      tenants
+  in
+  let inside = Array.map Domain.join domains in
+  Array.iteri
+    (fun i tenant ->
+      check cb "schedule stable across domains" true (inside.(i) = before.(i));
+      check cb "schedule stable after the trips" true
+        (Supervise.backoff_schedule policy ~key:(Fault.string_key tenant)
+        = before.(i));
+      check cb "tenant tripped" true (Supervise.breaker_open t ~key:tenant))
+    tenants;
+  check csl "each tenant tripped exactly once"
+    (List.sort compare (Array.to_list tenants))
+    (List.sort compare !tripped);
+  (* distinct keys draw distinct deterministic jitter *)
+  check cb "schedules differ across tenants" true
+    (List.sort_uniq compare (Array.to_list (Array.map (fun l -> l) before))
+     |> List.length > 1)
+
 (* golden vectors pin the (seed, site, key, attempt) decision stream:
    any process, any scheduling, any platform must reproduce these
    exactly — this is what makes fault-injected runs and backoff
@@ -608,7 +724,7 @@ let kill_resume_byte_identity () =
          (Service.batch ~fsync:false ~should_stop ~resume:false ~runs ~seed ~dir
             fig1)
      with
-    | Service.Interrupted { completed; total } ->
+    | Service.Interrupted { completed; total; _ } ->
         check ci "nothing beyond the kill point" stop_after completed;
         check ci "total preserved" runs total
     | Service.Completed _ -> check ci "only past-the-end kills complete" runs stop_after);
@@ -686,6 +802,27 @@ let batch_torn_append_then_resume () =
         (crashed || report = ref_report);
       check cs "byte-identical after the crash" ref_report report
 
+(* a dir_fsync fault (the directory-entry durability point of the
+   atomic-rename commit) kills the compaction mid-commit; recovery must
+   fall back to the WAL and lose nothing *)
+let store_dir_fsync_fault () =
+  with_tmp_dir @@ fun dir ->
+  let sp = spec_of "dir_fsync:1,seed:3" in
+  let s = Store.open_ ~fsync:true ~dir () in
+  Store.append_run s ~seed:1 (totals_of "A" [ ((1, Label.T), 3) ]);
+  Store.append_run s ~seed:2 (totals_of "A" [ ((1, Label.T), 4) ]);
+  (match Fault.with_spec (Some sp) (fun () -> Store.compact s) with
+  | () -> Alcotest.fail "dir_fsync fault must fire during compaction"
+  | exception Fault.Injected _ -> ());
+  Store.close s;
+  let s2 = Store.open_ ~fsync:true ~dir () in
+  check ci "runs survive the failed dir fsync" 2 (Store.runs s2);
+  check ci "sums intact" 7
+    (Hashtbl.fold (fun _ v acc -> acc + v)
+       (Database.proc_totals (Store.database s2) "A")
+       0);
+  Store.close s2
+
 (* ---------------- serve daemon ---------------- *)
 
 let serve_processes_spool () =
@@ -709,6 +846,50 @@ let serve_processes_spool () =
   check cb "bad job quarantined" true
     (Sys.file_exists (Filename.concat spool "failed/bad.mf"))
 
+(* a failing spool scan surfaces ONE SRV005 warning per failure streak
+   (not one per poll tick) and re-arms after a successful scan *)
+let serve_warns_on_spool_failure () =
+  with_tmp_dir @@ fun root ->
+  let spool = Filename.concat root "spool" in
+  let store_root = Filename.concat root "stores" in
+  let dmu = Mutex.create () in
+  let diags = ref [] in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        ignore
+          (Service.serve ~fsync:false ~poll_interval:0.004
+             ~should_stop:(fun () -> Atomic.get stop)
+             ~on_diag:(fun d ->
+               Mutex.lock dmu;
+               diags := d :: !diags;
+               Mutex.unlock dmu)
+             ~runs:1 ~seed:1 ~spool ~store_root ()))
+      ()
+  in
+  Thread.delay 0.05;
+  (* break the spool: many failing polls, ONE warning *)
+  rm_rf spool;
+  Thread.delay 0.15;
+  (* heal it: the next successful scan re-arms the warning *)
+  Unix.mkdir spool 0o755;
+  Thread.delay 0.1;
+  (* break it again: exactly one more warning *)
+  rm_rf spool;
+  Thread.delay 0.15;
+  Atomic.set stop true;
+  Thread.join th;
+  let srv005 =
+    Mutex.lock dmu;
+    let l = List.filter (fun d -> d.Diag.code = "SRV005") !diags in
+    Mutex.unlock dmu;
+    l
+  in
+  check ci "one SRV005 per failure streak" 2 (List.length srv005);
+  check cb "SRV005 is a warning, not an error" true
+    (List.for_all (fun d -> d.Diag.severity = Diag.Warning) srv005)
+
 let suite =
   [
     Alcotest.test_case "WAL roundtrip" `Quick wal_roundtrip;
@@ -731,6 +912,10 @@ let suite =
     Alcotest.test_case "supervise: breaker trips and rejects" `Quick
       supervise_breaker_trips;
     Alcotest.test_case "supervise: pre-tripped key rejects" `Quick supervise_pre_trip;
+    Alcotest.test_case "supervise: half-open probe transitions" `Quick
+      supervise_half_open_transitions;
+    Alcotest.test_case "supervise: concurrent multi-tenant trips" `Quick
+      supervise_concurrent_tenant_trips;
     Alcotest.test_case "fault decision golden vectors" `Quick fault_golden_vectors;
     Alcotest.test_case "backoff schedule deterministic" `Quick
       backoff_schedule_deterministic;
@@ -749,5 +934,9 @@ let suite =
       kill_resume_byte_identity;
     Alcotest.test_case "torn-append fault then clean resume" `Quick
       batch_torn_append_then_resume;
+    Alcotest.test_case "dir-fsync fault fires during compaction" `Quick
+      store_dir_fsync_fault;
     Alcotest.test_case "serve processes a spool" `Quick serve_processes_spool;
+    Alcotest.test_case "serve warns once on spool failure (SRV005)" `Quick
+      serve_warns_on_spool_failure;
   ]
