@@ -1086,6 +1086,133 @@ let serve_bench () =
           ("rejection_rate", Num rate); ("p50_latency_s", Num p50);
           ("p99_latency_s", Num p99);
           ("throughput_jobs_s", Num (float_of_int burst /. wall));
+          ("saturated", Str "yes") ]);
+  (* -------- exhaustion: flooding tenant vs. well-behaved SLO -------- *)
+  (* PR-10 resource governance: a flooding tenant is held back by its
+     token bucket + job quota while a well-behaved tenant's client-side
+     p99 must stay within a small factor of its unloaded baseline, and
+     the GC (retention 0, size-bounded) must pull the store back under
+     [max_store_bytes] once the flood stops. *)
+  with_tmp_root (fun root ->
+      let max_store_bytes = 256 * 1024 in
+      let server =
+        Server.start
+          ~config:
+            { Server.default_config with
+              workers = 2; fsync = false;
+              quota =
+                { S89_net.Quota.rate = 40.0; burst = 8; max_bytes = 0;
+                  max_jobs = 16 };
+              retain_done = 0.0; max_store_bytes; gc_interval = 0.1 }
+          ~store_root:(Filename.concat root "exhaust") ()
+      in
+      let port = Server.port server in
+      let wait_done tenant job =
+        let rec go tries =
+          if tries = 0 then failwith "serve bench: exhaust job never finished";
+          match rpc port (Proto.Status { tenant; job }) with
+          | Proto.Job_status { state = "done"; _ } -> ()
+          | _ ->
+              Thread.delay 0.002;
+              go (tries - 1)
+        in
+        go 30_000
+      in
+      (* client-observed latency: submit (retrying its own rate limit)
+         through done *)
+      let timed_job tenant job =
+        let t0 = Unix.gettimeofday () in
+        let rec submit tries =
+          if tries = 0 then failwith "serve bench: well-behaved submit starved";
+          match
+            rpc port
+              (Proto.Submit
+                 { tenant; job; runs = 10; seed = 11; deadline = 0.0; source })
+          with
+          | Proto.Accepted _ -> ()
+          | Proto.Rejected { retry_after; _ } ->
+              Thread.delay (Float.max 0.005 retry_after);
+              submit (tries - 1)
+          | _ -> failwith "serve bench: unexpected submit answer"
+        in
+        submit 1_000;
+        wait_done tenant job;
+        Unix.gettimeofday () -. t0
+      in
+      let p99 xs =
+        let a = Array.of_list xs in
+        Array.sort compare a;
+        let n = Array.length a in
+        a.(min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+      in
+      let jobs = 12 in
+      let baseline =
+        List.init jobs (fun i -> timed_job "good" (Printf.sprintf "base%02d" i))
+      in
+      let p99_unloaded = p99 baseline in
+      (* the flood: one tenant hammering admission from its own thread *)
+      let stop_flood = Atomic.make false in
+      let flood_sent = ref 0 in
+      let flood_rejected = ref 0 in
+      let flooder =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop_flood) do
+              incr flood_sent;
+              match
+                rpc port
+                  (Proto.Submit
+                     { tenant = "flood"; job = Printf.sprintf "f%06d" !flood_sent;
+                       runs = 10; seed = !flood_sent; deadline = 0.0; source })
+              with
+              | Proto.Rejected _ -> incr flood_rejected
+              | _ -> ()
+            done)
+          ()
+      in
+      let loaded =
+        List.init jobs (fun i -> timed_job "good" (Printf.sprintf "load%02d" i))
+      in
+      Atomic.set stop_flood true;
+      Thread.join flooder;
+      let p99_loaded = p99 loaded in
+      (* let the GC reap the flood's finished jobs, then read the gauge *)
+      let rec wait_gc tries =
+        let bytes =
+          int_of_float (metric (Server.metrics_text server) "s89_store_bytes")
+        in
+        if bytes > max_store_bytes && tries > 0 then begin
+          Thread.delay 0.1;
+          wait_gc (tries - 1)
+        end
+        else bytes
+      in
+      let store_bytes_after = wait_gc 100 in
+      let gc_collected =
+        int_of_float (metric (Server.metrics_text server) "s89_gc_collected")
+      in
+      Server.stop server;
+      let ratio = p99_loaded /. Float.max 1e-9 p99_unloaded in
+      let flood_rate =
+        float_of_int !flood_rejected /. float_of_int (Stdlib.max 1 !flood_sent)
+      in
+      Fmt.pr "@.%-34s %10.4f s (unloaded)   %.4f s (under flood)@."
+        "well-behaved tenant p99" p99_unloaded p99_loaded;
+      Fmt.pr "%-34s %10.2fx@." "flood p99 ratio" ratio;
+      Fmt.pr "%-34s %10d sent, %d shed (%.0f%%)@." "flood" !flood_sent
+        !flood_rejected (100.0 *. flood_rate);
+      Fmt.pr "%-34s %10d collected, %d bytes left (bound %d)@." "gc"
+        gc_collected store_bytes_after max_store_bytes;
+      record ~backend:"compiled" "serve/exhaust"
+        [ ("jobs", Int (2 * jobs)); ("rejected", Int !flood_rejected);
+          ("rejection_rate", Num flood_rate);
+          ("p99_unloaded_s", Num p99_unloaded);
+          ("p99_well_behaved_s", Num p99_loaded);
+          ("flood_p99_ratio", Num ratio);
+          ("p99_latency_s", Num p99_loaded);
+          ("gc_collected", Int gc_collected);
+          ("store_bytes_after_gc", Int store_bytes_after);
+          ("max_store_bytes", Int max_store_bytes);
           ("saturated", Str "yes") ])
 
 (* ------------------------------------------------------------------ *)

@@ -678,6 +678,62 @@ let serve_cmd =
       & info [ "store-root" ] ~docv:"DIR"
           ~doc:"Root under which each job gets its store and report")
   in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"PER-SEC"
+          ~doc:
+            "Per-tenant admission rate (token bucket refill); 0 disables \
+             rate limiting (TCP mode)")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Token bucket capacity (max instantaneous admissions per tenant)")
+  in
+  let max_tenant_bytes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-tenant-bytes" ] ~docv:"BYTES"
+          ~doc:"Per-tenant durable byte quota (NET004 above it); 0 = unlimited")
+  in
+  let max_tenant_jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-tenant-jobs" ] ~docv:"N"
+          ~doc:"Per-tenant live job quota (NET004 above it); 0 = unlimited")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.max_connections
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; 0 = unlimited (TCP mode)")
+  in
+  let retain_done_arg =
+    Arg.(
+      value & opt float Server.default_config.Server.retain_done
+      & info [ "retain-done" ] ~docv:"SECONDS"
+          ~doc:
+            "GC finished jobs older than this; negative keeps them forever \
+             (TCP mode)")
+  in
+  let max_store_bytes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-store-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "GC size bound on the store root: above it, finished jobs are \
+             evicted oldest first; 0 = unbounded (TCP mode)")
+  in
+  let recv_timeout_arg =
+    Arg.(
+      value & opt float Server.default_config.Server.recv_timeout
+      & info [ "recv-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Absolute per-frame read deadline — a client dripping bytes \
+             slower than this is disconnected (TCP mode)")
+  in
   let poll_arg =
     Arg.(
       value & opt float 0.2
@@ -710,7 +766,8 @@ let serve_cmd =
       specs
   in
   let run runs seed tcp workers capacity weights spool store_root poll max_jobs
-      idle_exit no_fsync =
+      idle_exit no_fsync rate burst max_tenant_bytes max_tenant_jobs max_conns
+      retain_done max_store_bytes recv_timeout =
     guard @@ fun () ->
     install_signal_handlers ();
     match tcp with
@@ -718,8 +775,30 @@ let serve_cmd =
         let config =
           { Server.default_config with
             Server.port; workers; queue_capacity = capacity;
-            tenant_weights = parse_weights weights; fsync = not no_fsync }
+            tenant_weights = parse_weights weights; fsync = not no_fsync;
+            quota =
+              { S89_net.Quota.rate; burst; max_bytes = max_tenant_bytes;
+                max_jobs = max_tenant_jobs };
+            max_connections = max_conns; retain_done; max_store_bytes;
+            recv_timeout }
         in
+        (* S89_FAULTS_PULSE arms a runtime fault toggle for chaos soaks:
+           SIGUSR1 activates the pulse spec (opening a disk-fault
+           window), SIGUSR2 deactivates it.  Unlike S89_FAULTS — which
+           is static for the process lifetime — this gives an external
+           driver deterministic fault WINDOWS against a live server. *)
+        (match Sys.getenv_opt "S89_FAULTS_PULSE" with
+        | None | Some "" -> ()
+        | Some spec_str ->
+            let spec =
+              match S89_util.Fault.parse spec_str with
+              | Ok s -> s
+              | Error msg -> fail_diag (Diag.errorf ~code:"CLI001" "%s" msg)
+            in
+            Sys.set_signal Sys.sigusr1
+              (Sys.Signal_handle (fun _ -> S89_util.Fault.set (Some spec)));
+            Sys.set_signal Sys.sigusr2
+              (Sys.Signal_handle (fun _ -> S89_util.Fault.set None)));
         let srv = Server.start ~config ~store_root () in
         Fmt.pr "serving on 127.0.0.1:%d@." (Server.port srv);
         while not !stop_requested do
@@ -760,7 +839,9 @@ let serve_cmd =
     Term.(
       const run $ runs_arg $ seed_arg $ tcp_arg $ workers_arg $ capacity_arg
       $ weight_arg $ spool_arg $ store_root_arg $ poll_arg $ max_jobs_arg
-      $ idle_exit_arg $ no_fsync_arg)
+      $ idle_exit_arg $ no_fsync_arg $ rate_arg $ burst_arg
+      $ max_tenant_bytes_arg $ max_tenant_jobs_arg $ max_conns_arg
+      $ retain_done_arg $ max_store_bytes_arg $ recv_timeout_arg)
 
 let client_cmd =
   let action_arg =
@@ -800,7 +881,15 @@ let client_cmd =
       & info [ "deadline" ] ~docv:"SECONDS"
           ~doc:"Relative job deadline; 0 = none (SRV004 + partial results on expiry)")
   in
-  let run action connect tenant job file runs seed deadline =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a rejected request up to N times with exponential backoff \
+             and jitter, honoring the server's advised retry-after")
+  in
+  let run action connect tenant job file runs seed deadline retries =
     guard @@ fun () ->
     let host, port =
       match String.rindex_opt connect ':' with
@@ -840,39 +929,66 @@ let client_cmd =
               fail_diag (Diag.error ~code:"CLI001" "client needs --job NAME"))
       | `Metrics -> Proto.Metrics
     in
-    let fd =
-      try Server.Client.connect ~host ~port ()
-      with Unix.Unix_error (e, _, _) ->
-        fail_diag
-          (Diag.errorf ~code:"NET003" ~hint:"is the server running?"
-             "cannot connect to %s:%d: %s" host port (Unix.error_message e))
-    in
-    Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
-    match Server.Client.rpc fd req with
-    | Error msg -> fail_diag (Diag.errorf ~code:"NET002" "bad server response: %s" msg)
-    | Ok (Proto.Accepted { job }) -> Fmt.pr "accepted %s@." job
-    | Ok (Proto.Rejected { retry_after; reason }) ->
-        fail_diag
-          (Diag.errorf ~code:"NET001"
-             ~hint:(Fmt.str "retry after %.3gs" retry_after)
-             "%s" reason)
-    | Ok (Proto.Job_status { state; completed; total }) ->
-        Fmt.pr "%s %d/%d@." state completed total
-    | Ok (Proto.Job_result { state; body }) ->
-        print_string body;
-        if state <> "done" && state <> "expired" then
+    let attempt_rpc () =
+      let fd =
+        try Server.Client.connect ~host ~port ()
+        with Unix.Unix_error (e, _, _) ->
           fail_diag
-            (Diag.errorf ~code:"SRV001" "job is %s; no final result" state)
-    | Ok (Proto.Metrics_text text) -> print_string text
-    | Ok (Proto.Error_resp { code; message }) ->
-        fail_diag (Diag.error ~code message)
+            (Diag.errorf ~code:"NET003" ~hint:"is the server running?"
+               "cannot connect to %s:%d: %s" host port (Unix.error_message e))
+      in
+      Fun.protect ~finally:(fun () -> Server.Client.close fd) @@ fun () ->
+      Server.Client.rpc fd req
+    in
+    (* a rejection reason leads with its error code (NET001/NET004/SRV007) *)
+    let code_of_reason reason =
+      match String.index_opt reason ' ' with
+      | Some i when i = 6 -> String.sub reason 0 i
+      | _ -> "NET001"
+    in
+    Random.self_init ();
+    let rec go attempt =
+      match attempt_rpc () with
+      | Error msg ->
+          fail_diag (Diag.errorf ~code:"NET002" "bad server response: %s" msg)
+      | Ok (Proto.Rejected { retry_after; reason }) when attempt < retries ->
+          (* exponential backoff over the server's advised floor, with
+             jitter so retrying clients don't re-arrive in lockstep *)
+          let delay =
+            Server.Client.retry_delay ~attempt ~retry_after
+              ~jitter:(Random.float 1.0)
+          in
+          Fmt.epr "ptranc: rejected (%s); retry %d/%d in %ss@." reason
+            (attempt + 1) retries
+            (Proto.pp_retry_after delay);
+          Unix.sleepf delay;
+          go (attempt + 1)
+      | Ok (Proto.Rejected { retry_after; reason }) ->
+          fail_diag
+            (Diag.errorf
+               ~code:(code_of_reason reason)
+               ~hint:(Fmt.str "retry after %ss" (Proto.pp_retry_after retry_after))
+               "%s" reason)
+      | Ok (Proto.Accepted { job }) -> Fmt.pr "accepted %s@." job
+      | Ok (Proto.Job_status { state; completed; total }) ->
+          Fmt.pr "%s %d/%d@." state completed total
+      | Ok (Proto.Job_result { state; body }) ->
+          print_string body;
+          if state <> "done" && state <> "expired" then
+            fail_diag
+              (Diag.errorf ~code:"SRV001" "job is %s; no final result" state)
+      | Ok (Proto.Metrics_text text) -> print_string text
+      | Ok (Proto.Error_resp { code; message }) ->
+          fail_diag (Diag.error ~code message)
+    in
+    go 0
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Submit and query jobs against a ptranc serve --tcp server")
     Term.(
       const run $ action_arg $ connect_arg $ tenant_arg $ job_arg $ file_arg
-      $ runs_arg $ seed_arg $ deadline_arg)
+      $ runs_arg $ seed_arg $ deadline_arg $ retries_arg)
 
 let demo_cmd =
   let which =

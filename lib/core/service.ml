@@ -122,10 +122,11 @@ let persist_memo store memo =
 let batch ?(policy = Supervise.default_policy) ?(on_event = log_event)
     ?(fsync = true) ?(compact_threshold = 64)
     ?(cost_model = Cost_model.optimized) ?(should_stop = fun () -> false)
-    ?export ?memo ~resume ~runs ~seed ~dir source : (outcome, Diag.t) result =
+    ?export ?memo ?on_disk_fault ~resume ~runs ~seed ~dir source :
+    (outcome, Diag.t) result =
   if runs <= 0 then Error (Diag.error ~code:"CLI001" "runs must be positive")
   else
-    let store = Store.open_ ~fsync ~compact_threshold ~dir () in
+    let store = Store.open_ ~fsync ~compact_threshold ?on_disk_fault ~dir () in
     Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
     List.iter (fun d -> Log.warn (fun m -> m "%a" Diag.pp d)) (Store.recovery_diags store);
     match check_meta store ~resume ~source ~seed ~runs with

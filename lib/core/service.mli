@@ -40,7 +40,12 @@ type outcome =
     [memo-%06d] summaries are loaded from the store on open (validating
     recomputations across restarts, [MEMO002] on mismatch) and fresh
     summaries are appended durably on completion.  Output is
-    byte-identical with or without it. *)
+    byte-identical with or without it.
+
+    [?on_disk_fault] is forwarded to {!S89_store.Store.open_}: called
+    once per degraded window when the store starts absorbing
+    ENOSPC/EIO write failures into memory (an embedding service uses it
+    to shed load while the batch keeps running). *)
 val batch :
   ?policy:Supervise.policy ->
   ?on_event:(Supervise.event -> unit) ->
@@ -50,6 +55,7 @@ val batch :
   ?should_stop:(unit -> bool) ->
   ?export:string ->
   ?memo:Memo.t ->
+  ?on_disk_fault:(exn -> unit) ->
   resume:bool ->
   runs:int ->
   seed:int ->

@@ -21,7 +21,7 @@
    return [None]. *)
 
 type 'a tenant_q = {
-  weight : int;
+  mutable weight : int;
   q : 'a Queue.t;
   mutable credit : int;
 }
@@ -110,6 +110,24 @@ let take t =
         end
       in
       wait ())
+
+(* Mid-stream reweighting: takes effect on the next pick.  The credit is
+   clamped into the new weight's natural range so a tenant downgraded
+   after a long backlog cannot spend credit earned at the old weight
+   (which would let it hog picks long after the operator throttled it). *)
+let set_weight t ~tenant weight =
+  if weight <= 0 then invalid_arg "Admission.set_weight: weight must be positive";
+  locked t (fun () ->
+      let tq = tenant_q t tenant in
+      tq.weight <- weight;
+      if tq.credit > weight then tq.credit <- weight
+      else if tq.credit < -weight then tq.credit <- -weight)
+
+let weight t ~tenant =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tenants tenant with
+      | None -> t.default_weight
+      | Some tq -> tq.weight)
 
 let depth t ~tenant =
   locked t (fun () ->

@@ -24,6 +24,16 @@ val submit :
     AND drained: pending work is still handed out after {!close}. *)
 val take : 'a t -> (string * 'a) option
 
+(** Change a tenant's SWRR weight mid-stream (effective on the next
+    pick).  The tenant's accumulated credit is clamped into
+    [[-weight, weight]] so service earned under the old weight cannot be
+    spent after a downgrade.  Raises [Invalid_argument] on a
+    non-positive weight. *)
+val set_weight : 'a t -> tenant:string -> int -> unit
+
+(** The tenant's current weight ([default_weight] if never seen). *)
+val weight : 'a t -> tenant:string -> int
+
 val depth : 'a t -> tenant:string -> int
 
 (** All known tenants' queue depths, sorted by tenant name. *)

@@ -139,6 +139,12 @@ let decode_request payload =
   | [ "metrics" ] -> Ok Metrics
   | _ -> Error "unrecognized request"
 
+(* Human-facing rendering of a retry-after.  The wire (below) keeps
+   %.17g so the float round-trips exactly; people get %.3g — a server
+   computing [1.0 -. epsilon] must not leak
+   "retry after 0.99999999999999989s" into CLI output. *)
+let pp_retry_after retry_after = Printf.sprintf "%.3g" retry_after
+
 let encode_response = function
   | Accepted { job } -> Printf.sprintf "accepted %s" job
   | Rejected { retry_after; reason } ->
@@ -171,6 +177,7 @@ let decode_response payload =
 (* ---------------- socket I/O ---------------- *)
 
 exception Closed
+exception Timed_out
 
 let rec retry_intr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
 
@@ -183,45 +190,70 @@ let write_all fd s =
     off := !off + w
   done
 
-let read_exact fd n =
+(* One read against an ABSOLUTE frame deadline (the slowloris defence):
+   SO_RCVTIMEO alone only bounds the gap between bytes, so a client
+   dripping one byte per interval holds a connection (and its thread +
+   fd) forever.  Before every read the remaining budget is re-armed as
+   the socket timeout; once the deadline passes, [Timed_out].  Without a
+   deadline this is a plain blocking read. *)
+let read_some ?deadline fd buf off len =
+  match deadline with
+  | None ->
+      let r = retry_intr (fun () -> Unix.read fd buf off len) in
+      if r = 0 then raise Closed;
+      r
+  | Some dl ->
+      let rec go () =
+        let remaining = dl -. Unix.gettimeofday () in
+        if remaining <= 0.0 then raise Timed_out;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO (Float.max 0.001 remaining);
+        match Unix.read fd buf off len with
+        | 0 -> raise Closed
+        | r -> r
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            go ()
+      in
+      go ()
+
+let read_exact ?deadline fd n =
   let buf = Bytes.create n in
   let off = ref 0 in
   while !off < n do
-    let r = retry_intr (fun () -> Unix.read fd buf !off (n - !off)) in
-    if r = 0 then raise Closed;
-    off := !off + r
+    off := !off + read_some ?deadline fd buf !off (n - !off)
   done;
   Bytes.unsafe_to_string buf
 
 (* the header is tiny ("s89 <len> <sum>\n" ≤ ~40 bytes); read it byte by
    byte so we never consume payload bytes past the newline *)
-let read_header fd =
+let read_header ?deadline fd =
   let buf = Buffer.create 32 in
   let one = Bytes.create 1 in
   let rec go () =
     if Buffer.length buf > 64 then Error "frame header too long"
-    else
-      let r = retry_intr (fun () -> Unix.read fd one 0 1) in
-      if r = 0 then raise Closed
-      else if Bytes.get one 0 = '\n' then Ok (Buffer.contents buf)
+    else begin
+      ignore (read_some ?deadline fd one 0 1 : int);
+      if Bytes.get one 0 = '\n' then Ok (Buffer.contents buf)
       else begin
         Buffer.add_char buf (Bytes.get one 0);
         go ()
       end
+    end
   in
   go ()
 
 (* [Ok payload] | [Error msg] (NET002 material); raises [Closed] on EOF
-   before a full frame, [Unix.Unix_error] on socket errors/timeouts *)
-let read_frame fd =
-  match read_header fd with
+   before a full frame, [Timed_out] past the deadline, [Unix.Unix_error]
+   on socket errors *)
+let read_frame ?deadline fd =
+  match read_header ?deadline fd with
   | Error _ as e -> e
   | Ok header -> (
       match String.split_on_char ' ' header with
       | [ "s89"; len; sum ] -> (
           match (int_of_string_opt len, Int64.of_string_opt ("0x" ^ sum)) with
           | Some len, Some sum when len >= 0 && len <= max_frame ->
-              let payload = read_exact fd len in
+              let payload = read_exact ?deadline fd len in
               if Wal.fnv64 payload <> sum then Error "frame checksum mismatch"
               else Ok payload
           | _ -> Error "malformed frame header")

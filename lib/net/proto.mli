@@ -31,8 +31,9 @@ type request =
 type response =
   | Accepted of { job : string }
   | Rejected of { retry_after : float; reason : string }
-      (** admission refused (queue full / breaker open) — NET001; retry
-          after [retry_after] seconds *)
+      (** admission refused — NET001 (queue full / breaker open), NET004
+          (rate limit / quota) or SRV007 (disk pressure), named in
+          [reason]; retry after [retry_after] seconds *)
   | Job_status of { state : string; completed : int; total : int }
   | Job_result of { state : string; body : string }
   | Metrics_text of string
@@ -50,13 +51,29 @@ val decode_request : string -> (request, string) result
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 
+(** Render a retry-after for HUMAN-facing output ([%.3g]).  The wire
+    serializes [%.17g] so the float round-trips exactly; this keeps
+    [0.99999999999999989]-style noise out of the CLI. *)
+val pp_retry_after : float -> string
+
 (** Raised by the I/O functions on EOF mid-frame / closed peer. *)
 exception Closed
 
+(** Raised by {!read_frame} when the frame's absolute [?deadline]
+    passes before the frame completes. *)
+exception Timed_out
+
 (** Read one frame ([Error] on malformed header or checksum mismatch —
     the connection should be dropped after answering NET002).  Raises
-    {!Closed} on EOF, [Unix.Unix_error] on socket errors/timeouts. *)
-val read_frame : Unix.file_descr -> (string, string) result
+    {!Closed} on EOF, [Unix.Unix_error] on socket errors/timeouts.
+
+    [?deadline] (absolute, [Unix.gettimeofday] base) bounds the WHOLE
+    frame, re-armed before every read — the slowloris defence: a client
+    dripping one byte per interval trips {!Timed_out} at the deadline
+    instead of holding its connection, thread and fd forever.  Requires
+    [fd] to be a socket (the remaining budget is re-armed as
+    [SO_RCVTIMEO]). *)
+val read_frame : ?deadline:float -> Unix.file_descr -> (string, string) result
 
 val write_frame : Unix.file_descr -> string -> unit
 val send_request : Unix.file_descr -> request -> unit

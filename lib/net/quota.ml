@@ -1,0 +1,131 @@
+(* Per-tenant admission governance: token-bucket rate limiting plus
+   byte/job disk quotas.
+
+   Each tenant owns a token bucket ([burst] capacity, [rate] tokens per
+   second) and a usage ledger (durable bytes and live jobs).  [admit]
+   checks quotas first — a tenant over its byte or job quota is shed
+   regardless of rate, since retrying soon cannot help until GC or
+   completion frees capacity — then takes one token, answering a
+   rejected submit with the exact delay until the bucket refills
+   ([retry-after = (1 - tokens) / rate]).  All checks commit atomically:
+   a rejection consumes nothing.
+
+   The ledger is rebuilt from the store scan on server restart
+   ([charge]), so quotas survive crashes; the buckets deliberately reset
+   to full — a restarted server owes no memory of old traffic.
+
+   The clock is injectable so refill is testable (and QCheck can prove
+   the window bound: admissions over any window of length dt never
+   exceed burst + rate * dt). *)
+
+type limits = {
+  rate : float;  (* token refill per second; <= 0 disables rate limiting *)
+  burst : int;  (* bucket capacity (max admissions in an instant) *)
+  max_bytes : int;  (* per-tenant durable bytes; <= 0 disables *)
+  max_jobs : int;  (* per-tenant live jobs; <= 0 disables *)
+}
+
+let unlimited = { rate = 0.0; burst = 0; max_bytes = 0; max_jobs = 0 }
+
+type reject =
+  | Rate_limited of { retry_after : float }
+  | Bytes_exceeded of { used : int; limit : int }
+  | Jobs_exceeded of { used : int; limit : int }
+
+type tenant = {
+  mutable tokens : float;
+  mutable refilled : float;  (* clock time of the last refill *)
+  mutable bytes : int;
+  mutable jobs : int;
+}
+
+type t = {
+  limits : limits;
+  clock : unit -> float;
+  mu : Mutex.t;
+  tenants : (string, tenant) Hashtbl.t;
+}
+
+let create ?(clock = Unix.gettimeofday) limits =
+  { limits; clock; mu = Mutex.create (); tenants = Hashtbl.create 8 }
+
+let limits t = t.limits
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let get t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some s -> s
+  | None ->
+      let s =
+        { tokens = float_of_int t.limits.burst; refilled = t.clock ();
+          bytes = 0; jobs = 0 }
+      in
+      Hashtbl.replace t.tenants name s;
+      s
+
+let rate_limiting t = t.limits.rate > 0.0 && t.limits.burst > 0
+
+let refill t s =
+  if rate_limiting t then begin
+    let now = t.clock () in
+    let dt = now -. s.refilled in
+    if dt > 0.0 then begin
+      s.tokens <-
+        Float.min (float_of_int t.limits.burst) (s.tokens +. (t.limits.rate *. dt));
+      s.refilled <- now
+    end
+  end
+
+let admit t ~tenant ~bytes =
+  locked t @@ fun () ->
+  let s = get t tenant in
+  refill t s;
+  if t.limits.max_jobs > 0 && s.jobs + 1 > t.limits.max_jobs then
+    Error (Jobs_exceeded { used = s.jobs; limit = t.limits.max_jobs })
+  else if t.limits.max_bytes > 0 && s.bytes + bytes > t.limits.max_bytes then
+    Error (Bytes_exceeded { used = s.bytes; limit = t.limits.max_bytes })
+  else if rate_limiting t && s.tokens < 1.0 then
+    Error
+      (Rate_limited { retry_after = (1.0 -. s.tokens) /. t.limits.rate })
+  else begin
+    if rate_limiting t then s.tokens <- s.tokens -. 1.0;
+    s.bytes <- s.bytes + bytes;
+    s.jobs <- s.jobs + 1;
+    Ok ()
+  end
+
+(* ledger adjustment without touching the bucket: recovery seeding and
+   post-completion growth (positive), GC reclamation (negative) *)
+let charge t ~tenant ~bytes ~jobs =
+  locked t @@ fun () ->
+  let s = get t tenant in
+  s.bytes <- Stdlib.max 0 (s.bytes + bytes);
+  s.jobs <- Stdlib.max 0 (s.jobs + jobs)
+
+let usage t ~tenant =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some s -> (s.bytes, s.jobs)
+  | None -> (0, 0)
+
+let usages t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun name s acc -> (name, s.bytes, s.jobs) :: acc) t.tenants []
+  |> List.sort compare
+
+(* stable reason text + retry-after for the NET004 wire rejection; quota
+   rejections advise [quota_retry] (they clear on GC, not on a timer) *)
+let describe ~quota_retry = function
+  | Rate_limited { retry_after } ->
+      (Printf.sprintf "NET004 rate limit exceeded", Float.max 0.001 retry_after)
+  | Bytes_exceeded { used; limit } ->
+      ( Printf.sprintf "NET004 byte quota exceeded (%d of %d bytes in use)" used
+          limit,
+        quota_retry )
+  | Jobs_exceeded { used; limit } ->
+      ( Printf.sprintf "NET004 job quota exceeded (%d of %d jobs live)" used
+          limit,
+        quota_retry )

@@ -1,0 +1,49 @@
+(** Per-tenant admission governance: token-bucket rate limiting plus
+    byte/job disk quotas, enforced at the server's admission chokepoint
+    (rejections travel as [NET004] with a retry-after derived from the
+    bucket refill).  The byte/job ledger is rebuilt from the store scan
+    on restart; the buckets reset to full.  The clock is injectable so
+    refill is testable. *)
+
+type limits = {
+  rate : float;  (** token refill per second; [<= 0] disables rate limiting *)
+  burst : int;  (** bucket capacity (max admissions in an instant) *)
+  max_bytes : int;  (** per-tenant durable bytes; [<= 0] disables *)
+  max_jobs : int;  (** per-tenant live jobs; [<= 0] disables *)
+}
+
+(** All governance off (every limit disabled). *)
+val unlimited : limits
+
+type reject =
+  | Rate_limited of { retry_after : float }
+      (** the bucket is empty; [retry_after] is the exact delay until the
+          next token *)
+  | Bytes_exceeded of { used : int; limit : int }
+  | Jobs_exceeded of { used : int; limit : int }
+
+type t
+
+val create : ?clock:(unit -> float) -> limits -> t
+val limits : t -> limits
+
+(** Take one token and charge [bytes] + one job to [tenant] — atomically:
+    a rejection consumes nothing.  Quota checks run before the bucket so
+    a capped tenant is shed without burning tokens. *)
+val admit : t -> tenant:string -> bytes:int -> (unit, reject) result
+
+(** Ledger adjustment without touching the bucket: positive for recovery
+    seeding and post-completion growth, negative when GC reclaims.
+    Usage never goes below zero. *)
+val charge : t -> tenant:string -> bytes:int -> jobs:int -> unit
+
+(** Current [(bytes, jobs)] ledger for one tenant. *)
+val usage : t -> tenant:string -> int * int
+
+(** Every tenant's [(name, bytes, jobs)], sorted by name (metrics). *)
+val usages : t -> (string * int * int) list
+
+(** Stable [NET004] reason text + retry-after for a rejection.  Rate
+    rejections carry their refill delay; quota rejections advise
+    [quota_retry] (they clear on GC or completion, not on a timer). *)
+val describe : quota_retry:float -> reject -> string * float

@@ -12,7 +12,20 @@
     is refused immediately (NET001 + retry-after); deadlines are
     enforced at run boundaries (SRV004, partial results kept); a
     per-tenant circuit breaker sheds a failing tenant's load without
-    touching other tenants. *)
+    touching other tenants.
+
+    Resource governance: admission also passes a per-tenant {!Quota}
+    gate (token bucket + byte/job ledgers, NET004 on refusal, ledger
+    rebuilt by the startup scan); a background GC collects finished
+    jobs past [retain_done] and evicts oldest-finished-first above
+    [max_store_bytes], tombstoning each dir ([job.tomb]) before the
+    delete so a crash mid-collection can never resurrect — or lose —
+    anything.  Durable-write failures (ENOSPC/EIO, real or injected)
+    flip a disk-pressure breaker (SRV007): new admissions are shed while
+    accepted jobs finish from memory, and a rate-limited probe write
+    clears the state when the disk recovers.  Connections are capped at
+    [max_connections] and every frame read is bounded by an absolute
+    deadline (slowloris defence). *)
 
 module Supervise = S89_exec.Supervise
 module Cost_model = S89_vm.Cost_model
@@ -26,18 +39,32 @@ type config = {
   fsync : bool;
   policy : Supervise.policy;  (** per-tenant breaker (keyed by tenant) *)
   cost_model : Cost_model.t;
-  recv_timeout : float;  (** per-connection receive timeout, seconds *)
+  recv_timeout : float;
+      (** absolute per-frame read deadline, seconds (slowloris bound) *)
+  quota : Quota.limits;  (** per-tenant rate/burst + byte/job quotas *)
+  max_connections : int;
+      (** concurrent connection cap; [<= 0] = unlimited *)
+  retain_done : float;
+      (** keep finished jobs this long, seconds; [< 0] = forever *)
+  max_store_bytes : int;
+      (** GC size bound on the store root; [<= 0] = unbounded *)
+  gc_interval : float;  (** maintenance thread period, seconds *)
+  disk_probe_interval : float;
+      (** min gap between disk-pressure probe writes, seconds *)
 }
 
 (** Port 0, 2 workers, capacity 64, fsync on, breaker at 5 consecutive
     failures with a 2s cooldown (no restarts — a deterministic job
-    failure only burns one attempt), 30s receive timeout. *)
+    failure only burns one attempt), 30s receive deadline, quotas off,
+    256 connections, retention forever, no size bound, 2s GC period,
+    0.25s probe gap. *)
 val default_config : config
 
 type t
 
-(** Bind, recover (re-register finished/failed jobs, re-enqueue the
-    rest), spawn the worker domains and the listener thread. *)
+(** Bind, recover (sweep tombstoned dirs, re-register finished/failed
+    jobs and seed the quota ledger, re-enqueue the rest), spawn the
+    worker domains, the listener thread and the GC thread. *)
 val start : ?config:config -> store_root:string -> unit -> t
 
 (** The actually-bound port (differs from [config.port] when 0). *)
@@ -45,14 +72,20 @@ val port : t -> int
 
 (** Graceful stop: refuse new work, interrupt running batches at the
     next run boundary (their runs stay durable; the jobs re-enqueue on
-    the next start), join workers and listener. *)
+    the next start), join workers, listener and GC thread. *)
 val stop : t -> unit
 
 (** Block until the server stops (listener + workers exit). *)
 val wait : t -> unit
 
+(** Run one GC pass synchronously (retention + size bound); returns the
+    number of jobs collected.  The background thread calls this every
+    [gc_interval]; tests call it directly. *)
+val gc_now : t -> int
+
 (** The [/metrics]-style text document: job counters, per-tenant queue
-    depth and breaker state, p50/p99 job latency. *)
+    depth / breaker state / quota ledgers, connection and fd budgets,
+    disk-pressure state, GC counters, store size, p50/p99 job latency. *)
 val metrics_text : t -> string
 
 (** Minimal blocking client for the CLI, benchmarks and soak tests. *)
@@ -65,4 +98,10 @@ module Client : sig
   val rpc : Unix.file_descr -> Proto.request -> (Proto.response, string) result
 
   val close : Unix.file_descr -> unit
+
+  (** Backoff for the CLI's [--retries]: the server's advised
+      [retry_after] is the floor, exponential above it
+      ([0.1 * 2^attempt], capped at 5 s), spread up to +25 % by
+      [jitter] in [0, 1].  Pure — same inputs, same delay. *)
+  val retry_delay : attempt:int -> retry_after:float -> jitter:float -> float
 end

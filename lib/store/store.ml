@@ -36,6 +36,17 @@
      one is reported and skipped), replays its WAL's valid prefix on top,
      and deletes stale files from older epochs.
 
+   Disk-fault degradation: an append that fails with ENOSPC/EIO (real or
+   injected via [S89_FAULTS=enospc:P]/[eio:P]) is ABSORBED — the record
+   is buffered in memory (in order) and the store keeps serving from its
+   merged view; every later append first retries the buffer, and a
+   successful compaction drains it wholesale (the snapshot is written
+   from memory, so buffered records become durable with the epoch
+   commit).  [degraded] reports the weakened-durability state and
+   [?on_disk_fault] notifies the embedding service (the TCP server uses
+   it to enter its SRV007 disk-pressure state).  Only ENOSPC/EIO are
+   absorbed: other write errors still propagate.
+
    The merged in-memory view is a plain [Database.t]; estimates read it
    through [Database.proc_totals], which is iteration-order deterministic,
    so a resumed batch reproduces an uninterrupted run byte-for-byte. *)
@@ -56,6 +67,7 @@ type t = {
   dir : string;
   fsync : bool;
   compact_threshold : int;
+  on_disk_fault : (exn -> unit) option;
   db : Database.t; (* merged view: snapshot + replayed WAL *)
   mutable epoch : int;
   mutable wal : Wal.t;
@@ -65,6 +77,8 @@ type t = {
   mutable memos : (int64, memo_rec) Hashtbl.t; (* fingerprint -> summary *)
   mutable memo_seq : int; (* next memo record id *)
   mutable diags : Diag.t list; (* recovery diagnostics, oldest first *)
+  pending : string Queue.t; (* records awaiting disk, oldest first *)
+  mutable degraded : bool; (* a disk fault left [pending] non-empty *)
 }
 
 let snapshot_path dir epoch = Filename.concat dir (Printf.sprintf "snapshot-%06d.db" epoch)
@@ -197,7 +211,7 @@ let scan dir ~prefix ~suffix =
          else None)
   |> List.sort (fun (a, _) (b, _) -> compare b a)
 
-let open_ ?(fsync = true) ?(compact_threshold = 64) ~dir () =
+let open_ ?(fsync = true) ?(compact_threshold = 64) ?on_disk_fault ~dir () =
   mkdir_p dir;
   let snaps = scan dir ~prefix:"snapshot-" ~suffix:".db" in
   let wals = scan dir ~prefix:"wal-" ~suffix:".log" in
@@ -242,8 +256,9 @@ let open_ ?(fsync = true) ?(compact_threshold = 64) ~dir () =
         (List.length recovery.Wal.payloads)
       :: !diags;
   let t =
-    { dir; fsync; compact_threshold; db; epoch; wal; wal_runs = 0; meta = [];
-      events = []; memos = Hashtbl.create 16; memo_seq = 0; diags = [] }
+    { dir; fsync; compact_threshold; on_disk_fault; db; epoch; wal;
+      wal_runs = 0; meta = []; events = []; memos = Hashtbl.create 16;
+      memo_seq = 0; diags = []; pending = Queue.create (); degraded = false }
   in
   List.iter (replay t) recovery.Wal.payloads;
   (* stale files from other epochs (interrupted compactions), plus any
@@ -277,10 +292,51 @@ let memos t =
 
 (* ---------------- appending ---------------- *)
 
+let notify_disk_fault t e =
+  t.degraded <- true;
+  match t.on_disk_fault with Some f -> f e | None -> ()
+
+(* Retry buffered records in order; true when the buffer drained.  Only
+   ENOSPC/EIO keep a record buffered — anything else propagates. *)
+let flush t =
+  let rec go () =
+    match Queue.peek_opt t.pending with
+    | None -> true
+    | Some p -> (
+        match Wal.append t.wal p with
+        | () ->
+            ignore (Queue.pop t.pending : string);
+            go ()
+        | exception e when Wal.is_disk_fault e -> false)
+  in
+  let drained = go () in
+  if drained then t.degraded <- false;
+  drained
+
+(* The durable-append with ENOSPC/EIO absorption: buffered records go
+   first (WAL order = logical order), and a record that cannot reach the
+   disk joins the buffer instead of failing the operation — the merged
+   in-memory view stays authoritative, durability is restored by a later
+   flush or by the next successful compaction. *)
+let wal_append t payload =
+  if flush t then (
+    match Wal.append t.wal payload with
+    | () -> ()
+    | exception e when Wal.is_disk_fault e ->
+        Queue.add payload t.pending;
+        notify_disk_fault t e)
+  else begin
+    Queue.add payload t.pending;
+    notify_disk_fault t (Unix.Unix_error (Unix.ENOSPC, "write", Wal.path t.wal))
+  end
+
+let degraded t = t.degraded
+let pending_records t = Queue.length t.pending
+
 let append_event t text =
   if String.contains text '\n' then invalid_arg "Store.append_event: newline";
   if not (List.mem text t.events) then begin
-    Wal.append t.wal (event_payload text);
+    wal_append t (event_payload text);
     t.events <- t.events @ [ text ]
   end
 
@@ -291,7 +347,7 @@ let set_meta t kvs =
         invalid_arg "Store.set_meta: key with space/newline";
       if String.contains v '\n' then invalid_arg "Store.set_meta: value with newline")
     kvs;
-  Wal.append t.wal (meta_payload kvs);
+  wal_append t (meta_payload kvs);
   List.iter (fun (k, v) -> t.meta <- (k, v) :: List.remove_assoc k t.meta) kvs
 
 let append_memo t ~fp ~name ~time ~var =
@@ -305,7 +361,7 @@ let append_memo t ~fp ~name ~time ~var =
   if changed then begin
     let id = t.memo_seq in
     t.memo_seq <- id + 1;
-    Wal.append t.wal (memo_payload ~id ~fp ~name ~time ~var);
+    wal_append t (memo_payload ~id ~fp ~name ~time ~var);
     Hashtbl.replace t.memos fp { m_id = id; m_name = name; m_time = time; m_var = var }
   end
 
@@ -334,16 +390,48 @@ let fsync_dir ~fsync dir =
         Unix.close dirfd
   end
 
+(* Per-path attempt streams for the atomic-write injection point below:
+   deterministic per path, advancing on every injected failure so a
+   retried commit can succeed when P < 1 (mirrors [Wal.append]'s
+   per-record attempt counter). *)
+let atomic_attempts : (string, int) Hashtbl.t = Hashtbl.create 8
+let atomic_mu = Mutex.create ()
+
+let atomic_disk_fault path =
+  let attempt =
+    Mutex.lock atomic_mu;
+    let a = Option.value ~default:0 (Hashtbl.find_opt atomic_attempts path) in
+    Mutex.unlock atomic_mu;
+    a
+  in
+  match Wal.disk_fault ~key:(Fault.string_key path) ~attempt ~fn:"write" path with
+  | () ->
+      Mutex.lock atomic_mu;
+      Hashtbl.remove atomic_attempts path;
+      Mutex.unlock atomic_mu
+  | exception e ->
+      Mutex.lock atomic_mu;
+      Hashtbl.replace atomic_attempts path (attempt + 1);
+      Mutex.unlock atomic_mu;
+      raise e
+
 let write_atomic ~fsync path content =
+  (* injected ENOSPC/EIO: the commit fails before the tmp file exists,
+     so a crash-free caller can simply keep the previous state *)
+  atomic_disk_fault path;
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let b = Bytes.unsafe_of_string content in
-  let n = Bytes.length b in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
-  done;
-  if fsync then Unix.fsync fd;
+  (try
+     let b = Bytes.unsafe_of_string content in
+     let n = Bytes.length b in
+     let off = ref 0 in
+     while !off < n do
+       off := !off + Unix.write fd b !off (n - !off)
+     done;
+     if fsync then Unix.fsync fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
   Unix.close fd;
   Sys.rename tmp path;
   (* the rename itself only becomes durable with the directory entry *)
@@ -356,35 +444,58 @@ let compact t =
      and deletes this file as stale *)
   (try Sys.remove (wal_path t.dir next) with Sys_error _ -> ());
   let new_wal, _ = Wal.open_ ~fsync:t.fsync (wal_path t.dir next) in
-  (* the new WAL's directory entry must be durable BEFORE the snapshot
-     rename commits: a power cut after the commit but before this sync
-     could otherwise surface the new snapshot without its WAL *)
-  fsync_dir ~fsync:t.fsync t.dir;
-  if t.meta <> [] then Wal.append new_wal (meta_payload t.meta);
-  List.iter (fun ev -> Wal.append new_wal (event_payload ev)) t.events;
-  (* the memo table rides compaction like the journal: re-appended to the
-     new epoch's WAL in id order, keeping ids stable across epochs *)
-  Hashtbl.fold (fun fp r acc -> (fp, r) :: acc) t.memos []
-  |> List.sort (fun (_, a) (_, b) -> compare a.m_id b.m_id)
-  |> List.iter (fun (fp, r) ->
-         Wal.append new_wal
-           (memo_payload ~id:r.m_id ~fp ~name:r.m_name ~time:r.m_time ~var:r.m_var));
-  (* commit point: atomic rename of the snapshot *)
-  write_atomic ~fsync:t.fsync (snapshot_path t.dir next) (Database.to_string t.db);
-  (* the old epoch's files are now stale *)
-  Wal.close t.wal;
-  (try Sys.remove (wal_path t.dir t.epoch) with Sys_error _ -> ());
-  (try Sys.remove (snapshot_path t.dir t.epoch) with Sys_error _ -> ());
-  t.wal <- new_wal;
-  t.epoch <- next;
-  t.wal_runs <- 0
+  match
+    (* the new WAL's directory entry must be durable BEFORE the snapshot
+       rename commits: a power cut after the commit but before this sync
+       could otherwise surface the new snapshot without its WAL *)
+    fsync_dir ~fsync:t.fsync t.dir;
+    if t.meta <> [] then Wal.append new_wal (meta_payload t.meta);
+    List.iter (fun ev -> Wal.append new_wal (event_payload ev)) t.events;
+    (* the memo table rides compaction like the journal: re-appended to the
+       new epoch's WAL in id order, keeping ids stable across epochs *)
+    Hashtbl.fold (fun fp r acc -> (fp, r) :: acc) t.memos []
+    |> List.sort (fun (_, a) (_, b) -> compare a.m_id b.m_id)
+    |> List.iter (fun (fp, r) ->
+           Wal.append new_wal
+             (memo_payload ~id:r.m_id ~fp ~name:r.m_name ~time:r.m_time ~var:r.m_var));
+    (* commit point: atomic rename of the snapshot *)
+    write_atomic ~fsync:t.fsync (snapshot_path t.dir next) (Database.to_string t.db)
+  with
+  | () ->
+      (* the old epoch's files are now stale *)
+      Wal.close t.wal;
+      (try Sys.remove (wal_path t.dir t.epoch) with Sys_error _ -> ());
+      (try Sys.remove (snapshot_path t.dir t.epoch) with Sys_error _ -> ());
+      t.wal <- new_wal;
+      t.epoch <- next;
+      t.wal_runs <- 0;
+      (* the snapshot and carried-forward records were written from the
+         in-memory state, which includes everything buffered — a
+         successful compaction IS the flush *)
+      Queue.clear t.pending;
+      t.degraded <- false
+  | exception e when Wal.is_disk_fault e ->
+      (* disk failed mid-compaction: stay on the current epoch (it is
+         untouched), drop the partial next epoch, and retry only after
+         another [compact_threshold] runs instead of on every append *)
+      Wal.close new_wal;
+      (try Sys.remove (wal_path t.dir next) with Sys_error _ -> ());
+      (try Sys.remove (snapshot_path t.dir next ^ ".tmp") with Sys_error _ -> ());
+      t.wal_runs <- 0;
+      notify_disk_fault t e
 
 let append_run t ~seed totals =
-  Wal.append t.wal (run_payload ~seed totals);
+  wal_append t (run_payload ~seed totals);
   Database.accumulate t.db totals;
   t.wal_runs <- t.wal_runs + 1;
   if t.wal_runs >= t.compact_threshold then compact t
 
 let export t path = write_atomic ~fsync:t.fsync path (Database.to_string t.db)
 
-let close t = Wal.close t.wal
+let close t =
+  (* best-effort final drain: buffered records get one more shot at the
+     disk before the fd goes away (a still-failing disk leaves them to
+     the snapshot-from-memory path of a future reopen's compaction —
+     i.e. they are lost with the process, the documented degradation) *)
+  if not (Queue.is_empty t.pending) then ignore (flush t : bool);
+  Wal.close t.wal

@@ -19,8 +19,41 @@ type t
 (** Open (creating the directory if needed) and recover.  Appends are
     fsync'd unless [~fsync:false] (tests, benchmarks).  A WAL that
     accumulates [compact_threshold] run records is compacted
-    automatically. *)
-val open_ : ?fsync:bool -> ?compact_threshold:int -> dir:string -> unit -> t
+    automatically.
+
+    [?on_disk_fault] is called whenever an append or compaction hits a
+    (real or injected) ENOSPC/EIO.  Such faults are ABSORBED, not
+    raised: the record is buffered in memory, the merged view keeps
+    serving, later appends retry the buffer, and a successful compaction
+    drains it wholesale (the snapshot is written from memory).  The TCP
+    server uses the callback to enter its SRV007 disk-pressure state. *)
+val open_ :
+  ?fsync:bool ->
+  ?compact_threshold:int ->
+  ?on_disk_fault:(exn -> unit) ->
+  dir:string ->
+  unit ->
+  t
+
+(** Is the store in weakened-durability mode (a disk fault left records
+    buffered in memory)?  Cleared when a flush or compaction drains the
+    buffer. *)
+val degraded : t -> bool
+
+(** Records currently buffered awaiting disk. *)
+val pending_records : t -> int
+
+(** Retry buffered records now; [true] when the buffer drained (also
+    clears {!degraded}).  Never raises on ENOSPC/EIO. *)
+val flush : t -> bool
+
+(** [write_atomic ~fsync path content] — the shared tmp + fsync + rename
+    + directory-fsync atomic write (also the snapshot commit path).
+    Carries the [enospc]/[eio] injection site keyed by [path]: a firing
+    decision raises [Unix.Unix_error] before the tmp file exists, so the
+    previous state is untouched.  Exposed for the server's durable-ack
+    files. *)
+val write_atomic : fsync:bool -> string -> string -> unit
 
 (** The merged view (snapshot + replayed WAL).  Shares structure with the
     store: do not mutate. *)

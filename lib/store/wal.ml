@@ -15,7 +15,11 @@
 
    The seeded fault injector ([S89_FAULTS=wal_torn:P]) simulates the
    mid-append crash: [append] writes half the record's bytes and raises
-   [Fault.Injected], leaving the torn tail for recovery to drop. *)
+   [Fault.Injected], leaving the torn tail for recovery to drop.
+   [enospc:P] / [eio:P] simulate the disk itself failing: [append]
+   raises a real [Unix.Unix_error] before any byte lands, so the file
+   stays a valid prefix and the caller decides whether to buffer, shed,
+   or die. *)
 
 module Fault = S89_util.Fault
 
@@ -82,11 +86,29 @@ let recover path =
 
 (* ---------------- appending ---------------- *)
 
+(* Shared ENOSPC/EIO injection check for every durable-write site (WAL
+   appends here; snapshot commits and durable-ack files in their own
+   modules).  Raises a REAL [Unix.Unix_error] so absorbing layers treat
+   injected and genuine disk faults identically.  [attempt] lets retry
+   loops re-ask: with P < 1 a retried write usually succeeds. *)
+let disk_fault ~key ~attempt ~fn path =
+  match Fault.active () with
+  | Some sp when Fault.fires sp Fault.Enospc ~key ~attempt ->
+      raise (Unix.Unix_error (Unix.ENOSPC, fn, path))
+  | Some sp when Fault.fires sp Fault.Eio ~key ~attempt ->
+      raise (Unix.Unix_error (Unix.EIO, fn, path))
+  | _ -> ()
+
+let is_disk_fault = function
+  | Unix.Unix_error ((Unix.ENOSPC | Unix.EIO), _, _) -> true
+  | _ -> false
+
 type t = {
   path : string;
   fd : Unix.file_descr;
   fsync : bool;
   mutable records : int; (* records in the file, recovered + appended *)
+  mutable disk_attempts : int; (* failed tries of the current record *)
   mutable closed : bool;
 }
 
@@ -97,7 +119,9 @@ let open_ ?(fsync = true) path =
   Unix.ftruncate fd r.valid_bytes;
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   if fsync && r.dropped_bytes > 0 then Unix.fsync fd;
-  ({ path; fd; fsync; records = List.length r.payloads; closed = false }, r)
+  ( { path; fd; fsync; records = List.length r.payloads; disk_attempts = 0;
+      closed = false },
+    r )
 
 let write_all fd (s : string) =
   let b = Bytes.unsafe_of_string s in
@@ -117,9 +141,17 @@ let append t payload =
       if t.fsync then Unix.fsync t.fd;
       raise (Fault.Injected (Fault.injected_msg Fault.Wal_torn ~key:t.records))
   | _ -> ());
+  (* injected ENOSPC/EIO: fail BEFORE any byte lands (the file stays a
+     valid prefix); the per-record attempt counter advances so a caller
+     retrying a buffered record can succeed when P < 1 *)
+  (try disk_fault ~key:t.records ~attempt:t.disk_attempts ~fn:"write" t.path
+   with e ->
+     t.disk_attempts <- t.disk_attempts + 1;
+     raise e);
   write_all t.fd record;
   if t.fsync then Unix.fsync t.fd;
-  t.records <- t.records + 1
+  t.records <- t.records + 1;
+  t.disk_attempts <- 0
 
 let records t = t.records
 let path t = t.path

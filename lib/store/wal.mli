@@ -32,8 +32,22 @@ val open_ : ?fsync:bool -> string -> t * recovery
 (** Append one record; durable before returning when [fsync] is on.
     Under [S89_FAULTS=wal_torn:P] a firing decision (keyed by the record
     index) writes a torn half-record and raises [Fault.Injected],
-    simulating a writer dying mid-append. *)
+    simulating a writer dying mid-append.  Under [enospc:P] / [eio:P] a
+    firing decision raises [Unix.Unix_error (ENOSPC|EIO, _, _)] before
+    any byte lands — the file stays a valid prefix and the caller
+    decides whether to buffer, shed, or die; retrying the append re-asks
+    the decision with an advanced attempt counter. *)
 val append : t -> string -> unit
+
+(** [disk_fault ~key ~attempt ~fn path] — the shared injected-ENOSPC/EIO
+    decision point used by every durable-write site (WAL appends,
+    snapshot commits, durable-ack files).  Raises a real
+    [Unix.Unix_error (ENOSPC|EIO, fn, path)] when the [enospc]/[eio]
+    site fires for [(key, attempt)]; a no-op otherwise. *)
+val disk_fault : key:int -> attempt:int -> fn:string -> string -> unit
+
+(** Is this exception a (real or injected) disk-space/media fault? *)
+val is_disk_fault : exn -> bool
 
 (** Records in the file (recovered + appended). *)
 val records : t -> int

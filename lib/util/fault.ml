@@ -13,6 +13,10 @@
    - dir_fsync:P        a directory fsync (the durability point of the
                         store's atomic-rename and WAL-epoch commits)
                         raises [Injected] instead of syncing
+   - enospc:P           a durable write (WAL append, snapshot commit,
+                        durable-ack file) fails with ENOSPC before any
+                        byte reaches disk
+   - eio:P              same sites fail with EIO (media error)
    - seed:N             base seed of the decision stream (default 1)
 
    Decisions are PURE FUNCTIONS of (seed, site, key, attempt): whether
@@ -32,6 +36,8 @@ type site =
   | Db_truncate
   | Wal_torn
   | Dir_fsync
+  | Enospc
+  | Eio
   | Backoff
 
 exception Injected of string
@@ -46,6 +52,8 @@ type spec = {
   db_truncate : float;
   wal_torn : float;
   dir_fsync : float;
+  enospc : float;
+  eio : float;
 }
 
 let default_slow_seconds = 0.001
@@ -53,7 +61,7 @@ let default_slow_seconds = 0.001
 let empty =
   { seed = 1; worker_raise = 0.0; slow_item = 0.0;
     slow_seconds = default_slow_seconds; analysis_raise = 0.0; db_truncate = 0.0;
-    wal_torn = 0.0; dir_fsync = 0.0 }
+    wal_torn = 0.0; dir_fsync = 0.0; enospc = 0.0; eio = 0.0 }
 
 let with_seed seed = { empty with seed }
 let seed spec = spec.seed
@@ -104,6 +112,14 @@ let parse s =
                 match prob_of v with
                 | Ok p -> go { spec with dir_fsync = p } rest
                 | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
+            | "enospc" -> (
+                match prob_of v with
+                | Ok p -> go { spec with enospc = p } rest
+                | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
+            | "eio" -> (
+                match prob_of v with
+                | Ok p -> go { spec with eio = p } rest
+                | Error () -> err "S89_FAULTS: bad probability %S for %s" v key)
             | "slow_item" -> (
                 (* optional @SECS suffix: slow_item:0.1@0.02 *)
                 let v, secs =
@@ -144,18 +160,20 @@ let env_spec : spec option Lazy.t =
         | Ok spec -> Some spec
         | Error msg -> raise (Bad_spec msg)))
 
-(* [None]: no override, fall back to the environment *)
-let override : spec option option ref = ref None
+(* [None]: no override, fall back to the environment.  Atomic because
+   the override can be flipped at runtime (tests, the serve signal
+   toggle) while worker domains are consulting it. *)
+let override : spec option option Atomic.t = Atomic.make None
 
 let active () =
-  match !override with Some s -> s | None -> Lazy.force env_spec
+  match Atomic.get override with Some s -> s | None -> Lazy.force env_spec
 
-let set spec = override := Some spec
+let set spec = Atomic.set override (Some spec)
 
 let with_spec spec f =
-  let saved = !override in
-  override := Some spec;
-  Fun.protect ~finally:(fun () -> override := saved) f
+  let saved = Atomic.get override in
+  Atomic.set override (Some spec);
+  Fun.protect ~finally:(fun () -> Atomic.set override saved) f
 
 (* ---------------- decisions ---------------- *)
 
@@ -173,6 +191,8 @@ let site_tag = function
   | Db_truncate -> 0x4442L
   | Wal_torn -> 0x574cL
   | Dir_fsync -> 0x4446L
+  | Enospc -> 0x4e53L
+  | Eio -> 0x4549L
   | Backoff -> 0x424fL
 
 let uniform spec site ~key ~attempt =
@@ -190,6 +210,8 @@ let prob spec = function
   | Db_truncate -> spec.db_truncate
   | Wal_torn -> spec.wal_torn
   | Dir_fsync -> spec.dir_fsync
+  | Enospc -> spec.enospc
+  | Eio -> spec.eio
   (* [Backoff] never fires by itself: its decision stream is only sampled
      via [uniform] for deterministic backoff jitter *)
   | Backoff -> 0.0
@@ -222,6 +244,8 @@ let injected_msg site ~key =
     | Db_truncate -> "db_truncate"
     | Wal_torn -> "wal_torn"
     | Dir_fsync -> "dir_fsync"
+    | Enospc -> "enospc"
+    | Eio -> "eio"
     | Backoff -> "backoff")
     key
 

@@ -17,6 +17,13 @@ type site =
       (** a directory fsync — the durability point of the store's
           atomic-rename snapshot and WAL-epoch commits — raises
           {!Injected} instead of syncing *)
+  | Enospc
+      (** a durable write (WAL append, snapshot commit, durable-ack
+          file) fails with [Unix.ENOSPC] before any byte reaches disk;
+          the injection points raise a real [Unix.Unix_error] so
+          absorbing layers treat injected and genuine disk-full
+          identically *)
+  | Eio  (** like {!Enospc} but [Unix.EIO] (media error) *)
   | Backoff
       (** never fires; its decision stream is sampled via {!uniform} for
           deterministic supervision backoff jitter *)
@@ -49,7 +56,9 @@ val parse : string -> (spec, string) result
 
 (** The process-wide active spec: parsed from [S89_FAULTS] on first use
     ({!Bad_spec} on a malformed value), [None] when unset.  {!set} and
-    {!with_spec} override the environment. *)
+    {!with_spec} override the environment; the override is atomic, so
+    it may be flipped at runtime (tests, the serve [SIGUSR1]/[SIGUSR2]
+    fault-pulse toggle) while worker domains consult it. *)
 val active : unit -> spec option
 
 val set : spec option -> unit

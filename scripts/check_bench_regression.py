@@ -159,7 +159,9 @@ def load_serve_rows(path):
     for name, row in load_rows_by_name(path).items():
         if name.startswith("serve/"):
             checked = {}
-            for f in ("p99_latency_s", "p50_latency_s", "rejection_rate"):
+            for f in ("p99_latency_s", "p50_latency_s", "rejection_rate",
+                      "flood_p99_ratio", "store_bytes_after_gc",
+                      "max_store_bytes"):
                 if f in row:
                     try:
                         checked[f] = float(row[f])
@@ -221,6 +223,11 @@ def main():
     ap.add_argument("--rejection-rate-max", type=float, default=0.05,
                     help="max allowed serve/* rejection_rate on rows not "
                          "marked saturated (default 0.05)")
+    ap.add_argument("--flood-p99-ratio-max", type=float, default=2.0,
+                    help="max allowed serve/* flood_p99_ratio: the "
+                         "well-behaved tenant's p99 under a flooding tenant, "
+                         "as a multiple of its unloaded baseline "
+                         "(default 2.0; dev hardware records ~1.1x)")
     args = ap.parse_args()
 
     try:
@@ -365,6 +372,24 @@ def main():
                 status = "ok" if ok else "REGRESSION"
                 print(f"{status:10s} {name}: rejection rate {rate * 100:.1f}% "
                       f"(max {args.rejection_rate_max * 100:.0f}%)")
+            if not ok:
+                failed = True
+        if "flood_p99_ratio" in row:
+            ratio = row["flood_p99_ratio"]
+            ok = ratio <= args.flood_p99_ratio_max
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: well-behaved p99 under flood "
+                  f"{ratio:.2f}x unloaded "
+                  f"(max {args.flood_p99_ratio_max:.1f}x)")
+            if not ok:
+                failed = True
+        if "store_bytes_after_gc" in row and row.get("max_store_bytes", 0) > 0:
+            after = row["store_bytes_after_gc"]
+            bound = row["max_store_bytes"]
+            ok = after <= bound
+            status = "ok" if ok else "REGRESSION"
+            print(f"{status:10s} {name}: store after GC {after:.0f} bytes "
+                  f"(bound {bound:.0f})")
             if not ok:
                 failed = True
 

@@ -26,6 +26,26 @@
 # i.e. zero completed runs lost across any kill.  Live tunables:
 # TENANTS (default 4), JOBS_PER_TENANT (default 500), KILLS (default
 # 10), RUNS_LIVE (runs per job, default 5), PORT (default 7189).
+#
+# MODE=exhaust runs the resource-exhaustion chaos soak: one governed
+# server (tenant quotas, store GC, connection cap, frame deadlines)
+# under a flooding tenant, $SLOW_CLIENTS slow-drip (slowloris)
+# connections, and $MIN_WINDOWS injected ENOSPC windows (driven via
+# the server's S89_FAULTS_PULSE + SIGUSR1/SIGUSR2 toggle, so every
+# durable write fails while a window is open and recovers when it
+# closes), while a well-behaved tenant's per-job latency is sampled
+# before and during the chaos.  Asserts: the server never crashes,
+# every accepted job (flood included) reaches a terminal state, at
+# least $MIN_WINDOWS disk-pressure windows were entered and
+# recovered, at least one slow client was cut by the frame deadline,
+# the well-behaved p99 stays within 2x the unloaded baseline (or an
+# absolute $P99_FLOOR-second floor, whichever is larger), and the
+# store directory shrinks back under --max-store-bytes once GC
+# drains.  Exhaust tunables: BASELINE_JOBS / LOADED_JOBS (default
+# 15 each), FLOODERS (default 1), SLOW_CLIENTS (default 4),
+# MIN_WINDOWS (ENOSPC windows, default 3), WINDOW_SECONDS (default
+# 1.0), MAX_STORE_BYTES (default 2 MiB), EXH_FAULTS (pulse spec,
+# default enospc:1.0,seed:11), PORT (default 7389).
 
 set -u
 
@@ -183,6 +203,231 @@ if [ "${MODE:-}" = "live" ]; then
         die "$failures of $TOTAL job reports diverged; artifacts in $ARTIFACTS/"
     fi
     say "live soak ok: $TOTAL jobs, $kills_done kills, zero lost completed runs"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------
+# MODE=exhaust: flood + injected ENOSPC + slowloris against a governed
+# server; the server must shed, recover, GC, and never crash
+# ---------------------------------------------------------------------
+if [ "${MODE:-}" = "exhaust" ]; then
+    PORT="${PORT:-7389}"
+    ADDR="127.0.0.1:$PORT"
+    BASELINE_JOBS="${BASELINE_JOBS:-15}"
+    LOADED_JOBS="${LOADED_JOBS:-15}"
+    FLOODERS="${FLOODERS:-1}"
+    SLOW_CLIENTS="${SLOW_CLIENTS:-4}"
+    MIN_WINDOWS="${MIN_WINDOWS:-3}"
+    RUNS_EXH="${RUNS_EXH:-5}"
+    SEED_EXH="${SEED_EXH:-7}"
+    MAX_STORE_BYTES="${MAX_STORE_BYTES:-2097152}"
+    EXH_FAULTS="${EXH_FAULTS:-enospc:1.0,seed:11}"
+    WINDOW_SECONDS="${WINDOW_SECONDS:-1.0}"
+    P99_FLOOR="${P99_FLOOR:-2.0}"
+
+    WORK="$(mktemp -d "${TMPDIR:-/tmp}/crash-soak-exhaust.XXXXXX")"
+    SERVER_PID=""
+    cleanup() {
+        touch "$WORK/stop" 2>/dev/null
+        [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+        wait 2>/dev/null
+        rm -rf "$WORK"
+    }
+    trap cleanup EXIT
+    STORE="$WORK/stores"
+    SRC="$WORK/fig1.f"
+    "$BIN" demo fig1 > "$SRC" || die "could not emit demo source"
+
+    # one server for the whole soak: governed admission, GC on, short
+    # frame deadline, and the ENOSPC pulse spec armed — SIGUSR1 opens
+    # a disk-fault window (every durable write fails), SIGUSR2 closes
+    # it and the pressure breaker recovers via its probe writes
+    S89_FAULTS_PULSE="$EXH_FAULTS" "$BIN" serve --tcp "$PORT" \
+        --store-root "$STORE" \
+        --rate 20 --burst 5 --max-tenant-jobs 32 \
+        --retain-done 1 --max-store-bytes "$MAX_STORE_BYTES" \
+        --max-conns 64 --recv-timeout 3 \
+        >> "$WORK/server.log" 2>&1 &
+    SERVER_PID=$!
+    for i in $(seq 1 100); do
+        "$BIN" client metrics --connect "$ADDR" > /dev/null 2>&1 && break
+        kill -0 "$SERVER_PID" 2>/dev/null || die "server died on startup"
+        sleep 0.1
+        [ "$i" -lt 100 ] || die "server would not come up on $ADDR"
+    done
+
+    metric() {
+        "$BIN" client metrics --connect "$ADDR" 2>/dev/null \
+            | awk -v m="$1" '$1 == m { print $2; exit }'
+    }
+
+    alive() {
+        kill -0 "$SERVER_PID" 2>/dev/null \
+            || { cp "$WORK/server.log" "$ARTIFACTS/" 2>/dev/null; \
+                 die "server crashed ($1); log in $ARTIFACTS/"; }
+    }
+
+    # submit $2 jobs as the well-behaved tenant and append each job's
+    # wall latency (ms, submit with retries through a terminal state)
+    # to $3; `unknown` after acceptance means done-and-GC-collected
+    measure() {
+        local prefix="$1" count="$2" out="$3" j job t0 t1 state deadline
+        for j in $(seq 1 "$count"); do
+            job="$prefix$(printf '%03d' "$j")"
+            t0=$(date +%s%N)
+            "$BIN" client submit --connect "$ADDR" --tenant good \
+                --job "$job" --file "$SRC" --runs "$RUNS_EXH" \
+                --seed "$SEED_EXH" --retries 10 > /dev/null 2>&1 \
+                || die "good/$job not accepted after retries"
+            deadline=$(($(date +%s) + 120))
+            while :; do
+                state="$("$BIN" client status --connect "$ADDR" \
+                    --tenant good --job "$job" 2>/dev/null \
+                    | awk '{print $1}')"
+                case "$state" in
+                    done|unknown) break ;;
+                    failed|expired) die "good/$job entered state '$state'" ;;
+                esac
+                [ "$(date +%s)" -lt "$deadline" ] \
+                    || die "good/$job stuck in state '${state:-unreachable}'"
+                sleep 0.05
+            done
+            t1=$(date +%s%N)
+            printf '%d\n' $(((t1 - t0) / 1000000)) >> "$out"
+        done
+    }
+
+    # flooding tenant: hammer submissions with no retry and no pacing;
+    # rejections (NET001/NET004/SRV007) are the expected steady state,
+    # but every ACCEPTED flood job is recorded and must later finish
+    flood() {
+        local tenant="$1" i=0 job
+        : > "$WORK/accepted-$tenant"
+        while [ ! -f "$WORK/stop" ]; do
+            i=$((i + 1))
+            job="f$(printf '%05d' "$i")"
+            if "$BIN" client submit --connect "$ADDR" --tenant "$tenant" \
+                --job "$job" --file "$SRC" --runs "$RUNS_EXH" \
+                --seed "$SEED_EXH" > /dev/null 2>&1; then
+                printf '%s\n' "$job" >> "$WORK/accepted-$tenant"
+            fi
+        done
+    }
+
+    # open/close $MIN_WINDOWS ENOSPC windows against the live server;
+    # the flood guarantees durable writes are attempted inside each
+    # window, so each one enters (and then exits) disk pressure
+    windows_driver() {
+        local w
+        for w in $(seq 1 "$MIN_WINDOWS"); do
+            sleep 1.2
+            kill -USR1 "$SERVER_PID" 2>/dev/null || return
+            sleep "$WINDOW_SECONDS"
+            kill -USR2 "$SERVER_PID" 2>/dev/null || return
+        done
+    }
+
+    # slowloris: hold a connection open and drip one byte slower than
+    # the frame deadline; the server must cut us, not hang a thread
+    slow_drip() {
+        while [ ! -f "$WORK/stop" ]; do
+            (
+                exec 3<>"/dev/tcp/127.0.0.1/$PORT" || exit 0
+                while [ ! -f "$WORK/stop" ]; do
+                    printf 's' >&3 2>/dev/null || exit 0
+                    sleep 0.8
+                done
+            ) 2>/dev/null
+            sleep 0.2
+        done
+    }
+
+    say "exhaust soak: $FLOODERS flooder(s), $SLOW_CLIENTS slow clients, faults=$EXH_FAULTS, port $PORT"
+
+    say "baseline: $BASELINE_JOBS well-behaved jobs (no flood)"
+    measure base "$BASELINE_JOBS" "$WORK/lat-base"
+    alive "during baseline"
+
+    LOAD_PIDS=""
+    for f in $(seq 1 "$FLOODERS"); do
+        flood "flood$f" &
+        LOAD_PIDS="$LOAD_PIDS $!"
+    done
+    for s in $(seq 1 "$SLOW_CLIENTS"); do
+        slow_drip &
+        LOAD_PIDS="$LOAD_PIDS $!"
+    done
+    windows_driver &
+    WINDOWS_PID=$!
+    sleep 2   # let the flood and the drips bite before sampling
+
+    say "loaded: $LOADED_JOBS well-behaved jobs under flood + ENOSPC windows"
+    measure load "$LOADED_JOBS" "$WORK/lat-load"
+    alive "during flood"
+
+    wait "$WINDOWS_PID" 2>/dev/null   # all windows closed (USR2 sent)
+    touch "$WORK/stop"
+    for pid in $LOAD_PIDS; do wait "$pid" 2>/dev/null; done
+    accepted=$(cat "$WORK"/accepted-flood* 2>/dev/null | wc -l)
+    say "flood stopped; $accepted flood jobs were accepted; draining them"
+
+    # zero lost accepted jobs: with no kills in this mode, every
+    # accepted flood job must reach done (or unknown once GC collects
+    # the finished shard) — anything stuck queued/running is a loss
+    deadline=$(($(date +%s) + 180))
+    for f in $(seq 1 "$FLOODERS"); do
+        while IFS= read -r job; do
+            while :; do
+                state="$("$BIN" client status --connect "$ADDR" \
+                    --tenant "flood$f" --job "$job" 2>/dev/null \
+                    | awk '{print $1}')"
+                case "$state" in done|unknown) break ;; esac
+                [ "$(date +%s)" -lt "$deadline" ] \
+                    || die "flood$f/$job stuck in state '${state:-unreachable}'"
+                sleep 0.1
+            done
+        done < "$WORK/accepted-flood$f"
+    done
+    alive "after drain"
+
+    windows=$(metric s89_disk_pressure_windows)
+    [ -n "$windows" ] || die "could not scrape s89_disk_pressure_windows"
+    [ "$windows" -ge "$MIN_WINDOWS" ] \
+        || die "only $windows disk-pressure windows (need >= $MIN_WINDOWS)"
+    timed_out=$(metric s89_conns_timed_out)
+    [ -n "$timed_out" ] && [ "$timed_out" -ge 1 ] \
+        || die "no slow client was cut by the frame deadline (timed_out=${timed_out:-?})"
+
+    # GC must pull the store back under the size bound once the load
+    # drains; measured with du, not the server's own gauge
+    deadline=$(($(date +%s) + 90))
+    while :; do
+        store_du=$(du -sb "$STORE" 2>/dev/null | awk '{print $1}')
+        [ -n "$store_du" ] && [ "$store_du" -le "$MAX_STORE_BYTES" ] && break
+        [ "$(date +%s)" -lt "$deadline" ] \
+            || die "store still ${store_du:-?} bytes > $MAX_STORE_BYTES after GC"
+        sleep 0.5
+    done
+    gc_collected=$(metric s89_gc_collected)
+
+    # SLO: loaded p99 within 2x the unloaded baseline, with an absolute
+    # floor so sub-100ms baselines don't turn jitter into a failure
+    p99() {
+        sort -n "$1" | awk '{ a[NR] = $1 }
+            END { i = int(0.99 * NR + 0.999999); if (i < 1) i = 1; print a[i] }'
+    }
+    p99_base=$(p99 "$WORK/lat-base")
+    p99_load=$(p99 "$WORK/lat-load")
+    awk -v l="$p99_load" -v b="$p99_base" -v f="$P99_FLOOR" 'BEGIN {
+        lim = 2 * b; fl = f * 1000; if (lim < fl) lim = fl;
+        exit !(l <= lim) }' \
+        || die "well-behaved p99 ${p99_load}ms > max(2 x ${p99_base}ms, ${P99_FLOOR}s)"
+
+    alive "at end"
+    kill "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+    SERVER_PID=""
+    say "exhaust soak ok: $accepted flood jobs accepted and drained, $windows disk-pressure windows, $timed_out slow clients cut, gc collected ${gc_collected:-?} jobs (store ${store_du} <= ${MAX_STORE_BYTES} bytes), p99 ${p99_base}ms -> ${p99_load}ms"
     exit 0
 fi
 

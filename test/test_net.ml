@@ -4,14 +4,22 @@
    histogram, and the server end-to-end over loopback: submit/status/
    result against a direct Service.batch reference, NET001 overflow
    rejection at saturation, SRV004 deadline expiry with partial
-   results, and graceful stop → restart → byte-identical resume. *)
+   results, and graceful stop → restart → byte-identical resume.
+
+   PR-10 surface: resource governance — the token-bucket/quota gate
+   (QCheck window bound + NET004 end-to-end), mid-stream SWRR
+   reweighting, store GC (retention, size bound, tombstone sweep on
+   recovery), the SRV007 disk-pressure breaker under injected ENOSPC,
+   the slowloris frame deadline, and the client backoff schedule. *)
 
 module Proto = S89_net.Proto
 module Admission = S89_net.Admission
+module Quota = S89_net.Quota
 module Server = S89_net.Server
 module Histogram = S89_exec.Histogram
 module Service = S89_core.Service
 module Diag = S89_diag.Diag
+module Fault = S89_util.Fault
 
 let check = Alcotest.check
 let cb = Alcotest.bool
@@ -339,6 +347,347 @@ let server_restart_resumes () =
       check cs "resumed report byte-identical to uninterrupted run" expected body
   | _ -> Alcotest.fail "expected Job_result"
 
+(* ---------------- quota (PR-10) ---------------- *)
+
+(* the token-bucket window bound: over ANY schedule of admissions and
+   clock advances of total length T, a tenant is admitted at most
+   burst + rate*T times — the defining property of a token bucket *)
+let quota_window_prop =
+  QCheck.Test.make ~count:300 ~name:"token bucket: admissions <= burst + rate*T"
+    QCheck.(
+      triple (int_range 1 5) (int_range 1 20)
+        (small_list (pair (int_range 0 500) (int_range 0 5))))
+    (fun (rate_i, burst, steps) ->
+      let rate = float_of_int rate_i in
+      let now = ref 0.0 in
+      let q =
+        Quota.create ~clock:(fun () -> !now)
+          { Quota.rate; burst; max_bytes = 0; max_jobs = 0 }
+      in
+      let admitted = ref 0 in
+      let total_dt = ref 0.0 in
+      List.iter
+        (fun (dt_ms, tries) ->
+          let dt = float_of_int dt_ms /. 1000.0 in
+          now := !now +. dt;
+          total_dt := !total_dt +. dt;
+          for _ = 1 to tries do
+            match Quota.admit q ~tenant:"t" ~bytes:0 with
+            | Ok () -> incr admitted
+            | Error (Quota.Rate_limited { retry_after }) ->
+                if retry_after <= 0.0 then
+                  QCheck.Test.fail_report "retry_after must be positive"
+            | Error _ -> QCheck.Test.fail_report "only rate rejections possible"
+          done)
+        steps;
+      float_of_int !admitted
+      <= float_of_int burst +. (rate *. !total_dt) +. 1e-6)
+
+let quota_ledgers () =
+  let q =
+    Quota.create
+      { Quota.rate = 0.0; burst = 0; max_bytes = 100; max_jobs = 2 }
+  in
+  check cb "first admit ok" true (Quota.admit q ~tenant:"a" ~bytes:40 = Ok ());
+  check cb "second admit ok" true (Quota.admit q ~tenant:"a" ~bytes:40 = Ok ());
+  (* job quota runs out before the byte quota here *)
+  (match Quota.admit q ~tenant:"a" ~bytes:1 with
+  | Error (Quota.Jobs_exceeded { used; limit }) ->
+      check ci "jobs used" 2 used;
+      check ci "jobs limit" 2 limit
+  | _ -> Alcotest.fail "third job must exceed the job quota");
+  (* release one job but keep its bytes: now bytes block *)
+  Quota.charge q ~tenant:"a" ~bytes:0 ~jobs:(-1);
+  (match Quota.admit q ~tenant:"a" ~bytes:40 with
+  | Error (Quota.Bytes_exceeded { used; limit }) ->
+      check ci "bytes used" 80 used;
+      check ci "bytes limit" 100 limit
+  | _ -> Alcotest.fail "byte quota must refuse");
+  check cb "within bytes ok" true (Quota.admit q ~tenant:"a" ~bytes:20 = Ok ());
+  (* a rejection must consume nothing *)
+  check cb "usage" true (Quota.usage q ~tenant:"a" = (100, 2));
+  (* other tenants have their own ledgers *)
+  check cb "tenant isolation" true (Quota.admit q ~tenant:"b" ~bytes:99 = Ok ());
+  (* charge clamps at zero *)
+  Quota.charge q ~tenant:"b" ~bytes:(-1000) ~jobs:(-1000);
+  check cb "clamped" true (Quota.usage q ~tenant:"b" = (0, 0))
+
+(* ---------------- mid-stream reweighting ---------------- *)
+
+(* SWRR golden order across a weight change: A at 3 vs B at 1 serves
+   A A B A; after set_weight A 1 the pattern flips to strict
+   alternation.  Hand-computed from the SWRR credit algebra. *)
+let admission_set_weight_golden () =
+  let a = Admission.create ~capacity:8 ~weights:[ ("A", 3); ("B", 1) ] () in
+  for i = 1 to 5 do
+    ignore (Admission.submit a ~tenant:"A" i)
+  done;
+  for i = 1 to 3 do
+    ignore (Admission.submit a ~tenant:"B" i)
+  done;
+  let take_n n =
+    List.init n (fun _ ->
+        match Admission.take a with
+        | Some (tenant, _) -> tenant
+        | None -> Alcotest.fail "queue must not be drained yet")
+  in
+  check csl "before reweight: 3:1 service" [ "A"; "A"; "B"; "A" ] (take_n 4);
+  check ci "weight getter" 3 (Admission.weight a ~tenant:"A");
+  Admission.set_weight a ~tenant:"A" 1;
+  check ci "weight updated" 1 (Admission.weight a ~tenant:"A");
+  check csl "after reweight: alternation" [ "A"; "B"; "A"; "B" ] (take_n 4);
+  (* downgrading clamps accumulated credit: a tenant that banked credit
+     at a high weight cannot spend it after the downgrade *)
+  let b = Admission.create ~capacity:8 ~weights:[ ("X", 5); ("Y", 1) ] () in
+  for i = 1 to 4 do
+    ignore (Admission.submit b ~tenant:"X" i);
+    ignore (Admission.submit b ~tenant:"Y" i)
+  done;
+  (* one pick: Y accrues +1 credit while X (winner) pays the total *)
+  (match Admission.take b with
+  | Some ("X", _) -> ()
+  | _ -> Alcotest.fail "X must win the first pick at weight 5");
+  Admission.set_weight b ~tenant:"X" 1;
+  let rec drain acc =
+    match
+      if Admission.depth b ~tenant:"X" + Admission.depth b ~tenant:"Y" = 0 then
+        None
+      else Admission.take b
+    with
+    | Some (tenant, _) -> drain (tenant :: acc)
+    | None -> List.rev acc
+  in
+  let rest = drain [] in
+  let count t = List.length (List.filter (( = ) t) rest) in
+  (* equal weights from here: service must stay balanced, never letting
+     X spend pre-downgrade credit to burst ahead *)
+  check ci "X served exactly its remainder" 3 (count "X");
+  check ci "Y served exactly its remainder" 4 (count "Y");
+  (* X (downgraded, 3 left) must never be served twice in a row *)
+  let rec no_double = function
+    | "X" :: "X" :: _ -> false
+    | _ :: rest -> no_double rest
+    | [] -> true
+  in
+  check cb "no X double-service after downgrade" true (no_double rest)
+
+(* ---------------- rate limit / quota end-to-end ---------------- *)
+
+let submit_req ?(tenant = "t") ?(runs = 5) job =
+  Proto.Submit { tenant; job; runs; seed = 1; deadline = 0.0; source = fig1 }
+
+let server_rate_limit_net004 () =
+  let config =
+    { quick_config with
+      Server.quota =
+        { Quota.rate = 0.5; burst = 1; max_bytes = 0; max_jobs = 0 } }
+  in
+  with_server ~config @@ fun _root t ->
+  (match rpc t (submit_req "j1") with
+  | Proto.Accepted _ -> ()
+  | r -> Alcotest.failf "first submit must pass: %s" (Proto.encode_response r));
+  (match rpc t (submit_req "j2") with
+  | Proto.Rejected { retry_after; reason } ->
+      check cb "NET004 rate reason" true (contains reason "NET004");
+      check cb "rate named" true (contains reason "rate limit");
+      check cb "retry-after from refill" true
+        (retry_after > 0.0 && retry_after <= 2.0 +. 1e-6)
+  | r -> Alcotest.failf "second submit must be rate-limited: %s"
+           (Proto.encode_response r));
+  (* an idempotent resubmit of the accepted job needs no token *)
+  match rpc t (submit_req "j1") with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "idempotent resubmit must not need a token"
+
+let server_quota_then_gc () =
+  let config =
+    { quick_config with
+      Server.quota = { Quota.rate = 0.0; burst = 0; max_bytes = 0; max_jobs = 1 };
+      retain_done = 0.0; gc_interval = 0.0 (* tests drive gc_now *) }
+  in
+  with_server ~config @@ fun root t ->
+  (match rpc t (submit_req "j1") with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "first job must be admitted");
+  (* the live job holds the only quota slot *)
+  (match rpc t (submit_req "j2") with
+  | Proto.Rejected { reason; _ } ->
+      check cb "NET004 job quota" true (contains reason "NET004");
+      check cb "job quota named" true (contains reason "job quota")
+  | _ -> Alcotest.fail "second job must exceed the job quota");
+  ignore (poll_state t ~tenant:"t" ~job:"j1" (fun s -> s = "done"));
+  Thread.delay 0.02;
+  (* retention 0: the finished job is collectable; GC frees its slot *)
+  check ci "gc collects the finished job" 1 (Server.gc_now t);
+  (match rpc t (Proto.Status { tenant = "t"; job = "j1" }) with
+  | Proto.Job_status { state; _ } -> check cs "collected = unknown" "unknown" state
+  | _ -> Alcotest.fail "expected Job_status");
+  (* the collected job's directory is gone from the store *)
+  let job_dirs =
+    Sys.readdir (Filename.concat root "jobs")
+    |> Array.to_list
+    |> List.concat_map (fun shard ->
+           let d = Filename.concat (Filename.concat root "jobs") shard in
+           if Sys.is_directory d then Array.to_list (Sys.readdir d) else [])
+  in
+  check cb "job dir deleted" false (List.mem "t__j1" job_dirs);
+  (match rpc t (submit_req "j2") with
+  | Proto.Accepted _ -> ()
+  | r ->
+      Alcotest.failf "slot must be free after GC: %s" (Proto.encode_response r));
+  ignore (poll_state t ~tenant:"t" ~job:"j2" (fun s -> s = "done"));
+  (* a resubmit of the collected job is a FRESH job and runs again *)
+  Server.gc_now t |> ignore;
+  (match rpc t (submit_req "j1") with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "collected job must be resubmittable");
+  ignore (poll_state t ~tenant:"t" ~job:"j1" (fun s -> s = "done"));
+  match rpc t Proto.Metrics with
+  | Proto.Metrics_text text ->
+      check cb "gc collections counted" true (contains text "s89_gc_collected")
+  | _ -> Alcotest.fail "expected Metrics_text"
+
+let server_gc_size_bound () =
+  let config =
+    { quick_config with Server.max_store_bytes = 1; gc_interval = 0.0 }
+  in
+  with_server ~config @@ fun _root t ->
+  (match rpc t (submit_req "j1") with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "submit must pass");
+  ignore (poll_state t ~tenant:"t" ~job:"j1" (fun s -> s = "done"));
+  Thread.delay 0.02;
+  (* retention is forever, but the size bound forces eviction *)
+  check ci "size bound evicts the finished job" 1 (Server.gc_now t);
+  match rpc t (Proto.Status { tenant = "t"; job = "j1" }) with
+  | Proto.Job_status { state; _ } -> check cs "evicted" "unknown" state
+  | _ -> Alcotest.fail "expected Job_status"
+
+let server_tomb_sweep_on_recovery () =
+  with_tmp_dir @@ fun root ->
+  let store_root = Filename.concat root "jobs" in
+  let dir = Filename.concat (Filename.concat store_root "shard-07") "t__dead" in
+  let write p s =
+    let oc = open_out_bin p in
+    output_string oc s;
+    close_out oc
+  in
+  let rec mkdir_p d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Unix.mkdir d 0o755
+    end
+  in
+  mkdir_p dir;
+  write (Filename.concat dir "source.mf") fig1;
+  write (Filename.concat dir "job.meta") "tenant t\njob dead\nruns 5\nseed 1\n";
+  write (Filename.concat dir "job.tomb") "tomb\n";
+  let t = Server.start ~config:quick_config ~store_root () in
+  Fun.protect ~finally:(fun () -> Server.stop t) @@ fun () ->
+  check cb "tombed dir swept, not resurrected" false (Sys.file_exists dir);
+  match rpc t (Proto.Status { tenant = "t"; job = "dead" }) with
+  | Proto.Job_status { state; _ } -> check cs "tombed = unknown" "unknown" state
+  | _ -> Alcotest.fail "expected Job_status"
+
+(* ---------------- disk pressure (SRV007) ---------------- *)
+
+let server_disk_pressure () =
+  let config =
+    { quick_config with Server.disk_probe_interval = 0.02; gc_interval = 0.05 }
+  in
+  with_server ~config @@ fun _root t ->
+  Fun.protect ~finally:(fun () -> Fault.set None) @@ fun () ->
+  (* a job admitted on a healthy disk... *)
+  (match rpc t (submit_req ~runs:20_000 "inflight") with
+  | Proto.Accepted _ -> ()
+  | _ -> Alcotest.fail "submit must pass on a healthy disk");
+  ignore (poll_state t ~tenant:"t" ~job:"inflight" (fun s -> s = "running"));
+  (* ...then every durable write starts failing with ENOSPC *)
+  (match Fault.parse "enospc:1.0,seed:3" with
+  | Ok sp -> Fault.set (Some sp)
+  | Error m -> Alcotest.fail m);
+  (* new admissions are shed with SRV007 *)
+  (match rpc t (submit_req "shed") with
+  | Proto.Rejected { retry_after; reason } ->
+      check cb "SRV007 named" true (contains reason "SRV007");
+      check cb "positive retry-after" true (retry_after > 0.0)
+  | r -> Alcotest.failf "submit under disk pressure must shed: %s"
+           (Proto.encode_response r));
+  (* the in-flight job still finishes — from memory *)
+  ignore (poll_state t ~tenant:"t" ~job:"inflight" (fun s -> s = "done"));
+  (match rpc t (Proto.Result { tenant = "t"; job = "inflight" }) with
+  | Proto.Job_result { state; body } ->
+      check cs "done under pressure" "done" state;
+      check cb "report served from memory" true
+        (String.length body > 16 && String.sub body 0 16 = "program estimate")
+  | _ -> Alcotest.fail "expected Job_result");
+  (* disk recovers: a probe clears the breaker and admissions resume *)
+  Fault.set None;
+  let rec resubmit n =
+    if n = 0 then Alcotest.fail "admissions must resume after recovery"
+    else
+      match rpc t (submit_req "after") with
+      | Proto.Accepted _ -> ()
+      | Proto.Rejected _ ->
+          Thread.delay 0.03;
+          resubmit (n - 1)
+      | _ -> Alcotest.fail "unexpected response"
+  in
+  resubmit 200;
+  ignore (poll_state t ~tenant:"t" ~job:"after" (fun s -> s = "done"));
+  match rpc t Proto.Metrics with
+  | Proto.Metrics_text text ->
+      check cb "pressure cleared" true (contains text "s89_disk_pressure 0");
+      check cb "exactly one pressure window" true
+        (contains text "s89_disk_pressure_windows 1")
+  | _ -> Alcotest.fail "expected Metrics_text"
+
+(* ---------------- slowloris frame deadline ---------------- *)
+
+let proto_read_deadline () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* drip a partial header, then stall forever *)
+  ignore (Unix.write_substring b "s89 10" 0 6 : int);
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. 0.2 in
+  (match Proto.read_frame ~deadline a with
+  | exception Proto.Timed_out -> ()
+  | Ok _ | Error _ -> Alcotest.fail "a stalled frame must time out");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check cb "cut off near the deadline" true (elapsed >= 0.15 && elapsed < 2.0);
+  (* a whole frame arriving in time is unaffected by the deadline *)
+  let payload = Proto.encode_request Proto.Metrics in
+  ignore
+    (Unix.write_substring b (Proto.frame payload) 0
+       (String.length (Proto.frame payload))
+      : int);
+  match Proto.read_frame ~deadline:(Unix.gettimeofday () +. 5.0) a with
+  | Ok p -> check cs "frame delivered" payload p
+  | Error e -> Alcotest.failf "frame rejected: %s" e
+
+(* ---------------- client backoff schedule ---------------- *)
+
+let client_retry_delay_golden () =
+  let cf = Alcotest.float 1e-9 in
+  let d ~attempt ~retry_after ~jitter =
+    Server.Client.retry_delay ~attempt ~retry_after ~jitter
+  in
+  check cf "attempt 0 base" 0.1 (d ~attempt:0 ~retry_after:0.0 ~jitter:0.0);
+  check cf "exponential growth" 0.8 (d ~attempt:3 ~retry_after:0.0 ~jitter:0.0);
+  check cf "capped at 5s" 5.0 (d ~attempt:10 ~retry_after:0.0 ~jitter:0.0);
+  check cf "server floor wins" 2.0 (d ~attempt:0 ~retry_after:2.0 ~jitter:0.0);
+  check cf "jitter spreads up to +25%" 0.125
+    (d ~attempt:0 ~retry_after:0.0 ~jitter:1.0);
+  (* the schedule is pure: same inputs, same delay *)
+  check cf "deterministic"
+    (d ~attempt:5 ~retry_after:1.3 ~jitter:0.5)
+    (d ~attempt:5 ~retry_after:1.3 ~jitter:0.5)
+
 let suite =
   [
     Alcotest.test_case "proto: codecs roundtrip" `Quick proto_roundtrip;
@@ -354,4 +703,21 @@ let suite =
       server_deadline_expires;
     Alcotest.test_case "server: restart resumes byte-identically" `Quick
       server_restart_resumes;
+    QCheck_alcotest.to_alcotest quota_window_prop;
+    Alcotest.test_case "quota: byte/job ledgers" `Quick quota_ledgers;
+    Alcotest.test_case "admission: mid-stream reweight golden" `Quick
+      admission_set_weight_golden;
+    Alcotest.test_case "server: rate limit shed with NET004" `Quick
+      server_rate_limit_net004;
+    Alcotest.test_case "server: job quota frees after GC" `Quick
+      server_quota_then_gc;
+    Alcotest.test_case "server: GC size bound evicts" `Quick server_gc_size_bound;
+    Alcotest.test_case "server: tombstone swept on recovery" `Quick
+      server_tomb_sweep_on_recovery;
+    Alcotest.test_case "server: disk pressure sheds + recovers (SRV007)" `Quick
+      server_disk_pressure;
+    Alcotest.test_case "proto: frame deadline cuts slowloris" `Quick
+      proto_read_deadline;
+    Alcotest.test_case "client: retry backoff schedule" `Quick
+      client_retry_delay_golden;
   ]
